@@ -1,0 +1,50 @@
+//! Ablation: flowcell size sweep.
+//!
+//! §2.1 argues 64 KB is the sweet spot: it matches the TSO limit (so the
+//! NIC does the per-packet work), is small enough for fine-grained
+//! balancing, and big enough that mice stay in one cell. This sweep runs
+//! stride with 16 KB – 256 KB cells. Smaller cells balance finer but
+//! reorder more (more boundaries); larger cells approach flowlet-style
+//! coarseness.
+
+use presto_bench::{banner, base_seed, new_table, sim_duration, table::f, warmup_of};
+use presto_testbed::{stride_elephants, Scenario, SchemeSpec};
+
+fn main() {
+    banner(
+        "Ablation",
+        "flowcell size sweep (Presto, stride workload)",
+        "(design-choice ablation; the paper fixes 64 KB = max TSO, §2.1)",
+    );
+    let mut tbl = new_table([
+        "flowcell",
+        "tput(Gbps)",
+        "fairness",
+        "cells",
+        "masked",
+        "fires",
+        "retx",
+    ]);
+    for kb in [16u64, 32, 64, 128, 256] {
+        let mut scheme = SchemeSpec::presto();
+        scheme.flowcell_bytes = kb * 1024;
+        let mut sc = Scenario::testbed16(scheme, base_seed());
+        sc.duration = sim_duration();
+        sc.warmup = warmup_of(sc.duration);
+        sc.flows = stride_elephants(16, 8);
+        let r = sc.run();
+        tbl.row([
+            format!("{kb}KB"),
+            f(r.mean_elephant_tput(), 2),
+            f(r.fairness(), 3),
+            r.flowcells.to_string(),
+            r.gro_reorders_masked.to_string(),
+            r.gro_timeout_fires.to_string(),
+            r.retransmissions.to_string(),
+        ]);
+    }
+    tbl.print();
+    println!("\nNote: cells larger than 64 KB exceed what one TSO segment can carry;");
+    println!("the sender model still forms them from consecutive skbs, but a real");
+    println!("NIC gains nothing past the TSO limit — the paper's reason to stop at 64 KB.");
+}

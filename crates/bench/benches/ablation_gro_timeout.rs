@@ -1,0 +1,68 @@
+//! Ablation: the adaptive GRO flush timeout vs fixed timeouts.
+//!
+//! §3.2 argues against static timeouts: 10 ms (prior work's choice) holds
+//! segments so long that TCP cannot respond to loss promptly, while a
+//! small static value fires before reordered flowcells arrive and exposes
+//! TCP to reordering. Presto's `α·EWMA` adapts to the prevailing skew.
+//! This ablation runs the stride workload with each variant.
+
+use presto_bench::{banner, base_seed, new_table, sim_duration, table::f, warmup_of};
+use presto_simcore::SimDuration;
+use presto_testbed::{stride_elephants, GroKind, Scenario, SchemeSpec};
+
+fn variant(name: &'static str, gro: GroKind) -> SchemeSpec {
+    let mut s = SchemeSpec::presto();
+    s.name = name;
+    s.gro = gro;
+    s
+}
+
+fn main() {
+    banner(
+        "Ablation",
+        "adaptive alpha*EWMA GRO timeout vs fixed timeouts, stride",
+        "(design-choice ablation; the paper motivates the adaptive timeout in §3.2)",
+    );
+    let variants = [
+        variant("adaptive (paper)", GroKind::Presto),
+        variant("fixed 50us", GroKind::PrestoFixedTimeout(SimDuration::from_micros(50))),
+        variant("fixed 500us", GroKind::PrestoFixedTimeout(SimDuration::from_micros(500))),
+        variant("fixed 10ms", GroKind::PrestoFixedTimeout(SimDuration::from_millis(10))),
+    ];
+    let mut tbl = new_table([
+        "timeout",
+        "tput(Gbps)",
+        "masked",
+        "fires",
+        "tcp ooo",
+        "retx",
+        "fct p99(ms)",
+    ]);
+    for scheme in variants {
+        let name = scheme.name;
+        let mut sc = Scenario::testbed16(scheme, base_seed());
+        sc.duration = sim_duration();
+        sc.warmup = warmup_of(sc.duration);
+        sc.flows = stride_elephants(16, 8);
+        sc.mice = (0..16)
+            .map(|i| presto_testbed::MiceSpec {
+                src: i,
+                dst: (i + 8) % 16,
+                bytes: 50_000,
+                interval: SimDuration::from_millis(4),
+            })
+            .collect();
+        let r = sc.run();
+        let mut fct = r.mice_fct_ms.clone();
+        tbl.row([
+            name.to_string(),
+            f(r.mean_elephant_tput(), 2),
+            r.gro_reorders_masked.to_string(),
+            r.gro_timeout_fires.to_string(),
+            r.tcp_ooo_segments.to_string(),
+            r.retransmissions.to_string(),
+            f(fct.percentile(99.0).unwrap_or(0.0), 2),
+        ]);
+    }
+    tbl.print();
+}

@@ -1,0 +1,77 @@
+//! Extension experiment (beyond the paper): incast.
+//!
+//! Partition-aggregate services fan many synchronized responses into one
+//! receiver. Load balancing cannot remove the last-hop bottleneck, so the
+//! interesting question is whether Presto *hurts* incast (spraying bursts
+//! over all spines concentrates them at the receiver's leaf simultaneously)
+//! and how much a shared-buffer ToR absorbs. Expectation: all schemes
+//! converge at the receiver downlink; Presto neither fixes nor
+//! significantly worsens incast; the shared buffer soaks bursts that
+//! static per-port drop-tail would drop.
+
+use presto_bench::{banner, base_seed, new_table, table::f};
+use presto_simcore::{SimDuration, SimTime};
+use presto_testbed::{Scenario, SchemeSpec};
+use presto_workloads::patterns::incast_senders;
+use presto_workloads::FlowSpec;
+
+fn run(scheme: SchemeSpec, fan_in: usize, shared: bool, seed: u64) -> presto_testbed::Report {
+    let mut sc = Scenario::testbed16(scheme, seed);
+    sc.duration = SimDuration::from_millis(120);
+    sc.warmup = SimDuration::from_millis(10);
+    if shared {
+        sc.clos.shared_buffer = Some((4 * 1024 * 1024, 1.0));
+    }
+    // Synchronized 256 KB responses to host 0 every 10 ms.
+    let receiver = 0usize;
+    for wave in 0..10u64 {
+        let at = SimTime::ZERO + SimDuration::from_millis(10 + wave * 10);
+        for &s in &incast_senders(16, receiver, fan_in) {
+            sc.flows.push(FlowSpec::mouse(s, receiver, at, 256 * 1024));
+        }
+    }
+    sc.run()
+}
+
+fn main() {
+    banner(
+        "Extension: incast",
+        "synchronized fan-in to one receiver (not a paper experiment)",
+        "all schemes bottleneck at the last hop; shared buffers absorb bursts",
+    );
+    let mut tbl = new_table([
+        "fan-in",
+        "buffering",
+        "scheme",
+        "fct p50(ms)",
+        "fct p99(ms)",
+        "loss(%)",
+        "timeouts",
+    ]);
+    for &fan_in in &[4usize, 8, 15] {
+        for &shared in &[false, true] {
+            for scheme in [SchemeSpec::ecmp(), SchemeSpec::presto()] {
+                let name = scheme.name;
+                let single = scheme.single_switch;
+                if single && shared {
+                    continue;
+                }
+                let r = run(scheme, fan_in, shared, base_seed());
+                let mut fct = r.mice_fct_ms.clone();
+                tbl.row([
+                    fan_in.to_string(),
+                    if shared { "shared-4MB" } else { "droptail-1MB" }.to_string(),
+                    name.to_string(),
+                    f(fct.percentile(50.0).unwrap_or(0.0), 2),
+                    f(fct.percentile(99.0).unwrap_or(0.0), 2),
+                    f(r.loss_rate * 100.0, 3),
+                    r.timeouts.to_string(),
+                ]);
+            }
+        }
+    }
+    tbl.print();
+    println!("\nReading: FCT grows with fan-in for every scheme (last-hop bound);");
+    println!("Presto tracks ECMP — spraying neither fixes nor breaks incast; the");
+    println!("shared-buffer ToR absorbs bursts that drop-tail ports would cut.");
+}

@@ -1,0 +1,82 @@
+//! Extension: published workload mixes (web search & data mining).
+//!
+//! The paper's trace-driven experiment uses one measured mix; the DCTCP
+//! "web search" and VL2 "data mining" CDFs are the other two canonical
+//! datacenter workloads. This bench replays both through Presto and ECMP
+//! to show the Table 1 conclusions are not an artifact of one size mix.
+
+use presto_bench::{banner, base_seed, new_table, sim_duration, table::f, warmup_of};
+use presto_simcore::rng::DetRng;
+use presto_simcore::{SimDuration, SimTime};
+use presto_testbed::{Scenario, SchemeSpec};
+use presto_workloads::{data_mining, web_search, EmpiricalCdf, FlowSpec};
+
+fn mix_flows(cdf: &EmpiricalCdf, seed: u64, horizon: SimTime, load_gap: SimDuration) -> Vec<FlowSpec> {
+    let mut flows = Vec::new();
+    for src in 0..16usize {
+        let mut rng = DetRng::new(seed ^ 0x317).for_stream(src as u64);
+        let mut at = SimTime::ZERO + SimDuration::from_secs_f64(rng.exp(load_gap.as_secs_f64()));
+        while at < horizon {
+            let dst = loop {
+                let d = rng.gen_range(16) as usize;
+                if d / 4 != src / 4 {
+                    break d;
+                }
+            };
+            // Truncate elephants so short runs finish a useful fraction.
+            let bytes = (cdf.sample(&mut rng) as u64).clamp(500, 20_000_000);
+            flows.push(FlowSpec {
+                src,
+                dst,
+                start: at,
+                bytes: Some(bytes),
+                measure_fct: bytes < 100_000,
+            });
+            at += SimDuration::from_secs_f64(rng.exp(load_gap.as_secs_f64()));
+        }
+    }
+    flows
+}
+
+fn main() {
+    banner(
+        "Extension: workload mixes",
+        "web-search (DCTCP) and data-mining (VL2) CDFs through the fabric",
+        "Presto's mice-tail and elephant wins should hold across size mixes",
+    );
+    let duration = sim_duration() * 4;
+    let horizon = SimTime::ZERO + duration;
+    let mut tbl = new_table([
+        "mix",
+        "scheme",
+        "mice",
+        "fct p50(ms)",
+        "fct p99(ms)",
+        "eleph(Gbps)",
+        "loss(%)",
+    ]);
+    for (mix_name, cdf, gap_ms) in [
+        ("web-search", web_search(), 3u64),
+        ("data-mining", data_mining(), 4),
+    ] {
+        for scheme in [SchemeSpec::ecmp(), SchemeSpec::presto()] {
+            let name = scheme.name;
+            let mut sc = Scenario::testbed16(scheme, base_seed());
+            sc.duration = duration;
+            sc.warmup = warmup_of(duration);
+            sc.flows = mix_flows(&cdf, base_seed(), horizon, SimDuration::from_millis(gap_ms));
+            let r = sc.run();
+            let mut fct = r.mice_fct_ms.clone();
+            tbl.row([
+                mix_name.to_string(),
+                name.to_string(),
+                fct.len().to_string(),
+                f(fct.percentile(50.0).unwrap_or(0.0), 2),
+                f(fct.percentile(99.0).unwrap_or(0.0), 2),
+                f(r.mean_elephant_tput(), 2),
+                f(r.loss_rate * 100.0, 3),
+            ]);
+        }
+    }
+    tbl.print();
+}

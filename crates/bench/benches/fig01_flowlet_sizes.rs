@@ -1,0 +1,68 @@
+//! Figure 1: flowlet sizes of a bulk transfer vs number of competing flows.
+//!
+//! The paper connects a sender and receiver to one switch, runs an
+//! scp-emulating 1 GB transfer while 0-8 nuttcp background flows hammer
+//! the same receiver, and cuts flowlets with a 500 µs inactivity timer.
+//! Finding: flowlet sizes are wildly non-uniform — with up to 3 competing
+//! flows, more than half of the transfer rides in a *single* flowlet, so
+//! flowlet-level load balancing cannot spread elephants.
+//!
+//! Scaling: the 1 GB transfer becomes 16 MB (the simulated runs are
+//! hundreds of ms, not minutes); the size *distribution* shape is what
+//! matters.
+
+use presto_bench::{banner, base_seed, new_table, table::f};
+use presto_simcore::{SimDuration, SimTime};
+use presto_testbed::{Scenario, SchemeSpec};
+use presto_workloads::FlowSpec;
+
+fn main() {
+    banner(
+        "Figure 1",
+        "flowlet size distribution of a bulk transfer (500 us timer)",
+        ">50% of bytes in one flowlet for <=3 competing flows; long tail",
+    );
+    let transfer_bytes: u64 = 16 * 1024 * 1024;
+    let mut tbl = new_table([
+        "competing",
+        "flowlets",
+        "largest(MB)",
+        "largest/total",
+        "top3/total",
+    ]);
+    for competing in 0..=8usize {
+        let scheme = SchemeSpec::flowlet(SimDuration::from_micros(500));
+        let mut sc = Scenario::testbed16(scheme, base_seed());
+        sc.duration = SimDuration::from_millis(600);
+        sc.warmup = SimDuration::from_millis(1);
+        // The observed transfer: host 0 -> host 8.
+        sc.flows = vec![FlowSpec::bulk(0, 8, SimTime::ZERO, transfer_bytes)];
+        // Competing flows from other senders to the same receiver.
+        for c in 0..competing {
+            sc.flows.push(FlowSpec::elephant(1 + c, 8, SimTime::ZERO));
+        }
+        let r = sc.run();
+        let sizes = r.flowlet_sizes.get(&0).cloned().unwrap_or_default();
+        let total: u64 = sizes.iter().sum();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let largest = sorted.first().copied().unwrap_or(0);
+        let top3: u64 = sorted.iter().take(3).sum();
+        tbl.row([
+            competing.to_string(),
+            sizes.len().to_string(),
+            f(largest as f64 / 1e6, 2),
+            f(largest as f64 / total.max(1) as f64, 2),
+            f(top3 as f64 / total.max(1) as f64, 2),
+        ]);
+        // Top-10 stacked values, as the figure plots.
+        let top10: Vec<String> = sorted
+            .iter()
+            .take(10)
+            .map(|&b| format!("{:.1}", b as f64 / 1e6))
+            .collect();
+        println!("  competing={competing}: top-10 flowlet sizes (MB): {}", top10.join(" "));
+    }
+    println!();
+    tbl.print();
+}

@@ -1,0 +1,98 @@
+//! Figures 7, 8, 9: the scalability benchmark (Fig 4a topology).
+//!
+//! Path count ν swept from 2 to 8 with one flow per path (host pairs
+//! L1→L2). The paper reports: Presto's throughput tracks the non-blocking
+//! Optimal within a few percent at every path count, while ECMP and MPTCP
+//! lose throughput to hash collisions (Fig 7); Presto's RTT stays near
+//! Optimal while collisions inflate ECMP/MPTCP latency (Fig 8); Presto
+//! and Optimal lose nothing while MPTCP shows the highest loss (Fig 9a);
+//! Presto/Optimal/MPTCP achieve near-perfect fairness, ECMP does not
+//! (Fig 9b).
+
+use presto_bench::{banner, base_seed, mean, new_table, print_cdf, runs, sim_duration, table::f, warmup_of};
+use presto_simcore::SimTime;
+use presto_testbed::{Scenario, SchemeSpec};
+use presto_workloads::FlowSpec;
+
+fn schemes() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::ecmp(),
+        SchemeSpec::mptcp(),
+        SchemeSpec::presto(),
+        SchemeSpec::optimal(),
+    ]
+}
+
+fn main() {
+    banner(
+        "Figures 7-9",
+        "scalability: tput / RTT / loss / fairness vs path count",
+        "Presto tracks Optimal; ECMP & MPTCP collide; MPTCP loses most packets",
+    );
+    let duration = sim_duration();
+    let mut tput_tbl = new_table(["paths", "ECMP", "MPTCP", "Presto", "Optimal"]);
+    let mut fair_tbl = new_table(["paths", "ECMP", "MPTCP", "Presto", "Optimal"]);
+    let mut loss_tbl = new_table(["paths", "ECMP", "MPTCP", "Presto", "Optimal"]);
+    let mut rtt8 = Vec::new();
+
+    for paths in [2usize, 3, 4, 5, 6, 7, 8] {
+        let mut tputs = Vec::new();
+        let mut fairs = Vec::new();
+        let mut losses = Vec::new();
+        for scheme in schemes() {
+            let mut per_run_tput = Vec::new();
+            let mut per_run_fair = Vec::new();
+            let mut per_run_loss = Vec::new();
+            for run in 0..runs() {
+                let mut sc = Scenario::scalability(scheme.clone(), paths, base_seed() + run);
+                sc.duration = duration;
+                sc.warmup = warmup_of(duration);
+                sc.flows = (0..paths)
+                    .map(|i| FlowSpec::elephant(i, 8 + i, SimTime::ZERO))
+                    .collect();
+                sc.probes = (0..paths).map(|i| (i, 8 + i)).collect();
+                let r = sc.run();
+                per_run_tput.push(r.mean_elephant_tput());
+                per_run_fair.push(r.fairness());
+                per_run_loss.push(r.loss_rate * 100.0);
+                if paths == 8 && run == 0 {
+                    rtt8.push((scheme.name, r.rtt_ms.clone()));
+                }
+            }
+            tputs.push(mean(&per_run_tput));
+            fairs.push(mean(&per_run_fair));
+            losses.push(mean(&per_run_loss));
+        }
+        tput_tbl.row([
+            paths.to_string(),
+            f(tputs[0], 2),
+            f(tputs[1], 2),
+            f(tputs[2], 2),
+            f(tputs[3], 2),
+        ]);
+        fair_tbl.row([
+            paths.to_string(),
+            f(fairs[0], 3),
+            f(fairs[1], 3),
+            f(fairs[2], 3),
+            f(fairs[3], 3),
+        ]);
+        loss_tbl.row([
+            paths.to_string(),
+            f(losses[0], 4),
+            f(losses[1], 4),
+            f(losses[2], 4),
+            f(losses[3], 4),
+        ]);
+    }
+    println!("\nFig 7 — avg flow throughput (Gbps) vs path count:");
+    tput_tbl.print();
+    println!("\nFig 8 — RTT CDF at 8 paths (ms):");
+    for (name, rtt) in &rtt8 {
+        print_cdf(name, rtt, "ms");
+    }
+    println!("\nFig 9a — loss rate (%) vs path count:");
+    loss_tbl.print();
+    println!("\nFig 9b — Jain fairness vs path count:");
+    fair_tbl.print();
+}

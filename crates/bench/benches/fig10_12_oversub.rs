@@ -1,0 +1,94 @@
+//! Figures 10, 11, 12: the oversubscription benchmark (Fig 4b topology).
+//!
+//! 2 leaves, 2 spines; the number of host pairs grows from 2 to 8, i.e.
+//! oversubscription ratio 1:1 to 4:1. Paper: all schemes track Optimal as
+//! congestion dominates, but ECMP underperforms at moderate load (flows
+//! hashed together); Presto matches Optimal's latency and loss; MPTCP
+//! shows tail latency from its higher loss; Presto & MPTCP are much
+//! fairer than ECMP.
+
+use presto_bench::{banner, base_seed, mean, new_table, print_cdf, runs, sim_duration, table::f, warmup_of};
+use presto_simcore::SimTime;
+use presto_testbed::{Scenario, SchemeSpec};
+use presto_workloads::FlowSpec;
+
+fn main() {
+    banner(
+        "Figures 10-12",
+        "oversubscription: tput / RTT / loss / fairness vs host pairs",
+        "all track Optimal under heavy oversub; ECMP weak at moderate load",
+    );
+    let schemes = [
+        SchemeSpec::ecmp(),
+        SchemeSpec::mptcp(),
+        SchemeSpec::presto(),
+        SchemeSpec::optimal(),
+    ];
+    let duration = sim_duration();
+    let mut tput_tbl = new_table(["pairs", "ratio", "ECMP", "MPTCP", "Presto", "Optimal"]);
+    let mut fair_tbl = new_table(["pairs", "ECMP", "MPTCP", "Presto", "Optimal"]);
+    let mut loss_tbl = new_table(["pairs", "ECMP", "MPTCP", "Presto", "Optimal"]);
+    let mut rtt_max = Vec::new();
+
+    for pairs in [2usize, 4, 6, 8] {
+        let mut tputs = Vec::new();
+        let mut fairs = Vec::new();
+        let mut losses = Vec::new();
+        for scheme in &schemes {
+            let mut pt = Vec::new();
+            let mut pf = Vec::new();
+            let mut pl = Vec::new();
+            for run in 0..runs() {
+                let mut sc = Scenario::oversubscription(scheme.clone(), base_seed() + run);
+                sc.duration = duration;
+                sc.warmup = warmup_of(duration);
+                sc.flows = (0..pairs)
+                    .map(|i| FlowSpec::elephant(i, 8 + i, SimTime::ZERO))
+                    .collect();
+                sc.probes = (0..pairs).map(|i| (i, 8 + i)).collect();
+                let r = sc.run();
+                pt.push(r.mean_elephant_tput());
+                pf.push(r.fairness());
+                pl.push(r.loss_rate * 100.0);
+                if pairs == 8 && run == 0 {
+                    rtt_max.push((scheme.name, r.rtt_ms.clone()));
+                }
+            }
+            tputs.push(mean(&pt));
+            fairs.push(mean(&pf));
+            losses.push(mean(&pl));
+        }
+        tput_tbl.row([
+            pairs.to_string(),
+            format!("{}:1", pairs / 2),
+            f(tputs[0], 2),
+            f(tputs[1], 2),
+            f(tputs[2], 2),
+            f(tputs[3], 2),
+        ]);
+        fair_tbl.row([
+            pairs.to_string(),
+            f(fairs[0], 3),
+            f(fairs[1], 3),
+            f(fairs[2], 3),
+            f(fairs[3], 3),
+        ]);
+        loss_tbl.row([
+            pairs.to_string(),
+            f(losses[0], 4),
+            f(losses[1], 4),
+            f(losses[2], 4),
+            f(losses[3], 4),
+        ]);
+    }
+    println!("\nFig 10 — avg flow throughput (Gbps) vs host pairs:");
+    tput_tbl.print();
+    println!("\nFig 11 — RTT CDF at 8 pairs / 4:1 oversubscription (ms):");
+    for (name, rtt) in &rtt_max {
+        print_cdf(name, rtt, "ms");
+    }
+    println!("\nFig 12a — loss rate (%) vs host pairs:");
+    loss_tbl.print();
+    println!("\nFig 12b — Jain fairness vs host pairs:");
+    fair_tbl.print();
+}

@@ -1,0 +1,95 @@
+//! Figures 17 & 18: link failure — symmetry / fast failover / weighted
+//! multipathing.
+//!
+//! The S1-L1 link dies. Three stages, as in the paper:
+//!
+//! * **symmetry** — the link is up (baseline);
+//! * **failover** — hardware fast-failover redirects L1's uplink traffic
+//!   to S2; traffic arriving at S1 for L1 is lost until TCP recovers,
+//!   so the L4→L1 direction suffers most;
+//! * **weighted** — the controller learns of the failure, prunes the
+//!   broken spanning tree per (source, destination) pair, and pushes
+//!   weighted label schedules to the vSwitches.
+//!
+//! Paper: reasonable throughput in every stage; weighted recovers most of
+//! the loss; RTTs grow after failure since the topology is no longer
+//! non-blocking (Fig 18).
+
+use presto_bench::{banner, base_seed, new_table, print_cdf, sim_duration, table::f, warmup_of};
+use presto_simcore::SimTime;
+use presto_testbed::{bijection_elephants, stride_elephants, FailureSpec, Scenario, SchemeSpec};
+use presto_workloads::FlowSpec;
+
+/// L1→L4: each host on leaf 0 sends to one host on leaf 3.
+fn l1_to_l4() -> Vec<FlowSpec> {
+    (0..4).map(|i| FlowSpec::elephant(i, 12 + i, SimTime::ZERO)).collect()
+}
+
+fn l4_to_l1() -> Vec<FlowSpec> {
+    (0..4).map(|i| FlowSpec::elephant(12 + i, i, SimTime::ZERO)).collect()
+}
+
+fn main() {
+    banner(
+        "Figures 17-18",
+        "Presto under S1-L1 link failure: symmetry / failover / weighted",
+        "throughput dips under failover (worst for L4->L1), weighted recovers; RTT grows post-failure",
+    );
+    let stages: [(&str, Option<FailureSpec>); 3] = [
+        ("symmetry", None),
+        (
+            "failover",
+            Some(FailureSpec {
+                at: SimTime::ZERO,
+                leaf: 0,
+                spine: 0,
+                link: 0,
+                controller_at: None,
+            }),
+        ),
+        (
+            "weighted",
+            Some(FailureSpec {
+                at: SimTime::ZERO,
+                leaf: 0,
+                spine: 0,
+                link: 0,
+                controller_at: Some(SimTime::ZERO),
+            }),
+        ),
+    ];
+    let workloads: [(&str, fn() -> Vec<FlowSpec>); 4] = [
+        ("L1->L4", l1_to_l4),
+        ("L4->L1", l4_to_l1),
+        ("stride", || stride_elephants(16, 8)),
+        ("bijection", || bijection_elephants(16, 4, 7)),
+    ];
+
+    let mut tbl = new_table(["workload", "symmetry", "failover", "weighted"]);
+    let mut rtt_bijection = Vec::new();
+    for (wname, flows) in &workloads {
+        let mut row = vec![wname.to_string()];
+        for (sname, failure) in &stages {
+            let mut sc = Scenario::testbed16(SchemeSpec::presto(), base_seed());
+            sc.duration = sim_duration();
+            sc.warmup = warmup_of(sc.duration);
+            sc.flows = flows();
+            sc.failure = *failure;
+            if *wname == "bijection" {
+                sc.probes = sc.flows.iter().map(|f| (f.src, f.dst)).collect();
+            }
+            let r = sc.run();
+            row.push(f(r.mean_elephant_tput(), 2));
+            if *wname == "bijection" {
+                rtt_bijection.push((*sname, r.rtt_ms));
+            }
+        }
+        tbl.row(row);
+    }
+    println!("\nFig 17 — Presto avg elephant throughput (Gbps) per stage:");
+    tbl.print();
+    println!("\nFig 18 — RTT CDFs, random bijection (ms):");
+    for (name, rtt) in &rtt_bijection {
+        print_cdf(name, rtt, "ms");
+    }
+}

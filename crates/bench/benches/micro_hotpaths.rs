@@ -1,0 +1,139 @@
+//! Criterion microbenchmarks of the simulator's hot paths.
+//!
+//! These measure the cost of the data structures every simulated packet
+//! touches: the event queue, the GRO merge/flush cycle, Algorithm 1's
+//! flowcell scheduler, TSO splitting, and the TCP receiver's out-of-order
+//! store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use presto_core::FlowcellScheduler;
+use presto_endhost::{tso_split, EdgePolicy, PathTag, ReceiveOffload, TxSegment};
+use presto_gro::{OfficialGro, PrestoGro};
+use presto_netsim::{FlowKey, HostId, Mac, Packet, PacketKind, MSS};
+use presto_simcore::{EventQueue, SimTime};
+use presto_transport::TcpReceiver;
+
+fn flow() -> FlowKey {
+    FlowKey::new(HostId(0), HostId(1), 5, 80)
+}
+
+fn data_packet(i: u64) -> Packet {
+    Packet {
+        flow: flow(),
+        src_host: HostId(0),
+        dst_host: HostId(1),
+        dst_mac: Mac::host(HostId(1)),
+        flowcell: i / 45,
+        kind: PacketKind::Data {
+            seq: i * MSS as u64,
+            len: MSS,
+            retx: false,
+        },
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_gro(c: &mut Criterion) {
+    c.bench_function("presto_gro_inorder_batch64", |b| {
+        b.iter(|| {
+            let mut g = PrestoGro::new();
+            let t = SimTime::from_micros(1);
+            for i in 0..64 {
+                g.on_packet(t, &data_packet(i));
+            }
+            black_box(g.flush(t).len())
+        })
+    });
+    c.bench_function("official_gro_inorder_batch64", |b| {
+        b.iter(|| {
+            let mut g = OfficialGro::new();
+            let t = SimTime::from_micros(1);
+            for i in 0..64 {
+                g.on_packet(t, &data_packet(i));
+            }
+            black_box(g.flush(t).len())
+        })
+    });
+    c.bench_function("presto_gro_reordered_batch64", |b| {
+        // Interleave two flowcells to exercise the multi-segment path.
+        let order: Vec<u64> = (0..32).flat_map(|i| [i, 45 + i]).collect();
+        b.iter(|| {
+            let mut g = PrestoGro::new();
+            let t = SimTime::from_micros(1);
+            for &i in &order {
+                g.on_packet(t, &data_packet(i));
+            }
+            black_box(g.flush(t).len())
+        })
+    });
+}
+
+fn bench_flowcell_scheduler(c: &mut Criterion) {
+    c.bench_function("flowcell_assign_64kb", |b| {
+        let mut s = FlowcellScheduler::new();
+        s.set_labels(HostId(1), (0..4).map(|t| Mac::shadow(HostId(1), t)).collect());
+        b.iter(|| black_box(s.assign(SimTime::ZERO, flow(), 64 * 1024, false)))
+    });
+}
+
+fn bench_tso(c: &mut Criterion) {
+    c.bench_function("tso_split_64kb", |b| {
+        let seg = TxSegment {
+            flow: flow(),
+            seq: 0,
+            len: 64 * 1024,
+            retx: false,
+            tag: PathTag {
+                dst_mac: Mac::shadow(HostId(1), 2),
+                flowcell: 9,
+            },
+        };
+        b.iter(|| black_box(tso_split(seg).len()))
+    });
+}
+
+fn bench_receiver(c: &mut Criterion) {
+    c.bench_function("tcp_receiver_inorder_100", |b| {
+        b.iter(|| {
+            let mut r = TcpReceiver::new();
+            for i in 0..100u64 {
+                r.on_segment(i * 1460, 1460);
+            }
+            black_box(r.rcv_nxt())
+        })
+    });
+    c.bench_function("tcp_receiver_reordered_100", |b| {
+        let order: Vec<u64> = (0..50).flat_map(|i| [i + 50, i]).collect();
+        b.iter(|| {
+            let mut r = TcpReceiver::new();
+            for &i in &order {
+                r.on_segment(i * 1460, 1460);
+            }
+            black_box(r.rcv_nxt())
+        })
+    });
+}
+
+criterion_group!(
+    name = hotpaths;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_event_queue, bench_gro, bench_flowcell_scheduler, bench_tso, bench_receiver
+);
+criterion_main!(hotpaths);

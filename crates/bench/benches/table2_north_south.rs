@@ -1,0 +1,104 @@
+//! Table 2: east-west mice FCT with ECMP-balanced north-south cross
+//! traffic.
+//!
+//! One 100 Mbps "remote user" hangs off each spine; every server opens a
+//! flow to a random remote every millisecond (web-response sizes), while
+//! a stride workload runs east-west. Paper (east-west mice FCT normalized
+//! to ECMP):
+//!
+//! ```text
+//! percentile   Optimal   Presto    MPTCP
+//! 50%          -34%      -20%      -12%
+//! 90%          -83%      -79%      -73%
+//! 99%          -89%      -86%      -73%
+//! 99.9%        -91%      -87%      TIMEOUT
+//! ```
+//!
+//! and average east-west throughputs 5.7 / 7.4 / 8.2 / 8.9 Gbps for
+//! ECMP / MPTCP / Presto / Optimal.
+
+use presto_bench::{banner, base_seed, new_table, sim_duration, table::{f, pct_vs}, warmup_of};
+use presto_simcore::{SimDuration, SimTime};
+use presto_testbed::{stride_elephants, MiceSpec, Scenario, SchemeSpec};
+use presto_workloads::northsouth::ns_schedule;
+use presto_workloads::FlowSpec;
+
+fn main() {
+    banner(
+        "Table 2",
+        "mice FCT with north-south cross traffic (stride east-west)",
+        "Presto -20/-79/-86/-87% vs ECMP; MPTCP TIMEOUT at p99.9; tputs 5.7/7.4/8.2/8.9",
+    );
+    let n_remote = 4usize;
+    let duration = sim_duration() * 2;
+    let mut results = Vec::new();
+    for scheme in [
+        SchemeSpec::ecmp(),
+        SchemeSpec::mptcp(),
+        SchemeSpec::presto(),
+        SchemeSpec::optimal(),
+    ] {
+        let name = scheme.name;
+        let mut sc = Scenario::testbed16(scheme, base_seed());
+        sc.duration = duration;
+        sc.warmup = warmup_of(duration);
+        sc.wan_remotes = n_remote;
+        sc.flows = stride_elephants(16, 8);
+        // North-south: every server to a random remote every 1 ms.
+        for src in 0..16usize {
+            for nsf in ns_schedule(base_seed(), src, n_remote, SimTime::ZERO + duration) {
+                sc.flows.push(FlowSpec::bulk(src, 16 + nsf.remote, nsf.at, nsf.bytes));
+            }
+        }
+        // East-west mice on the stride pairs.
+        sc.mice = (0..16)
+            .map(|i| MiceSpec {
+                src: i,
+                dst: (i + 8) % 16,
+                bytes: 50_000,
+                interval: SimDuration::from_millis(4),
+            })
+            .collect();
+        let r = sc.run();
+        results.push((name, r));
+    }
+
+    let base = results[0].1.mice_fct_ms.clone();
+    let mut tbl = new_table(["percentile", "ECMP(ms)", "MPTCP", "Presto", "Optimal"]);
+    for p in [50.0, 90.0, 99.0, 99.9] {
+        let b = base.clone().percentile(p).unwrap_or(0.0);
+        let cells: Vec<String> = results[1..]
+            .iter()
+            .map(|(_, r)| {
+                let v = r.mice_fct_ms.clone().percentile(p).unwrap_or(0.0);
+                // The paper prints TIMEOUT when MPTCP mice hit RTO-scale
+                // completion times (>= the 10 ms RTO floor here).
+                if v > 9.0 {
+                    "TIMEOUT".to_string()
+                } else {
+                    pct_vs(b, v)
+                }
+            })
+            .collect();
+        tbl.row([
+            format!("{p}%"),
+            f(b, 2),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    tbl.print();
+
+    println!("\nEast-west elephant throughput:");
+    let mut t2 = new_table(["scheme", "tput(Gbps)", "mice", "timeouts"]);
+    for (name, r) in &results {
+        t2.row([
+            name.to_string(),
+            f(r.mean_elephant_tput(), 2),
+            r.mice_fct_ms.len().to_string(),
+            r.timeouts.to_string(),
+        ]);
+    }
+    t2.print();
+}

@@ -1,0 +1,139 @@
+//! Shared plumbing for the experiment harnesses.
+//!
+//! Every `benches/figXX_*.rs` target reproduces one table or figure of the
+//! paper: it builds the matching [`presto_testbed::Scenario`], runs it for
+//! each scheme, and prints the same rows/series the paper plots, annotated
+//! with the paper's reported values where applicable.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `PRESTO_SIM_MS` — simulated milliseconds per run (default 80; the
+//!   paper runs 10 s per data point, which the simulator also supports but
+//!   takes correspondingly longer),
+//! * `PRESTO_RUNS` — repetitions with distinct seeds (default 2; the paper
+//!   uses 20),
+//! * `PRESTO_SEED` — base seed (default 1).
+
+use presto_metrics::{table::Table, Cdf, Samples};
+use presto_simcore::SimDuration;
+
+/// Simulated duration per run, from `PRESTO_SIM_MS`.
+pub fn sim_duration() -> SimDuration {
+    let ms = std::env::var("PRESTO_SIM_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(80);
+    SimDuration::from_millis(ms.max(20))
+}
+
+/// Warmup: the first quarter of the run.
+pub fn warmup_of(duration: SimDuration) -> SimDuration {
+    duration / 4
+}
+
+/// Number of repetitions, from `PRESTO_RUNS`.
+pub fn runs() -> u64 {
+    std::env::var("PRESTO_RUNS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(2)
+        .max(1)
+}
+
+/// Base seed, from `PRESTO_SEED`.
+pub fn base_seed() -> u64 {
+    std::env::var("PRESTO_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1)
+}
+
+/// Print a figure banner.
+pub fn banner(id: &str, title: &str, paper: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper reports: {paper}");
+    println!(
+        "(sim {} per run, {} run(s); set PRESTO_SIM_MS / PRESTO_RUNS to scale)",
+        sim_duration(),
+        runs()
+    );
+    println!("================================================================");
+}
+
+/// Print a CDF as a fixed set of quantile rows, matching the paper's
+/// figure axes.
+pub fn print_cdf(label: &str, samples: &Samples, unit: &str) {
+    if samples.is_empty() {
+        println!("  {label:<22} (no samples)");
+        return;
+    }
+    let cdf = Cdf::from_samples(samples);
+    let qs = [0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999, 1.0];
+    let cells: Vec<String> = qs
+        .iter()
+        .map(|&q| format!("{:.3}", cdf.quantile(q).unwrap()))
+        .collect();
+    println!(
+        "  {label:<22} p10={} p25={} p50={} p75={} p90={} p99={} p99.9={} max={} {unit}",
+        cells[0], cells[1], cells[2], cells[3], cells[4], cells[5], cells[6], cells[7]
+    );
+}
+
+/// Mean of a slice (0 when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Aggregate per-run scalars into `mean (min-max)` cells.
+pub fn spread(xs: &[f64], prec: usize) -> String {
+    if xs.is_empty() {
+        return "n/a".into();
+    }
+    let m = mean(xs);
+    let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if xs.len() == 1 {
+        format!("{m:.prec$}")
+    } else {
+        format!("{m:.prec$} ({lo:.prec$}-{hi:.prec$})")
+    }
+}
+
+/// Re-export for harness binaries.
+pub use presto_metrics::table;
+
+/// Build a [`Table`] — thin re-export so benches need one import.
+pub fn new_table<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+    Table::new(header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        assert!(sim_duration() >= SimDuration::from_millis(20));
+        assert!(runs() >= 1);
+        assert_eq!(warmup_of(SimDuration::from_millis(80)), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn spread_formats() {
+        assert_eq!(spread(&[], 1), "n/a");
+        assert_eq!(spread(&[2.0], 1), "2.0");
+        assert_eq!(spread(&[1.0, 3.0], 1), "2.0 (1.0-3.0)");
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

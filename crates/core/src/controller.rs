@@ -1,0 +1,411 @@
+//! The centralized Presto controller.
+//!
+//! Responsibilities (§3.1, §3.3):
+//!
+//! 1. **Spanning tree allocation.** In a 2-tier Clos with ν spines and γ
+//!    parallel links per (leaf, spine) pair, the controller allocates
+//!    ν·γ disjoint spanning trees — tree (s, j) uses the j-th link between
+//!    every leaf and spine s.
+//! 2. **Shadow MAC assignment.** One label per (destination host, tree);
+//!    exact-match L2 entries route the label up at the source leaf, down
+//!    at the spine, and to the host port at the destination leaf.
+//! 3. **Fast failover.** Each leaf gets OpenFlow-style failover groups:
+//!    if the uplink to spine s is dead, traffic shifts to the uplink to
+//!    spine s+1 (spines carry L2 entries for *all* trees so redirected
+//!    labels still route).
+//! 4. **Failure response.** When told of a link failure, the controller
+//!    recomputes, per (source host, destination host), the multiset of
+//!    usable labels — pruning trees whose path crosses a dead link — and
+//!    hands the new weighted sequences to the edge vSwitches.
+
+use std::collections::HashMap;
+
+use presto_netsim::{HostId, LinkId, Mac, SwitchId, Topology};
+
+/// A spanning tree's route through the fabric: spine index and parallel
+/// link index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeSpec {
+    /// Which spine the tree transits.
+    pub spine: usize,
+    /// Which of the γ parallel links it uses on every (leaf, spine) pair.
+    pub link: usize,
+}
+
+/// The controller's view of the installed state.
+#[derive(Debug)]
+pub struct Controller {
+    /// Tree id → route.
+    pub trees: Vec<TreeSpec>,
+}
+
+impl Controller {
+    /// Compute spanning trees for `topo` and install all forwarding state:
+    /// basic real-MAC routing, shadow-MAC entries for every tree, and
+    /// leaf fast-failover groups.
+    ///
+    /// # Panics
+    /// Panics on a single-switch topology — there is nothing to
+    /// load-balance and Presto should not be deployed there.
+    pub fn install(topo: &mut Topology) -> Controller {
+        assert!(
+            !topo.spines.is_empty(),
+            "Presto controller requires a multi-path topology"
+        );
+        topo.install_basic_routing();
+
+        let gamma = topo.leaf_spine[&(topo.leaves[0], topo.spines[0])].len();
+        let mut trees = Vec::new();
+        for s in 0..topo.spines.len() {
+            for j in 0..gamma {
+                trees.push(TreeSpec { spine: s, link: j });
+            }
+        }
+
+        let leaves = topo.leaves.clone();
+        let spines = topo.spines.clone();
+        let hosts = topo.hosts.clone();
+
+        for (t, spec) in trees.iter().enumerate() {
+            let t = t as u32;
+            let spine = spines[spec.spine];
+            for &h in &hosts {
+                let mac = Mac::shadow(h, t);
+                let dst_leaf = topo.host_leaf[h.index()];
+                // Destination leaf: label → host port.
+                let down = topo.host_down[h.index()];
+                topo.fabric.switch_mut(dst_leaf).install_l2(mac, down);
+                // Source leaves: label → uplink to the tree's spine.
+                for &leaf in &leaves {
+                    if leaf != dst_leaf {
+                        let up = topo.leaf_spine[&(leaf, spine)][spec.link];
+                        topo.fabric.switch_mut(leaf).install_l2(mac, up);
+                    }
+                }
+            }
+        }
+        // Spines: entries for EVERY tree's labels (not just their own), so
+        // fast-failover redirected traffic still routes. The paper notes
+        // Trident II-class chips have 288k L2 entries — hosts × trees fits
+        // easily.
+        for &spine in &spines {
+            for (t, _spec) in trees.iter().enumerate() {
+                for &h in &hosts {
+                    let dst_leaf = topo.host_leaf[h.index()];
+                    // Use the same parallel-link index as the tree where
+                    // possible; redirected traffic keeps its label.
+                    let j = trees[t].link.min(topo.spine_leaf[&(spine, dst_leaf)].len() - 1);
+                    let down = topo.spine_leaf[&(spine, dst_leaf)][j];
+                    topo.fabric
+                        .switch_mut(spine)
+                        .install_l2(Mac::shadow(h, t as u32), down);
+                }
+            }
+        }
+        // Leaf fast-failover groups: uplink toward spine s backs up onto
+        // the uplink toward spine (s+1) % ν (same parallel index).
+        let n_spine = spines.len();
+        if n_spine > 1 {
+            for &leaf in &leaves {
+                for s in 0..n_spine {
+                    for j in 0..gamma {
+                        let primary = topo.leaf_spine[&(leaf, spines[s])][j];
+                        let backup = topo.leaf_spine[&(leaf, spines[(s + 1) % n_spine])][j];
+                        topo.fabric.switch_mut(leaf).install_failover(primary, backup);
+                    }
+                }
+            }
+        }
+
+        Controller { trees }
+    }
+
+    /// Number of allocated spanning trees (ν·γ).
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The full, equal-weight label sequence toward `dst` (what every
+    /// vSwitch starts with).
+    pub fn labels_for(&self, dst: HostId) -> Vec<Mac> {
+        (0..self.trees.len() as u32)
+            .map(|t| Mac::shadow(dst, t))
+            .collect()
+    }
+
+    /// The fabric links tree `t` uses between `src_leaf` and `dst_leaf`.
+    pub fn tree_path(
+        &self,
+        topo: &Topology,
+        t: usize,
+        src_leaf: SwitchId,
+        dst_leaf: SwitchId,
+    ) -> Vec<LinkId> {
+        let spec = self.trees[t];
+        let spine = topo.spines[spec.spine];
+        vec![
+            topo.leaf_spine[&(src_leaf, spine)][spec.link],
+            topo.spine_leaf[&(spine, dst_leaf)][spec.link],
+        ]
+    }
+
+    /// Recompute the usable label sequence from `src` to `dst`, pruning
+    /// trees whose path crosses a down link. Called after the controller
+    /// *learns* of a failure (the paper's "weighted" stage — the learning
+    /// delay itself is modeled by the testbed).
+    ///
+    /// Falls back to the full sequence if every tree is dead (the fabric
+    /// is partitioned; fast failover is the only hope).
+    pub fn usable_labels(&self, topo: &Topology, src: HostId, dst: HostId) -> Vec<Mac> {
+        let src_leaf = topo.host_leaf[src.index()];
+        let dst_leaf = topo.host_leaf[dst.index()];
+        if src_leaf == dst_leaf {
+            return self.labels_for(dst);
+        }
+        let mut out = Vec::new();
+        for t in 0..self.trees.len() {
+            let path = self.tree_path(topo, t, src_leaf, dst_leaf);
+            if path.iter().all(|&l| topo.fabric.link(l).up) {
+                out.push(Mac::shadow(dst, t as u32));
+            }
+        }
+        if out.is_empty() {
+            self.labels_for(dst)
+        } else {
+            out
+        }
+    }
+
+    /// Verify tree disjointness: no leaf↔spine link is used by two trees.
+    /// Returns true when the allocation is disjoint (always, by
+    /// construction; exposed for tests and sanity checks).
+    pub fn trees_are_disjoint(&self, topo: &Topology) -> bool {
+        let mut used: HashMap<LinkId, usize> = HashMap::new();
+        for (t, spec) in self.trees.iter().enumerate() {
+            let spine = topo.spines[spec.spine];
+            for &leaf in &topo.leaves {
+                for &l in [
+                    topo.leaf_spine[&(leaf, spine)][spec.link],
+                    topo.spine_leaf[&(spine, leaf)][spec.link],
+                ]
+                .iter()
+                {
+                    if let Some(&other) = used.get(&l) {
+                        if other != t {
+                            return false;
+                        }
+                    }
+                    used.insert(l, t);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_netsim::ClosSpec;
+
+    fn testbed() -> (Topology, Controller) {
+        let mut topo = Topology::clos(&ClosSpec::default());
+        let ctl = Controller::install(&mut topo);
+        (topo, ctl)
+    }
+
+    #[test]
+    fn allocates_nu_gamma_trees() {
+        let (_, ctl) = testbed();
+        assert_eq!(ctl.tree_count(), 4);
+
+        let spec = ClosSpec {
+            spines: 2,
+            links_per_pair: 3,
+            ..ClosSpec::default()
+        };
+        let mut topo = Topology::clos(&spec);
+        let ctl = Controller::install(&mut topo);
+        assert_eq!(ctl.tree_count(), 6);
+    }
+
+    #[test]
+    fn trees_are_disjoint_by_construction() {
+        let (topo, ctl) = testbed();
+        assert!(ctl.trees_are_disjoint(&topo));
+        let spec = ClosSpec {
+            spines: 3,
+            links_per_pair: 2,
+            ..ClosSpec::default()
+        };
+        let mut topo = Topology::clos(&spec);
+        let ctl = Controller::install(&mut topo);
+        assert!(ctl.trees_are_disjoint(&topo));
+    }
+
+    #[test]
+    fn shadow_labels_route_end_to_end() {
+        let (topo, ctl) = testbed();
+        // Host 0 (leaf 0) to host 12 (leaf 3) on every tree: walk the L2
+        // tables hop by hop.
+        let dst = HostId(12);
+        for t in 0..ctl.tree_count() as u32 {
+            let mac = Mac::shadow(dst, t);
+            let leaf0 = topo.leaves[0];
+            let up = topo.fabric.switch(leaf0).l2_lookup(mac).expect("leaf entry");
+            // The uplink must terminate at the tree's spine.
+            let spine = topo.spines[ctl.trees[t as usize].spine];
+            assert_eq!(
+                topo.fabric.link(up).dst,
+                presto_netsim::ids::Node::Switch(spine)
+            );
+            let down = topo.fabric.switch(spine).l2_lookup(mac).expect("spine entry");
+            let dst_leaf = topo.host_leaf[dst.index()];
+            assert_eq!(
+                topo.fabric.link(down).dst,
+                presto_netsim::ids::Node::Switch(dst_leaf)
+            );
+            let port = topo
+                .fabric
+                .switch(dst_leaf)
+                .l2_lookup(mac)
+                .expect("dst leaf entry");
+            assert_eq!(port, topo.host_down[dst.index()]);
+        }
+    }
+
+    #[test]
+    fn label_sequences_cover_all_trees() {
+        let (_, ctl) = testbed();
+        let labels = ctl.labels_for(HostId(5));
+        assert_eq!(labels.len(), 4);
+        for (t, &m) in labels.iter().enumerate() {
+            assert_eq!(m, Mac::shadow(HostId(5), t as u32));
+        }
+    }
+
+    #[test]
+    fn failure_prunes_affected_trees_only() {
+        let (mut topo, ctl) = testbed();
+        // Kill the S1-L1 link (spine 0, leaf 0) — the Fig 17 scenario.
+        let bad_up = topo.leaf_spine[&(topo.leaves[0], topo.spines[0])][0];
+        let bad_down = topo.spine_leaf[&(topo.spines[0], topo.leaves[0])][0];
+        topo.fabric.set_link_down(bad_up);
+        topo.fabric.set_link_down(bad_down);
+
+        // Pairs crossing leaf 0 lose tree 0.
+        let labels = ctl.usable_labels(&topo, HostId(0), HostId(12));
+        assert_eq!(labels.len(), 3);
+        assert!(!labels.contains(&Mac::shadow(HostId(12), 0)));
+        let labels = ctl.usable_labels(&topo, HostId(12), HostId(0));
+        assert_eq!(labels.len(), 3);
+
+        // Pairs not involving leaf 0 keep all four trees.
+        let labels = ctl.usable_labels(&topo, HostId(4), HostId(12));
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn total_failure_falls_back_to_full_set() {
+        let (mut topo, ctl) = testbed();
+        for s in 0..4 {
+            let l = topo.leaf_spine[&(topo.leaves[0], topo.spines[s])][0];
+            topo.fabric.set_link_down(l);
+        }
+        let labels = ctl.usable_labels(&topo, HostId(0), HostId(12));
+        assert_eq!(labels.len(), 4, "partitioned: keep trying everything");
+    }
+
+    #[test]
+    fn failover_groups_point_to_next_spine() {
+        let (topo, _) = testbed();
+        let leaf = topo.leaves[0];
+        let p = topo.leaf_spine[&(leaf, topo.spines[0])][0];
+        let b = topo.fabric.switch(leaf).failover_backup(p).expect("backup");
+        assert_eq!(b, topo.leaf_spine[&(leaf, topo.spines[1])][0]);
+        // Wraps around.
+        let p3 = topo.leaf_spine[&(leaf, topo.spines[3])][0];
+        let b3 = topo.fabric.switch(leaf).failover_backup(p3).unwrap();
+        assert_eq!(b3, topo.leaf_spine[&(leaf, topo.spines[0])][0]);
+    }
+
+    #[test]
+    fn spines_hold_entries_for_all_trees() {
+        let (topo, ctl) = testbed();
+        // Every spine can route every (host, tree) label.
+        for &spine in &topo.spines {
+            for &h in &topo.hosts {
+                for t in 0..ctl.tree_count() as u32 {
+                    assert!(
+                        topo.fabric.switch(spine).l2_lookup(Mac::shadow(h, t)).is_some(),
+                        "spine {spine:?} missing shadow(h{},t{t})",
+                        h.0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn usable_labels_same_leaf_is_full_set() {
+        let (topo, ctl) = testbed();
+        // Same-leaf pairs are returned the full label set (the policy
+        // normally routes them directly anyway).
+        let labels = ctl.usable_labels(&topo, HostId(0), HostId(1));
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn tree_path_returns_up_and_down_links() {
+        let (topo, ctl) = testbed();
+        let path = ctl.tree_path(&topo, 2, topo.leaves[0], topo.leaves[3]);
+        assert_eq!(path.len(), 2);
+        let spine = topo.spines[ctl.trees[2].spine];
+        assert_eq!(path[0], topo.leaf_spine[&(topo.leaves[0], spine)][0]);
+        assert_eq!(path[1], topo.spine_leaf[&(spine, topo.leaves[3])][0]);
+    }
+
+    #[test]
+    fn double_failure_prunes_two_trees() {
+        let (mut topo, ctl) = testbed();
+        for s in [0usize, 1] {
+            let up = topo.leaf_spine[&(topo.leaves[0], topo.spines[s])][0];
+            let down = topo.spine_leaf[&(topo.spines[s], topo.leaves[0])][0];
+            topo.fabric.set_link_down(up);
+            topo.fabric.set_link_down(down);
+        }
+        let labels = ctl.usable_labels(&topo, HostId(0), HostId(12));
+        assert_eq!(labels.len(), 2);
+        assert!(!labels.contains(&Mac::shadow(HostId(12), 0)));
+        assert!(!labels.contains(&Mac::shadow(HostId(12), 1)));
+    }
+
+    #[test]
+    fn gamma_two_routes_through_distinct_cables() {
+        let spec = ClosSpec {
+            spines: 2,
+            links_per_pair: 2,
+            ..ClosSpec::default()
+        };
+        let mut topo = Topology::clos(&spec);
+        let ctl = Controller::install(&mut topo);
+        assert_eq!(ctl.tree_count(), 4);
+        // Trees (s=0,j=0) and (s=0,j=1) use different parallel cables.
+        let a = ctl.tree_path(&topo, 0, topo.leaves[0], topo.leaves[1]);
+        let b = ctl.tree_path(&topo, 1, topo.leaves[0], topo.leaves[1]);
+        assert_ne!(a[0], b[0]);
+        assert_ne!(a[1], b[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-path")]
+    fn rejects_single_switch() {
+        let mut topo = Topology::single_switch(
+            4,
+            10_000_000_000,
+            presto_simcore::SimDuration::from_micros(1),
+            1 << 20,
+        );
+        let _ = Controller::install(&mut topo);
+    }
+}

@@ -1,0 +1,20 @@
+//! Presto — the paper's primary contribution.
+//!
+//! * [`FlowcellScheduler`] (Algorithm 1): the vSwitch edge policy that
+//!   chops each flow into ≤64 KB flowcells and round-robins them over
+//!   shadow-MAC labeled spanning-tree paths, with weighted sequences for
+//!   asymmetry (§3.1, §3.3);
+//! * [`Controller`]: the centralized controller that partitions a 2-tier
+//!   Clos fabric into ν·γ disjoint spanning trees, assigns one shadow MAC
+//!   per (destination vSwitch, tree), installs the L2 forwarding rules and
+//!   leaf-level fast-failover groups, and recomputes weighted label
+//!   sequences when links fail (§3.1, §3.3).
+//!
+//! The receiver half of Presto (the modified GRO) lives in `presto-gro`;
+//! the two halves meet in the composed host of `presto-testbed`.
+
+pub mod controller;
+pub mod flowcell;
+
+pub use controller::Controller;
+pub use flowcell::{FlowcellScheduler, FLOWCELL_BYTES};

@@ -1,0 +1,27 @@
+//! End-host model: NIC, CPU cost model, and the vSwitch datapath.
+//!
+//! Presto lives in the "soft edge" — the hypervisor vSwitch plus the
+//! kernel's receive-offload layer (§2.1). This crate models that edge:
+//!
+//! * [`nic`] — TSO segmentation on transmit (the NIC replicates the
+//!   vSwitch-written shadow MAC and flowcell ID onto every derived MTU
+//!   packet, §3.1) and interrupt coalescing on receive,
+//! * [`cpu`] — a calibrated cost model (per-packet driver work, per-segment
+//!   stack traversal, per-byte copies) that reproduces the paper's
+//!   computational findings: with small segments flooding the stack, the
+//!   receiver becomes CPU-bound near ~5 Gbps (§2.2, §5),
+//! * [`vswitch`] — the transmit datapath: every skb handed down by TCP
+//!   passes an [`EdgePolicy`] that stamps a destination (shadow) MAC and a
+//!   flowcell ID before TSO,
+//! * [`offload`] — the [`ReceiveOffload`] trait implemented by both GRO
+//!   engines in `presto-gro`, and the [`Segment`] type they push up.
+
+pub mod cpu;
+pub mod nic;
+pub mod offload;
+pub mod vswitch;
+
+pub use cpu::{CpuCosts, CpuModel};
+pub use nic::{make_ack, tso_split, RxAction, RxRing, TxSegment, TSO_MAX_BYTES};
+pub use offload::{ReceiveOffload, Segment};
+pub use vswitch::{DirectPolicy, EdgePolicy, PathTag, VSwitch};

@@ -1,0 +1,179 @@
+//! The receive-offload interface.
+//!
+//! The NIC driver hands batches of raw packets to a receive-offload engine
+//! (GRO in Linux); the engine merges them into [`Segment`]s and decides
+//! when to push each segment up the networking stack. Both the stock Linux
+//! algorithm and Presto's modified algorithm (in the `presto-gro` crate)
+//! implement [`ReceiveOffload`], so the composed host can swap them freely
+//! — exactly the comparison of Fig 5.
+
+use presto_netsim::{FlowKey, Packet};
+use presto_simcore::SimTime;
+
+/// A run of merged packets pushed up the stack as one unit (an `sk_buff`
+/// after GRO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Flow the bytes belong to.
+    pub flow: FlowKey,
+    /// First byte-stream offset covered.
+    pub seq: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// Number of raw MTU packets merged into this segment — the unit of
+    /// the paper's "small segment flooding" CPU accounting.
+    pub packets: u32,
+    /// Flowcell ID of the packets (segments never span flowcells).
+    pub flowcell: u64,
+    /// Whether any merged packet was a TCP retransmission.
+    pub retx: bool,
+}
+
+impl Segment {
+    /// One byte past the last byte covered.
+    pub fn end_seq(&self) -> u64 {
+        self.seq + self.len as u64
+    }
+
+    /// Build the initial segment for a single raw data packet.
+    ///
+    /// # Panics
+    /// Panics if the packet is not a data packet.
+    pub fn from_packet(pkt: &Packet) -> Segment {
+        match pkt.kind {
+            presto_netsim::PacketKind::Data { seq, len, retx } => Segment {
+                flow: pkt.flow,
+                seq,
+                len,
+                packets: 1,
+                flowcell: pkt.flowcell,
+                retx,
+            },
+            _ => panic!("receive offload only handles data packets"),
+        }
+    }
+
+    /// Try to append `pkt` to the tail of this segment: same flow, same
+    /// flowcell, and exactly contiguous sequence. Returns true on merge.
+    pub fn try_merge_tail(&mut self, pkt: &Packet) -> bool {
+        if let presto_netsim::PacketKind::Data { seq, len, retx } = pkt.kind {
+            if pkt.flow == self.flow && pkt.flowcell == self.flowcell && seq == self.end_seq() {
+                self.len += len;
+                self.packets += 1;
+                self.retx |= retx;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// A receive-offload engine (GRO).
+///
+/// Call sequence per interrupt/poll event, mirroring the Linux receive
+/// chain described in §2.2 of the paper:
+///
+/// 1. [`ReceiveOffload::on_packet`] once per raw packet in the batch;
+/// 2. [`ReceiveOffload::flush`] at the end of the batch — the engine
+///    returns the segments it decides to push up the stack, in the order
+///    they must be delivered to TCP;
+/// 3. between polls, the host arms a timer for
+///    [`ReceiveOffload::next_deadline`] and calls
+///    [`ReceiveOffload::flush_expired`] when it fires (only Presto's GRO
+///    holds segments across polls, so the stock engine returns no
+///    deadlines).
+pub trait ReceiveOffload {
+    /// Account one raw packet from the NIC into the engine's merge state.
+    fn on_packet(&mut self, now: SimTime, pkt: &Packet);
+
+    /// End-of-poll flush: segments to push up, in delivery order.
+    fn flush(&mut self, now: SimTime) -> Vec<Segment>;
+
+    /// Earliest pending hold timeout, if the engine is holding segments.
+    fn next_deadline(&self) -> Option<SimTime>;
+
+    /// Fire expired hold timeouts; returns segments released by them.
+    fn flush_expired(&mut self, now: SimTime) -> Vec<Segment>;
+
+    /// `(reorders masked, hold timeouts fired)` — nonzero only for engines
+    /// that hold segments (Presto's GRO).
+    fn reorder_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_netsim::{HostId, Mac, PacketKind};
+
+    fn pkt(seq: u64, len: u32, flowcell: u64) -> Packet {
+        Packet {
+            flow: FlowKey::new(HostId(0), HostId(1), 1, 2),
+            src_host: HostId(0),
+            dst_host: HostId(1),
+            dst_mac: Mac::host(HostId(1)),
+            flowcell,
+            kind: PacketKind::Data { seq, len, retx: false },
+        }
+    }
+
+    #[test]
+    fn from_packet_copies_fields() {
+        let s = Segment::from_packet(&pkt(1000, 1460, 3));
+        assert_eq!(s.seq, 1000);
+        assert_eq!(s.len, 1460);
+        assert_eq!(s.end_seq(), 2460);
+        assert_eq!(s.packets, 1);
+        assert_eq!(s.flowcell, 3);
+        assert!(!s.retx);
+    }
+
+    #[test]
+    #[should_panic(expected = "data packets")]
+    fn from_packet_rejects_acks() {
+        let mut p = pkt(0, 0, 0);
+        p.kind = PacketKind::Ack { ack: 0, sack_hi: 0 };
+        let _ = Segment::from_packet(&p);
+    }
+
+    #[test]
+    fn merge_contiguous_same_flowcell() {
+        let mut s = Segment::from_packet(&pkt(0, 1460, 0));
+        assert!(s.try_merge_tail(&pkt(1460, 1460, 0)));
+        assert_eq!(s.len, 2920);
+        assert_eq!(s.packets, 2);
+    }
+
+    #[test]
+    fn merge_rejects_gap() {
+        let mut s = Segment::from_packet(&pkt(0, 1460, 0));
+        assert!(!s.try_merge_tail(&pkt(2920, 1460, 0)));
+        assert_eq!(s.packets, 1);
+    }
+
+    #[test]
+    fn merge_rejects_flowcell_change() {
+        // Packets of a new flowcell never merge into the old segment even
+        // when contiguous — flowcell boundaries are path boundaries.
+        let mut s = Segment::from_packet(&pkt(0, 1460, 0));
+        assert!(!s.try_merge_tail(&pkt(1460, 1460, 1)));
+    }
+
+    #[test]
+    fn merge_rejects_other_flow() {
+        let mut s = Segment::from_packet(&pkt(0, 1460, 0));
+        let mut other = pkt(1460, 1460, 0);
+        other.flow = FlowKey::new(HostId(5), HostId(1), 1, 2);
+        assert!(!s.try_merge_tail(&other));
+    }
+
+    #[test]
+    fn merge_propagates_retx_flag() {
+        let mut s = Segment::from_packet(&pkt(0, 1460, 0));
+        let mut r = pkt(1460, 1460, 0);
+        r.kind = PacketKind::Data { seq: 1460, len: 1460, retx: true };
+        assert!(s.try_merge_tail(&r));
+        assert!(s.retx);
+    }
+}

@@ -1,0 +1,23 @@
+//! Generic Receive Offload engines.
+//!
+//! Two implementations of the `presto_endhost::ReceiveOffload` interface:
+//!
+//! * [`OfficialGro`] — the stock Linux algorithm (§2.2 and §3.2 of the
+//!   paper): one segment per flow in the `gro_list`; a packet that cannot
+//!   be merged ejects the flow's segment up the stack. Under reordering
+//!   this degenerates into the *small segment flooding* problem of Fig 2.
+//! * [`PrestoGro`] — the paper's modified engine (Algorithm 2): multiple
+//!   segments per flow, flowcell-ID-based loss/reorder discrimination,
+//!   and an adaptive `α·EWMA` hold timeout with a `1/β·EWMA` "recent
+//!   merge" extension (α = β = 2 in the paper).
+//!
+//! Both engines merge only packets with identical header labels (same
+//! flowcell): in the real system GRO compares full headers, and Presto's
+//! flowcell ID lives in the source MAC, so a flowcell boundary always
+//! breaks a merge.
+
+pub mod official;
+pub mod presto;
+
+pub use official::OfficialGro;
+pub use presto::{PrestoGro, PrestoGroConfig};

@@ -1,0 +1,200 @@
+//! The stock Linux GRO algorithm.
+//!
+//! As described in §3.2 of the paper: the driver calls the GRO handler on
+//! each polled batch; GRO keeps a `gro_list` with *at most one* segment per
+//! flow. An in-order packet merges into its flow's segment; a packet that
+//! cannot be merged ejects the existing segment up the stack and starts a
+//! new one. At the end of the poll, a flush pushes everything up. The
+//! engine is deliberately stateless across polls ("no state is kept beyond
+//! the segment being merged"), which is exactly why reordering degenerates
+//! it into MTU-sized pushes — the small segment flooding problem.
+
+use std::collections::BTreeMap;
+
+use presto_endhost::{ReceiveOffload, Segment};
+use presto_netsim::{FlowKey, Packet};
+use presto_simcore::SimTime;
+
+/// Largest segment GRO will grow before pushing it up (64 KB, the TSO/GRO
+/// limit in Linux).
+pub const GRO_MAX_BYTES: u32 = 64 * 1024;
+
+/// The unmodified Linux GRO engine.
+#[derive(Debug, Default)]
+pub struct OfficialGro {
+    /// `gro_list`: one in-progress segment per flow.
+    gro_list: BTreeMap<FlowKey, Segment>,
+    /// Segments ejected mid-batch, in ejection order.
+    ready: Vec<Segment>,
+    /// Total segments pushed up (instrumentation).
+    pub segments_pushed: u64,
+}
+
+impl OfficialGro {
+    /// A fresh engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReceiveOffload for OfficialGro {
+    fn on_packet(&mut self, _now: SimTime, pkt: &Packet) {
+        debug_assert!(pkt.is_data());
+        match self.gro_list.get_mut(&pkt.flow) {
+            Some(seg) => {
+                let would_overflow = seg.len + pkt.payload_bytes() > GRO_MAX_BYTES;
+                if !would_overflow && seg.try_merge_tail(pkt) {
+                    return;
+                }
+                // Cannot merge (reordered, new flowcell, or size cap):
+                // eject the existing segment and start fresh — the exact
+                // behaviour Fig 2 illustrates.
+                let ejected = self
+                    .gro_list
+                    .insert(pkt.flow, Segment::from_packet(pkt))
+                    .expect("segment present");
+                self.ready.push(ejected);
+            }
+            None => {
+                self.gro_list.insert(pkt.flow, Segment::from_packet(pkt));
+            }
+        }
+    }
+
+    fn flush(&mut self, _now: SimTime) -> Vec<Segment> {
+        let mut out = std::mem::take(&mut self.ready);
+        // End-of-poll flush pushes up every segment in the gro_list.
+        let list = std::mem::take(&mut self.gro_list);
+        out.extend(list.into_values());
+        self.segments_pushed += out.len() as u64;
+        out
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        // Stateless across polls: never holds segments.
+        None
+    }
+
+    fn flush_expired(&mut self, _now: SimTime) -> Vec<Segment> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_netsim::{HostId, Mac, PacketKind, MSS};
+
+    fn pkt_cell(seq: u64, flowcell: u64) -> Packet {
+        Packet {
+            flow: FlowKey::new(HostId(0), HostId(1), 1, 2),
+            src_host: HostId(0),
+            dst_host: HostId(1),
+            dst_mac: Mac::host(HostId(1)),
+            flowcell,
+            kind: PacketKind::Data { seq, len: MSS as u32, retx: false },
+        }
+    }
+
+    fn pkt(seq: u64) -> Packet {
+        pkt_cell(seq, 0)
+    }
+
+    fn seq(i: u64) -> u64 {
+        i * MSS as u64
+    }
+
+    #[test]
+    fn in_order_packets_merge_into_one_segment() {
+        let mut g = OfficialGro::new();
+        for i in 0..10 {
+            g.on_packet(SimTime::ZERO, &pkt(seq(i)));
+        }
+        let segs = g.flush(SimTime::ZERO);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].packets, 10);
+        assert_eq!(segs[0].len, 10 * MSS);
+    }
+
+    #[test]
+    fn fig2_reordering_floods_small_segments() {
+        // The paper's Fig 2 sequence: P0 P1 P2 P5 P3 P6 P4 P7 P8.
+        let order = [0u64, 1, 2, 5, 3, 6, 4, 7, 8];
+        let mut g = OfficialGro::new();
+        let mut pushed = Vec::new();
+        for &i in &order {
+            g.on_packet(SimTime::ZERO, &pkt(seq(i)));
+        }
+        pushed.extend(g.flush(SimTime::ZERO));
+        // Fig 2 produces six segments: S1(P0-P2), S2(P5), S3(P3),
+        // S4(P6), S5(P4), S6(P7,P8).
+        assert_eq!(pushed.len(), 6);
+        let sizes: Vec<u32> = pushed.iter().map(|s| s.packets).collect();
+        assert_eq!(sizes.iter().sum::<u32>(), 9);
+        assert!(sizes.contains(&3), "S1 has P0-P2: {sizes:?}");
+        assert!(sizes.contains(&2), "S6 has P7,P8: {sizes:?}");
+        assert_eq!(sizes.iter().filter(|&&s| s == 1).count(), 4);
+    }
+
+    #[test]
+    fn reordered_push_order_exposes_tcp_to_reordering() {
+        // P0 P2 P1: stock GRO pushes [P0] then at flush [P2-seg, P1-seg]?
+        // No — ejection order: P2 ejects S(P0); P1 ejects S(P2).
+        let mut g = OfficialGro::new();
+        g.on_packet(SimTime::ZERO, &pkt(seq(0)));
+        g.on_packet(SimTime::ZERO, &pkt(seq(2)));
+        g.on_packet(SimTime::ZERO, &pkt(seq(1)));
+        let segs = g.flush(SimTime::ZERO);
+        let seqs: Vec<u64> = segs.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![seq(0), seq(2), seq(1)], "delivered out of order");
+    }
+
+    #[test]
+    fn flowcell_boundary_breaks_merge() {
+        // Contiguous sequence but different flowcell labels (different
+        // source MACs in the real system) never merge.
+        let mut g = OfficialGro::new();
+        g.on_packet(SimTime::ZERO, &pkt_cell(seq(0), 0));
+        g.on_packet(SimTime::ZERO, &pkt_cell(seq(1), 1));
+        let segs = g.flush(SimTime::ZERO);
+        assert_eq!(segs.len(), 2);
+    }
+
+    #[test]
+    fn size_cap_ejects_at_64kb() {
+        let mut g = OfficialGro::new();
+        // 46 MSS packets = 67160 bytes > 64 KB: the 45th merge would
+        // overflow, so one ejection happens.
+        for i in 0..46 {
+            g.on_packet(SimTime::ZERO, &pkt(seq(i)));
+        }
+        let segs = g.flush(SimTime::ZERO);
+        assert_eq!(segs.len(), 2);
+        assert!(segs[0].len <= GRO_MAX_BYTES);
+    }
+
+    #[test]
+    fn flows_do_not_interfere() {
+        let mut g = OfficialGro::new();
+        let mut other = pkt(seq(0));
+        other.flow = FlowKey::new(HostId(2), HostId(1), 9, 9);
+        g.on_packet(SimTime::ZERO, &pkt(seq(0)));
+        g.on_packet(SimTime::ZERO, &other);
+        g.on_packet(SimTime::ZERO, &pkt(seq(1)));
+        let segs = g.flush(SimTime::ZERO);
+        assert_eq!(segs.len(), 2);
+        let ours: Vec<_> = segs.iter().filter(|s| s.flow.src == HostId(0)).collect();
+        assert_eq!(ours[0].packets, 2, "interleaved flows still merge");
+    }
+
+    #[test]
+    fn never_holds_across_polls() {
+        let mut g = OfficialGro::new();
+        g.on_packet(SimTime::ZERO, &pkt(seq(0)));
+        assert_eq!(g.next_deadline(), None);
+        let segs = g.flush(SimTime::ZERO);
+        assert_eq!(segs.len(), 1);
+        assert!(g.flush(SimTime::ZERO).is_empty(), "nothing retained");
+        assert!(g.flush_expired(SimTime::ZERO).is_empty());
+    }
+}

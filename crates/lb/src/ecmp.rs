@@ -1,0 +1,135 @@
+//! Per-flow ECMP path selection.
+
+use std::collections::HashMap;
+
+use presto_endhost::{EdgePolicy, PathTag};
+use presto_netsim::{FlowKey, HostId, Mac};
+use presto_simcore::rng::hash_mix;
+use presto_simcore::SimTime;
+
+/// ECMP as the paper implements it: every flow is hashed onto one of the
+/// pre-configured end-to-end paths (shadow-MAC spanning trees) and stays
+/// there forever. Collisions — two elephants hashing onto one path — are
+/// the failure mode every Presto experiment exhibits.
+#[derive(Debug, Default)]
+pub struct EcmpPolicy {
+    labels: HashMap<HostId, Vec<Mac>>,
+    /// Hash salt; vary per run for statistical independence across
+    /// repetitions.
+    pub salt: u64,
+}
+
+impl EcmpPolicy {
+    /// A policy with the given per-run salt.
+    pub fn new(salt: u64) -> Self {
+        EcmpPolicy {
+            labels: HashMap::new(),
+            salt,
+        }
+    }
+
+    /// Install the path labels toward `dst`.
+    pub fn set_labels(&mut self, dst: HostId, labels: Vec<Mac>) {
+        assert!(!labels.is_empty());
+        self.labels.insert(dst, labels);
+    }
+}
+
+impl EdgePolicy for EcmpPolicy {
+    fn set_labels(&mut self, dst: HostId, labels: Vec<Mac>) {
+        EcmpPolicy::set_labels(self, dst, labels);
+    }
+
+    fn assign(&mut self, _now: SimTime, flow: FlowKey, _len: u32, _retx: bool) -> PathTag {
+        match self.labels.get(&flow.dst) {
+            Some(labels) => {
+                let idx = (hash_mix(flow.digest(), self.salt) % labels.len() as u64) as usize;
+                PathTag {
+                    dst_mac: labels[idx],
+                    // One path for the whole flow: headers never change, so
+                    // GRO merging is unimpeded.
+                    flowcell: 0,
+                }
+            }
+            None => PathTag {
+                dst_mac: Mac::host(flow.dst),
+                flowcell: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Vec<Mac> {
+        (0..4).map(|t| Mac::shadow(HostId(9), t)).collect()
+    }
+
+    fn flow(sport: u16) -> FlowKey {
+        FlowKey::new(HostId(0), HostId(9), sport, 80)
+    }
+
+    #[test]
+    fn flow_sticks_to_one_path() {
+        let mut p = EcmpPolicy::new(1);
+        p.set_labels(HostId(9), labels());
+        let first = p.assign(SimTime::ZERO, flow(5), 1460, false);
+        for _ in 0..100 {
+            let t = p.assign(SimTime::ZERO, flow(5), 64 * 1024, false);
+            assert_eq!(t, first);
+        }
+    }
+
+    #[test]
+    fn different_flows_spread() {
+        let mut p = EcmpPolicy::new(2);
+        p.set_labels(HostId(9), labels());
+        let mut used = std::collections::HashSet::new();
+        for sport in 0..64 {
+            used.insert(p.assign(SimTime::ZERO, flow(sport), 1460, false).dst_mac);
+        }
+        assert_eq!(used.len(), 4);
+    }
+
+    #[test]
+    fn collisions_happen_with_few_flows() {
+        // The statistical root of ECMP's problem: with as many flows as
+        // paths, some salt exhibits a collision.
+        let mut collision_seen = false;
+        for salt in 0..20 {
+            let mut p = EcmpPolicy::new(salt);
+            p.set_labels(HostId(9), labels());
+            let mut used = std::collections::HashSet::new();
+            for sport in 0..4 {
+                used.insert(p.assign(SimTime::ZERO, flow(sport), 1460, false).dst_mac);
+            }
+            if used.len() < 4 {
+                collision_seen = true;
+                break;
+            }
+        }
+        assert!(collision_seen, "no hash collision over 20 salts?");
+    }
+
+    #[test]
+    fn salt_changes_assignment() {
+        let mut a = EcmpPolicy::new(1);
+        let mut b = EcmpPolicy::new(99);
+        a.set_labels(HostId(9), labels());
+        b.set_labels(HostId(9), labels());
+        let differs = (0..32).any(|s| {
+            a.assign(SimTime::ZERO, flow(s), 1, false).dst_mac
+                != b.assign(SimTime::ZERO, flow(s), 1, false).dst_mac
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn missing_labels_fall_back_to_direct() {
+        let mut p = EcmpPolicy::new(0);
+        let t = p.assign(SimTime::ZERO, flow(1), 1460, false);
+        assert_eq!(t.dst_mac, Mac::host(HostId(9)));
+    }
+}

@@ -1,0 +1,28 @@
+//! Baseline edge load-balancing policies.
+//!
+//! The paper compares Presto against (§4, §5):
+//!
+//! * **ECMP** — "enumerating all possible end-to-end paths and randomly
+//!   selecting a path for each flow": [`EcmpPolicy`] hashes each flow onto
+//!   one shadow-MAC path for its lifetime. MPTCP subflows get their paths
+//!   the same way (each subflow has its own 4-tuple).
+//! * **Flowlet switching** — [`FlowletPolicy`] starts a new flowlet when
+//!   the inter-segment gap exceeds an inactivity timer (100 µs / 500 µs in
+//!   Fig 13) and round-robins flowlets over paths. Like CONGA's flowlets
+//!   but congestion-oblivious and in the soft edge, exactly as the paper's
+//!   comparison implements it.
+//! * **Per-packet spraying** — [`PerPacketPolicy`] rotates the path on
+//!   every skb; combined with TSO disabled it reproduces the per-packet
+//!   schemes (RPS/DRB) whose CPU feasibility §2.1 questions.
+//!
+//! Path changes rewrite the destination MAC, and real GRO only merges
+//! packets with identical headers — so each policy reports a `flowcell`
+//! tag that changes exactly when the wire headers would change.
+
+pub mod ecmp;
+pub mod flowlet;
+pub mod perpacket;
+
+pub use ecmp::EcmpPolicy;
+pub use flowlet::FlowletPolicy;
+pub use perpacket::PerPacketPolicy;

@@ -1,0 +1,61 @@
+//! Jain's fairness index.
+//!
+//! The paper reports fairness over flow throughputs (Figs 9b, 12b) using
+//! the index of Jain, Chiu & Hawe: `(Σxᵢ)² / (n · Σxᵢ²)`, which is 1 when
+//! all allocations are equal and `1/n` when one flow starves the rest.
+
+/// Jain's fairness index over a set of allocations.
+///
+/// Returns 1.0 for an empty or all-zero input (nothing is unfair about
+/// nothing). Negative allocations are a logic error and panic in debug
+/// builds.
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    if allocations.is_empty() {
+        return 1.0;
+    }
+    debug_assert!(allocations.iter().all(|&x| x >= 0.0));
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (allocations.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_allocations_are_perfectly_fair() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[0.1; 7]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starvation_approaches_one_over_n() {
+        let idx = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_imbalance_is_intermediate() {
+        let idx = jain_index(&[8.0, 4.0]);
+        // (12)^2 / (2 * 80) = 144/160 = 0.9
+        assert!((idx - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_index(&[3.0]), 1.0);
+    }
+}

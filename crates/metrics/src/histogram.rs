@@ -1,0 +1,232 @@
+//! Log-scale histograms.
+//!
+//! Latency and size distributions in datacenter measurements span 4-6
+//! orders of magnitude; a log₂-bucketed histogram captures them compactly
+//! with bounded relative error, without retaining every sample the way
+//! [`crate::Samples`] does. Used by long-running experiments where exact
+//! percentiles over millions of samples would be wasteful.
+
+/// A histogram with logarithmic (base-2) buckets over `u64` values.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))`; value 0 has its own bucket.
+/// Quantile queries interpolate linearly inside a bucket, giving a
+/// worst-case relative error of 2× — adequate for tail reporting at the
+/// scales involved (ns → s).
+/// # Example
+///
+/// ```
+/// use presto_metrics::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for us in [100u64, 120, 90, 4000] {
+///     h.record(us);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.quantile(1.0).unwrap() >= 2048);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    zero: u64,
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            zero: 0,
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v == 0 {
+            self.zero += 1;
+        } else {
+            self.buckets[63 - v.leading_zeros() as usize] += 1;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile (`q ∈ [0, 1]`), linear within the bucket.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q));
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.zero;
+        if seen >= target {
+            return Some(0);
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let into = (target - seen) as f64 / c as f64;
+                let lo = 1u64 << i;
+                let hi = if i == 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let est = lo as f64 + into * (hi - lo) as f64;
+                // Clamp into the recorded range for tighter tails.
+                return Some((est as u64).clamp(self.min, self.max));
+            }
+            seen += c;
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        self.zero += other.zero;
+        for i in 0..64 {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if self.zero > 0 {
+            out.push((0, self.zero));
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                out.push((1u64 << i, c));
+            }
+        }
+        out
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), Some(15.0));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(30));
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((250..=1000).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((500..=1000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn zero_bucket_handled() {
+        let mut h = LogHistogram::new();
+        for _ in 0..90 {
+            h.record(0);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert!(h.quantile(0.95).unwrap() >= 524_288);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(8);
+        b.record(1024);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(8));
+        assert_eq!(a.max(), Some(1024));
+        assert_eq!(a.nonzero_buckets().len(), 2);
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two() {
+        let mut h = LogHistogram::new();
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        let b = h.nonzero_buckets();
+        assert_eq!(b, vec![(1, 1), (2, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert!(h.quantile(0.9).unwrap() > 1 << 62);
+    }
+}

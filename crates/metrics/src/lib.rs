@@ -1,0 +1,31 @@
+//! Measurement toolkit for the Presto reproduction.
+//!
+//! The paper evaluates throughput, round-trip time, mice flow completion
+//! time, packet loss (switch counters), and Jain's fairness index (§4).
+//! This crate provides the statistics used to report all of them:
+//!
+//! * [`Samples`] — an accumulating sample set with exact percentiles,
+//! * [`Cdf`] — empirical CDFs matching the paper's figures,
+//! * [`fairness::jain_index`] — Jain, Chiu & Hawe's fairness measure,
+//! * [`TimeSeries`] — timestamped samples (e.g. the CPU usage of Fig 6),
+//! * [`LogHistogram`] — compact log₂-bucketed histograms for huge sample
+//!   populations,
+//! * [`reorder`] — RFC 4737-style packet reordering metrics (§5 reports
+//!   reordered-packet fractions for the flowlet comparison),
+//! * [`table`] — plain-text table rendering for the benchmark harnesses,
+//! * [`units`] — Gbps/size conversions shared by every experiment.
+
+pub mod cdf;
+pub mod fairness;
+pub mod histogram;
+pub mod reorder;
+pub mod samples;
+pub mod table;
+pub mod timeseries;
+pub mod units;
+
+pub use cdf::Cdf;
+pub use histogram::LogHistogram;
+pub use reorder::{reorder_stats, ReorderStats};
+pub use samples::Samples;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,124 @@
+//! Packet-reordering metrics (RFC 4737 style).
+//!
+//! The paper quantifies reordering two ways: the fraction of reordered
+//! packets in a connection (§5's flowlet analysis: "13%-29% packets in the
+//! connection are reordered") and the out-of-order segment count of Fig 5a.
+//! This module provides the sequence-level metrics; the flowcell-level
+//! metric lives in `presto-testbed`'s report (it needs flowcell IDs).
+
+/// Reordering statistics over a sequence of arrival "sequence numbers"
+/// (byte offsets or packet indices — any monotone-when-in-order key).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReorderStats {
+    /// Total observations.
+    pub total: usize,
+    /// RFC 4737 Type-P reordered count: arrivals with a key smaller than
+    /// some earlier arrival's key.
+    pub reordered: usize,
+    /// Largest displacement (in positions) of any reordered arrival — the
+    /// "reordering extent": how much buffering would restore order.
+    pub max_extent: usize,
+}
+
+impl ReorderStats {
+    /// Fraction of reordered arrivals (0 when empty).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.reordered as f64 / self.total as f64
+        }
+    }
+}
+
+/// Compute reordering statistics for an arrival sequence.
+///
+/// An arrival is *reordered* (RFC 4737) if its key is less than the
+/// maximum key seen before it. Its *extent* is the distance back to the
+/// earliest prior arrival with a larger key.
+/// # Example
+///
+/// ```
+/// use presto_metrics::reorder_stats;
+/// let s = reorder_stats(&[1, 3, 2, 4]);
+/// assert_eq!(s.reordered, 1);
+/// assert_eq!(s.fraction(), 0.25);
+/// ```
+pub fn reorder_stats(keys: &[u64]) -> ReorderStats {
+    let mut max_seen = 0u64;
+    let mut reordered = 0usize;
+    let mut max_extent = 0usize;
+    for (i, &k) in keys.iter().enumerate() {
+        if i > 0 && k < max_seen {
+            reordered += 1;
+            // Walk back to the first arrival that should have come later.
+            let mut extent = 0;
+            for j in (0..i).rev() {
+                if keys[j] > k {
+                    extent = i - j;
+                } else {
+                    break;
+                }
+            }
+            max_extent = max_extent.max(extent);
+        }
+        max_seen = max_seen.max(k);
+    }
+    ReorderStats {
+        total: keys.len(),
+        reordered,
+        max_extent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_has_no_reordering() {
+        let s = reorder_stats(&[1, 2, 3, 4, 5]);
+        assert_eq!(s.reordered, 0);
+        assert_eq!(s.max_extent, 0);
+        assert_eq!(s.fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_swap() {
+        // 3 arrives before 2: one reordered arrival, extent 1.
+        let s = reorder_stats(&[1, 3, 2, 4]);
+        assert_eq!(s.reordered, 1);
+        assert_eq!(s.max_extent, 1);
+        assert_eq!(s.fraction(), 0.25);
+    }
+
+    #[test]
+    fn late_straggler_has_large_extent() {
+        // 1 delayed behind four later packets.
+        let s = reorder_stats(&[2, 3, 4, 5, 1]);
+        assert_eq!(s.reordered, 1);
+        assert_eq!(s.max_extent, 4);
+    }
+
+    #[test]
+    fn interleaved_streams() {
+        // Two cells interleaving: 0,4,1,5,2,6,3,7 — every low-cell packet
+        // after a high-cell one is reordered.
+        let s = reorder_stats(&[0, 4, 1, 5, 2, 6, 3, 7]);
+        assert_eq!(s.reordered, 3); // 1, 2, 3
+        assert!(s.max_extent >= 1);
+    }
+
+    #[test]
+    fn duplicates_are_not_reordered() {
+        // Equal keys (retransmissions) don't count: strict less-than.
+        let s = reorder_stats(&[1, 2, 2, 3]);
+        assert_eq!(s.reordered, 0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(reorder_stats(&[]).total, 0);
+        assert_eq!(reorder_stats(&[9]).reordered, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Plain-text table rendering for the benchmark harnesses.
+//!
+//! Every experiment binary prints its results as an aligned ASCII table so
+//! that `cargo bench` output can be compared against the paper's tables and
+//! figure series directly.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must have as many cells as the header.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns, a header rule, and two-space gutters.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Right-align numeric-looking cells, left-align labels.
+                let numeric = cell
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_digit() || c == '-' || c == '+' || c == '.')
+                    .unwrap_or(false);
+                if numeric {
+                    line.push_str(&format!("{cell:>width$}", width = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:<width$}", width = widths[i]));
+                }
+            }
+            while line.ends_with(' ') {
+                line.pop();
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float with `prec` decimals — shorthand for table cells.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Format a value as a signed percentage change relative to `base`, the
+/// convention of the paper's Tables 1 and 2 ("negative numbers imply
+/// shorter FCT").
+pub fn pct_vs(base: f64, v: f64) -> String {
+    if base == 0.0 {
+        return "n/a".to_string();
+    }
+    let delta = (v - base) / base * 100.0;
+    format!("{delta:+.0}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["scheme", "tput"]);
+        t.row(["ECMP", "5.1"]);
+        t.row(["Presto", "9.3"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("scheme"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("ECMP"));
+        assert!(lines[3].contains("9.3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn numeric_cells_right_align() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["x", "1.0"]);
+        t.row(["y", "100.0"]);
+        let s = t.render();
+        assert!(s.contains("  1.0"), "short numbers padded left:\n{s}");
+    }
+
+    #[test]
+    fn pct_vs_formats_signed() {
+        assert_eq!(pct_vs(2.0, 1.0), "-50%");
+        assert_eq!(pct_vs(2.0, 3.0), "+50%");
+        assert_eq!(pct_vs(2.0, 2.0), "+0%");
+        assert_eq!(pct_vs(0.0, 2.0), "n/a");
+    }
+
+    #[test]
+    fn float_helper() {
+        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(1.0, 0), "1");
+    }
+}

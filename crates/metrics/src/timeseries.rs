@@ -1,0 +1,136 @@
+//! Timestamped sample series.
+//!
+//! Fig 6 of the paper plots receiver CPU usage sampled every 2 seconds over
+//! a 400 second run. [`TimeSeries`] captures exactly that shape: a sequence
+//! of `(seconds, value)` points with windowed aggregation helpers.
+
+/// A series of `(time_secs, value)` observations in non-decreasing time
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Append an observation. Time must be non-decreasing.
+    pub fn push(&mut self, time_secs: f64, value: f64) {
+        debug_assert!(time_secs.is_finite() && value.is_finite());
+        if let Some(&(last, _)) = self.points.last() {
+            debug_assert!(time_secs >= last, "time series must be monotone");
+        }
+        self.points.push((time_secs, value));
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of all values, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// Largest value, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).reduce(f64::max)
+    }
+
+    /// Re-bucket into fixed windows of `window_secs`, averaging values in
+    /// each window; returns `(window_start_secs, mean_value)` per non-empty
+    /// window. This is how per-event CPU accounting becomes Fig 6's 2-second
+    /// samples.
+    pub fn rebucket(&self, window_secs: f64) -> Vec<(f64, f64)> {
+        assert!(window_secs > 0.0);
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        let mut idx: Option<i64> = None;
+        let (mut sum, mut n) = (0.0, 0u32);
+        for &(t, v) in &self.points {
+            let w = (t / window_secs).floor() as i64;
+            match idx {
+                Some(cur) if cur == w => {
+                    sum += v;
+                    n += 1;
+                }
+                Some(cur) => {
+                    out.push((cur as f64 * window_secs, sum / n as f64));
+                    idx = Some(w);
+                    sum = v;
+                    n = 1;
+                }
+                None => {
+                    idx = Some(w);
+                    sum = v;
+                    n = 1;
+                }
+            }
+        }
+        if let (Some(cur), true) = (idx, n > 0) {
+            out.push((cur as f64 * window_secs, sum / n as f64));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_stats() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        ts.push(0.0, 1.0);
+        ts.push(1.0, 3.0);
+        ts.push(2.0, 2.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.mean(), Some(2.0));
+        assert_eq!(ts.max(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_stats_are_none() {
+        let ts = TimeSeries::new();
+        assert_eq!(ts.mean(), None);
+        assert_eq!(ts.max(), None);
+    }
+
+    #[test]
+    fn rebucket_averages_windows() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.push(i as f64 * 0.5, i as f64); // times 0.0 .. 4.5
+        }
+        let b = ts.rebucket(1.0);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b[0], (0.0, 0.5)); // samples 0,1
+        assert_eq!(b[4], (4.0, 8.5)); // samples 8,9
+    }
+
+    #[test]
+    fn rebucket_skips_empty_windows() {
+        let mut ts = TimeSeries::new();
+        ts.push(0.1, 1.0);
+        ts.push(5.1, 2.0);
+        let b = ts.rebucket(1.0);
+        assert_eq!(b, vec![(0.0, 1.0), (5.0, 2.0)]);
+    }
+}

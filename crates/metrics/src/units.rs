@@ -1,0 +1,71 @@
+//! Unit conversions shared by every experiment harness.
+
+/// Bits per second in one gigabit per second.
+pub const GBPS: u64 = 1_000_000_000;
+/// Bits per second in one megabit per second.
+pub const MBPS: u64 = 1_000_000;
+/// Bytes in one kibibyte.
+pub const KB: u64 = 1024;
+/// Bytes in one mebibyte.
+pub const MB: u64 = 1024 * 1024;
+/// Bytes in one gibibyte.
+pub const GB: u64 = 1024 * 1024 * 1024;
+
+/// Convert a byte count transferred over `secs` seconds into Gbps.
+pub fn gbps(bytes: u64, secs: f64) -> f64 {
+    debug_assert!(secs > 0.0);
+    (bytes as f64 * 8.0) / secs / 1e9
+}
+
+/// Human-readable byte size (binary units), e.g. `"64.0KB"`.
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if bytes >= GB {
+        format!("{:.1}GB", b / GB as f64)
+    } else if bytes >= MB {
+        format!("{:.1}MB", b / MB as f64)
+    } else if bytes >= KB {
+        format!("{:.1}KB", b / KB as f64)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Format a rate in bits/sec, e.g. `"10.0Gbps"`.
+pub fn fmt_rate(bits_per_sec: u64) -> String {
+    let r = bits_per_sec as f64;
+    if bits_per_sec >= GBPS {
+        format!("{:.1}Gbps", r / 1e9)
+    } else if bits_per_sec >= MBPS {
+        format!("{:.1}Mbps", r / 1e6)
+    } else {
+        format!("{bits_per_sec}bps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_conversion() {
+        // 1.25 GB in one second = 10 Gbit/s.
+        assert!((gbps(1_250_000_000, 1.0) - 10.0).abs() < 1e-9);
+        assert!((gbps(1_250_000_000, 2.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(64 * KB), "64.0KB");
+        assert_eq!(fmt_bytes(3 * MB / 2), "1.5MB");
+        assert_eq!(fmt_bytes(2 * GB), "2.0GB");
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(10 * GBPS), "10.0Gbps");
+        assert_eq!(fmt_rate(100 * MBPS), "100.0Mbps");
+        assert_eq!(fmt_rate(500), "500bps");
+    }
+}

@@ -1,0 +1,326 @@
+//! Links and their drop-tail output queues.
+//!
+//! A [`Link`] is a unidirectional pipe with a fixed rate and propagation
+//! delay, fed by a drop-tail byte-bounded FIFO at its source — the
+//! output-queued switch model. Serialization is modeled exactly: one packet
+//! occupies the transmitter for `wire_bytes / rate`, and the tail-drop
+//! decision happens at enqueue time against the configured buffer size.
+//!
+//! Per-link [`LinkCounters`] provide the "switch counters" the paper reads
+//! loss rates from (§4).
+
+use std::collections::VecDeque;
+
+use presto_simcore::{SimDuration, SimTime};
+
+use crate::ids::Node;
+use crate::packet::Packet;
+
+/// Transmit/drop statistics for one link, mirroring switch port counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkCounters {
+    /// Packets fully serialized onto the wire.
+    pub tx_packets: u64,
+    /// Wire bytes serialized.
+    pub tx_bytes: u64,
+    /// Packets tail-dropped at enqueue.
+    pub dropped_packets: u64,
+    /// Wire bytes tail-dropped.
+    pub dropped_bytes: u64,
+    /// Data (payload-carrying) packets dropped — the numerator of the
+    /// paper's loss-rate plots, which count TCP packet loss.
+    pub dropped_data_packets: u64,
+    /// High-water mark of queued bytes.
+    pub max_queue_bytes: u64,
+}
+
+/// A unidirectional link plus its source-side drop-tail queue.
+#[derive(Debug)]
+pub struct Link {
+    /// Transmitting endpoint.
+    pub src: Node,
+    /// Receiving endpoint.
+    pub dst: Node,
+    /// Line rate in bits per second.
+    pub rate_bps: u64,
+    /// Propagation delay.
+    pub propagation: SimDuration,
+    /// Tail-drop threshold for the output queue, in wire bytes.
+    pub queue_capacity_bytes: u64,
+    /// Administrative and failure state; a down link drops at forwarding
+    /// time and finishes (then discards) whatever is mid-flight.
+    pub up: bool,
+
+    queue: VecDeque<Packet>,
+    queued_bytes: u64,
+    /// Whether the transmitter currently holds a packet (a `TxDone` event
+    /// is outstanding).
+    busy: bool,
+    /// Counters for loss/throughput reporting.
+    pub counters: LinkCounters,
+}
+
+/// Result of offering a packet to a link's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// The transmitter was idle: start serializing now; `TxDone` should be
+    /// scheduled after the returned delay.
+    StartTx(SimDuration),
+    /// Queued behind in-flight traffic.
+    Queued,
+    /// Tail-dropped: the queue was full.
+    Dropped,
+}
+
+impl Link {
+    /// Create an idle, empty, up link.
+    pub fn new(
+        src: Node,
+        dst: Node,
+        rate_bps: u64,
+        propagation: SimDuration,
+        queue_capacity_bytes: u64,
+    ) -> Self {
+        assert!(rate_bps > 0);
+        Link {
+            src,
+            dst,
+            rate_bps,
+            propagation,
+            queue_capacity_bytes,
+            up: true,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            busy: false,
+            counters: LinkCounters::default(),
+        }
+    }
+
+    /// Offer `pkt` to the output queue.
+    ///
+    /// If the transmitter is idle the packet bypasses the queue and starts
+    /// serializing immediately ([`Enqueue::StartTx`]); the caller must then
+    /// schedule the link's `TxDone` event. A full queue tail-drops.
+    pub fn enqueue(&mut self, pkt: Packet) -> Enqueue {
+        let wire = pkt.wire_bytes() as u64;
+        if !self.busy {
+            debug_assert!(self.queue.is_empty());
+            self.busy = true;
+            self.queue.push_back(pkt);
+            self.queued_bytes += wire;
+            self.counters.max_queue_bytes = self.counters.max_queue_bytes.max(self.queued_bytes);
+            return Enqueue::StartTx(SimDuration::transmission(wire, self.rate_bps));
+        }
+        if self.queued_bytes + wire > self.queue_capacity_bytes {
+            self.counters.dropped_packets += 1;
+            self.counters.dropped_bytes += wire;
+            if pkt.is_data() {
+                self.counters.dropped_data_packets += 1;
+            }
+            return Enqueue::Dropped;
+        }
+        self.queue.push_back(pkt);
+        self.queued_bytes += wire;
+        self.counters.max_queue_bytes = self.counters.max_queue_bytes.max(self.queued_bytes);
+        Enqueue::Queued
+    }
+
+    /// Complete transmission of the head packet. Returns the transmitted
+    /// packet (for delivery after `propagation`) and, if more traffic is
+    /// queued, the serialization delay for the next packet (the caller
+    /// schedules the next `TxDone`).
+    pub fn tx_done(&mut self) -> (Packet, Option<SimDuration>) {
+        debug_assert!(self.busy, "TxDone on idle link");
+        let pkt = self.queue.pop_front().expect("busy link has a head packet");
+        let wire = pkt.wire_bytes() as u64;
+        self.queued_bytes -= wire;
+        self.counters.tx_packets += 1;
+        self.counters.tx_bytes += wire;
+        if let Some(next) = self.queue.front() {
+            let d = SimDuration::transmission(next.wire_bytes() as u64, self.rate_bps);
+            (pkt, Some(d))
+        } else {
+            self.busy = false;
+            (pkt, None)
+        }
+    }
+
+    /// Current queue occupancy in wire bytes (including the packet being
+    /// serialized).
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Number of queued packets (including the one being serialized).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the transmitter is mid-packet.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Queueing delay a newly enqueued packet would currently experience.
+    pub fn queue_delay(&self) -> SimDuration {
+        SimDuration::transmission(self.queued_bytes, self.rate_bps)
+    }
+
+    /// One-way latency floor for a packet of `wire` bytes on an idle link.
+    pub fn min_latency(&self, wire: u64) -> SimDuration {
+        SimDuration::transmission(wire, self.rate_bps) + self.propagation
+    }
+
+    /// Record a drop decided by switch-level admission (shared-buffer DT),
+    /// which happens before the per-port queue is consulted.
+    pub fn count_admission_drop(&mut self, pkt: &Packet) {
+        let wire = pkt.wire_bytes() as u64;
+        self.counters.dropped_packets += 1;
+        self.counters.dropped_bytes += wire;
+        if pkt.is_data() {
+            self.counters.dropped_data_packets += 1;
+        }
+    }
+
+    /// Mark the link down (fast-failover and controller pruning react to
+    /// this). Queued packets drain; new forwarding decisions avoid it.
+    pub fn set_down(&mut self) {
+        self.up = false;
+    }
+
+    /// Restore the link.
+    pub fn set_up(&mut self) {
+        self.up = true;
+    }
+
+    /// Reset counters (used between measurement phases of an experiment).
+    pub fn reset_counters(&mut self) {
+        self.counters = LinkCounters::default();
+    }
+}
+
+/// Convenience: absolute delivery time for a packet finishing serialization
+/// at `tx_end` on a link.
+pub fn arrival_time(link: &Link, tx_end: SimTime) -> SimTime {
+    tx_end + link.propagation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{HostId, Mac, Node, SwitchId};
+    use crate::packet::{FlowKey, PacketKind, MSS, WIRE_OVERHEAD};
+
+    fn pkt(len: u32) -> Packet {
+        Packet {
+            flow: FlowKey::new(HostId(0), HostId(1), 1, 2),
+            src_host: HostId(0),
+            dst_host: HostId(1),
+            dst_mac: Mac::host(HostId(1)),
+            flowcell: 0,
+            kind: PacketKind::Data { seq: 0, len, retx: false },
+        }
+    }
+
+    fn link(cap: u64) -> Link {
+        Link::new(
+            Node::Host(HostId(0)),
+            Node::Switch(SwitchId(0)),
+            10_000_000_000,
+            SimDuration::from_nanos(500),
+            cap,
+        )
+    }
+
+    #[test]
+    fn idle_link_starts_tx_immediately() {
+        let mut l = link(1_000_000);
+        match l.enqueue(pkt(MSS)) {
+            Enqueue::StartTx(d) => {
+                assert_eq!(d, SimDuration::transmission((MSS + WIRE_OVERHEAD) as u64, 10_000_000_000));
+            }
+            other => panic!("expected StartTx, got {other:?}"),
+        }
+        assert!(l.is_busy());
+        assert_eq!(l.queue_len(), 1);
+    }
+
+    #[test]
+    fn busy_link_queues_then_drains_fifo() {
+        let mut l = link(1_000_000);
+        assert!(matches!(l.enqueue(pkt(100)), Enqueue::StartTx(_)));
+        assert_eq!(l.enqueue(pkt(200)), Enqueue::Queued);
+        assert_eq!(l.enqueue(pkt(300)), Enqueue::Queued);
+        assert_eq!(l.queue_len(), 3);
+
+        let (p1, next) = l.tx_done();
+        assert_eq!(p1.payload_bytes(), 100);
+        assert!(next.is_some());
+        let (p2, next) = l.tx_done();
+        assert_eq!(p2.payload_bytes(), 200);
+        assert!(next.is_some());
+        let (p3, next) = l.tx_done();
+        assert_eq!(p3.payload_bytes(), 300);
+        assert!(next.is_none());
+        assert!(!l.is_busy());
+        assert_eq!(l.counters.tx_packets, 3);
+    }
+
+    #[test]
+    fn full_queue_tail_drops() {
+        // Capacity fits the in-flight packet plus one queued MSS packet.
+        let wire = (MSS + WIRE_OVERHEAD) as u64;
+        let mut l = link(2 * wire);
+        assert!(matches!(l.enqueue(pkt(MSS)), Enqueue::StartTx(_)));
+        assert_eq!(l.enqueue(pkt(MSS)), Enqueue::Queued);
+        assert_eq!(l.enqueue(pkt(MSS)), Enqueue::Dropped);
+        assert_eq!(l.counters.dropped_packets, 1);
+        assert_eq!(l.counters.dropped_data_packets, 1);
+        assert_eq!(l.counters.dropped_bytes, wire);
+        // Draining frees space again.
+        let _ = l.tx_done();
+        assert_eq!(l.enqueue(pkt(MSS)), Enqueue::Queued);
+    }
+
+    #[test]
+    fn queue_delay_tracks_occupancy() {
+        let mut l = link(1_000_000);
+        assert_eq!(l.queue_delay(), SimDuration::ZERO);
+        l.enqueue(pkt(MSS));
+        l.enqueue(pkt(MSS));
+        let expect = SimDuration::transmission(2 * (MSS + WIRE_OVERHEAD) as u64, 10_000_000_000);
+        assert_eq!(l.queue_delay(), expect);
+    }
+
+    #[test]
+    fn max_queue_high_water_mark() {
+        let mut l = link(1_000_000);
+        for _ in 0..5 {
+            l.enqueue(pkt(MSS));
+        }
+        let expect = 5 * (MSS + WIRE_OVERHEAD) as u64;
+        assert_eq!(l.counters.max_queue_bytes, expect);
+        for _ in 0..5 {
+            l.tx_done();
+        }
+        assert_eq!(l.counters.max_queue_bytes, expect, "high water mark persists");
+    }
+
+    #[test]
+    fn up_down_toggle() {
+        let mut l = link(1000);
+        assert!(l.up);
+        l.set_down();
+        assert!(!l.up);
+        l.set_up();
+        assert!(l.up);
+    }
+
+    #[test]
+    fn min_latency_includes_propagation() {
+        let l = link(1000);
+        let d = l.min_latency(1538);
+        // 1538B at 10G = 1230.4ns -> 1231ns (ceil), +500ns propagation.
+        assert_eq!(d.as_nanos(), 1231 + 500);
+    }
+}

@@ -1,0 +1,206 @@
+//! Packets and flows.
+//!
+//! Simulated packets carry metadata only — sequence numbers and lengths
+//! stand in for payload bytes. Each data packet also carries the two fields
+//! Presto's vSwitch stamps on every skb before TSO (§3.1): the destination
+//! (shadow) MAC, and the flowcell ID that the paper smuggles in the source
+//! MAC / TCP options and that the receiver's GRO uses to tell loss from
+//! reordering.
+
+use crate::ids::{HostId, Mac};
+
+/// TCP maximum segment size used throughout: 1500-byte MTU minus 40 bytes
+/// of IP+TCP headers.
+pub const MSS: u32 = 1460;
+
+/// Per-packet wire overhead: Ethernet (14) + FCS (4) + preamble and
+/// inter-frame gap (20) + IP (20) + TCP (20) = 78 bytes. With `MSS`-sized
+/// payloads this caps goodput at 1460/1538 ≈ 94.9% of line rate, matching
+/// the ~9.3 Gbps the paper reports on 10 GbE.
+pub const WIRE_OVERHEAD: u32 = 78;
+
+/// Wire size of a payload-less packet (pure ACK / probe): minimum Ethernet
+/// frame (64 bytes) plus preamble and IFG.
+pub const ACK_WIRE_BYTES: u32 = 84;
+
+/// A transport flow's 4-tuple, oriented from the sender's perspective.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowKey {
+    /// Originating host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Source transport port.
+    pub sport: u16,
+    /// Destination transport port.
+    pub dport: u16,
+}
+
+impl FlowKey {
+    /// Construct a flow key.
+    pub fn new(src: HostId, dst: HostId, sport: u16, dport: u16) -> Self {
+        FlowKey { src, dst, sport, dport }
+    }
+
+    /// The reverse direction (where ACKs travel).
+    pub fn reverse(self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            sport: self.dport,
+            dport: self.sport,
+        }
+    }
+
+    /// A stable 64-bit digest of the tuple, used for ECMP hashing and
+    /// per-flow stream splitting.
+    pub fn digest(self) -> u64 {
+        ((self.src.0 as u64) << 48)
+            | ((self.dst.0 as u64) << 32)
+            | ((self.sport as u64) << 16)
+            | self.dport as u64
+    }
+}
+
+/// What a packet is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketKind {
+    /// TCP payload: `seq..seq+len` of the flow's byte stream.
+    Data {
+        /// Byte-stream offset of the first payload byte.
+        seq: u64,
+        /// Payload length in bytes.
+        len: u32,
+        /// True for retransmissions — Presto GRO pushes these up at once.
+        retx: bool,
+    },
+    /// A pure cumulative acknowledgement.
+    Ack {
+        /// Next byte expected by the receiver.
+        ack: u64,
+        /// Highest sequence number received so far (a 1-bit SACK
+        /// abstraction, enough for the dup-ACK machinery).
+        sack_hi: u64,
+    },
+    /// A latency probe (sockperf-style single packet, §4); echoed by the
+    /// receiver with the same `id`.
+    Probe {
+        /// Matches request to echo.
+        id: u64,
+        /// True on the return path.
+        echo: bool,
+    },
+}
+
+/// A simulated packet.
+#[derive(Clone, Copy, Debug)]
+pub struct Packet {
+    /// Flow the packet belongs to (data flows forward; ACKs carry the
+    /// *forward* flow's key with `src_host`/`dst_host` swapped below).
+    pub flow: FlowKey,
+    /// Routing source (the host that put this packet on the wire).
+    pub src_host: HostId,
+    /// Routing destination (where the fabric must deliver it).
+    pub dst_host: HostId,
+    /// Destination MAC — a real host MAC or a shadow (label) MAC.
+    pub dst_mac: Mac,
+    /// Flowcell ID stamped by the sending vSwitch (paper: carried in the
+    /// source MAC / TCP options). Monotonically increasing per flow.
+    pub flowcell: u64,
+    /// Payload semantics.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// Total bytes the packet occupies on the wire, including all framing
+    /// overhead.
+    pub fn wire_bytes(&self) -> u32 {
+        match self.kind {
+            PacketKind::Data { len, .. } => len + WIRE_OVERHEAD,
+            PacketKind::Ack { .. } | PacketKind::Probe { .. } => ACK_WIRE_BYTES,
+        }
+    }
+
+    /// Payload bytes (zero for ACKs and probes).
+    pub fn payload_bytes(&self) -> u32 {
+        match self.kind {
+            PacketKind::Data { len, .. } => len,
+            _ => 0,
+        }
+    }
+
+    /// True for TCP payload packets.
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, PacketKind::Data { .. })
+    }
+
+    /// End sequence (`seq + len`) for data packets.
+    pub fn end_seq(&self) -> Option<u64> {
+        match self.kind {
+            PacketKind::Data { seq, len, .. } => Some(seq + len as u64),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey::new(HostId(1), HostId(2), 1000, 2000)
+    }
+
+    #[test]
+    fn reverse_swaps_both_tuple_halves() {
+        let k = key();
+        let r = k.reverse();
+        assert_eq!(r.src, HostId(2));
+        assert_eq!(r.dst, HostId(1));
+        assert_eq!(r.sport, 2000);
+        assert_eq!(r.dport, 1000);
+        assert_eq!(r.reverse(), k);
+    }
+
+    #[test]
+    fn digest_is_injective_on_fields() {
+        let a = FlowKey::new(HostId(1), HostId(2), 10, 20).digest();
+        let b = FlowKey::new(HostId(2), HostId(1), 10, 20).digest();
+        let c = FlowKey::new(HostId(1), HostId(2), 20, 10).digest();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn wire_sizes() {
+        let data = Packet {
+            flow: key(),
+            src_host: HostId(1),
+            dst_host: HostId(2),
+            dst_mac: Mac::host(HostId(2)),
+            flowcell: 0,
+            kind: PacketKind::Data { seq: 0, len: MSS, retx: false },
+        };
+        assert_eq!(data.wire_bytes(), MSS + WIRE_OVERHEAD);
+        assert_eq!(data.payload_bytes(), MSS);
+        assert!(data.is_data());
+        assert_eq!(data.end_seq(), Some(MSS as u64));
+
+        let ack = Packet {
+            kind: PacketKind::Ack { ack: 100, sack_hi: 100 },
+            ..data
+        };
+        assert_eq!(ack.wire_bytes(), ACK_WIRE_BYTES);
+        assert_eq!(ack.payload_bytes(), 0);
+        assert!(!ack.is_data());
+        assert_eq!(ack.end_seq(), None);
+    }
+
+    #[test]
+    fn goodput_ceiling_is_realistic() {
+        // MSS/(MSS+overhead) should be ~94.9%, giving ~9.49 Gbps on 10 GbE.
+        let eff = MSS as f64 / (MSS + WIRE_OVERHEAD) as f64;
+        assert!(eff > 0.94 && eff < 0.96, "efficiency {eff}");
+    }
+}

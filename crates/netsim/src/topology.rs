@@ -1,0 +1,408 @@
+//! Topology builders.
+//!
+//! The paper's experiments run on three physical layouts, all reproduced
+//! here (Figures 3 and 4):
+//!
+//! * the main testbed: a 2-tier Clos with 4 spines, 4 leaves and 4 hosts
+//!   per leaf (16 hosts),
+//! * the scalability benchmark (Fig 4a): 2 leaves joined by ν spines,
+//! * the oversubscription benchmark (Fig 4b): 2 leaves joined by 2 spines,
+//! * and the "Optimal" baseline: every host on one non-blocking switch.
+//!
+//! [`Topology`] couples the built [`Fabric`] with the structural metadata
+//! (which switch is a spine, which links join leaf x to spine y) that the
+//! Presto controller needs to compute disjoint spanning trees.
+
+use std::collections::HashMap;
+
+use presto_simcore::SimDuration;
+
+use crate::fabric::Fabric;
+use crate::ids::{HostId, LinkId, Mac, Node, SwitchId};
+use crate::link::Link;
+
+/// Parameters of a 2-tier Clos network.
+#[derive(Debug, Clone)]
+pub struct ClosSpec {
+    /// Number of spine switches (ν in the paper).
+    pub spines: usize,
+    /// Number of leaf (top-of-rack) switches.
+    pub leaves: usize,
+    /// Hosts attached to each leaf.
+    pub hosts_per_leaf: usize,
+    /// Parallel links between each (spine, leaf) pair (γ in the paper).
+    pub links_per_pair: usize,
+    /// Line rate of every link, bits/sec.
+    pub link_rate_bps: u64,
+    /// Per-hop propagation delay.
+    pub propagation: SimDuration,
+    /// Per-port drop-tail buffer in bytes.
+    pub queue_bytes: u64,
+    /// Optional shared-memory buffering: `(pool_bytes, dt_alpha)` applied
+    /// to every switch (the G8264 is a shared-buffer switch). When set,
+    /// per-port static caps are raised to the pool size and the dynamic
+    /// threshold becomes the binding constraint.
+    pub shared_buffer: Option<(u64, f64)>,
+}
+
+impl Default for ClosSpec {
+    /// The paper's testbed defaults: 10 Gbps links, shallow sub-microsecond
+    /// propagation, and a buffer sized like a shared-memory ToR port.
+    fn default() -> Self {
+        ClosSpec {
+            spines: 4,
+            leaves: 4,
+            hosts_per_leaf: 4,
+            links_per_pair: 1,
+            link_rate_bps: 10_000_000_000,
+            propagation: SimDuration::from_micros(1),
+            queue_bytes: 1024 * 1024,
+            shared_buffer: None,
+        }
+    }
+}
+
+/// A built network plus the structural metadata controllers need.
+#[derive(Debug)]
+pub struct Topology {
+    /// The switches and links.
+    pub fabric: Fabric,
+    /// All host ids, 0..n.
+    pub hosts: Vec<HostId>,
+    /// Leaf switches, in leaf order.
+    pub leaves: Vec<SwitchId>,
+    /// Spine switches, in spine order (empty for the single-switch layout).
+    pub spines: Vec<SwitchId>,
+    /// Each host's leaf switch.
+    pub host_leaf: Vec<SwitchId>,
+    /// Host uplink (host → leaf) per host.
+    pub host_up: Vec<LinkId>,
+    /// Host downlink (leaf → host) per host.
+    pub host_down: Vec<LinkId>,
+    /// Links leaf → spine, keyed by (leaf, spine), γ entries each.
+    pub leaf_spine: HashMap<(SwitchId, SwitchId), Vec<LinkId>>,
+    /// Links spine → leaf, keyed by (spine, leaf), γ entries each.
+    pub spine_leaf: HashMap<(SwitchId, SwitchId), Vec<LinkId>>,
+}
+
+impl Topology {
+    /// Build a 2-tier Clos network per `spec`.
+    pub fn clos(spec: &ClosSpec) -> Topology {
+        assert!(spec.leaves >= 1 && spec.hosts_per_leaf >= 1);
+        assert!(spec.spines >= 1 && spec.links_per_pair >= 1);
+        let mut fabric = Fabric::new();
+        let leaves: Vec<SwitchId> = (0..spec.leaves).map(|_| fabric.add_switch()).collect();
+        let spines: Vec<SwitchId> = (0..spec.spines).map(|_| fabric.add_switch()).collect();
+
+        let port_cap = match spec.shared_buffer {
+            Some((pool, _)) => pool,
+            None => spec.queue_bytes,
+        };
+        let mk_link =
+            |src, dst| Link::new(src, dst, spec.link_rate_bps, spec.propagation, port_cap);
+
+        let mut hosts = Vec::new();
+        let mut host_leaf = Vec::new();
+        let mut host_up = Vec::new();
+        let mut host_down = Vec::new();
+        for (li, &leaf) in leaves.iter().enumerate() {
+            for hi in 0..spec.hosts_per_leaf {
+                let host = HostId((li * spec.hosts_per_leaf + hi) as u32);
+                let up = fabric.add_link(mk_link(Node::Host(host), Node::Switch(leaf)));
+                let down = fabric.add_link(mk_link(Node::Switch(leaf), Node::Host(host)));
+                fabric.attach_host(host, up);
+                hosts.push(host);
+                host_leaf.push(leaf);
+                host_up.push(up);
+                host_down.push(down);
+            }
+        }
+
+        if let Some((pool, alpha)) = spec.shared_buffer {
+            for sw in leaves.iter().chain(spines.iter()) {
+                fabric.set_shared_buffer(*sw, crate::buffer::SharedBuffer::new(pool, alpha));
+            }
+        }
+        let mut leaf_spine = HashMap::new();
+        let mut spine_leaf = HashMap::new();
+        for &leaf in &leaves {
+            for &spine in &spines {
+                let mut ups = Vec::new();
+                let mut downs = Vec::new();
+                for _ in 0..spec.links_per_pair {
+                    ups.push(fabric.add_link(mk_link(Node::Switch(leaf), Node::Switch(spine))));
+                    downs.push(fabric.add_link(mk_link(Node::Switch(spine), Node::Switch(leaf))));
+                }
+                leaf_spine.insert((leaf, spine), ups);
+                spine_leaf.insert((spine, leaf), downs);
+            }
+        }
+
+        Topology {
+            fabric,
+            hosts,
+            leaves,
+            spines,
+            host_leaf,
+            host_up,
+            host_down,
+            leaf_spine,
+            spine_leaf,
+        }
+    }
+
+    /// Build the non-blocking "Optimal" baseline: all hosts on one switch.
+    pub fn single_switch(
+        n_hosts: usize,
+        link_rate_bps: u64,
+        propagation: SimDuration,
+        queue_bytes: u64,
+    ) -> Topology {
+        let mut fabric = Fabric::new();
+        let sw = fabric.add_switch();
+        let mut hosts = Vec::new();
+        let mut host_up = Vec::new();
+        let mut host_down = Vec::new();
+        for h in 0..n_hosts {
+            let host = HostId(h as u32);
+            let up = fabric.add_link(Link::new(
+                Node::Host(host),
+                Node::Switch(sw),
+                link_rate_bps,
+                propagation,
+                queue_bytes,
+            ));
+            let down = fabric.add_link(Link::new(
+                Node::Switch(sw),
+                Node::Host(host),
+                link_rate_bps,
+                propagation,
+                queue_bytes,
+            ));
+            fabric.attach_host(host, up);
+            hosts.push(host);
+            host_up.push(up);
+            host_down.push(down);
+        }
+        Topology {
+            fabric,
+            hosts,
+            leaves: vec![sw],
+            spines: Vec::new(),
+            host_leaf: vec![sw; n_hosts],
+            host_up,
+            host_down,
+            leaf_spine: HashMap::new(),
+            spine_leaf: HashMap::new(),
+        }
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Attach an extra host (e.g. a WAN "remote user", §6's north-south
+    /// experiment) directly to `switch` with its own link rate — the
+    /// paper throttles remote users to 100 Mbps. Installs the exact-match
+    /// L2 entry for the host at its switch; reaching it from elsewhere is
+    /// the caller's routing decision. Returns the new host id.
+    pub fn attach_extra_host(
+        &mut self,
+        switch: SwitchId,
+        link_rate_bps: u64,
+        propagation: SimDuration,
+        queue_bytes: u64,
+    ) -> HostId {
+        let host = HostId(self.hosts.len() as u32);
+        let up = self.fabric.add_link(Link::new(
+            Node::Host(host),
+            Node::Switch(switch),
+            link_rate_bps,
+            propagation,
+            queue_bytes,
+        ));
+        let down = self.fabric.add_link(Link::new(
+            Node::Switch(switch),
+            Node::Host(host),
+            link_rate_bps,
+            propagation,
+            queue_bytes,
+        ));
+        self.fabric.attach_host(host, up);
+        self.fabric.switch_mut(switch).install_l2(Mac::host(host), down);
+        self.hosts.push(host);
+        self.host_leaf.push(switch);
+        self.host_up.push(up);
+        self.host_down.push(down);
+        host
+    }
+
+    /// Number of distinct end-to-end multipaths between hosts on different
+    /// leaves: spines × links-per-pair (γ).
+    pub fn path_count(&self) -> usize {
+        if self.spines.is_empty() {
+            1
+        } else {
+            let leaf = self.leaves[0];
+            let spine = self.spines[0];
+            self.spines.len() * self.leaf_spine[&(leaf, spine)].len()
+        }
+    }
+
+    /// True if both hosts hang off the same leaf (intra-rack traffic never
+    /// crosses a spine).
+    pub fn same_leaf(&self, a: HostId, b: HostId) -> bool {
+        self.host_leaf[a.index()] == self.host_leaf[b.index()]
+    }
+
+    /// Install baseline connectivity for real host MACs:
+    ///
+    /// * every leaf: exact L2 entry for each local host → its downlink, and
+    ///   an ECMP group over all uplinks for each remote host;
+    /// * every spine: an ECMP group over the γ links toward each host's
+    ///   leaf;
+    /// * the single-switch layout: exact L2 entries only.
+    ///
+    /// Shadow-MAC spanning trees are installed separately by the Presto
+    /// controller (`presto-core`).
+    pub fn install_basic_routing(&mut self) {
+        if self.spines.is_empty() {
+            let sw = self.leaves[0];
+            for &h in &self.hosts {
+                let down = self.host_down[h.index()];
+                self.fabric.switch_mut(sw).install_l2(Mac::host(h), down);
+            }
+            return;
+        }
+        let leaves = self.leaves.clone();
+        for &leaf in &leaves {
+            // Local hosts: exact match to the downlink.
+            for &h in &self.hosts {
+                if self.host_leaf[h.index()] == leaf {
+                    let down = self.host_down[h.index()];
+                    self.fabric.switch_mut(leaf).install_l2(Mac::host(h), down);
+                } else {
+                    // Remote hosts: ECMP over every uplink.
+                    let mut ups = Vec::new();
+                    for &spine in &self.spines {
+                        ups.extend(self.leaf_spine[&(leaf, spine)].iter().copied());
+                    }
+                    self.fabric.switch_mut(leaf).install_ecmp(h, ups);
+                }
+            }
+        }
+        let spines = self.spines.clone();
+        for &spine in &spines {
+            for &h in &self.hosts {
+                let leaf = self.host_leaf[h.index()];
+                let downs = self.spine_leaf[&(spine, leaf)].clone();
+                self.fabric.switch_mut(spine).install_ecmp(h, downs);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_shape_matches_fig3() {
+        let t = Topology::clos(&ClosSpec::default());
+        assert_eq!(t.host_count(), 16);
+        assert_eq!(t.leaves.len(), 4);
+        assert_eq!(t.spines.len(), 4);
+        assert_eq!(t.path_count(), 4);
+        // Links: 16 hosts * 2 + 4 leaves * 4 spines * 1 * 2 = 32 + 32.
+        assert_eq!(t.fabric.links().len(), 64);
+        // Host 0..3 on leaf 0, 4..7 on leaf 1, etc.
+        assert!(t.same_leaf(HostId(0), HostId(3)));
+        assert!(!t.same_leaf(HostId(3), HostId(4)));
+    }
+
+    #[test]
+    fn scalability_topology_fig4a() {
+        let spec = ClosSpec {
+            spines: 8,
+            leaves: 2,
+            hosts_per_leaf: 8,
+            ..ClosSpec::default()
+        };
+        let t = Topology::clos(&spec);
+        assert_eq!(t.path_count(), 8);
+        assert_eq!(t.host_count(), 16);
+    }
+
+    #[test]
+    fn parallel_links_multiply_paths() {
+        let spec = ClosSpec {
+            spines: 2,
+            leaves: 2,
+            hosts_per_leaf: 1,
+            links_per_pair: 3,
+            ..ClosSpec::default()
+        };
+        let t = Topology::clos(&spec);
+        assert_eq!(t.path_count(), 6);
+        assert_eq!(t.leaf_spine[&(t.leaves[0], t.spines[1])].len(), 3);
+    }
+
+    #[test]
+    fn single_switch_is_flat() {
+        let t = Topology::single_switch(16, 10_000_000_000, SimDuration::from_micros(1), 1 << 20);
+        assert_eq!(t.host_count(), 16);
+        assert_eq!(t.path_count(), 1);
+        assert!(t.spines.is_empty());
+        assert!(t.same_leaf(HostId(0), HostId(15)));
+    }
+
+    #[test]
+    fn shared_buffer_option_installs_pools() {
+        let spec = ClosSpec {
+            shared_buffer: Some((4 * 1024 * 1024, 1.0)),
+            ..ClosSpec::default()
+        };
+        let t = Topology::clos(&spec);
+        for sw in t.leaves.iter().chain(t.spines.iter()) {
+            let buf = t.fabric.shared_buffer(*sw).expect("pool installed");
+            assert_eq!(buf.pool_bytes, 4 * 1024 * 1024);
+        }
+        // Per-port static caps are raised to the pool size.
+        let some_link = t.leaf_spine[&(t.leaves[0], t.spines[0])][0];
+        assert_eq!(t.fabric.link(some_link).queue_capacity_bytes, 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn default_spec_has_no_shared_buffer() {
+        let t = Topology::clos(&ClosSpec::default());
+        assert!(t.fabric.shared_buffer(t.leaves[0]).is_none());
+    }
+
+    #[test]
+    fn basic_routing_installs_l2_and_ecmp() {
+        let mut t = Topology::clos(&ClosSpec::default());
+        t.install_basic_routing();
+        // Leaf 0 has exact entries for its 4 local hosts.
+        assert_eq!(t.fabric.switch(t.leaves[0]).l2_len(), 4);
+        assert_eq!(
+            t.fabric.switch(t.leaves[0]).l2_lookup(Mac::host(HostId(0))),
+            Some(t.host_down[0])
+        );
+        // And no entry for a remote host's real MAC.
+        assert_eq!(t.fabric.switch(t.leaves[0]).l2_lookup(Mac::host(HostId(4))), None);
+    }
+
+    #[test]
+    fn single_switch_routing_delivers_all() {
+        let mut t = Topology::single_switch(4, 10_000_000_000, SimDuration::from_micros(1), 1 << 20);
+        t.install_basic_routing();
+        let sw = t.leaves[0];
+        for &h in &t.hosts {
+            assert_eq!(
+                t.fabric.switch(sw).l2_lookup(Mac::host(h)),
+                Some(t.host_down[h.index()])
+            );
+        }
+    }
+}

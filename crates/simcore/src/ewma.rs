@@ -1,0 +1,115 @@
+//! Exponentially-weighted moving average.
+//!
+//! Presto's receiver applies a flush timeout of `α · EWMA(reordering gap)`
+//! to segments held at flowcell boundaries (§3.2). The same primitive also
+//! backs RTT estimation in the TCP model and the CPU utilization sampler.
+
+/// An EWMA over `f64` samples: `avg ← (1 − w)·avg + w·sample`.
+///
+/// Until the first sample arrives, [`Ewma::get`] returns the configured
+/// initial value so that timeouts derived from it are well-defined from the
+/// very first flowcell.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    weight: f64,
+    value: f64,
+    samples: u64,
+}
+
+impl Ewma {
+    /// Create an EWMA with sample weight `weight` (in `(0, 1]`) and initial
+    /// value `initial` reported until the first update.
+    ///
+    /// # Panics
+    /// Panics if `weight` is outside `(0, 1]` or `initial` is not finite.
+    pub fn new(weight: f64, initial: f64) -> Self {
+        assert!(weight > 0.0 && weight <= 1.0, "EWMA weight must be in (0,1]");
+        assert!(initial.is_finite(), "EWMA initial value must be finite");
+        Ewma {
+            weight,
+            value: initial,
+            samples: 0,
+        }
+    }
+
+    /// Fold in one sample.
+    #[inline]
+    pub fn update(&mut self, sample: f64) {
+        debug_assert!(sample.is_finite());
+        if self.samples == 0 {
+            // Seed with the first real observation rather than blending it
+            // with the synthetic initial value.
+            self.value = sample;
+        } else {
+            self.value = (1.0 - self.weight) * self.value + self.weight * sample;
+        }
+        self.samples += 1;
+    }
+
+    /// Current average (the initial value if no samples have been folded).
+    #[inline]
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+
+    /// Number of samples folded so far.
+    #[inline]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_initial_before_samples() {
+        let e = Ewma::new(0.25, 42.0);
+        assert_eq!(e.get(), 42.0);
+        assert_eq!(e.samples(), 0);
+    }
+
+    #[test]
+    fn first_sample_replaces_initial() {
+        let mut e = Ewma::new(0.25, 42.0);
+        e.update(10.0);
+        assert_eq!(e.get(), 10.0);
+    }
+
+    #[test]
+    fn blends_subsequent_samples() {
+        let mut e = Ewma::new(0.5, 0.0);
+        e.update(10.0);
+        e.update(20.0); // 0.5*10 + 0.5*20 = 15
+        assert!((e.get() - 15.0).abs() < 1e-12);
+        e.update(15.0); // stays 15
+        assert!((e.get() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.125, 0.0);
+        e.update(3.0);
+        for _ in 0..500 {
+            e.update(7.0);
+        }
+        assert!((e.get() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stays_within_sample_range() {
+        let mut e = Ewma::new(0.3, 0.0);
+        let samples = [5.0, 9.0, 6.5, 8.0, 5.5];
+        for s in samples {
+            e.update(s);
+        }
+        assert!(e.get() >= 5.0 && e.get() <= 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn rejects_zero_weight() {
+        let _ = Ewma::new(0.0, 1.0);
+    }
+}

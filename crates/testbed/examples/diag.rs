@@ -1,0 +1,57 @@
+//! Diagnostic dump for one stride run (development aid).
+
+use presto_simcore::{SimDuration, SimTime};
+use presto_testbed::{stride_elephants, Scenario, SchemeSpec};
+
+fn main() {
+    let scheme = match std::env::args().nth(1).as_deref() {
+        Some("ecmp") => SchemeSpec::ecmp(),
+        Some("optimal") => SchemeSpec::optimal(),
+        Some("mptcp") => SchemeSpec::mptcp(),
+        Some("pog") => SchemeSpec::presto_official_gro(),
+        _ => SchemeSpec::presto(),
+    };
+    let dur: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let mut sc = Scenario::testbed16(scheme, 1);
+    sc.duration = SimDuration::from_millis(dur);
+    sc.warmup = SimDuration::from_millis(dur / 3);
+    sc.flows = stride_elephants(16, 8);
+    sc.probes = vec![(0, 8)];
+    let _ = SimTime::ZERO;
+    let r = sc.run();
+    println!("scheme            {}", r.scheme);
+    println!("mean tput         {:.2} Gbps", r.mean_elephant_tput());
+    println!(
+        "tputs             {:?}",
+        r.elephant_tputs.iter().map(|t| (t * 10.0).round() / 10.0).collect::<Vec<_>>()
+    );
+    println!("fairness          {:.3}", r.fairness());
+    println!("loss rate         {:.5}", r.loss_rate);
+    println!("retransmissions   {}", r.retransmissions);
+    println!("fast retx         {}", r.fast_retransmits);
+    println!("timeouts          {}", r.timeouts);
+    println!("tcp ooo segs      {}", r.tcp_ooo_segments);
+    println!("flowcells         {}", r.flowcells);
+    println!("gro masked        {}", r.gro_reorders_masked);
+    println!("gro timeout fires {}", r.gro_timeout_fires);
+    println!("events            {}", r.events_processed);
+    let mut rtt = r.rtt_ms.clone();
+    if !rtt.is_empty() {
+        println!(
+            "rtt p50/p99       {:.3} / {:.3} ms",
+            rtt.percentile(50.0).unwrap(),
+            rtt.percentile(99.0).unwrap()
+        );
+    }
+    let mut seg = r.segment_bytes.clone();
+    if !seg.is_empty() {
+        println!(
+            "seg bytes p50/p90 {:.0} / {:.0}",
+            seg.percentile(50.0).unwrap(),
+            seg.percentile(90.0).unwrap()
+        );
+    }
+}

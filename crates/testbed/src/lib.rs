@@ -1,0 +1,39 @@
+//! The composed simulator — the "physical testbed" of §4.
+//!
+//! Wires every substrate together: the fabric (`presto-netsim`), end hosts
+//! with NIC/CPU models (`presto-endhost`), GRO engines (`presto-gro`),
+//! TCP/MPTCP (`presto-transport`), the Presto controller and flowcell
+//! scheduler (`presto-core`), and the baseline policies (`presto-lb`).
+//!
+//! The public surface:
+//!
+//! * [`SchemeSpec`] — which load-balancing scheme a run uses (Presto,
+//!   ECMP, MPTCP, Optimal, flowlet switching, Presto+ECMP, per-packet,
+//!   and the Presto-sender/stock-GRO ablation of Fig 5);
+//! * [`Scenario`] — a complete experiment description: topology, scheme,
+//!   flows, mice, probes, shuffle, failures, measurement windows;
+//! * [`Report`] — everything the paper's figures need: throughputs, RTT
+//!   and FCT samples, loss rates, Jain fairness, CPU utilization series,
+//!   segment-size and reordering distributions.
+//!
+//! ```no_run
+//! use presto_testbed::{Scenario, SchemeSpec};
+//!
+//! let mut sc = Scenario::testbed16(SchemeSpec::presto(), 42);
+//! sc.flows = presto_testbed::stride_elephants(16, 8);
+//! let report = sc.run();
+//! println!("mean elephant tput: {:.2} Gbps", report.mean_elephant_tput());
+//! ```
+
+pub mod report;
+pub mod scenario;
+pub mod scheme;
+pub mod sim;
+
+pub use report::Report;
+pub use scenario::{
+    bijection_elephants, random_elephants, stride_elephants, FailureSpec, MiceSpec, Scenario,
+    ShuffleSpec,
+};
+pub use scheme::{GroKind, PolicyKind, SchemeSpec, TransportKind};
+pub use sim::Simulation;

@@ -1,0 +1,153 @@
+//! Experiment results.
+
+use std::collections::HashMap;
+
+use presto_metrics::{fairness, Samples, TimeSeries};
+
+/// Everything a paper figure needs from one run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Scheme display name.
+    pub scheme: String,
+    /// Per-elephant goodput in Gbps (unbounded flows measured over the
+    /// post-warmup window; shuffle transfers per completed transfer).
+    pub elephant_tputs: Vec<f64>,
+    /// Mice flow completion times, milliseconds.
+    pub mice_fct_ms: Samples,
+    /// Probe round-trip times, milliseconds.
+    pub rtt_ms: Samples,
+    /// Fabric data-packet loss rate over the measurement window.
+    pub loss_rate: f64,
+    /// Receiver CPU utilization (0-100) time series per host.
+    pub cpu_util: HashMap<u32, TimeSeries>,
+    /// Sizes of segments pushed up the receive stack, bytes.
+    pub segment_bytes: Samples,
+    /// Fig 5a metric: per flowcell, how many *other* flowcells' segments
+    /// were pushed up between its first and last segment.
+    pub ooo_cell_counts: Samples,
+    /// Segments the TCP layer saw out of order (dup-ACK generators).
+    pub tcp_ooo_segments: u64,
+    /// RFC 4737-style fraction of pushed-up segments that arrived at TCP
+    /// with a lower byte offset than an earlier segment (§5 reports
+    /// 13-29% for flowlet-100 µs). Only populated with reorder collection.
+    pub reordered_fraction: f64,
+    /// Total TCP retransmissions across all connections.
+    pub retransmissions: u64,
+    /// Total RTO fires across all connections.
+    pub timeouts: u64,
+    /// Total fast-retransmit entries.
+    pub fast_retransmits: u64,
+    /// Flowcells created by senders.
+    pub flowcells: u64,
+    /// GRO holds resolved by gap fill (Presto GRO only).
+    pub gro_reorders_masked: u64,
+    /// GRO holds resolved by timeout (Presto GRO only).
+    pub gro_timeout_fires: u64,
+    /// Completed flowlet sizes in bytes per sending host (flowlet schemes
+    /// only; the Fig 1 analysis reads a single sender's sizes).
+    pub flowlet_sizes: HashMap<u32, Vec<u64>>,
+    /// Wall-clock events processed (engine health).
+    pub events_processed: u64,
+}
+
+impl Report {
+    /// Mean elephant goodput in Gbps (0 when no elephants ran).
+    pub fn mean_elephant_tput(&self) -> f64 {
+        if self.elephant_tputs.is_empty() {
+            0.0
+        } else {
+            self.elephant_tputs.iter().sum::<f64>() / self.elephant_tputs.len() as f64
+        }
+    }
+
+    /// Jain's fairness index over elephant goodputs.
+    pub fn fairness(&self) -> f64 {
+        fairness::jain_index(&self.elephant_tputs)
+    }
+
+    /// Mean receiver CPU utilization (percent) across hosts that did any
+    /// work.
+    pub fn mean_cpu_util(&self) -> f64 {
+        let means: Vec<f64> = self
+            .cpu_util
+            .values()
+            .filter_map(|ts| ts.mean())
+            .filter(|&m| m > 0.5)
+            .collect();
+        if means.is_empty() {
+            0.0
+        } else {
+            means.iter().sum::<f64>() / means.len() as f64
+        }
+    }
+}
+
+/// The Fig 5a reordering metric: for each flowcell in `seq` (the flowcell
+/// IDs of segments in push-up order, one flow), count the distinct *other*
+/// flowcells appearing between its first and last segment. Zero for every
+/// cell means TCP saw no interleaving at all.
+pub fn ooo_cell_counts(seq: &[u64]) -> Vec<u64> {
+    let mut first: HashMap<u64, usize> = HashMap::new();
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    for (i, &c) in seq.iter().enumerate() {
+        first.entry(c).or_insert(i);
+        last.insert(c, i);
+    }
+    let mut out = Vec::with_capacity(first.len());
+    let mut cells: Vec<u64> = first.keys().copied().collect();
+    cells.sort_unstable();
+    for c in cells {
+        let (lo, hi) = (first[&c], last[&c]);
+        let mut others: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for &x in &seq[lo..=hi] {
+            if x != c {
+                others.insert(x);
+            }
+        }
+        out.push(others.len() as u64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ooo_counts_zero_for_ordered_stream() {
+        let seq = [1, 1, 1, 2, 2, 3, 3, 3];
+        assert_eq!(ooo_cell_counts(&seq), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn ooo_counts_interleaved_cells() {
+        // Cell 1's span covers a cell-2 segment and vice versa.
+        let seq = [1, 2, 1, 2];
+        assert_eq!(ooo_cell_counts(&seq), vec![1, 1]);
+    }
+
+    #[test]
+    fn ooo_counts_deep_interleaving() {
+        let seq = [1, 2, 3, 1, 2, 3, 1];
+        // Cell 1 spans everything (2 others), cells 2 and 3 span two others
+        // each as well? cell 2: indices 1..=4 contain {1,3}; cell 3: 2..=5
+        // contain {1,2}.
+        assert_eq!(ooo_cell_counts(&seq), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn ooo_single_segment_cells() {
+        let seq = [5, 6, 7];
+        assert_eq!(ooo_cell_counts(&seq), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = Report::default();
+        assert_eq!(r.mean_elephant_tput(), 0.0);
+        assert_eq!(r.fairness(), 1.0);
+        r.elephant_tputs = vec![8.0, 10.0];
+        assert_eq!(r.mean_elephant_tput(), 9.0);
+        assert!(r.fairness() > 0.98);
+    }
+}

@@ -1,0 +1,393 @@
+//! Experiment descriptions.
+//!
+//! A [`Scenario`] is everything one run needs: topology, scheme, flows,
+//! mice series, RTT probes, shuffle configuration, north-south remotes and
+//! the failure timeline. `run()` assembles the simulator (controller,
+//! per-host policies, GRO engines) and executes it to a [`Report`].
+
+use presto_core::Controller;
+use presto_endhost::{DirectPolicy, EdgePolicy, ReceiveOffload};
+use presto_gro::{OfficialGro, PrestoGro, PrestoGroConfig};
+use presto_lb::{EcmpPolicy, FlowletPolicy, PerPacketPolicy};
+use presto_netsim::{ClosSpec, HostId, Mac, Topology};
+use presto_simcore::rng::DetRng;
+use presto_simcore::{SimDuration, SimTime};
+use presto_workloads::patterns;
+use presto_workloads::FlowSpec;
+
+use crate::report::Report;
+use crate::scheme::{GroKind, PolicyKind, SchemeSpec};
+use crate::sim::{make_host, Event, MiceSeries, PendingFlow, ShuffleState, Simulation};
+
+/// A "50 KB every 100 ms" mice stream between two hosts.
+#[derive(Debug, Clone, Copy)]
+pub struct MiceSpec {
+    /// Sender host.
+    pub src: usize,
+    /// Receiver host.
+    pub dst: usize,
+    /// Bytes per mouse (paper: 50 KB).
+    pub bytes: u64,
+    /// Launch interval (paper: 100 ms).
+    pub interval: SimDuration,
+}
+
+/// Shuffle workload: every server sends `bytes` to every other server,
+/// `concurrency` transfers at a time.
+#[derive(Debug, Clone, Copy)]
+pub struct ShuffleSpec {
+    /// Bytes per transfer (paper: 1 GB; scaled down for simulation).
+    pub bytes: u64,
+    /// Concurrent transfers per sender (paper: 2).
+    pub concurrency: usize,
+}
+
+/// A bidirectional link failure between a leaf and a spine.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureSpec {
+    /// When the link dies.
+    pub at: SimTime,
+    /// Leaf index.
+    pub leaf: usize,
+    /// Spine index.
+    pub spine: usize,
+    /// Parallel-link index (0 for γ = 1).
+    pub link: usize,
+    /// When the controller learns and redistributes weighted labels
+    /// (`None` = never; the pure fast-failover stage of Fig 17).
+    pub controller_at: Option<SimTime>,
+}
+
+/// A complete experiment description.
+pub struct Scenario {
+    /// Run label.
+    pub name: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Scheme under test.
+    pub scheme: SchemeSpec,
+    /// Clos parameters (ignored for single-switch schemes, which reuse the
+    /// host count).
+    pub clos: ClosSpec,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Measurement window starts here.
+    pub warmup: SimDuration,
+    /// Flows to run (host indices; `dst` may point at a WAN remote).
+    pub flows: Vec<FlowSpec>,
+    /// Mice series.
+    pub mice: Vec<MiceSpec>,
+    /// RTT probe pairs.
+    pub probes: Vec<(usize, usize)>,
+    /// Probe send interval.
+    pub probe_interval: SimDuration,
+    /// Shuffle workload (replaces `flows`).
+    pub shuffle: Option<ShuffleSpec>,
+    /// Link failure timeline.
+    pub failure: Option<FailureSpec>,
+    /// Number of WAN "remote users" attached to spines at 100 Mbps
+    /// (Table 2's north-south experiment). Their host indices follow the
+    /// servers'.
+    pub wan_remotes: usize,
+    /// Collect the Fig 5a flowcell-interleaving metric.
+    pub collect_reorder: bool,
+    /// CPU utilization sampling period (Fig 6).
+    pub cpu_sample: Option<SimDuration>,
+    /// Host uplink queue (large: the sender NIC/qdisc backpressures
+    /// instead of dropping).
+    pub host_uplink_queue: u64,
+}
+
+impl Scenario {
+    /// The paper's 16-host, 4-spine, 4-leaf testbed (Fig 3) with default
+    /// measurement windows.
+    pub fn testbed16(scheme: SchemeSpec, seed: u64) -> Self {
+        Scenario {
+            name: scheme.name.to_string(),
+            seed,
+            scheme,
+            clos: ClosSpec::default(),
+            duration: SimDuration::from_millis(200),
+            warmup: SimDuration::from_millis(40),
+            flows: Vec::new(),
+            mice: Vec::new(),
+            probes: Vec::new(),
+            probe_interval: SimDuration::from_micros(500),
+            shuffle: None,
+            failure: None,
+            wan_remotes: 0,
+            collect_reorder: false,
+            cpu_sample: None,
+            host_uplink_queue: 16 * 1024 * 1024,
+        }
+    }
+
+    /// The Fig 4a scalability topology: 2 leaves × `paths` spines, 8 hosts
+    /// per leaf.
+    pub fn scalability(scheme: SchemeSpec, paths: usize, seed: u64) -> Self {
+        let mut s = Self::testbed16(scheme, seed);
+        s.clos = ClosSpec {
+            spines: paths,
+            leaves: 2,
+            hosts_per_leaf: 8,
+            ..ClosSpec::default()
+        };
+        s
+    }
+
+    /// The Fig 4b oversubscription topology: 2 leaves × 2 spines.
+    pub fn oversubscription(scheme: SchemeSpec, seed: u64) -> Self {
+        let mut s = Self::testbed16(scheme, seed);
+        s.clos = ClosSpec {
+            spines: 2,
+            leaves: 2,
+            hosts_per_leaf: 8,
+            ..ClosSpec::default()
+        };
+        s
+    }
+
+    /// Number of server hosts in the chosen topology.
+    pub fn n_servers(&self) -> usize {
+        self.clos.leaves * self.clos.hosts_per_leaf
+    }
+
+    /// Assemble and run the experiment.
+    pub fn run(&self) -> Report {
+        let mut sim = self.build();
+        sim.run()
+    }
+
+    /// Assemble the simulator without running it — useful for inspection
+    /// and custom drivers.
+    pub fn build(&self) -> Simulation {
+        let n_servers = self.n_servers();
+        // 1. Topology.
+        let mut topo = if self.scheme.single_switch {
+            Topology::single_switch(
+                n_servers,
+                self.clos.link_rate_bps,
+                self.clos.propagation,
+                self.clos.queue_bytes,
+            )
+        } else {
+            Topology::clos(&self.clos)
+        };
+
+        // 2. Forwarding state + controller.
+        let controller = if self.scheme.needs_controller() {
+            Some(Controller::install(&mut topo))
+        } else {
+            topo.install_basic_routing();
+            None
+        };
+
+        // 3. ECMP hash mode.
+        let n_sw = topo.fabric.switches().len();
+        for i in 0..n_sw {
+            topo.fabric
+                .switch_mut(presto_netsim::SwitchId(i as u32))
+                .ecmp_mode = self.scheme.ecmp_mode;
+        }
+
+        // 4. WAN remotes (north-south).
+        for w in 0..self.wan_remotes {
+            let attach = if self.scheme.single_switch {
+                topo.leaves[0]
+            } else {
+                topo.spines[w % topo.spines.len()]
+            };
+            let wan = topo.attach_extra_host(
+                attach,
+                presto_workloads::northsouth::WAN_RATE_BPS,
+                self.clos.propagation,
+                self.clos.queue_bytes,
+            );
+            if !self.scheme.single_switch {
+                // Teach every leaf the way to this remote: via the spine it
+                // hangs off.
+                let leaves = topo.leaves.clone();
+                for leaf in leaves {
+                    let up = topo.leaf_spine[&(leaf, attach)][0];
+                    topo.fabric.switch_mut(leaf).install_l2(Mac::host(wan), up);
+                }
+            }
+        }
+
+        // 5. Sender NICs backpressure rather than drop: large uplink queues.
+        for &up in &topo.host_up.clone() {
+            topo.fabric.link_mut(up).queue_capacity_bytes = self.host_uplink_queue;
+        }
+
+        // 6. Per-destination label sequences (server destinations only;
+        // same-leaf pairs stay direct — no spine crossing needed).
+        let label_sets: Vec<Vec<(HostId, Vec<Mac>)>> = topo
+            .hosts
+            .iter()
+            .map(|&src| {
+                let mut v = Vec::new();
+                if self.scheme.single_switch {
+                    return v;
+                }
+                for dst in 0..n_servers {
+                    let dst = HostId(dst as u32);
+                    if dst == src || topo.same_leaf(src, dst) {
+                        continue;
+                    }
+                    let labels = match (&controller, self.scheme.policy) {
+                        (_, PolicyKind::PrestoEcmp) => vec![Mac::host(dst)],
+                        (Some(ctl), _) => ctl.labels_for(dst),
+                        (None, _) => continue,
+                    };
+                    v.push((dst, labels));
+                }
+                v
+            })
+            .collect();
+
+        // 7. Hosts.
+        let scheme = self.scheme.clone();
+        let seed = self.seed;
+        let mk_host = |h: HostId| {
+            let mut policy: Box<dyn EdgePolicy> = match scheme.policy {
+                PolicyKind::Direct => Box::new(DirectPolicy),
+                PolicyKind::Presto | PolicyKind::PrestoEcmp => {
+                    let mut f = presto_core::FlowcellScheduler::new();
+                    f.threshold = scheme.flowcell_bytes;
+                    Box::new(f)
+                }
+                PolicyKind::Ecmp => Box::new(EcmpPolicy::new(seed ^ 0xECC)),
+                PolicyKind::Flowlet(gap) => Box::new(FlowletPolicy::new(gap)),
+                PolicyKind::PerPacket => Box::new(PerPacketPolicy::new()),
+            };
+            for (dst, labels) in &label_sets[h.index()] {
+                policy.set_labels(*dst, labels.clone());
+            }
+            let gro: Box<dyn ReceiveOffload> = match scheme.gro {
+                GroKind::Official => Box::new(OfficialGro::new()),
+                GroKind::Presto => Box::new(PrestoGro::new()),
+                GroKind::PrestoFixedTimeout(d) => {
+                    Box::new(PrestoGro::with_config(PrestoGroConfig::fixed(d)))
+                }
+            };
+            let presto_extra = !matches!(scheme.gro, GroKind::Official);
+            make_host(policy, gro, h, presto_extra)
+        };
+
+        let end = SimTime::ZERO + self.duration;
+        let warm = SimTime::ZERO + self.warmup;
+        let mut sim = Simulation::new(topo, self.scheme.clone(), mk_host, end, warm);
+        sim.controller = controller;
+        sim.collect_reorder = self.collect_reorder;
+        sim.cpu_sample_every = self.cpu_sample;
+
+        // 8. Applications.
+        for spec in &self.flows {
+            let idx = sim.pending_flows.len();
+            sim.pending_flows.push(PendingFlow {
+                src: spec.src,
+                dst: spec.dst,
+                bytes: spec.bytes,
+                measure_fct: spec.measure_fct,
+                shuffle_src: None,
+            });
+            sim.schedule(spec.start, Event::FlowStart(idx));
+        }
+        for (i, m) in self.mice.iter().enumerate() {
+            sim.mice_series.push(MiceSeries {
+                src: m.src,
+                dst: m.dst,
+                bytes: m.bytes,
+                interval: m.interval,
+            });
+            // Stagger series starts across one interval.
+            let offset = m.interval.mul_f64((i % 16) as f64 / 16.0);
+            sim.schedule(SimTime::ZERO + m.interval + offset, Event::MiceNext(i));
+        }
+        for (i, &(src, dst)) in self.probes.iter().enumerate() {
+            let offset = self.probe_interval.mul_f64((i % 16) as f64 / 16.0);
+            sim.add_pinger(src, dst, self.probe_interval, SimTime::ZERO + offset);
+        }
+        if let Some(sh) = &self.shuffle {
+            let mut rng = DetRng::new(self.seed ^ 0x5F);
+            let orders = patterns::shuffle_orders(n_servers, &mut rng);
+            sim.shuffle = Some(ShuffleState {
+                orders,
+                active: vec![0; n_servers],
+                concurrency: sh.concurrency,
+                bytes: sh.bytes,
+                tputs: Vec::new(),
+            });
+            for src in 0..n_servers {
+                sim.schedule(SimTime::ZERO, Event::ShuffleMore(src));
+            }
+        }
+        if let Some(f) = &self.failure {
+            assert!(!self.scheme.single_switch, "failure needs a fabric");
+            let leaf = sim.topo.leaves[f.leaf];
+            let spine = sim.topo.spines[f.spine];
+            let up = sim.topo.leaf_spine[&(leaf, spine)][f.link];
+            let down = sim.topo.spine_leaf[&(spine, leaf)][f.link];
+            sim.schedule(f.at, Event::LinkFail(up, down));
+            if let Some(at) = f.controller_at {
+                sim.schedule(at, Event::ControllerUpdate);
+            }
+        }
+
+        sim
+    }
+}
+
+/// Unbounded elephants on the stride(k) pattern.
+pub fn stride_elephants(n_hosts: usize, k: usize) -> Vec<FlowSpec> {
+    patterns::stride(n_hosts, k)
+        .into_iter()
+        .map(|(s, d)| FlowSpec::elephant(s, d, SimTime::ZERO))
+        .collect()
+}
+
+/// Unbounded elephants on the random pattern.
+pub fn random_elephants(n_hosts: usize, hosts_per_pod: usize, seed: u64) -> Vec<FlowSpec> {
+    let mut rng = DetRng::new(seed ^ 0xA11);
+    patterns::random(n_hosts, hosts_per_pod, &mut rng)
+        .into_iter()
+        .map(|(s, d)| FlowSpec::elephant(s, d, SimTime::ZERO))
+        .collect()
+}
+
+/// Unbounded elephants on the random-bijection pattern.
+pub fn bijection_elephants(n_hosts: usize, hosts_per_pod: usize, seed: u64) -> Vec<FlowSpec> {
+    let mut rng = DetRng::new(seed ^ 0xB13);
+    patterns::random_bijection(n_hosts, hosts_per_pod, &mut rng)
+        .into_iter()
+        .map(|(s, d)| FlowSpec::elephant(s, d, SimTime::ZERO))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_flow_lists() {
+        let s = stride_elephants(16, 8);
+        assert_eq!(s.len(), 16);
+        assert!(s.iter().all(|f| f.bytes.is_none()));
+        let b = bijection_elephants(16, 4, 1);
+        assert_eq!(b.len(), 16);
+        let r = random_elephants(16, 4, 1);
+        assert_eq!(r.len(), 16);
+    }
+
+    #[test]
+    fn testbed16_defaults() {
+        let s = Scenario::testbed16(SchemeSpec::presto(), 1);
+        assert_eq!(s.n_servers(), 16);
+        assert_eq!(s.clos.spines, 4);
+        let s = Scenario::scalability(SchemeSpec::ecmp(), 6, 1);
+        assert_eq!(s.clos.spines, 6);
+        assert_eq!(s.n_servers(), 16);
+        let s = Scenario::oversubscription(SchemeSpec::mptcp(), 1);
+        assert_eq!(s.clos.spines, 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! Load-balancing scheme definitions.
+//!
+//! A scheme is the cross product of three orthogonal choices — the edge
+//! path-selection policy, the receive-offload engine, and the transport —
+//! plus fabric knobs (ECMP hash mode, single-switch "Optimal" topology).
+//! The presets below are exactly the configurations the paper evaluates.
+
+use presto_netsim::EcmpMode;
+use presto_simcore::SimDuration;
+
+/// Edge path-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Real destination MAC, no multipathing (the Optimal single switch).
+    Direct,
+    /// Presto's Algorithm 1: 64 KB flowcells round-robined over shadow-MAC
+    /// spanning trees.
+    Presto,
+    /// Per-flow random path (the paper's ECMP implementation).
+    Ecmp,
+    /// Flowlet switching with the given inactivity timer.
+    Flowlet(SimDuration),
+    /// Rotate the path on every skb (RPS/DRB-style per-packet spraying).
+    PerPacket,
+    /// Presto's flowcell counter with a single real-MAC label: path choice
+    /// is delegated to per-hop ECMP hashing on the flowcell ID (Fig 14).
+    PrestoEcmp,
+}
+
+/// Receive-offload engine at every host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroKind {
+    /// Stock Linux GRO.
+    Official,
+    /// Presto's Algorithm 2 with the adaptive α·EWMA timeout.
+    Presto,
+    /// Presto's multi-segment GRO but with a fixed hold timeout — the
+    /// static-10 ms strawman of §3.2, used by the ablation bench.
+    PrestoFixedTimeout(SimDuration),
+}
+
+/// Transport protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Single-path TCP (CUBIC).
+    Tcp,
+    /// MPTCP with `subflows` ECMP-hashed subflows and coupled congestion
+    /// control.
+    Mptcp {
+        /// Number of subflows (paper: 8).
+        subflows: usize,
+    },
+}
+
+/// A complete scheme configuration.
+#[derive(Debug, Clone)]
+pub struct SchemeSpec {
+    /// Display name used in reports.
+    pub name: &'static str,
+    /// Edge policy.
+    pub policy: PolicyKind,
+    /// Receive offload engine.
+    pub gro: GroKind,
+    /// Transport.
+    pub transport: TransportKind,
+    /// Fabric ECMP hash mode (only PrestoEcmp uses `FlowcellHash`).
+    pub ecmp_mode: EcmpMode,
+    /// Run on the non-blocking single switch instead of the Clos fabric.
+    pub single_switch: bool,
+    /// Clamp on TSO segment size; per-packet spraying runs with TSO
+    /// effectively disabled (one MSS per skb), as §2.1 discusses.
+    pub max_tso: u32,
+    /// Flowcell threshold for Algorithm 1 policies (64 KB in the paper;
+    /// the flowcell-size ablation sweeps it).
+    pub flowcell_bytes: u64,
+}
+
+impl SchemeSpec {
+    /// Presto: flowcell spraying + modified GRO (the paper's system).
+    pub fn presto() -> Self {
+        SchemeSpec {
+            name: "Presto",
+            policy: PolicyKind::Presto,
+            gro: GroKind::Presto,
+            transport: TransportKind::Tcp,
+            ecmp_mode: EcmpMode::FlowHash,
+            single_switch: false,
+            max_tso: 64 * 1024,
+            flowcell_bytes: 64 * 1024,
+        }
+    }
+
+    /// ECMP: per-flow random path over the same label fabric, stock GRO.
+    pub fn ecmp() -> Self {
+        SchemeSpec {
+            name: "ECMP",
+            policy: PolicyKind::Ecmp,
+            gro: GroKind::Official,
+            transport: TransportKind::Tcp,
+            ecmp_mode: EcmpMode::FlowHash,
+            single_switch: false,
+            max_tso: 64 * 1024,
+            flowcell_bytes: 64 * 1024,
+        }
+    }
+
+    /// MPTCP: 8 ECMP-hashed subflows, coupled congestion control.
+    pub fn mptcp() -> Self {
+        SchemeSpec {
+            name: "MPTCP",
+            policy: PolicyKind::Ecmp,
+            gro: GroKind::Official,
+            transport: TransportKind::Mptcp { subflows: 8 },
+            ecmp_mode: EcmpMode::FlowHash,
+            single_switch: false,
+            max_tso: 64 * 1024,
+            flowcell_bytes: 64 * 1024,
+        }
+    }
+
+    /// Optimal: every host on one non-blocking switch.
+    pub fn optimal() -> Self {
+        SchemeSpec {
+            name: "Optimal",
+            policy: PolicyKind::Direct,
+            gro: GroKind::Official,
+            transport: TransportKind::Tcp,
+            ecmp_mode: EcmpMode::FlowHash,
+            single_switch: true,
+            max_tso: 64 * 1024,
+            flowcell_bytes: 64 * 1024,
+        }
+    }
+
+    /// Flowlet switching with the given inactivity timer, stock GRO
+    /// (the paper's comparison implementation, Fig 13).
+    pub fn flowlet(gap: SimDuration) -> Self {
+        SchemeSpec {
+            name: if gap >= SimDuration::from_micros(500) {
+                "Flowlet-500us"
+            } else {
+                "Flowlet-100us"
+            },
+            policy: PolicyKind::Flowlet(gap),
+            gro: GroKind::Official,
+            transport: TransportKind::Tcp,
+            ecmp_mode: EcmpMode::FlowHash,
+            single_switch: false,
+            max_tso: 64 * 1024,
+            flowcell_bytes: 64 * 1024,
+        }
+    }
+
+    /// Presto + per-hop ECMP on flowcell IDs (Fig 14's alternative).
+    pub fn presto_ecmp() -> Self {
+        SchemeSpec {
+            name: "Presto+ECMP",
+            policy: PolicyKind::PrestoEcmp,
+            gro: GroKind::Presto,
+            transport: TransportKind::Tcp,
+            ecmp_mode: EcmpMode::FlowcellHash,
+            single_switch: false,
+            max_tso: 64 * 1024,
+            flowcell_bytes: 64 * 1024,
+        }
+    }
+
+    /// Presto sender with the *stock* GRO receiver — the "Official GRO"
+    /// half of Fig 5.
+    pub fn presto_official_gro() -> Self {
+        SchemeSpec {
+            name: "Presto+OfficialGRO",
+            policy: PolicyKind::Presto,
+            gro: GroKind::Official,
+            transport: TransportKind::Tcp,
+            ecmp_mode: EcmpMode::FlowHash,
+            single_switch: false,
+            max_tso: 64 * 1024,
+            flowcell_bytes: 64 * 1024,
+        }
+    }
+
+    /// Per-packet spraying with TSO disabled (RPS/DRB-style).
+    pub fn per_packet() -> Self {
+        SchemeSpec {
+            name: "PerPacket",
+            policy: PolicyKind::PerPacket,
+            gro: GroKind::Official,
+            transport: TransportKind::Tcp,
+            ecmp_mode: EcmpMode::FlowHash,
+            single_switch: false,
+            max_tso: 1460,
+            flowcell_bytes: 64 * 1024,
+        }
+    }
+
+    /// Whether this scheme needs the Presto controller's shadow-MAC trees.
+    pub fn needs_controller(&self) -> bool {
+        !self.single_switch && self.policy != PolicyKind::PrestoEcmp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        assert_eq!(SchemeSpec::presto().gro, GroKind::Presto);
+        assert!(SchemeSpec::presto().needs_controller());
+        assert!(!SchemeSpec::optimal().needs_controller());
+        assert!(SchemeSpec::optimal().single_switch);
+        assert_eq!(
+            SchemeSpec::mptcp().transport,
+            TransportKind::Mptcp { subflows: 8 }
+        );
+        assert_eq!(SchemeSpec::presto_ecmp().ecmp_mode, EcmpMode::FlowcellHash);
+        assert!(!SchemeSpec::presto_ecmp().needs_controller());
+        assert_eq!(SchemeSpec::per_packet().max_tso, 1460);
+        assert_eq!(SchemeSpec::presto_official_gro().gro, GroKind::Official);
+        assert_eq!(SchemeSpec::presto_official_gro().policy, PolicyKind::Presto);
+    }
+
+    #[test]
+    fn flowlet_names_by_gap() {
+        assert_eq!(SchemeSpec::flowlet(SimDuration::from_micros(100)).name, "Flowlet-100us");
+        assert_eq!(SchemeSpec::flowlet(SimDuration::from_micros(500)).name, "Flowlet-500us");
+    }
+}

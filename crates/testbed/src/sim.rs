@@ -1,0 +1,1118 @@
+//! The composed event-driven simulator.
+//!
+//! One [`Simulation`] owns the fabric, every host's soft edge (vSwitch →
+//! NIC TSO on transmit; rx ring → GRO → CPU → TCP on receive), all
+//! transport state, the applications (elephants, mice, probes, shuffle),
+//! and the experiment timeline (warmup, failures, controller updates).
+//!
+//! The receive chain mirrors §2.2 of the paper exactly:
+//!
+//! ```text
+//! wire → rx ring (interrupt coalescing) → poll → GRO merge/flush →
+//!   CPU cost model (per packet + per segment + per byte) → TCP → ACK →
+//!     vSwitch (reverse-path policy) → wire
+//! ```
+
+use std::collections::HashMap;
+
+use presto_core::Controller;
+use presto_endhost::{
+    make_ack, tso_split, CpuCosts, CpuModel, EdgePolicy, ReceiveOffload, RxAction, RxRing,
+    Segment, TxSegment, VSwitch,
+};
+use presto_metrics::TimeSeries;
+use presto_netsim::{
+    FlowKey, HostId, LinkId, NetEvent, NetScheduler, Packet, PacketKind, Topology,
+};
+use presto_simcore::{EventQueue, SimDuration, SimTime};
+use presto_transport::{
+    CongestionControl, Cubic, MptcpConnection, SenderOutput, TcpConfig, TcpReceiver, TcpSender,
+};
+
+use crate::report::{ooo_cell_counts, Report};
+use crate::scheme::{SchemeSpec, TransportKind};
+
+/// Extra per-packet CPU charged by Presto's GRO bookkeeping — calibrated
+/// so the overall overhead lands near the paper's +6% (Fig 6).
+pub const PRESTO_GRO_EXTRA: SimDuration = SimDuration::from_nanos(75);
+
+/// Which sender state machine a flow belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderRef {
+    /// `tcp_conns[i]`.
+    Tcp(usize),
+    /// `mptcp_conns[conn].subflows[sub]`.
+    Mptcp {
+        /// Connection index.
+        conn: usize,
+        /// Subflow index.
+        sub: usize,
+    },
+}
+
+/// Global event type.
+#[derive(Debug, Clone, Copy)]
+pub enum Event {
+    /// Fabric-internal event.
+    Net(NetEvent),
+    /// NIC poll (interrupt) at a host.
+    NicPoll(HostId),
+    /// GRO hold-timeout re-evaluation at a host.
+    GroTimer(HostId),
+    /// CPU finished processing a segment; deliver it to TCP.
+    CpuDone(HostId, Segment),
+    /// TCP retransmission timer.
+    Rto(SenderRef, u64),
+    /// Start pending flow `i`.
+    FlowStart(usize),
+    /// Launch the next mouse of series `i`.
+    MiceNext(usize),
+    /// Send the next probe of pinger `i`.
+    ProbeSend(usize),
+    /// Sample CPU utilization.
+    CpuSample,
+    /// Post-warmup measurement window begins.
+    WarmupMark,
+    /// Take a link pair down.
+    LinkFail(LinkId, LinkId),
+    /// Controller learned of the failure: redistribute labels.
+    ControllerUpdate,
+    /// Try to start more shuffle transfers from `src`.
+    ShuffleMore(usize),
+    /// Host egress scheduler: move staged segments onto the uplink.
+    EgressDrain(HostId),
+}
+
+/// One host's soft edge.
+pub struct HostNode {
+    /// Transmit datapath (policy inside).
+    pub vswitch: VSwitch,
+    /// Receive ring with interrupt coalescing.
+    pub ring: RxRing,
+    /// Receive-side CPU.
+    pub cpu: CpuModel,
+    /// Receive-offload engine.
+    pub gro: Box<dyn ReceiveOffload>,
+    /// Per-flow egress staging (TSQ + fq semantics, see [`HostEgress`]).
+    pub egress: HostEgress,
+    gro_timer_at: Option<SimTime>,
+    cpu_busy_snapshot: SimDuration,
+}
+
+/// Host egress scheduler modeling Linux TSQ + per-flow queueing.
+///
+/// A real sender never parks its whole congestion window in the NIC ring:
+/// TCP Small Queues keep per-flow NIC backlog tiny and the qdisc
+/// round-robins flows, so a mouse's packets interleave with an elephant's
+/// stream instead of waiting behind hundreds of kilobytes. Segments are
+/// staged per flow here and fed to the uplink only while its queue is
+/// below [`EGRESS_TARGET_BYTES`].
+#[derive(Default)]
+pub struct HostEgress {
+    order: std::collections::VecDeque<FlowKey>,
+    queues: HashMap<FlowKey, std::collections::VecDeque<TxSegment>>,
+    drain_at: Option<SimTime>,
+    /// Segments staged over the host's lifetime (instrumentation).
+    pub staged_total: u64,
+}
+
+/// Keep roughly this much in the NIC/uplink queue — about two TSO
+/// segments, mirroring TSQ's default budget.
+pub const EGRESS_TARGET_BYTES: u64 = 128 * 1024;
+
+impl HostEgress {
+    fn stage(&mut self, seg: TxSegment) {
+        self.staged_total += 1;
+        let q = self.queues.entry(seg.flow).or_default();
+        if q.is_empty() && !self.order.contains(&seg.flow) {
+            self.order.push_back(seg.flow);
+        }
+        q.push_back(seg);
+    }
+
+    /// Next segment in per-flow round-robin order.
+    fn pop(&mut self) -> Option<TxSegment> {
+        let flow = self.order.pop_front()?;
+        let q = self.queues.get_mut(&flow).expect("queued flow");
+        let seg = q.pop_front().expect("non-empty flow queue");
+        if q.is_empty() {
+            self.queues.remove(&flow);
+        } else {
+            self.order.push_back(flow);
+        }
+        Some(seg)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+/// A single-path TCP connection and its measurement state.
+pub struct TcpConnState {
+    /// Forward flow key.
+    pub flow: FlowKey,
+    /// The sender state machine.
+    pub sender: TcpSender<Box<dyn CongestionControl>>,
+    /// When the flow started.
+    pub start: SimTime,
+    /// Record FCT on completion.
+    pub measure_fct: bool,
+    /// Completion time, if finished.
+    pub done_at: Option<SimTime>,
+    /// Acked bytes at the warmup mark.
+    pub warm_acked: u64,
+    /// Unbounded elephant?
+    pub unbounded: bool,
+    /// Total bytes for bounded flows.
+    pub bytes: u64,
+    /// Shuffle source index, for continuation.
+    pub shuffle_src: Option<usize>,
+}
+
+/// An MPTCP connection and its measurement state.
+pub struct MptcpConnState {
+    /// The bundle of subflows.
+    pub conn: MptcpConnection,
+    /// Subflow flow keys, index-aligned with `conn.subflows`.
+    pub flows: Vec<FlowKey>,
+    /// When the connection started.
+    pub start: SimTime,
+    /// Record FCT on completion.
+    pub measure_fct: bool,
+    /// Completion time, if finished.
+    pub done_at: Option<SimTime>,
+    /// Acked bytes at the warmup mark.
+    pub warm_acked: u64,
+    /// Unbounded elephant?
+    pub unbounded: bool,
+    /// Total bytes for bounded connections.
+    pub bytes: u64,
+    /// Shuffle source index, for continuation.
+    pub shuffle_src: Option<usize>,
+}
+
+/// A sockperf-style RTT prober.
+pub struct Pinger {
+    /// Probe flow (dport 7).
+    pub flow: FlowKey,
+    interval: SimDuration,
+    outstanding: HashMap<u64, SimTime>,
+    next_id: u64,
+}
+
+/// A "mice every 100 ms" series (§4).
+pub struct MiceSeries {
+    /// Sender host index.
+    pub src: usize,
+    /// Receiver host index.
+    pub dst: usize,
+    /// Bytes per mouse.
+    pub bytes: u64,
+    /// Launch interval.
+    pub interval: SimDuration,
+}
+
+/// A flow awaiting its start event.
+pub struct PendingFlow {
+    /// Sender host index.
+    pub src: usize,
+    /// Receiver host index.
+    pub dst: usize,
+    /// `None` = unbounded elephant.
+    pub bytes: Option<u64>,
+    /// Record FCT on completion.
+    pub measure_fct: bool,
+    /// Shuffle continuation tag.
+    pub shuffle_src: Option<usize>,
+}
+
+/// Shuffle workload state: per-source destination queues.
+pub struct ShuffleState {
+    /// Remaining destinations per source.
+    pub orders: Vec<Vec<usize>>,
+    /// Transfers in flight per source.
+    pub active: Vec<usize>,
+    /// Max concurrent transfers per source (paper: 2).
+    pub concurrency: usize,
+    /// Bytes per transfer.
+    pub bytes: u64,
+    /// Completed transfer throughputs (Gbps).
+    pub tputs: Vec<f64>,
+}
+
+/// Live statistics accumulated during a run.
+#[derive(Default)]
+pub struct Stats {
+    /// RTT samples (ms), post-warmup.
+    pub rtt_ms: Vec<f64>,
+    /// Mice FCTs (ms), for mice started post-warmup.
+    pub mice_fct_ms: Vec<f64>,
+    /// Segment sizes pushed up receive stacks (bytes), post-warmup.
+    pub segment_bytes: Vec<f64>,
+    /// Per-flow flowcell-ID sequences in push-up order (Fig 5a), only when
+    /// reorder collection is enabled.
+    pub cell_sequences: HashMap<FlowKey, Vec<u64>>,
+    /// Per-flow byte-offset sequences in push-up order (RFC 4737-style
+    /// reordered-fraction metric), only when reorder collection is on.
+    pub seq_sequences: HashMap<FlowKey, Vec<u64>>,
+    /// CPU utilization series per host.
+    pub cpu_util: HashMap<u32, TimeSeries>,
+    /// Rx ring overflow drops.
+    pub ring_drops: u64,
+    /// Goodputs of completed bounded elephant transfers (Gbps).
+    pub bulk_tputs: Vec<f64>,
+}
+
+/// The composed simulator.
+pub struct Simulation {
+    /// Current simulated time.
+    pub now: SimTime,
+    queue: EventQueue<Event>,
+    /// The network.
+    pub topo: Topology,
+    /// Per-host soft edges, indexed by host id.
+    pub hosts: Vec<HostNode>,
+    /// Single-path connections.
+    pub tcp_conns: Vec<TcpConnState>,
+    /// MPTCP connections.
+    pub mptcp_conns: Vec<MptcpConnState>,
+    flow_senders: HashMap<FlowKey, SenderRef>,
+    receivers: HashMap<FlowKey, TcpReceiver>,
+    /// RTT probers.
+    pub pingers: Vec<Pinger>,
+    probe_flows: HashMap<FlowKey, usize>,
+    /// Flows awaiting their start event.
+    pub pending_flows: Vec<PendingFlow>,
+    /// Mice series.
+    pub mice_series: Vec<MiceSeries>,
+    /// Shuffle state, if the workload is a shuffle.
+    pub shuffle: Option<ShuffleState>,
+    sports: HashMap<(u32, u32), u16>,
+    /// Scheme in force.
+    pub scheme: SchemeSpec,
+    /// Controller, for Presto-style schemes.
+    pub controller: Option<Controller>,
+    /// TCP configuration applied to new connections.
+    pub tcp_cfg: TcpConfig,
+    /// End of simulated time.
+    pub end: SimTime,
+    /// Start of the measurement window.
+    pub warmup: SimTime,
+    /// Collect Fig 5a cell sequences (memory-heavy; off by default).
+    pub collect_reorder: bool,
+    /// CPU utilization sampling interval (None = off).
+    pub cpu_sample_every: Option<SimDuration>,
+    /// Live statistics.
+    pub stats: Stats,
+    events_processed: u64,
+    /// Pending failure links for the ControllerUpdate handler.
+    pub failed_pair: Option<(LinkId, LinkId)>,
+}
+
+/// `NetScheduler` adapter: fabric events go back into the global queue,
+/// host deliveries into a drain buffer processed after each fabric call.
+struct Sched<'a> {
+    now: SimTime,
+    queue: &'a mut EventQueue<Event>,
+    delivered: &'a mut Vec<(HostId, Packet)>,
+}
+
+impl NetScheduler for Sched<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn schedule_net(&mut self, delay: SimDuration, ev: NetEvent) {
+        self.queue.push(self.now + delay, Event::Net(ev));
+    }
+    fn deliver(&mut self, host: HostId, packet: Packet) {
+        self.delivered.push((host, packet));
+    }
+}
+
+/// Build the default congestion controller (CUBIC, IW10 — the testbed's
+/// Linux default).
+pub fn default_cc() -> Box<dyn CongestionControl> {
+    Box::new(Cubic::new(10))
+}
+
+impl Simulation {
+    /// A simulator over `topo` with per-host edges supplied by `mk_host`.
+    pub fn new(
+        topo: Topology,
+        scheme: SchemeSpec,
+        mut mk_host: impl FnMut(HostId) -> HostNode,
+        end: SimTime,
+        warmup: SimTime,
+    ) -> Self {
+        let hosts: Vec<HostNode> = topo.hosts.iter().map(|&h| mk_host(h)).collect();
+        let mut tcp_cfg = TcpConfig::default();
+        tcp_cfg.max_tso = scheme.max_tso;
+        let mut sim = Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            topo,
+            hosts,
+            tcp_conns: Vec::new(),
+            mptcp_conns: Vec::new(),
+            flow_senders: HashMap::new(),
+            receivers: HashMap::new(),
+            pingers: Vec::new(),
+            probe_flows: HashMap::new(),
+            pending_flows: Vec::new(),
+            mice_series: Vec::new(),
+            shuffle: None,
+            sports: HashMap::new(),
+            scheme,
+            controller: None,
+            tcp_cfg,
+            end,
+            warmup,
+            collect_reorder: false,
+            cpu_sample_every: None,
+            stats: Stats::default(),
+            events_processed: 0,
+            failed_pair: None,
+        };
+        sim.queue.push(warmup, Event::WarmupMark);
+        sim
+    }
+
+    /// Schedule an event at an absolute time.
+    pub fn schedule(&mut self, at: SimTime, ev: Event) {
+        self.queue.push(at, ev);
+    }
+
+    /// Allocate a fresh source port for a (src, dst) pair, reserving
+    /// `span` consecutive ports (MPTCP takes 8).
+    fn alloc_sport(&mut self, src: u32, dst: u32, span: u16) -> u16 {
+        let c = self.sports.entry((src, dst)).or_insert(1000);
+        let p = *c;
+        *c = c.wrapping_add(span.max(1));
+        p
+    }
+
+    /// Create (and start) a connection per the scheme's transport.
+    pub fn start_flow(
+        &mut self,
+        src: usize,
+        dst: usize,
+        bytes: Option<u64>,
+        measure_fct: bool,
+        shuffle_src: Option<usize>,
+    ) {
+        match self.scheme.transport {
+            TransportKind::Tcp => {
+                let sport = self.alloc_sport(src as u32, dst as u32, 1);
+                let flow = FlowKey::new(HostId(src as u32), HostId(dst as u32), sport, 80);
+                let mut sender = TcpSender::new(self.tcp_cfg.clone(), default_cc());
+                let now = self.now;
+                let out = match bytes {
+                    Some(b) => sender.app_write(now, b),
+                    None => sender.set_unlimited(now),
+                };
+                let idx = self.tcp_conns.len();
+                self.tcp_conns.push(TcpConnState {
+                    flow,
+                    sender,
+                    start: now,
+                    measure_fct,
+                    done_at: None,
+                    warm_acked: 0,
+                    unbounded: bytes.is_none(),
+                    bytes: bytes.unwrap_or(0),
+                    shuffle_src,
+                });
+                self.flow_senders.insert(flow, SenderRef::Tcp(idx));
+                self.receivers.insert(flow, TcpReceiver::new());
+                self.emit(SenderRef::Tcp(idx), flow, out);
+            }
+            TransportKind::Mptcp { subflows } => {
+                let sport = self.alloc_sport(src as u32, dst as u32, subflows as u16);
+                let total = bytes.unwrap_or(u64::MAX);
+                let mut conn = MptcpConnection::new(self.tcp_cfg.clone(), subflows, total);
+                let flows: Vec<FlowKey> = (0..subflows)
+                    .map(|i| {
+                        FlowKey::new(
+                            HostId(src as u32),
+                            HostId(dst as u32),
+                            sport + i as u16,
+                            80,
+                        )
+                    })
+                    .collect();
+                let outs = conn.start(self.now);
+                let idx = self.mptcp_conns.len();
+                for (i, &f) in flows.iter().enumerate() {
+                    self.flow_senders.insert(f, SenderRef::Mptcp { conn: idx, sub: i });
+                    self.receivers.insert(f, TcpReceiver::new());
+                }
+                self.mptcp_conns.push(MptcpConnState {
+                    conn,
+                    flows: flows.clone(),
+                    start: self.now,
+                    measure_fct,
+                    done_at: None,
+                    warm_acked: 0,
+                    unbounded: bytes.is_none(),
+                    bytes: bytes.unwrap_or(0),
+                    shuffle_src,
+                });
+                for (i, out) in outs.into_iter().enumerate() {
+                    self.emit(SenderRef::Mptcp { conn: idx, sub: i }, flows[i], out);
+                }
+            }
+        }
+    }
+
+    /// Register an RTT prober between two hosts.
+    pub fn add_pinger(&mut self, src: usize, dst: usize, interval: SimDuration, start: SimTime) {
+        let flow = FlowKey::new(HostId(src as u32), HostId(dst as u32), 7, 7);
+        let idx = self.pingers.len();
+        self.pingers.push(Pinger {
+            flow,
+            interval,
+            outstanding: HashMap::new(),
+            next_id: 0,
+        });
+        self.probe_flows.insert(flow, idx);
+        self.queue.push(start, Event::ProbeSend(idx));
+    }
+
+    /// Process a sender's output: transmit segments, arm timers, handle
+    /// completion.
+    fn emit(&mut self, sref: SenderRef, flow: FlowKey, out: SenderOutput) {
+        for a in &out.to_send {
+            self.send_segment(flow, a.seq, a.len, a.retx);
+        }
+        if let Some((deadline, gen)) = out.arm_rto {
+            self.queue.push(deadline, Event::Rto(sref, gen));
+        }
+        if out.completed {
+            self.on_flow_complete(sref);
+        }
+    }
+
+    /// vSwitch → egress staging; the drain loop performs TSO and puts
+    /// packets on the wire while the uplink queue is shallow.
+    fn send_segment(&mut self, flow: FlowKey, seq: u64, len: u32, retx: bool) {
+        let host = flow.src;
+        let tag = self.hosts[host.index()]
+            .vswitch
+            .process(self.now, flow, len, retx);
+        self.hosts[host.index()].egress.stage(TxSegment { flow, seq, len, retx, tag });
+        self.drain_egress(host);
+    }
+
+    /// Feed staged segments to the uplink while it is below the TSQ
+    /// budget; re-arm a drain event for the remainder.
+    fn drain_egress(&mut self, host: HostId) {
+        let uplink = self.topo.fabric.host_uplink(host);
+        loop {
+            if self.topo.fabric.link(uplink).queued_bytes() >= EGRESS_TARGET_BYTES {
+                break;
+            }
+            let Some(seg) = self.hosts[host.index()].egress.pop() else {
+                break;
+            };
+            let pkts = tso_split(seg);
+            let mut delivered = Vec::new();
+            let mut sched = Sched {
+                now: self.now,
+                queue: &mut self.queue,
+                delivered: &mut delivered,
+            };
+            for p in pkts {
+                let _ = self.topo.fabric.inject(host, p, &mut sched);
+            }
+            debug_assert!(delivered.is_empty(), "inject cannot deliver directly");
+        }
+        // More staged data: wake up when the uplink has drained to target.
+        if !self.hosts[host.index()].egress.is_empty() {
+            let link = self.topo.fabric.link(uplink);
+            let backlog = link.queued_bytes().saturating_sub(EGRESS_TARGET_BYTES) + 1538;
+            let at = self.now + SimDuration::transmission(backlog, link.rate_bps);
+            let need = match self.hosts[host.index()].egress.drain_at {
+                Some(cur) => at < cur || cur <= self.now,
+                None => true,
+            };
+            if need {
+                self.hosts[host.index()].egress.drain_at = Some(at);
+                self.queue.push(at, Event::EgressDrain(host));
+            }
+        }
+    }
+
+    /// Inject one already-built packet (ACKs, probes) at `host`.
+    fn inject(&mut self, host: HostId, pkt: Packet) {
+        let mut delivered = Vec::new();
+        let mut sched = Sched {
+            now: self.now,
+            queue: &mut self.queue,
+            delivered: &mut delivered,
+        };
+        let _ = self.topo.fabric.inject(host, pkt, &mut sched);
+    }
+
+    fn on_flow_complete(&mut self, sref: SenderRef) {
+        match sref {
+            SenderRef::Tcp(i) => {
+                let (start, measure, shuffle_src, bytes) = {
+                    let c = &mut self.tcp_conns[i];
+                    if c.done_at.is_some() {
+                        return;
+                    }
+                    c.done_at = Some(self.now);
+                    (c.start, c.measure_fct, c.shuffle_src, c.bytes)
+                };
+                if measure && start >= self.warmup {
+                    self.stats
+                        .mice_fct_ms
+                        .push(self.now.saturating_since(start).as_millis_f64());
+                }
+                if let Some(src) = shuffle_src {
+                    let dur = self.now.saturating_since(start).as_secs_f64();
+                    if let Some(sh) = &mut self.shuffle {
+                        if dur > 0.0 {
+                            sh.tputs.push(bytes as f64 * 8.0 / dur / 1e9);
+                        }
+                        sh.active[src] -= 1;
+                    }
+                    self.queue.push(self.now, Event::ShuffleMore(src));
+                } else if !measure && bytes >= 1_000_000 && start >= self.warmup {
+                    // A bounded elephant (trace-driven workload): record
+                    // its goodput.
+                    let dur = self.now.saturating_since(start).as_secs_f64();
+                    if dur > 0.0 {
+                        self.stats.bulk_tputs.push(bytes as f64 * 8.0 / dur / 1e9);
+                    }
+                }
+            }
+            SenderRef::Mptcp { conn, .. } => {
+                let (start, measure, shuffle_src, bytes) = {
+                    let c = &mut self.mptcp_conns[conn];
+                    if c.done_at.is_some() {
+                        return;
+                    }
+                    c.done_at = Some(self.now);
+                    (c.start, c.measure_fct, c.shuffle_src, c.bytes)
+                };
+                if measure && start >= self.warmup {
+                    self.stats
+                        .mice_fct_ms
+                        .push(self.now.saturating_since(start).as_millis_f64());
+                }
+                if let Some(src) = shuffle_src {
+                    let dur = self.now.saturating_since(start).as_secs_f64();
+                    if let Some(sh) = &mut self.shuffle {
+                        if dur > 0.0 {
+                            sh.tputs.push(bytes as f64 * 8.0 / dur / 1e9);
+                        }
+                        sh.active[src] -= 1;
+                    }
+                    self.queue.push(self.now, Event::ShuffleMore(src));
+                } else if !measure && bytes >= 1_000_000 && start >= self.warmup {
+                    let dur = self.now.saturating_since(start).as_secs_f64();
+                    if dur > 0.0 {
+                        self.stats.bulk_tputs.push(bytes as f64 * 8.0 / dur / 1e9);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run until the simulated end time; returns the report.
+    pub fn run(&mut self) -> Report {
+        if let Some(every) = self.cpu_sample_every {
+            self.queue.push(SimTime::ZERO + every, Event::CpuSample);
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.end {
+                break;
+            }
+            self.now = t;
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+        self.finish()
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Net(nev) => {
+                let mut delivered = Vec::new();
+                {
+                    let mut sched = Sched {
+                        now: self.now,
+                        queue: &mut self.queue,
+                        delivered: &mut delivered,
+                    };
+                    self.topo.fabric.handle(nev, &mut sched);
+                }
+                for (h, pkt) in delivered {
+                    self.on_deliver(h, pkt);
+                }
+            }
+            Event::NicPoll(h) => self.on_poll(h),
+            Event::GroTimer(h) => self.on_gro_timer(h),
+            Event::CpuDone(h, seg) => self.on_segment_up(h, seg),
+            Event::Rto(sref, gen) => {
+                let (flow, out) = match sref {
+                    SenderRef::Tcp(i) => {
+                        let c = &mut self.tcp_conns[i];
+                        (c.flow, c.sender.on_rto(self.now, gen))
+                    }
+                    SenderRef::Mptcp { conn, sub } => {
+                        let c = &mut self.mptcp_conns[conn];
+                        (c.flows[sub], c.conn.on_rto(self.now, sub, gen))
+                    }
+                };
+                self.emit(sref, flow, out);
+            }
+            Event::FlowStart(i) => {
+                let p = &self.pending_flows[i];
+                let (src, dst, bytes, mfct, ssrc) =
+                    (p.src, p.dst, p.bytes, p.measure_fct, p.shuffle_src);
+                self.start_flow(src, dst, bytes, mfct, ssrc);
+            }
+            Event::MiceNext(i) => {
+                let (src, dst, bytes, interval) = {
+                    let m = &self.mice_series[i];
+                    (m.src, m.dst, m.bytes, m.interval)
+                };
+                self.start_flow(src, dst, Some(bytes), true, None);
+                let next = self.now + interval;
+                if next < self.end {
+                    self.queue.push(next, Event::MiceNext(i));
+                }
+            }
+            Event::ProbeSend(i) => self.on_probe_send(i),
+            Event::CpuSample => self.on_cpu_sample(),
+            Event::WarmupMark => self.on_warmup(),
+            Event::LinkFail(a, b) => {
+                self.topo.fabric.set_link_down(a);
+                self.topo.fabric.set_link_down(b);
+                self.failed_pair = Some((a, b));
+            }
+            Event::ControllerUpdate => self.on_controller_update(),
+            Event::ShuffleMore(src) => self.on_shuffle_more(src),
+            Event::EgressDrain(h) => {
+                self.hosts[h.index()].egress.drain_at = None;
+                self.drain_egress(h);
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, h: HostId, pkt: Packet) {
+        match self.hosts[h.index()].ring.push(pkt) {
+            RxAction::SchedulePoll(d) => self.queue.push(self.now + d, Event::NicPoll(h)),
+            RxAction::PollNow => self.queue.push(self.now, Event::NicPoll(h)),
+            RxAction::Dropped => self.stats.ring_drops += 1,
+            RxAction::None => {}
+        }
+    }
+
+    fn on_poll(&mut self, h: HostId) {
+        let batch = self.hosts[h.index()].ring.drain();
+        if batch.is_empty() {
+            return;
+        }
+        let mut acks: Vec<(FlowKey, u64, u64)> = Vec::new();
+        let mut probes: Vec<Packet> = Vec::new();
+        let mut misc_pkts = 0u64;
+        {
+            let host = &mut self.hosts[h.index()];
+            for pkt in &batch {
+                match pkt.kind {
+                    PacketKind::Data { .. } => host.gro.on_packet(self.now, pkt),
+                    PacketKind::Ack { ack, sack_hi } => {
+                        misc_pkts += 1;
+                        acks.push((pkt.flow, ack, sack_hi));
+                    }
+                    PacketKind::Probe { .. } => {
+                        misc_pkts += 1;
+                        probes.push(*pkt);
+                    }
+                }
+            }
+            // Driver work for non-data packets (data packets are charged
+            // through their segments).
+            if misc_pkts > 0 {
+                let cost = host.cpu.costs.per_packet.saturating_mul(misc_pkts);
+                host.cpu.charge(self.now, cost);
+            }
+            let segs = host.gro.flush(self.now);
+            let completions = host.cpu.process(self.now, segs);
+            for (t, seg) in completions {
+                self.queue.push(t, Event::CpuDone(h, seg));
+            }
+        }
+        self.arm_gro_timer(h);
+        for (flow, ack, sack) in acks {
+            self.on_ack(flow, ack, sack);
+        }
+        for p in probes {
+            self.on_probe(h, p);
+        }
+    }
+
+    fn on_gro_timer(&mut self, h: HostId) {
+        self.hosts[h.index()].gro_timer_at = None;
+        let due = match self.hosts[h.index()].gro.next_deadline() {
+            Some(d) if d <= self.now => true,
+            Some(_) => false,
+            None => return,
+        };
+        if due {
+            let host = &mut self.hosts[h.index()];
+            let segs = host.gro.flush_expired(self.now);
+            let completions = host.cpu.process(self.now, segs);
+            for (t, seg) in completions {
+                self.queue.push(t, Event::CpuDone(h, seg));
+            }
+        }
+        self.arm_gro_timer(h);
+    }
+
+    fn arm_gro_timer(&mut self, h: HostId) {
+        let host = &mut self.hosts[h.index()];
+        if let Some(d) = host.gro.next_deadline() {
+            let at = if d > self.now { d } else { self.now };
+            let need = match host.gro_timer_at {
+                Some(cur) => at < cur,
+                None => true,
+            };
+            if need {
+                host.gro_timer_at = Some(at);
+                self.queue.push(at, Event::GroTimer(h));
+            }
+        }
+    }
+
+    /// A segment finished CPU processing: hand to TCP, emit the ACK.
+    fn on_segment_up(&mut self, h: HostId, seg: Segment) {
+        if self.now >= self.warmup {
+            self.stats.segment_bytes.push(seg.len as f64);
+        }
+        if self.collect_reorder {
+            self.stats
+                .cell_sequences
+                .entry(seg.flow)
+                .or_default()
+                .push(seg.flowcell);
+            self.stats
+                .seq_sequences
+                .entry(seg.flow)
+                .or_default()
+                .push(seg.seq);
+        }
+        let out = match self.receivers.get_mut(&seg.flow) {
+            Some(r) => r.on_segment(seg.seq, seg.len),
+            // Data for an unknown flow (probe port etc.) — drop.
+            None => return,
+        };
+        // One ACK per delivered segment, sent through the reverse-path
+        // policy of the receiving host's vSwitch.
+        let rflow = seg.flow.reverse();
+        let tag = self.hosts[h.index()].vswitch.process(self.now, rflow, 0, false);
+        let ack = make_ack(rflow, out.ack, out.sack_hi, tag);
+        self.inject(h, ack);
+    }
+
+    fn on_ack(&mut self, ack_flow: FlowKey, ack: u64, sack_hi: u64) {
+        let fwd = ack_flow.reverse();
+        let Some(&sref) = self.flow_senders.get(&fwd) else {
+            return;
+        };
+        let out = match sref {
+            SenderRef::Tcp(i) => self.tcp_conns[i].sender.on_ack(self.now, ack, sack_hi),
+            SenderRef::Mptcp { conn, sub } => {
+                self.mptcp_conns[conn].conn.on_ack(self.now, sub, ack, sack_hi)
+            }
+        };
+        self.emit(sref, fwd, out);
+    }
+
+    fn on_probe_send(&mut self, i: usize) {
+        let (flow, id) = {
+            let p = &mut self.pingers[i];
+            let id = p.next_id;
+            p.next_id += 1;
+            p.outstanding.insert(id, self.now);
+            (p.flow, id)
+        };
+        let tag = self.hosts[flow.src.index()]
+            .vswitch
+            .process(self.now, flow, 0, false);
+        let pkt = Packet {
+            flow,
+            src_host: flow.src,
+            dst_host: flow.dst,
+            dst_mac: tag.dst_mac,
+            flowcell: tag.flowcell,
+            kind: PacketKind::Probe { id, echo: false },
+        };
+        self.inject(flow.src, pkt);
+        let next = self.now + self.pingers[i].interval;
+        if next < self.end {
+            self.queue.push(next, Event::ProbeSend(i));
+        }
+    }
+
+    fn on_probe(&mut self, h: HostId, pkt: Packet) {
+        let PacketKind::Probe { id, echo } = pkt.kind else {
+            return;
+        };
+        if !echo {
+            // Echo it back through this host's policy.
+            let rflow = pkt.flow.reverse();
+            let tag = self.hosts[h.index()].vswitch.process(self.now, rflow, 0, false);
+            let back = Packet {
+                flow: rflow,
+                src_host: rflow.src,
+                dst_host: rflow.dst,
+                dst_mac: tag.dst_mac,
+                flowcell: tag.flowcell,
+                kind: PacketKind::Probe { id, echo: true },
+            };
+            self.inject(h, back);
+        } else {
+            // This is the reply: the original probe flow is the reverse.
+            let orig = pkt.flow.reverse();
+            if let Some(&pi) = self.probe_flows.get(&orig) {
+                if let Some(sent) = self.pingers[pi].outstanding.remove(&id) {
+                    if self.now >= self.warmup {
+                        self.stats
+                            .rtt_ms
+                            .push(self.now.saturating_since(sent).as_millis_f64());
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_cpu_sample(&mut self) {
+        let every = self.cpu_sample_every.expect("sampling enabled");
+        for (idx, host) in self.hosts.iter_mut().enumerate() {
+            let busy = host.cpu.busy_total();
+            let delta = busy - host.cpu_busy_snapshot;
+            host.cpu_busy_snapshot = busy;
+            let util = 100.0 * delta.as_secs_f64() / every.as_secs_f64();
+            self.stats
+                .cpu_util
+                .entry(idx as u32)
+                .or_default()
+                .push(self.now.as_secs_f64(), util.min(100.0));
+        }
+        let next = self.now + every;
+        if next < self.end {
+            self.queue.push(next, Event::CpuSample);
+        }
+    }
+
+    fn on_warmup(&mut self) {
+        self.topo.fabric.reset_counters();
+        for c in &mut self.tcp_conns {
+            c.warm_acked = c.sender.acked_bytes();
+        }
+        for c in &mut self.mptcp_conns {
+            c.warm_acked = c.conn.acked_bytes();
+        }
+    }
+
+    fn on_controller_update(&mut self) {
+        let Some(ctl) = &self.controller else { return };
+        let hosts: Vec<HostId> = self.topo.hosts.clone();
+        for &src in &hosts {
+            for &dst in &hosts {
+                if src == dst {
+                    continue;
+                }
+                let labels = ctl.usable_labels(&self.topo, src, dst);
+                self.hosts[src.index()]
+                    .vswitch
+                    .policy_mut()
+                    .set_labels(dst, labels);
+            }
+        }
+    }
+
+    fn on_shuffle_more(&mut self, src: usize) {
+        loop {
+            let (dst, bytes) = {
+                let Some(sh) = &mut self.shuffle else { return };
+                if sh.active[src] >= sh.concurrency || sh.orders[src].is_empty() {
+                    return;
+                }
+                sh.active[src] += 1;
+                (sh.orders[src].remove(0), sh.bytes)
+            };
+            self.start_flow(src, dst, Some(bytes), false, Some(src));
+        }
+    }
+
+    /// Finalize: gather statistics into a [`Report`].
+    fn finish(&mut self) -> Report {
+        let mut report = Report {
+            scheme: self.scheme.name.to_string(),
+            ..Report::default()
+        };
+        let window = self.end.saturating_since(self.warmup).as_secs_f64();
+        // Elephant goodputs.
+        for c in &self.tcp_conns {
+            if c.unbounded && window > 0.0 {
+                let bytes = c.sender.acked_bytes() - c.warm_acked;
+                report.elephant_tputs.push(bytes as f64 * 8.0 / window / 1e9);
+            }
+            report.retransmissions += c.sender.retransmissions;
+            report.timeouts += c.sender.timeouts;
+            report.fast_retransmits += c.sender.fast_retransmits;
+        }
+        for c in &self.mptcp_conns {
+            if c.unbounded && window > 0.0 {
+                let bytes = c.conn.acked_bytes() - c.warm_acked;
+                report.elephant_tputs.push(bytes as f64 * 8.0 / window / 1e9);
+            }
+            report.retransmissions += c.conn.retransmissions();
+            report.timeouts += c.conn.timeouts();
+        }
+        if let Some(sh) = &self.shuffle {
+            report.elephant_tputs.extend(sh.tputs.iter().copied());
+        }
+        report.elephant_tputs.extend(self.stats.bulk_tputs.iter().copied());
+        for v in &self.stats.rtt_ms {
+            report.rtt_ms.add(*v);
+        }
+        for v in &self.stats.mice_fct_ms {
+            report.mice_fct_ms.add(*v);
+        }
+        for v in &self.stats.segment_bytes {
+            report.segment_bytes.add(*v);
+        }
+        for seq in self.stats.cell_sequences.values() {
+            for c in ooo_cell_counts(seq) {
+                report.ooo_cell_counts.add(c as f64);
+            }
+        }
+        {
+            let mut reordered = 0usize;
+            let mut total = 0usize;
+            for seq in self.stats.seq_sequences.values() {
+                let st = presto_metrics::reorder_stats(seq);
+                reordered += st.reordered;
+                total += st.total;
+            }
+            report.reordered_fraction = if total > 0 {
+                reordered as f64 / total as f64
+            } else {
+                0.0
+            };
+        }
+        report.loss_rate = self.topo.fabric.loss_rate();
+        report.cpu_util = std::mem::take(&mut self.stats.cpu_util);
+        for r in self.receivers.values() {
+            report.tcp_ooo_segments += r.ooo_segments;
+        }
+        for (hi, host) in self.hosts.iter().enumerate() {
+            report.flowcells += host.vswitch.policy().flowcells_created();
+            let fl = host.vswitch.policy().flowlet_sizes();
+            if !fl.is_empty() {
+                report.flowlet_sizes.insert(hi as u32, fl);
+            }
+            let (masked, fired) = host.gro.reorder_stats();
+            report.gro_reorders_masked += masked;
+            report.gro_timeout_fires += fired;
+        }
+        report.events_processed = self.events_processed;
+        report
+    }
+}
+
+/// Build a [`HostNode`] with the given policy and GRO engine.
+pub fn make_host(
+    policy: Box<dyn EdgePolicy>,
+    gro: Box<dyn ReceiveOffload>,
+    host: HostId,
+    presto_gro_extra: bool,
+) -> HostNode {
+    let mut cpu = CpuModel::new(CpuCosts::default());
+    if presto_gro_extra {
+        cpu.per_packet_extra = PRESTO_GRO_EXTRA;
+    }
+    HostNode {
+        vswitch: VSwitch::new(host, policy),
+        ring: RxRing::new(),
+        cpu,
+        gro,
+        egress: HostEgress::default(),
+        gro_timer_at: None,
+        cpu_busy_snapshot: SimDuration::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_endhost::PathTag;
+    use presto_netsim::Mac;
+
+    fn seg(flow: FlowKey, seq: u64, len: u32) -> TxSegment {
+        TxSegment {
+            flow,
+            seq,
+            len,
+            retx: false,
+            tag: PathTag {
+                dst_mac: Mac::host(flow.dst),
+                flowcell: 0,
+            },
+        }
+    }
+
+    fn flow(sport: u16) -> FlowKey {
+        FlowKey::new(HostId(0), HostId(1), sport, 80)
+    }
+
+    #[test]
+    fn egress_round_robins_flows() {
+        let mut e = HostEgress::default();
+        // Elephant stages three segments, mouse stages one.
+        e.stage(seg(flow(1), 0, 64 * 1024));
+        e.stage(seg(flow(1), 65536, 64 * 1024));
+        e.stage(seg(flow(1), 131072, 64 * 1024));
+        e.stage(seg(flow(2), 0, 50_000));
+        let order: Vec<u16> = std::iter::from_fn(|| e.pop().map(|s| s.flow.sport)).collect();
+        // The mouse's segment goes second, not last: fq semantics.
+        assert_eq!(order, vec![1, 2, 1, 1]);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn egress_preserves_intra_flow_order() {
+        let mut e = HostEgress::default();
+        for i in 0..5u64 {
+            e.stage(seg(flow(1), i * 1000, 1000));
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| e.pop().map(|s| s.seq)).collect();
+        assert_eq!(seqs, vec![0, 1000, 2000, 3000, 4000]);
+    }
+
+    #[test]
+    fn egress_flow_requeues_after_drain() {
+        let mut e = HostEgress::default();
+        e.stage(seg(flow(1), 0, 100));
+        assert!(e.pop().is_some());
+        assert!(e.is_empty());
+        // Restaging the same flow works after it drained out.
+        e.stage(seg(flow(1), 100, 100));
+        assert_eq!(e.pop().unwrap().seq, 100);
+        assert_eq!(e.staged_total, 2);
+    }
+
+    #[test]
+    fn default_cc_is_cubic_iw10() {
+        let cc = default_cc();
+        assert_eq!(cc.name(), "cubic");
+        assert_eq!(cc.cwnd(), 10.0 * 1460.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end smoke tests of the composed simulator.
+
+use presto_simcore::SimDuration;
+use presto_testbed::{stride_elephants, MiceSpec, Scenario, SchemeSpec};
+use presto_workloads::FlowSpec;
+use presto_simcore::SimTime;
+
+fn short(mut sc: Scenario) -> Scenario {
+    sc.duration = SimDuration::from_millis(60);
+    sc.warmup = SimDuration::from_millis(20);
+    sc
+}
+
+#[test]
+fn single_flow_optimal_reaches_line_rate() {
+    let mut sc = short(Scenario::testbed16(SchemeSpec::optimal(), 1));
+    sc.flows = vec![FlowSpec::elephant(0, 8, SimTime::ZERO)];
+    let r = sc.run();
+    assert_eq!(r.elephant_tputs.len(), 1);
+    let tput = r.elephant_tputs[0];
+    assert!(
+        (8.8..9.6).contains(&tput),
+        "single flow should achieve ~9.3 Gbps goodput, got {tput}"
+    );
+    assert_eq!(r.loss_rate, 0.0, "one flow cannot overflow anything");
+}
+
+#[test]
+fn single_flow_presto_reaches_line_rate() {
+    let mut sc = short(Scenario::testbed16(SchemeSpec::presto(), 1));
+    sc.flows = vec![FlowSpec::elephant(0, 8, SimTime::ZERO)];
+    let r = sc.run();
+    let tput = r.elephant_tputs[0];
+    assert!(
+        (8.8..9.6).contains(&tput),
+        "presto single flow should achieve ~9.3 Gbps, got {tput}"
+    );
+    assert!(r.flowcells > 100, "flowcells created: {}", r.flowcells);
+}
+
+#[test]
+fn presto_stride_tracks_optimal() {
+    let mut presto = short(Scenario::testbed16(SchemeSpec::presto(), 2));
+    presto.flows = stride_elephants(16, 8);
+    let rp = presto.run();
+    let mut optimal = short(Scenario::testbed16(SchemeSpec::optimal(), 2));
+    optimal.flows = stride_elephants(16, 8);
+    let ro = optimal.run();
+    let (tp, to) = (rp.mean_elephant_tput(), ro.mean_elephant_tput());
+    assert!(to > 8.5, "optimal stride should be near line rate: {to}");
+    assert!(
+        tp > 0.85 * to,
+        "presto ({tp}) should track optimal ({to}) within ~15%"
+    );
+}
+
+#[test]
+fn ecmp_stride_underperforms_presto() {
+    let mut ecmp = short(Scenario::testbed16(SchemeSpec::ecmp(), 3));
+    ecmp.flows = stride_elephants(16, 8);
+    let re = ecmp.run();
+    let mut presto = short(Scenario::testbed16(SchemeSpec::presto(), 3));
+    presto.flows = stride_elephants(16, 8);
+    let rp = presto.run();
+    assert!(
+        re.mean_elephant_tput() < 0.85 * rp.mean_elephant_tput(),
+        "ECMP ({}) should lose to Presto ({}) on stride",
+        re.mean_elephant_tput(),
+        rp.mean_elephant_tput()
+    );
+    // ECMP collisions also hurt fairness.
+    assert!(re.fairness() < rp.fairness());
+}
+
+#[test]
+fn mice_and_probes_record_samples() {
+    let mut sc = short(Scenario::testbed16(SchemeSpec::presto(), 4));
+    sc.flows = stride_elephants(16, 8);
+    sc.mice = vec![MiceSpec {
+        src: 0,
+        dst: 8,
+        bytes: 50_000,
+        interval: SimDuration::from_millis(10),
+    }];
+    sc.probes = vec![(1, 9)];
+    let r = sc.run();
+    assert!(r.mice_fct_ms.len() >= 2, "mice fcts: {}", r.mice_fct_ms.len());
+    assert!(r.rtt_ms.len() > 20, "rtt samples: {}", r.rtt_ms.len());
+    let p50 = r.rtt_ms.clone().percentile(50.0).unwrap();
+    assert!(p50 > 0.01 && p50 < 5.0, "median RTT {p50} ms");
+}

@@ -1,0 +1,458 @@
+//! Congestion control algorithms.
+//!
+//! All algorithms operate in bytes. Slow start and the reaction to loss
+//! (fast-retransmit multiplicative decrease vs timeout collapse) follow the
+//! standard state machine in [`crate::sender::TcpSender`]; the algorithm
+//! only decides window growth and the decrease factor.
+
+use presto_simcore::{SimDuration, SimTime};
+
+/// The MSS used for window arithmetic (matches `presto_netsim::MSS`).
+pub const MSS_F: f64 = 1460.0;
+
+/// A congestion-control algorithm owning cwnd and ssthresh.
+pub trait CongestionControl: std::fmt::Debug {
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> f64;
+    /// Current slow-start threshold in bytes.
+    fn ssthresh(&self) -> f64;
+    /// `acked` new bytes were cumulatively acknowledged.
+    fn on_ack(&mut self, now: SimTime, acked: u64, srtt: SimDuration);
+    /// Loss detected via dup-ACKs (fast retransmit): multiplicative
+    /// decrease.
+    fn on_loss(&mut self, now: SimTime);
+    /// Retransmission timeout: collapse to one segment.
+    fn on_timeout(&mut self, now: SimTime);
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl CongestionControl for Box<dyn CongestionControl> {
+    fn cwnd(&self) -> f64 {
+        (**self).cwnd()
+    }
+    fn ssthresh(&self) -> f64 {
+        (**self).ssthresh()
+    }
+    fn on_ack(&mut self, now: SimTime, acked: u64, srtt: SimDuration) {
+        (**self).on_ack(now, acked, srtt)
+    }
+    fn on_loss(&mut self, now: SimTime) {
+        (**self).on_loss(now)
+    }
+    fn on_timeout(&mut self, now: SimTime) {
+        (**self).on_timeout(now)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+fn init_cwnd(iw_mss: u32) -> f64 {
+    iw_mss as f64 * MSS_F
+}
+
+/// Classic Reno: slow start doubles per RTT; congestion avoidance adds one
+/// MSS per RTT; halve on loss.
+#[derive(Debug, Clone)]
+pub struct Reno {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl Reno {
+    /// Reno with an initial window of `iw_mss` segments (Linux IW10 by
+    /// default elsewhere).
+    pub fn new(iw_mss: u32) -> Self {
+        Reno {
+            cwnd: init_cwnd(iw_mss),
+            ssthresh: f64::INFINITY,
+        }
+    }
+}
+
+impl CongestionControl for Reno {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, _now: SimTime, acked: u64, _srtt: SimDuration) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += acked as f64; // byte-counting slow start
+        } else {
+            self.cwnd += MSS_F * acked as f64 / self.cwnd; // AIMD
+        }
+    }
+
+    fn on_loss(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * MSS_F);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_timeout(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * MSS_F);
+        self.cwnd = MSS_F;
+    }
+
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+}
+
+/// CUBIC (Ha, Rhee & Xu) — the Linux default the paper's testbed runs.
+///
+/// Window growth in congestion avoidance follows
+/// `W(t) = C·(t − K)³ + W_max` with `K = ∛(W_max·β/C)`, measured in MSS
+/// units with the standard constants C = 0.4, β = 0.7, plus the TCP-friendly
+/// region check.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Window before the last reduction (MSS units).
+    w_max: f64,
+    /// Time of the last reduction.
+    epoch_start: Option<SimTime>,
+    /// Estimated Reno-equivalent window for the TCP-friendly region.
+    w_est: f64,
+    /// Acked bytes accumulated for w_est updates.
+    acked_accum: f64,
+}
+
+/// CUBIC scaling constant (units: MSS/s³).
+const CUBIC_C: f64 = 0.4;
+/// CUBIC multiplicative decrease factor.
+const CUBIC_BETA: f64 = 0.7;
+
+impl Cubic {
+    /// CUBIC with an initial window of `iw_mss` segments.
+    pub fn new(iw_mss: u32) -> Self {
+        Cubic {
+            cwnd: init_cwnd(iw_mss),
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+            epoch_start: None,
+            w_est: 0.0,
+            acked_accum: 0.0,
+        }
+    }
+
+    fn cubic_window(&self, t: SimDuration) -> f64 {
+        let k = (self.w_max * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+        let dt = t.as_secs_f64() - k;
+        CUBIC_C * dt * dt * dt + self.w_max
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, now: SimTime, acked: u64, srtt: SimDuration) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += acked as f64;
+            return;
+        }
+        let epoch = *self.epoch_start.get_or_insert(now);
+        if self.w_max == 0.0 {
+            // No loss yet: treat the current window as the plateau.
+            self.w_max = self.cwnd / MSS_F;
+        }
+        // Target window one RTT ahead, per the CUBIC function.
+        let t = now.saturating_since(epoch) + srtt;
+        let target_mss = self.cubic_window(t);
+        // TCP-friendly region: emulate Reno's 1 MSS/RTT growth.
+        self.acked_accum += acked as f64;
+        let cwnd_mss = self.cwnd / MSS_F;
+        self.w_est += acked as f64 / self.cwnd; // ~1 MSS per RTT, in MSS
+        let target = target_mss.max(self.w_est.min(cwnd_mss + 1.0));
+        if target > cwnd_mss {
+            // Approach the target over roughly one RTT of acks.
+            self.cwnd += MSS_F * (target - cwnd_mss) / cwnd_mss * (acked as f64 / self.cwnd)
+                * cwnd_mss;
+        } else {
+            // Plateau: tiny growth to probe.
+            self.cwnd += MSS_F * 0.01 * acked as f64 / self.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, now: SimTime) {
+        let cwnd_mss = self.cwnd / MSS_F;
+        // Fast convergence: remember a slightly smaller plateau when the
+        // window is still shrinking between losses.
+        self.w_max = if cwnd_mss < self.w_max {
+            cwnd_mss * (1.0 + CUBIC_BETA) / 2.0
+        } else {
+            cwnd_mss
+        };
+        self.cwnd = (self.cwnd * CUBIC_BETA).max(2.0 * MSS_F);
+        self.ssthresh = self.cwnd;
+        self.epoch_start = Some(now);
+        self.w_est = self.cwnd / MSS_F;
+        self.acked_accum = 0.0;
+    }
+
+    fn on_timeout(&mut self, now: SimTime) {
+        self.on_loss(now);
+        self.ssthresh = self.cwnd.max(2.0 * MSS_F);
+        self.cwnd = MSS_F;
+        self.epoch_start = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+/// LIA — the coupled-increase congestion control for MPTCP subflows
+/// (Wischik et al., NSDI'11). The per-subflow increase is
+/// `min(α·acked·MSS/cwnd_total, acked·MSS/cwnd_i)`, with `α` recomputed
+/// centrally by [`crate::mptcp::MptcpConnection`] after every ACK.
+///
+/// The paper configures OLIA; LIA is the documented substitution (both are
+/// coupled-increase algorithms shifting traffic away from congested paths;
+/// DESIGN.md records the rationale).
+#[derive(Debug, Clone)]
+pub struct Lia {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Coupling factor, maintained by the MPTCP connection.
+    pub alpha: f64,
+    /// Sum of subflow windows, maintained by the MPTCP connection.
+    pub cwnd_total: f64,
+}
+
+impl Lia {
+    /// A subflow window with initial `iw_mss` segments.
+    pub fn new(iw_mss: u32) -> Self {
+        let w = init_cwnd(iw_mss);
+        Lia {
+            cwnd: w,
+            ssthresh: f64::INFINITY,
+            alpha: 1.0,
+            cwnd_total: w,
+        }
+    }
+}
+
+impl CongestionControl for Lia {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, _now: SimTime, acked: u64, _srtt: SimDuration) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += acked as f64;
+            return;
+        }
+        let coupled = self.alpha * acked as f64 * MSS_F / self.cwnd_total.max(MSS_F);
+        let uncoupled = acked as f64 * MSS_F / self.cwnd;
+        self.cwnd += coupled.min(uncoupled);
+    }
+
+    fn on_loss(&mut self, _now: SimTime) {
+        // Only this subflow halves — the MPTCP aggressiveness the paper
+        // observes ("when a single loss occurs, only one subflow reduces
+        // its rate").
+        self.ssthresh = (self.cwnd / 2.0).max(MSS_F);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_timeout(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(MSS_F);
+        self.cwnd = MSS_F;
+    }
+
+    fn name(&self) -> &'static str {
+        "lia"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn srtt() -> SimDuration {
+        SimDuration::from_micros(200)
+    }
+
+    #[test]
+    fn reno_slow_start_doubles_per_rtt() {
+        let mut cc = Reno::new(10);
+        let start = cc.cwnd();
+        // Acking a full window in slow start doubles it.
+        cc.on_ack(t(1), start as u64, srtt());
+        assert!((cc.cwnd() - 2.0 * start).abs() < 1.0);
+    }
+
+    #[test]
+    fn reno_congestion_avoidance_linear() {
+        let mut cc = Reno::new(10);
+        cc.on_loss(t(1)); // enter CA with cwnd = ssthresh
+        let w0 = cc.cwnd();
+        // Acking one full window adds ~1 MSS.
+        let mut acked = 0.0;
+        while acked < w0 {
+            cc.on_ack(t(2), MSS_F as u64, srtt());
+            acked += MSS_F;
+        }
+        assert!((cc.cwnd() - w0 - MSS_F).abs() < MSS_F * 0.2, "grew {}", cc.cwnd() - w0);
+    }
+
+    #[test]
+    fn reno_loss_halves_timeout_collapses() {
+        let mut cc = Reno::new(10);
+        for _ in 0..10 {
+            cc.on_ack(t(1), 14600, srtt());
+        }
+        let before = cc.cwnd();
+        cc.on_loss(t(2));
+        assert!((cc.cwnd() - before / 2.0).abs() < 1.0);
+        cc.on_timeout(t(3));
+        assert_eq!(cc.cwnd(), MSS_F);
+    }
+
+    #[test]
+    fn cubic_slow_start_then_probe() {
+        let mut cc = Cubic::new(10);
+        let w0 = cc.cwnd();
+        cc.on_ack(t(1), w0 as u64, srtt());
+        assert!(cc.cwnd() >= 2.0 * w0 - 1.0, "slow start");
+    }
+
+    #[test]
+    fn cubic_recovers_toward_wmax_after_loss() {
+        let mut cc = Cubic::new(10);
+        // Grow to ~100 MSS, then lose.
+        while cc.cwnd() < 100.0 * MSS_F {
+            cc.on_ack(t(1), cc.cwnd() as u64, srtt());
+        }
+        let w_before = cc.cwnd();
+        cc.on_loss(t(10));
+        assert!((cc.cwnd() - w_before * CUBIC_BETA).abs() < 1.0);
+        // Feed acks over simulated seconds: the window must climb back
+        // toward (and past) the old plateau, the CUBIC concave phase.
+        let mut now = t(10);
+        for _ in 0..4000 {
+            now += SimDuration::from_micros(500);
+            cc.on_ack(now, MSS_F as u64 * 4, srtt());
+        }
+        assert!(
+            cc.cwnd() > w_before * 0.95,
+            "cwnd {} did not return toward w_max {}",
+            cc.cwnd() / MSS_F,
+            w_before / MSS_F
+        );
+    }
+
+    #[test]
+    fn cubic_timeout_collapses() {
+        let mut cc = Cubic::new(10);
+        for _ in 0..20 {
+            cc.on_ack(t(1), 14600, srtt());
+        }
+        cc.on_timeout(t(2));
+        assert_eq!(cc.cwnd(), MSS_F);
+        assert!(cc.ssthresh() > MSS_F);
+    }
+
+    #[test]
+    fn lia_coupled_increase_is_capped_by_uncoupled() {
+        let mut cc = Lia::new(10);
+        cc.on_loss(t(1)); // leave slow start
+        let w = cc.cwnd();
+        cc.cwnd_total = w; // single subflow: coupled == alpha-scaled
+        cc.alpha = 1.0;
+        cc.on_ack(t(2), MSS_F as u64, srtt());
+        let grew_single = cc.cwnd() - w;
+
+        let mut cc2 = Lia::new(10);
+        cc2.on_loss(t(1));
+        let w2 = cc2.cwnd();
+        cc2.cwnd_total = 8.0 * w2; // 7 sibling subflows
+        cc2.alpha = 1.0;
+        cc2.on_ack(t(2), MSS_F as u64, srtt());
+        let grew_coupled = cc2.cwnd() - w2;
+        assert!(
+            grew_coupled < grew_single / 4.0,
+            "coupling should slow growth: {grew_coupled} vs {grew_single}"
+        );
+    }
+
+    #[test]
+    fn lia_loss_halves_only_this_subflow() {
+        let mut cc = Lia::new(64);
+        let w = cc.cwnd();
+        cc.on_loss(t(1));
+        assert!((cc.cwnd() - w / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cubic_fast_convergence_shrinks_wmax() {
+        // Two losses in quick succession while the window is still below
+        // the old plateau: fast convergence remembers a *smaller* w_max,
+        // releasing capacity to newer flows.
+        let mut cc = Cubic::new(10);
+        while cc.cwnd() < 100.0 * MSS_F {
+            cc.on_ack(t(1), cc.cwnd() as u64, srtt());
+        }
+        cc.on_loss(t(10));
+        let w_after_first = cc.cwnd();
+        cc.on_loss(t(11));
+        // Second loss below the plateau: decrease happened from a smaller
+        // base.
+        assert!(cc.cwnd() < w_after_first * CUBIC_BETA + 1.0);
+    }
+
+    #[test]
+    fn reno_and_cubic_names() {
+        assert_eq!(Reno::new(1).name(), "reno");
+        assert_eq!(Cubic::new(1).name(), "cubic");
+        assert_eq!(Lia::new(1).name(), "lia");
+    }
+
+    #[test]
+    fn boxed_cc_delegates() {
+        let mut cc: Box<dyn CongestionControl> = Box::new(Reno::new(10));
+        let w0 = cc.cwnd();
+        cc.on_ack(t(1), 1460, srtt());
+        assert!(cc.cwnd() > w0);
+        assert_eq!(cc.name(), "reno");
+        cc.on_timeout(t(2));
+        assert_eq!(cc.cwnd(), MSS_F);
+        assert!(cc.ssthresh().is_finite());
+    }
+
+    #[test]
+    fn all_algorithms_never_drop_below_floor() {
+        let mut algos: Vec<Box<dyn CongestionControl>> = vec![
+            Box::new(Reno::new(10)),
+            Box::new(Cubic::new(10)),
+            Box::new(Lia::new(10)),
+        ];
+        for cc in &mut algos {
+            for _ in 0..10 {
+                cc.on_loss(t(1));
+                cc.on_timeout(t(1));
+            }
+            assert!(cc.cwnd() >= MSS_F, "{} collapsed below 1 MSS", cc.name());
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Simulated transports: TCP and MPTCP.
+//!
+//! The paper runs stock Linux TCP CUBIC over Presto (no transport changes
+//! is a headline property, §1) and compares against MPTCP with 8 subflows
+//! and coupled congestion control (§4). This crate provides both as pure,
+//! event-driven state machines:
+//!
+//! * [`TcpSender`] / [`TcpReceiver`] — byte-stream reliability with
+//!   dup-ACK fast retransmit, NewReno-style partial-ACK recovery, and an
+//!   RFC 6298 retransmission timer (200 ms floor, like the Linux default
+//!   the paper uses);
+//! * [`cc`] — pluggable congestion control: [`cc::Cubic`] (default, like
+//!   the testbed), [`cc::Reno`], and [`cc::Lia`] (coupled increase for
+//!   MPTCP; a documented stand-in for OLIA — both are coupled-increase
+//!   algorithms and produce the same qualitative subflow behaviour);
+//! * [`MptcpConnection`] — an MPTCP connection as a bundle of ECMP-hashed
+//!   subflows with a chunk dispatcher and connection-level completion
+//!   tracking.
+//!
+//! State machines produce explicit [`SenderOutput`] actions (segments to
+//! transmit, timers to arm) and never touch the event queue themselves,
+//! which keeps them unit-testable without a simulator.
+
+pub mod cc;
+pub mod mptcp;
+pub mod receiver;
+pub mod rtt;
+pub mod sender;
+
+pub use cc::{CongestionControl, Cubic, Lia, Reno};
+pub use mptcp::MptcpConnection;
+pub use receiver::{RecvOutput, TcpReceiver};
+pub use rtt::RttEstimator;
+pub use sender::{SendAction, SenderOutput, TcpConfig, TcpSender};

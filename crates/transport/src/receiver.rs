@@ -1,0 +1,234 @@
+//! TCP receive-side state: cumulative ACK generation and out-of-order
+//! buffering.
+//!
+//! The receiver sits *above* GRO: it sees merged segments, delivers
+//! in-order bytes to the application, buffers out-of-order ranges, and
+//! emits one ACK per segment. Reordering that GRO fails to mask surfaces
+//! here as duplicate ACKs — the mechanism by which reordering degrades
+//! TCP (§2.2).
+
+use std::collections::BTreeMap;
+
+/// The ACK a segment arrival generates, plus delivery bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvOutput {
+    /// Cumulative ACK: next byte expected.
+    pub ack: u64,
+    /// Highest byte received so far (coarse SACK information).
+    pub sack_hi: u64,
+    /// Bytes newly delivered in-order to the application by this segment.
+    pub newly_delivered: u64,
+    /// True if this arrival did not advance the cumulative ACK (a
+    /// duplicate ACK will be emitted).
+    pub is_dup: bool,
+}
+
+/// Receive-side connection state.
+#[derive(Debug, Default)]
+pub struct TcpReceiver {
+    rcv_nxt: u64,
+    /// Out-of-order ranges: start → end (exclusive), non-overlapping.
+    ooo: BTreeMap<u64, u64>,
+    /// Highest byte seen.
+    sack_hi: u64,
+    /// Total bytes delivered in order.
+    pub delivered: u64,
+    /// Segments that arrived out of order (dup-ACK generators).
+    pub ooo_segments: u64,
+    /// Total segments received.
+    pub segments: u64,
+}
+
+impl TcpReceiver {
+    /// A fresh receiver expecting byte 0.
+    pub fn new() -> Self {
+        TcpReceiver::default()
+    }
+
+    /// Next byte expected.
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Bytes currently buffered out of order.
+    pub fn ooo_bytes(&self) -> u64 {
+        self.ooo.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Process one received segment covering `seq .. seq+len`.
+    pub fn on_segment(&mut self, seq: u64, len: u32) -> RecvOutput {
+        self.segments += 1;
+        let end = seq + len as u64;
+        self.sack_hi = self.sack_hi.max(end);
+        let before = self.rcv_nxt;
+
+        if end <= self.rcv_nxt {
+            // Entirely old data (spurious retransmission): dup ACK.
+            return RecvOutput {
+                ack: self.rcv_nxt,
+                sack_hi: self.sack_hi,
+                newly_delivered: 0,
+                is_dup: true,
+            };
+        }
+
+        // Insert/merge the new range into the OOO store (trimming overlap
+        // with already-delivered bytes).
+        let ins_start = seq.max(self.rcv_nxt);
+        self.insert_range(ins_start, end);
+
+        // Advance rcv_nxt through contiguous ranges.
+        while let Some((&s, &e)) = self.ooo.first_key_value() {
+            if s <= self.rcv_nxt {
+                self.ooo.pop_first();
+                if e > self.rcv_nxt {
+                    self.rcv_nxt = e;
+                }
+            } else {
+                break;
+            }
+        }
+
+        let newly = self.rcv_nxt - before;
+        self.delivered += newly;
+        let is_dup = newly == 0;
+        if is_dup {
+            self.ooo_segments += 1;
+        }
+        RecvOutput {
+            ack: self.rcv_nxt,
+            sack_hi: self.sack_hi,
+            newly_delivered: newly,
+            is_dup,
+        }
+    }
+
+    fn insert_range(&mut self, start: u64, end: u64) {
+        debug_assert!(start < end);
+        let mut start = start;
+        let mut end = end;
+        // Merge with any overlapping/adjacent predecessor.
+        if let Some((&s, &e)) = self.ooo.range(..=start).next_back() {
+            if e >= start {
+                start = s;
+                end = end.max(e);
+                self.ooo.remove(&s);
+            }
+        }
+        // Merge with overlapping successors.
+        loop {
+            let next = self.ooo.range(start..).next().map(|(&s, &e)| (s, e));
+            match next {
+                Some((s, e)) if s <= end => {
+                    end = end.max(e);
+                    self.ooo.remove(&s);
+                }
+                _ => break,
+            }
+        }
+        self.ooo.insert(start, end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_delivery() {
+        let mut r = TcpReceiver::new();
+        let o = r.on_segment(0, 1000);
+        assert_eq!(o.ack, 1000);
+        assert_eq!(o.newly_delivered, 1000);
+        assert!(!o.is_dup);
+        let o = r.on_segment(1000, 500);
+        assert_eq!(o.ack, 1500);
+        assert_eq!(r.delivered, 1500);
+        assert_eq!(r.ooo_bytes(), 0);
+    }
+
+    #[test]
+    fn gap_generates_dup_acks_until_filled() {
+        let mut r = TcpReceiver::new();
+        r.on_segment(0, 1000);
+        let o = r.on_segment(2000, 1000); // gap at 1000..2000
+        assert_eq!(o.ack, 1000);
+        assert!(o.is_dup);
+        assert_eq!(o.sack_hi, 3000);
+        let o = r.on_segment(3000, 1000);
+        assert_eq!(o.ack, 1000);
+        assert!(o.is_dup);
+        assert_eq!(r.ooo_segments, 2);
+        // Filling the gap releases everything.
+        let o = r.on_segment(1000, 1000);
+        assert_eq!(o.ack, 4000);
+        assert_eq!(o.newly_delivered, 3000);
+        assert_eq!(r.ooo_bytes(), 0);
+    }
+
+    #[test]
+    fn duplicate_old_data_is_dup_ack() {
+        let mut r = TcpReceiver::new();
+        r.on_segment(0, 1000);
+        let o = r.on_segment(0, 1000);
+        assert!(o.is_dup);
+        assert_eq!(o.ack, 1000);
+        assert_eq!(o.newly_delivered, 0);
+        assert_eq!(r.delivered, 1000);
+    }
+
+    #[test]
+    fn partial_overlap_is_trimmed() {
+        let mut r = TcpReceiver::new();
+        r.on_segment(0, 1000);
+        // Segment partially covering delivered data.
+        let o = r.on_segment(500, 1000);
+        assert_eq!(o.ack, 1500);
+        assert_eq!(o.newly_delivered, 500);
+        assert_eq!(r.delivered, 1500);
+    }
+
+    #[test]
+    fn overlapping_ooo_ranges_merge() {
+        let mut r = TcpReceiver::new();
+        r.on_segment(2000, 1000);
+        r.on_segment(2500, 1000);
+        r.on_segment(4000, 500);
+        assert_eq!(r.ooo_bytes(), 2000); // [2000,3500) + [4000,4500)
+        r.on_segment(3500, 500);
+        assert_eq!(r.ooo_bytes(), 2500); // [2000,4500)
+        let o = r.on_segment(0, 2000);
+        assert_eq!(o.ack, 4500);
+        assert_eq!(r.delivered, 4500);
+    }
+
+    #[test]
+    fn sack_hi_tracks_highest() {
+        let mut r = TcpReceiver::new();
+        let o = r.on_segment(10_000, 100);
+        assert_eq!(o.sack_hi, 10_100);
+        let o = r.on_segment(0, 100);
+        assert_eq!(o.sack_hi, 10_100);
+    }
+
+    #[test]
+    fn many_random_arrivals_deliver_exactly_once() {
+        // Deterministic pseudo-random permutation of 200 MSS chunks.
+        let n = 200u64;
+        let mss = 1460u64;
+        let mut order: Vec<u64> = (0..n).collect();
+        // simple LCG shuffle
+        let mut x = 12345u64;
+        for i in (1..order.len()).rev() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (x % (i as u64 + 1)) as usize);
+        }
+        let mut r = TcpReceiver::new();
+        for &i in &order {
+            r.on_segment(i * mss, mss as u32);
+        }
+        assert_eq!(r.delivered, n * mss);
+        assert_eq!(r.rcv_nxt(), n * mss);
+        assert_eq!(r.ooo_bytes(), 0);
+    }
+}

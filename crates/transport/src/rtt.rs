@@ -1,0 +1,134 @@
+//! RTT estimation and retransmission timeout per RFC 6298.
+
+use presto_simcore::SimDuration;
+
+/// Smoothed RTT estimator with the classic SRTT/RTTVAR recursion and an
+/// RTO of `SRTT + 4·RTTVAR`, clamped to `[min_rto, max_rto]`.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    /// Lower clamp on the RTO (Linux default is 200 ms; the paper notes
+    /// this default when MPTCP mice hit timeouts).
+    pub min_rto: SimDuration,
+    /// Upper clamp on the RTO.
+    pub max_rto: SimDuration,
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// A fresh estimator with the given RTO clamps.
+    pub fn new(min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            min_rto,
+            max_rto,
+            samples: 0,
+        }
+    }
+
+    /// Fold in one RTT measurement (never from retransmitted data — Karn's
+    /// rule is the caller's responsibility).
+    pub fn sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let delta = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                // rttvar = 3/4 rttvar + 1/4 |delta|
+                self.rttvar = SimDuration::from_nanos(
+                    (self.rttvar.as_nanos() * 3 + delta.as_nanos()) / 4,
+                );
+                // srtt = 7/8 srtt + 1/8 rtt
+                self.srtt = Some(SimDuration::from_nanos(
+                    (srtt.as_nanos() * 7 + rtt.as_nanos()) / 8,
+                ));
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// Current smoothed RTT (min_rto/2 before the first sample, so that
+    /// pre-sample pacing math has something sane).
+    pub fn srtt(&self) -> SimDuration {
+        self.srtt.unwrap_or(self.min_rto / 2)
+    }
+
+    /// Current retransmission timeout (clamped). Before any sample this is
+    /// `min_rto` — conservative, like a fresh Linux socket's 200 ms.
+    pub fn rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            None => self.min_rto,
+            Some(srtt) => srtt + self.rttvar.saturating_mul(4),
+        };
+        base.clamp(self.min_rto, self.max_rto)
+    }
+
+    /// Number of samples folded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new(SimDuration::from_millis(10), SimDuration::from_secs(60))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::default();
+        assert_eq!(e.rto(), SimDuration::from_millis(10));
+        e.sample(SimDuration::from_micros(100));
+        assert_eq!(e.srtt(), SimDuration::from_micros(100));
+        // 100us + 4*50us = 300us, clamped up to the 10ms floor.
+        assert_eq!(e.rto(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn converges_to_stable_rtt() {
+        let mut e = RttEstimator::new(SimDuration::from_micros(1), SimDuration::from_secs(60));
+        for _ in 0..100 {
+            e.sample(SimDuration::from_micros(500));
+        }
+        let srtt = e.srtt().as_nanos() as f64;
+        assert!((srtt - 500_000.0).abs() < 5_000.0, "srtt {srtt}");
+        // Variance collapses, RTO approaches SRTT.
+        assert!(e.rto() < SimDuration::from_micros(550));
+    }
+
+    #[test]
+    fn jitter_raises_rto() {
+        let mut stable = RttEstimator::new(SimDuration::from_micros(1), SimDuration::from_secs(60));
+        let mut jittery = RttEstimator::new(SimDuration::from_micros(1), SimDuration::from_secs(60));
+        for i in 0..100 {
+            stable.sample(SimDuration::from_micros(500));
+            jittery.sample(SimDuration::from_micros(if i % 2 == 0 { 100 } else { 900 }));
+        }
+        assert!(jittery.rto() > stable.rto() * 2);
+    }
+
+    #[test]
+    fn rto_respects_max_clamp() {
+        let mut e = RttEstimator::new(SimDuration::from_micros(1), SimDuration::from_millis(1));
+        e.sample(SimDuration::from_secs(10));
+        assert_eq!(e.rto(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn samples_counted() {
+        let mut e = RttEstimator::default();
+        assert_eq!(e.samples(), 0);
+        e.sample(SimDuration::from_micros(10));
+        e.sample(SimDuration::from_micros(10));
+        assert_eq!(e.samples(), 2);
+    }
+}

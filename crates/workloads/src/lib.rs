@@ -1,0 +1,29 @@
+//! Workload generators for the Presto evaluation.
+//!
+//! Reproduces the paper's traffic mixes (§4, §6):
+//!
+//! * [`patterns`] — the synthetic communication patterns: *shuffle* (every
+//!   server sends 1 GB to every other, two at a time), *stride(8)*
+//!   (`server[i] → server[(i+8) mod 16]`), *random* (random inter-pod
+//!   destination) and *random bijection*;
+//! * [`trace`] — the trace-driven workload: heavy-tailed flow sizes shaped
+//!   after the IMC'09 datacenter measurements the paper samples from,
+//!   scaled ×10 as in §6, with exponential inter-arrivals;
+//! * [`northsouth`] — WAN-bound cross traffic with the flow-size mix of
+//!   web-service deployments (the Table 2 experiment);
+//! * [`dists`] — reusable empirical flow-size CDFs (the published
+//!   web-search and data-mining mixes) for driving custom workloads;
+//! * [`spec`] — the flow/probe descriptors the testbed executes.
+//!
+//! Hosts are plain indices here; the testbed maps them onto fabric
+//! attachment points.
+
+pub mod dists;
+pub mod northsouth;
+pub mod patterns;
+pub mod spec;
+pub mod trace;
+
+pub use dists::{data_mining, web_search, EmpiricalCdf};
+pub use spec::{FlowSpec, MICE_FLOW_BYTES, MICE_INTERVAL_MS};
+pub use trace::TraceWorkload;

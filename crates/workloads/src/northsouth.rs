@@ -1,0 +1,112 @@
+//! North-south (WAN) cross traffic (§6, Table 2).
+//!
+//! The paper attaches one "remote user" to each spine switch, throttled to
+//! 100 Mbps to emulate the Internet WAN; every server starts a flow to a
+//! random remote user every millisecond, with flow sizes from the web
+//! deployment measurements of He et al. (IMC'13) — overwhelmingly small
+//! responses with a modest tail.
+
+use presto_simcore::rng::DetRng;
+use presto_simcore::{SimDuration, SimTime};
+
+/// WAN rate cap per remote user (100 Mbps).
+pub const WAN_RATE_BPS: u64 = 100_000_000;
+
+/// Inter-arrival of north-south flows per server (1 ms).
+pub const NS_INTERVAL: SimDuration = SimDuration::from_millis(1);
+
+/// Web-response size mixture: (probability, lo, hi), log-uniform within.
+const NS_SIZE_MIX: &[(f64, f64, f64)] = &[
+    (0.60, 5.0e2, 1.0e4),  // small API/static responses
+    (0.30, 1.0e4, 1.0e5),  // page-ish payloads
+    (0.10, 1.0e5, 2.0e6),  // downloads
+];
+
+/// One north-south flow.
+#[derive(Debug, Clone, Copy)]
+pub struct NsFlow {
+    /// Start time.
+    pub at: SimTime,
+    /// Index of the remote user (0..n_remote).
+    pub remote: usize,
+    /// Flow size in bytes.
+    pub bytes: u64,
+}
+
+/// Generate the north-south flow schedule for one server over `horizon`.
+pub fn ns_schedule(
+    seed: u64,
+    src: usize,
+    n_remote: usize,
+    horizon: SimTime,
+) -> Vec<NsFlow> {
+    let mut rng = DetRng::new(seed ^ 0x4E53).for_stream(src as u64);
+    let mut out = Vec::new();
+    let mut at = SimTime::ZERO + NS_INTERVAL;
+    while at < horizon {
+        let u = rng.gen_f64();
+        let mut acc = 0.0;
+        let mut bytes = 0u64;
+        for &(p, lo, hi) in NS_SIZE_MIX {
+            acc += p;
+            if u < acc {
+                let x = lo.ln() + rng.gen_f64() * (hi.ln() - lo.ln());
+                bytes = x.exp() as u64;
+                break;
+            }
+        }
+        if bytes == 0 {
+            bytes = NS_SIZE_MIX.last().unwrap().2 as u64;
+        }
+        out.push(NsFlow {
+            at,
+            remote: rng.gen_range(n_remote as u64) as usize,
+            bytes,
+        });
+        at += NS_INTERVAL;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_fires_every_millisecond() {
+        let s = ns_schedule(1, 0, 4, SimTime::from_millis(100));
+        assert_eq!(s.len(), 99);
+        for w in s.windows(2) {
+            assert_eq!(w[1].at - w[0].at, NS_INTERVAL);
+        }
+    }
+
+    #[test]
+    fn sizes_are_web_like() {
+        let s = ns_schedule(2, 3, 4, SimTime::from_secs(10));
+        let small = s.iter().filter(|f| f.bytes < 10_000).count() as f64 / s.len() as f64;
+        assert!((0.45..0.75).contains(&small), "small fraction {small}");
+        for f in &s {
+            assert!((500..=2_000_000).contains(&f.bytes));
+        }
+    }
+
+    #[test]
+    fn remotes_are_spread() {
+        let s = ns_schedule(3, 0, 4, SimTime::from_secs(2));
+        let mut counts = [0u32; 4];
+        for f in &s {
+            counts[f.remote] += 1;
+        }
+        for c in counts {
+            assert!(c > 300, "remote starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn per_server_schedules_differ() {
+        let a = ns_schedule(1, 0, 4, SimTime::from_millis(10));
+        let b = ns_schedule(1, 1, 4, SimTime::from_millis(10));
+        assert!(a.iter().zip(&b).any(|(x, y)| x.bytes != y.bytes || x.remote != y.remote));
+    }
+}

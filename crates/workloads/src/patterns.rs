@@ -1,0 +1,177 @@
+//! Synthetic communication patterns (§4).
+
+use presto_simcore::rng::DetRng;
+
+/// `server[i] → server[(i+k) mod n]`. The paper uses stride(8) on 16
+/// hosts, which forces every flow across the spine layer.
+pub fn stride(n_hosts: usize, k: usize) -> Vec<(usize, usize)> {
+    assert!(n_hosts > 1 && k % n_hosts != 0);
+    (0..n_hosts).map(|i| (i, (i + k) % n_hosts)).collect()
+}
+
+/// Each server sends to a random destination *not in its own pod* (rack);
+/// multiple senders may pick the same receiver.
+pub fn random(n_hosts: usize, hosts_per_pod: usize, rng: &mut DetRng) -> Vec<(usize, usize)> {
+    assert!(n_hosts > hosts_per_pod, "need at least two pods");
+    (0..n_hosts)
+        .map(|src| {
+            let pod = src / hosts_per_pod;
+            loop {
+                let dst = rng.gen_range(n_hosts as u64) as usize;
+                if dst / hosts_per_pod != pod {
+                    return (src, dst);
+                }
+            }
+        })
+        .collect()
+}
+
+/// Random bijection: like [`random`] but every host receives from exactly
+/// one sender.
+pub fn random_bijection(
+    n_hosts: usize,
+    hosts_per_pod: usize,
+    rng: &mut DetRng,
+) -> Vec<(usize, usize)> {
+    assert!(n_hosts > hosts_per_pod, "need at least two pods");
+    // Rejection-sample permutations until none maps within a pod. With
+    // pods of 1/4 of hosts this succeeds quickly.
+    'outer: loop {
+        let mut perm: Vec<usize> = (0..n_hosts).collect();
+        rng.shuffle(&mut perm);
+        for (src, &dst) in perm.iter().enumerate() {
+            if src / hosts_per_pod == dst / hosts_per_pod {
+                continue 'outer;
+            }
+        }
+        return perm.into_iter().enumerate().collect();
+    }
+}
+
+/// Shuffle: every server sends `bytes_per_transfer` to every other server
+/// in random order (the Hadoop-shuffle emulation; the paper sends 1 GB to
+/// each peer, two transfers at a time). Returns, per source host, its
+/// randomized destination order; the testbed runs `concurrency` transfers
+/// from each list at a time.
+pub fn shuffle_orders(n_hosts: usize, rng: &mut DetRng) -> Vec<Vec<usize>> {
+    (0..n_hosts)
+        .map(|src| {
+            let mut dsts: Vec<usize> = (0..n_hosts).filter(|&d| d != src).collect();
+            let mut r = rng.for_stream(src as u64);
+            r.shuffle(&mut dsts);
+            dsts
+        })
+        .collect()
+}
+
+/// Incast: `fan_in` senders transmit a synchronized burst to one receiver
+/// (partition-aggregate traffic; an extension experiment beyond the paper's
+/// workloads). Returns the sender indices, excluding the receiver.
+pub fn incast_senders(n_hosts: usize, receiver: usize, fan_in: usize) -> Vec<usize> {
+    assert!(fan_in < n_hosts, "need at least one non-sender");
+    (0..n_hosts)
+        .filter(|&h| h != receiver)
+        .take(fan_in)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride8_matches_paper() {
+        let pairs = stride(16, 8);
+        assert_eq!(pairs.len(), 16);
+        assert_eq!(pairs[0], (0, 8));
+        assert_eq!(pairs[8], (8, 0));
+        assert_eq!(pairs[15], (15, 7));
+        // Every destination is distinct (stride is a bijection).
+        let dsts: std::collections::HashSet<usize> = pairs.iter().map(|&(_, d)| d).collect();
+        assert_eq!(dsts.len(), 16);
+    }
+
+    #[test]
+    fn stride_crosses_pods_on_testbed() {
+        // With 4 hosts per leaf, stride(8) never stays in-rack.
+        for (s, d) in stride(16, 8) {
+            assert_ne!(s / 4, d / 4);
+        }
+    }
+
+    #[test]
+    fn random_avoids_own_pod() {
+        let mut rng = DetRng::new(5);
+        let pairs = random(16, 4, &mut rng);
+        assert_eq!(pairs.len(), 16);
+        for (s, d) in pairs {
+            assert_ne!(s / 4, d / 4, "{s}->{d} stayed in pod");
+        }
+    }
+
+    #[test]
+    fn random_allows_receiver_collisions_eventually() {
+        let mut any_collision = false;
+        for seed in 0..20 {
+            let mut rng = DetRng::new(seed);
+            let pairs = random(16, 4, &mut rng);
+            let dsts: std::collections::HashSet<usize> = pairs.iter().map(|&(_, d)| d).collect();
+            if dsts.len() < 16 {
+                any_collision = true;
+                break;
+            }
+        }
+        assert!(any_collision, "random should not be a bijection in general");
+    }
+
+    #[test]
+    fn bijection_is_bijective_and_inter_pod() {
+        let mut rng = DetRng::new(7);
+        let pairs = random_bijection(16, 4, &mut rng);
+        let dsts: std::collections::HashSet<usize> = pairs.iter().map(|&(_, d)| d).collect();
+        assert_eq!(dsts.len(), 16);
+        for (s, d) in pairs {
+            assert_ne!(s / 4, d / 4);
+            assert_ne!(s, d);
+        }
+    }
+
+    #[test]
+    fn bijection_is_deterministic_per_seed() {
+        let a = random_bijection(16, 4, &mut DetRng::new(3));
+        let b = random_bijection(16, 4, &mut DetRng::new(3));
+        let c = random_bijection(16, 4, &mut DetRng::new(4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn incast_excludes_receiver_and_caps_fan_in() {
+        let s = incast_senders(16, 3, 8);
+        assert_eq!(s.len(), 8);
+        assert!(!s.contains(&3));
+        let all = incast_senders(16, 0, 15);
+        assert_eq!(all.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-sender")]
+    fn incast_rejects_full_fan_in() {
+        let _ = incast_senders(4, 0, 4);
+    }
+
+    #[test]
+    fn shuffle_orders_cover_all_peers() {
+        let mut rng = DetRng::new(11);
+        let orders = shuffle_orders(16, &mut rng);
+        assert_eq!(orders.len(), 16);
+        for (src, order) in orders.iter().enumerate() {
+            assert_eq!(order.len(), 15);
+            assert!(!order.contains(&src));
+            let set: std::collections::HashSet<usize> = order.iter().copied().collect();
+            assert_eq!(set.len(), 15);
+        }
+        // Orders differ across sources.
+        assert_ne!(orders[0], orders[1]);
+    }
+}

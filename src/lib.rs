@@ -1,0 +1,54 @@
+//! # presto-lab
+//!
+//! A from-scratch Rust reproduction of **Presto: Edge-based Load Balancing
+//! for Fast Datacenter Networks** (He, Rozner, Felter, Carter, Agarwal,
+//! Akella — SIGCOMM 2015).
+//!
+//! Presto load-balances a datacenter fabric from the *soft edge*: the
+//! sending vSwitch chops every flow into ≤64 KB **flowcells** and
+//! round-robins them over controller-installed shadow-MAC spanning trees
+//! (Algorithm 1), while a modified GRO engine at the receiver masks the
+//! resulting reordering below TCP (Algorithm 2). No transport or switch
+//! hardware changes required.
+//!
+//! The paper's physical testbed is replaced by a deterministic
+//! packet-level simulator (see `DESIGN.md` for the substitution map).
+//! This meta-crate re-exports every subsystem:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`simcore`] | `presto-simcore` | simulated time, event queue, EWMA, RNG |
+//! | [`netsim`] | `presto-netsim` | switches, links, drop-tail queues, Clos topologies |
+//! | [`endhost`] | `presto-endhost` | NIC (TSO/coalescing), CPU cost model, vSwitch |
+//! | [`gro`] | `presto-gro` | stock GRO and Presto's Algorithm 2 |
+//! | [`transport`] | `presto-transport` | TCP (CUBIC/Reno) and MPTCP |
+//! | [`core`] | `presto-core` | flowcell scheduler, controller, shadow MACs |
+//! | [`lb`] | `presto-lb` | ECMP / flowlet / per-packet baselines |
+//! | [`workloads`] | `presto-workloads` | stride/shuffle/random/trace generators |
+//! | [`metrics`] | `presto-metrics` | percentiles, CDFs, Jain fairness |
+//! | [`testbed`] | `presto-testbed` | the composed simulator and scenarios |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use presto_lab::testbed::{stride_elephants, Scenario, SchemeSpec};
+//! use presto_lab::simcore::SimDuration;
+//!
+//! let mut sc = Scenario::testbed16(SchemeSpec::presto(), 42);
+//! sc.duration = SimDuration::from_millis(30);
+//! sc.warmup = SimDuration::from_millis(10);
+//! sc.flows = stride_elephants(16, 8);
+//! let report = sc.run();
+//! assert!(report.mean_elephant_tput() > 8.0, "{}", report.mean_elephant_tput());
+//! ```
+
+pub use presto_core as core;
+pub use presto_endhost as endhost;
+pub use presto_gro as gro;
+pub use presto_lb as lb;
+pub use presto_metrics as metrics;
+pub use presto_netsim as netsim;
+pub use presto_simcore as simcore;
+pub use presto_testbed as testbed;
+pub use presto_transport as transport;
+pub use presto_workloads as workloads;

@@ -1,0 +1,183 @@
+//! Cross-crate integration tests: full scheme comparisons through the
+//! public API, checking the paper's headline claims hold in-simulator.
+
+use presto_lab::simcore::{SimDuration, SimTime};
+use presto_lab::testbed::{stride_elephants, MiceSpec, Scenario, SchemeSpec};
+use presto_lab::workloads::FlowSpec;
+
+fn short(mut sc: Scenario) -> Scenario {
+    sc.duration = SimDuration::from_millis(50);
+    sc.warmup = SimDuration::from_millis(15);
+    sc
+}
+
+/// §1: "Presto's performance closely tracks that of a single,
+/// non-blocking switch over many workloads."
+#[test]
+fn presto_tracks_optimal_on_stride() {
+    let mut presto = short(Scenario::testbed16(SchemeSpec::presto(), 11));
+    presto.flows = stride_elephants(16, 8);
+    let rp = presto.run();
+
+    let mut optimal = short(Scenario::testbed16(SchemeSpec::optimal(), 11));
+    optimal.flows = stride_elephants(16, 8);
+    let ro = optimal.run();
+
+    let (tp, to) = (rp.mean_elephant_tput(), ro.mean_elephant_tput());
+    assert!(to > 9.0, "optimal should be near line rate: {to}");
+    assert!(tp > 0.93 * to, "presto {tp} vs optimal {to}");
+    assert!(rp.fairness() > 0.98, "presto fairness {}", rp.fairness());
+}
+
+/// §1/§6: Presto beats ECMP substantially on non-shuffle workloads.
+#[test]
+fn presto_beats_ecmp_on_stride() {
+    let mut ecmp = short(Scenario::testbed16(SchemeSpec::ecmp(), 12));
+    ecmp.flows = stride_elephants(16, 8);
+    let re = ecmp.run();
+
+    let mut presto = short(Scenario::testbed16(SchemeSpec::presto(), 12));
+    presto.flows = stride_elephants(16, 8);
+    let rp = presto.run();
+
+    assert!(
+        rp.mean_elephant_tput() > 1.2 * re.mean_elephant_tput(),
+        "presto {} should beat ecmp {} by >20%",
+        rp.mean_elephant_tput(),
+        re.mean_elephant_tput()
+    );
+    assert!(rp.fairness() > re.fairness(), "fairness should improve too");
+}
+
+/// §5 (Fig 5): the stock GRO receiver under flowcell spraying pushes
+/// MTU-scale segments and loses throughput; Presto's GRO masks it.
+#[test]
+fn stock_gro_suffers_small_segment_flooding() {
+    let run = |scheme: SchemeSpec| {
+        let mut sc = short(Scenario::oversubscription(scheme, 13));
+        sc.flows = vec![
+            FlowSpec::elephant(0, 8, SimTime::ZERO),
+            FlowSpec::elephant(1, 9, SimTime::ZERO + SimDuration::from_micros(27)),
+        ];
+        sc.run()
+    };
+    let presto = run(SchemeSpec::presto());
+    let stock = run(SchemeSpec::presto_official_gro());
+
+    let presto_seg = presto.segment_bytes.clone().percentile(50.0).unwrap();
+    let stock_seg = stock.segment_bytes.clone().percentile(50.0).unwrap();
+    assert!(
+        stock_seg <= 2.0 * 1460.0,
+        "stock GRO should be pushing MTU-ish segments, got {stock_seg}"
+    );
+    assert!(
+        presto_seg > 4.0 * stock_seg,
+        "presto GRO segments ({presto_seg}) should dwarf stock ({stock_seg})"
+    );
+    assert!(
+        presto.mean_elephant_tput() > stock.mean_elephant_tput() + 0.8,
+        "presto {} vs stock {}",
+        presto.mean_elephant_tput(),
+        stock.mean_elephant_tput()
+    );
+    assert!(
+        stock.tcp_ooo_segments > 10 * presto.tcp_ooo_segments.max(1),
+        "TCP reordering exposure: stock {} vs presto {}",
+        stock.tcp_ooo_segments,
+        presto.tcp_ooo_segments
+    );
+}
+
+/// §6 (Fig 16): mice tail FCT under Presto stays near Optimal while ECMP's
+/// tail blows up.
+#[test]
+fn mice_tail_fct_improves_under_presto() {
+    let run = |scheme: SchemeSpec| {
+        let mut sc = Scenario::testbed16(scheme, 14);
+        sc.duration = SimDuration::from_millis(90);
+        sc.warmup = SimDuration::from_millis(20);
+        sc.flows = stride_elephants(16, 8);
+        sc.mice = (0..16)
+            .map(|i| MiceSpec {
+                src: i,
+                dst: (i + 8) % 16,
+                bytes: 50_000,
+                interval: SimDuration::from_millis(3),
+            })
+            .collect();
+        sc.run()
+    };
+    let presto = run(SchemeSpec::presto());
+    let ecmp = run(SchemeSpec::ecmp());
+    assert!(presto.mice_fct_ms.len() > 50, "presto mice {}", presto.mice_fct_ms.len());
+    let p99_presto = presto.mice_fct_ms.clone().percentile(99.0).unwrap();
+    let p99_ecmp = ecmp.mice_fct_ms.clone().percentile(99.0).unwrap();
+    assert!(
+        p99_presto < p99_ecmp,
+        "presto p99 {p99_presto} should beat ecmp {p99_ecmp}"
+    );
+}
+
+/// The simulator is deterministic: identical scenarios produce identical
+/// reports (DESIGN.md §5).
+#[test]
+fn same_seed_same_result() {
+    let run = || {
+        let mut sc = short(Scenario::testbed16(SchemeSpec::presto(), 99));
+        sc.flows = stride_elephants(16, 8);
+        sc.probes = vec![(0, 8), (1, 9)];
+        sc.run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.elephant_tputs, b.elephant_tputs);
+    assert_eq!(a.retransmissions, b.retransmissions);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.rtt_ms.values(), b.rtt_ms.values());
+}
+
+/// MPTCP lands between ECMP and Presto on stride throughput (Figs 7, 15).
+#[test]
+fn mptcp_sits_between_ecmp_and_presto() {
+    let run = |scheme: SchemeSpec| {
+        let mut sc = short(Scenario::testbed16(scheme, 15));
+        sc.flows = stride_elephants(16, 8);
+        sc.run().mean_elephant_tput()
+    };
+    let ecmp = run(SchemeSpec::ecmp());
+    let mptcp = run(SchemeSpec::mptcp());
+    let presto = run(SchemeSpec::presto());
+    assert!(mptcp > ecmp, "mptcp {mptcp} vs ecmp {ecmp}");
+    assert!(presto > mptcp * 0.95, "presto {presto} vs mptcp {mptcp}");
+}
+
+/// Flowlet switching with a small timer reorders and loses throughput
+/// relative to Presto (Fig 13).
+#[test]
+fn flowlet_100us_reorders_and_underperforms() {
+    let run = |scheme: SchemeSpec| {
+        let mut sc = short(Scenario::testbed16(scheme, 16));
+        sc.flows = stride_elephants(16, 8);
+        sc.run()
+    };
+    let fl = run(SchemeSpec::flowlet(SimDuration::from_micros(100)));
+    let presto = run(SchemeSpec::presto());
+    // Normalize reordering exposure by delivered bytes: the flowlet
+    // scheme's stock GRO leaks far more reordering to TCP per byte than
+    // Presto's holding GRO does.
+    let ooo_rate = |r: &presto_lab::testbed::Report| {
+        r.tcp_ooo_segments as f64 / r.mean_elephant_tput().max(0.1)
+    };
+    assert!(
+        ooo_rate(&fl) > 2.0 * ooo_rate(&presto),
+        "flowlet-100us should reorder more per byte: {} vs {}",
+        ooo_rate(&fl),
+        ooo_rate(&presto)
+    );
+    assert!(
+        fl.mean_elephant_tput() < 0.8 * presto.mean_elephant_tput(),
+        "flowlet {} vs presto {}",
+        fl.mean_elephant_tput(),
+        presto.mean_elephant_tput()
+    );
+}

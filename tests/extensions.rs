@@ -1,0 +1,106 @@
+//! Integration tests for modeling extensions: host egress fairness (TSQ/fq),
+//! shared-buffer switches, and γ > 1 parallel-link fabrics.
+
+use presto_lab::netsim::ClosSpec;
+use presto_lab::simcore::{SimDuration, SimTime};
+use presto_lab::testbed::{MiceSpec, Scenario, SchemeSpec};
+use presto_lab::workloads::FlowSpec;
+
+/// A mouse sharing its *sender host* with a full-rate elephant must not
+/// wait behind the elephant's staged window: per-flow egress scheduling
+/// (TSQ + fq semantics) interleaves it within a couple of TSO quanta.
+#[test]
+fn mice_are_not_starved_by_same_host_elephants() {
+    let mut sc = Scenario::testbed16(SchemeSpec::presto(), 31);
+    sc.duration = SimDuration::from_millis(80);
+    sc.warmup = SimDuration::from_millis(15);
+    // Elephant and mice share host 0 (different destinations).
+    sc.flows = vec![FlowSpec::elephant(0, 8, SimTime::ZERO)];
+    sc.mice = vec![MiceSpec {
+        src: 0,
+        dst: 9,
+        bytes: 50_000,
+        interval: SimDuration::from_millis(5),
+    }];
+    let r = sc.run();
+    assert!(r.mice_fct_ms.len() >= 8, "mice recorded: {}", r.mice_fct_ms.len());
+    let p99 = r.mice_fct_ms.clone().percentile(99.0).unwrap();
+    // Without fq, the mouse would queue behind ~hundreds of KB of elephant
+    // backlog per RTT round (several ms); with fq it completes in ~1 ms.
+    assert!(p99 < 2.5, "mouse p99 {p99} ms suggests uplink starvation");
+    // And the elephant still runs at line rate.
+    assert!(r.mean_elephant_tput() > 8.5, "elephant {}", r.mean_elephant_tput());
+}
+
+/// The shared-buffer fabric sustains the same headline result as static
+/// drop-tail: Presto near Optimal, far above ECMP.
+#[test]
+fn shared_buffer_preserves_presto_vs_ecmp() {
+    let run = |scheme: SchemeSpec| {
+        let mut sc = Scenario::testbed16(scheme, 33);
+        sc.clos.shared_buffer = Some((4 * 1024 * 1024, 1.0));
+        sc.duration = SimDuration::from_millis(50);
+        sc.warmup = SimDuration::from_millis(15);
+        sc.flows = presto_lab::testbed::stride_elephants(16, 8);
+        sc.run()
+    };
+    let presto = run(SchemeSpec::presto());
+    let ecmp = run(SchemeSpec::ecmp());
+    assert!(presto.mean_elephant_tput() > 8.5, "presto {}", presto.mean_elephant_tput());
+    assert!(
+        presto.mean_elephant_tput() > 1.2 * ecmp.mean_elephant_tput(),
+        "presto {} vs ecmp {}",
+        presto.mean_elephant_tput(),
+        ecmp.mean_elephant_tput()
+    );
+    assert!(presto.fairness() > 0.99);
+}
+
+/// γ = 2 parallel links: the controller builds ν·γ trees and Presto uses
+/// all of the capacity.
+#[test]
+fn parallel_links_scale_like_extra_spines() {
+    let mut sc = Scenario::testbed16(SchemeSpec::presto(), 35);
+    sc.clos = ClosSpec {
+        spines: 2,
+        leaves: 2,
+        hosts_per_leaf: 8,
+        links_per_pair: 2,
+        ..ClosSpec::default()
+    };
+    sc.duration = SimDuration::from_millis(50);
+    sc.warmup = SimDuration::from_millis(15);
+    sc.flows = (0..4)
+        .map(|i| FlowSpec::elephant(i, 8 + i, SimTime::ZERO))
+        .collect();
+    let mut sim = sc.build();
+    assert_eq!(sim.controller.as_ref().unwrap().tree_count(), 4);
+    let r = sim.run();
+    assert!(r.mean_elephant_tput() > 8.5, "tput {}", r.mean_elephant_tput());
+    assert!(r.fairness() > 0.99);
+}
+
+/// Incast: synchronized fan-in bottlenecks at the receiver for every
+/// scheme; Presto must not make it pathologically worse than ECMP.
+#[test]
+fn incast_is_last_hop_bound_for_all_schemes() {
+    let run = |scheme: SchemeSpec| {
+        let mut sc = Scenario::testbed16(scheme, 37);
+        sc.duration = SimDuration::from_millis(100);
+        sc.warmup = SimDuration::from_millis(5);
+        for wave in 0..6u64 {
+            let at = SimTime::ZERO + SimDuration::from_millis(8 + wave * 12);
+            for s in presto_lab::workloads::patterns::incast_senders(16, 0, 8) {
+                sc.flows.push(FlowSpec::mouse(s, 0, at, 128 * 1024));
+            }
+        }
+        sc.run()
+    };
+    let presto = run(SchemeSpec::presto());
+    let ecmp = run(SchemeSpec::ecmp());
+    let p99 = |r: &presto_lab::testbed::Report| r.mice_fct_ms.clone().percentile(99.0).unwrap();
+    assert!(presto.mice_fct_ms.len() > 30);
+    // 8 x 128 KB = 1 MB into a 10G downlink ~ 0.9 ms floor; allow recovery
+    // slack but catch pathological collapse.
+    assert!(p99(&presto) < 4.0 * p99(&ecmp) + 5.0, "presto {} ecmp {}", p99(&presto), p99(&ecmp));
+}
