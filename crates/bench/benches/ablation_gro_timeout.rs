@@ -25,9 +25,18 @@ fn main() {
     );
     let variants = [
         variant("adaptive (paper)", GroKind::Presto),
-        variant("fixed 50us", GroKind::PrestoFixedTimeout(SimDuration::from_micros(50))),
-        variant("fixed 500us", GroKind::PrestoFixedTimeout(SimDuration::from_micros(500))),
-        variant("fixed 10ms", GroKind::PrestoFixedTimeout(SimDuration::from_millis(10))),
+        variant(
+            "fixed 50us",
+            GroKind::PrestoFixedTimeout(SimDuration::from_micros(50)),
+        ),
+        variant(
+            "fixed 500us",
+            GroKind::PrestoFixedTimeout(SimDuration::from_micros(500)),
+        ),
+        variant(
+            "fixed 10ms",
+            GroKind::PrestoFixedTimeout(SimDuration::from_millis(10)),
+        ),
     ];
     let mut tbl = new_table([
         "timeout",

@@ -38,7 +38,12 @@ fn main() {
             let r = sc.run();
             let mut rtt = r.rtt_ms.clone();
             tbl.row([
-                if shared { "shared-4MB a=1" } else { "droptail-1MB" }.to_string(),
+                if shared {
+                    "shared-4MB a=1"
+                } else {
+                    "droptail-1MB"
+                }
+                .to_string(),
                 name.to_string(),
                 f(r.mean_elephant_tput(), 2),
                 f(r.loss_rate * 100.0, 4),

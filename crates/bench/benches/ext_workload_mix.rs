@@ -11,7 +11,12 @@ use presto_simcore::{SimDuration, SimTime};
 use presto_testbed::{Scenario, SchemeSpec};
 use presto_workloads::{data_mining, web_search, EmpiricalCdf, FlowSpec};
 
-fn mix_flows(cdf: &EmpiricalCdf, seed: u64, horizon: SimTime, load_gap: SimDuration) -> Vec<FlowSpec> {
+fn mix_flows(
+    cdf: &EmpiricalCdf,
+    seed: u64,
+    horizon: SimTime,
+    load_gap: SimDuration,
+) -> Vec<FlowSpec> {
     let mut flows = Vec::new();
     for src in 0..16usize {
         let mut rng = DetRng::new(seed ^ 0x317).for_stream(src as u64);

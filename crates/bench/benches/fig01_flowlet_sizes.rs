@@ -61,7 +61,10 @@ fn main() {
             .take(10)
             .map(|&b| format!("{:.1}", b as f64 / 1e6))
             .collect();
-        println!("  competing={competing}: top-10 flowlet sizes (MB): {}", top10.join(" "));
+        println!(
+            "  competing={competing}: top-10 flowlet sizes (MB): {}",
+            top10.join(" ")
+        );
     }
     println!();
     tbl.print();

@@ -10,7 +10,7 @@
 //! * throughput and receiver CPU (paper: 9.3 Gbps @ 69% for Presto GRO vs
 //!   4.6 Gbps @ 86% for stock GRO).
 
-use presto_bench::{banner, base_seed, new_table, print_cdf, table::f, sim_duration, warmup_of};
+use presto_bench::{banner, base_seed, new_table, print_cdf, sim_duration, table::f, warmup_of};
 use presto_simcore::{SimDuration, SimTime};
 use presto_testbed::{Scenario, SchemeSpec};
 use presto_workloads::FlowSpec;
@@ -44,12 +44,8 @@ fn main() {
         sc.cpu_sample = Some(SimDuration::from_millis(2));
         let r = sc.run();
         let mut ooo = r.ooo_cell_counts.clone();
-        let zeros = ooo
-            .values()
-            .iter()
-            .filter(|&&v| v == 0.0)
-            .count() as f64
-            / ooo.len().max(1) as f64;
+        let zeros =
+            ooo.values().iter().filter(|&&v| v == 0.0).count() as f64 / ooo.len().max(1) as f64;
         print_cdf(&format!("{label} OOO cells"), &ooo, "cells");
         print_cdf(&format!("{label} seg size"), &r.segment_bytes, "bytes");
         let mut segs = r.segment_bytes.clone();

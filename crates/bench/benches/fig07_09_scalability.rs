@@ -9,9 +9,11 @@
 //! Presto/Optimal/MPTCP achieve near-perfect fairness, ECMP does not
 //! (Fig 9b).
 
-use presto_bench::{banner, base_seed, mean, new_table, print_cdf, runs, sim_duration, table::f, warmup_of};
+use presto_bench::{
+    banner, base_seed, mean, new_table, print_cdf, runs, sim_duration, table::f, warmup_of, workers,
+};
 use presto_simcore::SimTime;
-use presto_testbed::{Scenario, SchemeSpec};
+use presto_testbed::{ParallelRunner, Scenario, SchemeSpec};
 use presto_workloads::FlowSpec;
 
 fn schemes() -> Vec<SchemeSpec> {
@@ -35,14 +37,13 @@ fn main() {
     let mut loss_tbl = new_table(["paths", "ECMP", "MPTCP", "Presto", "Optimal"]);
     let mut rtt8 = Vec::new();
 
-    for paths in [2usize, 3, 4, 5, 6, 7, 8] {
-        let mut tputs = Vec::new();
-        let mut fairs = Vec::new();
-        let mut losses = Vec::new();
-        for scheme in schemes() {
-            let mut per_run_tput = Vec::new();
-            let mut per_run_fair = Vec::new();
-            let mut per_run_loss = Vec::new();
+    // Build the whole sweep up front, fan it out, then aggregate in order.
+    let paths_sweep = [2usize, 3, 4, 5, 6, 7, 8];
+    let schemes = schemes();
+    let mut scenarios = Vec::new();
+    let mut meta = Vec::new();
+    for (pi, &paths) in paths_sweep.iter().enumerate() {
+        for (si, scheme) in schemes.iter().enumerate() {
             for run in 0..runs() {
                 let mut sc = Scenario::scalability(scheme.clone(), paths, base_seed() + run);
                 sc.duration = duration;
@@ -51,38 +52,44 @@ fn main() {
                     .map(|i| FlowSpec::elephant(i, 8 + i, SimTime::ZERO))
                     .collect();
                 sc.probes = (0..paths).map(|i| (i, 8 + i)).collect();
-                let r = sc.run();
-                per_run_tput.push(r.mean_elephant_tput());
-                per_run_fair.push(r.fairness());
-                per_run_loss.push(r.loss_rate * 100.0);
-                if paths == 8 && run == 0 {
-                    rtt8.push((scheme.name, r.rtt_ms.clone()));
-                }
+                scenarios.push(sc);
+                meta.push((pi, si, run));
             }
-            tputs.push(mean(&per_run_tput));
-            fairs.push(mean(&per_run_fair));
-            losses.push(mean(&per_run_loss));
         }
+    }
+    let reports = ParallelRunner::new(workers()).run(&scenarios);
+
+    let empty = || vec![vec![Vec::new(); schemes.len()]; paths_sweep.len()];
+    let (mut tput, mut fair, mut loss) = (empty(), empty(), empty());
+    for (&(pi, si, run), r) in meta.iter().zip(&reports) {
+        tput[pi][si].push(r.mean_elephant_tput());
+        fair[pi][si].push(r.fairness());
+        loss[pi][si].push(r.loss_rate * 100.0);
+        if paths_sweep[pi] == 8 && run == 0 {
+            rtt8.push((schemes[si].name, r.rtt_ms.clone()));
+        }
+    }
+    for (pi, &paths) in paths_sweep.iter().enumerate() {
         tput_tbl.row([
             paths.to_string(),
-            f(tputs[0], 2),
-            f(tputs[1], 2),
-            f(tputs[2], 2),
-            f(tputs[3], 2),
+            f(mean(&tput[pi][0]), 2),
+            f(mean(&tput[pi][1]), 2),
+            f(mean(&tput[pi][2]), 2),
+            f(mean(&tput[pi][3]), 2),
         ]);
         fair_tbl.row([
             paths.to_string(),
-            f(fairs[0], 3),
-            f(fairs[1], 3),
-            f(fairs[2], 3),
-            f(fairs[3], 3),
+            f(mean(&fair[pi][0]), 3),
+            f(mean(&fair[pi][1]), 3),
+            f(mean(&fair[pi][2]), 3),
+            f(mean(&fair[pi][3]), 3),
         ]);
         loss_tbl.row([
             paths.to_string(),
-            f(losses[0], 4),
-            f(losses[1], 4),
-            f(losses[2], 4),
-            f(losses[3], 4),
+            f(mean(&loss[pi][0]), 4),
+            f(mean(&loss[pi][1]), 4),
+            f(mean(&loss[pi][2]), 4),
+            f(mean(&loss[pi][3]), 4),
         ]);
     }
     println!("\nFig 7 — avg flow throughput (Gbps) vs path count:");

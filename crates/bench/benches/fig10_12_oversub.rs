@@ -7,9 +7,11 @@
 //! shows tail latency from its higher loss; Presto & MPTCP are much
 //! fairer than ECMP.
 
-use presto_bench::{banner, base_seed, mean, new_table, print_cdf, runs, sim_duration, table::f, warmup_of};
+use presto_bench::{
+    banner, base_seed, mean, new_table, print_cdf, runs, sim_duration, table::f, warmup_of, workers,
+};
 use presto_simcore::SimTime;
-use presto_testbed::{Scenario, SchemeSpec};
+use presto_testbed::{ParallelRunner, Scenario, SchemeSpec};
 use presto_workloads::FlowSpec;
 
 fn main() {
@@ -30,14 +32,12 @@ fn main() {
     let mut loss_tbl = new_table(["pairs", "ECMP", "MPTCP", "Presto", "Optimal"]);
     let mut rtt_max = Vec::new();
 
-    for pairs in [2usize, 4, 6, 8] {
-        let mut tputs = Vec::new();
-        let mut fairs = Vec::new();
-        let mut losses = Vec::new();
-        for scheme in &schemes {
-            let mut pt = Vec::new();
-            let mut pf = Vec::new();
-            let mut pl = Vec::new();
+    // Build the whole sweep up front, fan it out, then aggregate in order.
+    let pairs_sweep = [2usize, 4, 6, 8];
+    let mut scenarios = Vec::new();
+    let mut meta = Vec::new();
+    for (pi, &pairs) in pairs_sweep.iter().enumerate() {
+        for (si, scheme) in schemes.iter().enumerate() {
             for run in 0..runs() {
                 let mut sc = Scenario::oversubscription(scheme.clone(), base_seed() + run);
                 sc.duration = duration;
@@ -46,39 +46,45 @@ fn main() {
                     .map(|i| FlowSpec::elephant(i, 8 + i, SimTime::ZERO))
                     .collect();
                 sc.probes = (0..pairs).map(|i| (i, 8 + i)).collect();
-                let r = sc.run();
-                pt.push(r.mean_elephant_tput());
-                pf.push(r.fairness());
-                pl.push(r.loss_rate * 100.0);
-                if pairs == 8 && run == 0 {
-                    rtt_max.push((scheme.name, r.rtt_ms.clone()));
-                }
+                scenarios.push(sc);
+                meta.push((pi, si, run));
             }
-            tputs.push(mean(&pt));
-            fairs.push(mean(&pf));
-            losses.push(mean(&pl));
         }
+    }
+    let reports = ParallelRunner::new(workers()).run(&scenarios);
+
+    let empty = || vec![vec![Vec::new(); schemes.len()]; pairs_sweep.len()];
+    let (mut tput, mut fair, mut loss) = (empty(), empty(), empty());
+    for (&(pi, si, run), r) in meta.iter().zip(&reports) {
+        tput[pi][si].push(r.mean_elephant_tput());
+        fair[pi][si].push(r.fairness());
+        loss[pi][si].push(r.loss_rate * 100.0);
+        if pairs_sweep[pi] == 8 && run == 0 {
+            rtt_max.push((schemes[si].name, r.rtt_ms.clone()));
+        }
+    }
+    for (pi, &pairs) in pairs_sweep.iter().enumerate() {
         tput_tbl.row([
             pairs.to_string(),
             format!("{}:1", pairs / 2),
-            f(tputs[0], 2),
-            f(tputs[1], 2),
-            f(tputs[2], 2),
-            f(tputs[3], 2),
+            f(mean(&tput[pi][0]), 2),
+            f(mean(&tput[pi][1]), 2),
+            f(mean(&tput[pi][2]), 2),
+            f(mean(&tput[pi][3]), 2),
         ]);
         fair_tbl.row([
             pairs.to_string(),
-            f(fairs[0], 3),
-            f(fairs[1], 3),
-            f(fairs[2], 3),
-            f(fairs[3], 3),
+            f(mean(&fair[pi][0]), 3),
+            f(mean(&fair[pi][1]), 3),
+            f(mean(&fair[pi][2]), 3),
+            f(mean(&fair[pi][3]), 3),
         ]);
         loss_tbl.row([
             pairs.to_string(),
-            f(losses[0], 4),
-            f(losses[1], 4),
-            f(losses[2], 4),
-            f(losses[3], 4),
+            f(mean(&loss[pi][0]), 4),
+            f(mean(&loss[pi][1]), 4),
+            f(mean(&loss[pi][2]), 4),
+            f(mean(&loss[pi][3]), 4),
         ]);
     }
     println!("\nFig 10 — avg flow throughput (Gbps) vs host pairs:");

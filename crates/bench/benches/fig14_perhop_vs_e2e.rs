@@ -15,7 +15,13 @@ fn main() {
         "Presto + shadow MAC vs Presto + per-hop ECMP, stride",
         "9.3 vs 8.9 Gbps; shadow MAC has the better RTT distribution",
     );
-    let mut tbl = new_table(["variant", "tput(Gbps)", "rtt p50(ms)", "rtt p99(ms)", "loss(%)"]);
+    let mut tbl = new_table([
+        "variant",
+        "tput(Gbps)",
+        "rtt p50(ms)",
+        "rtt p99(ms)",
+        "loss(%)",
+    ]);
     let mut rtts = Vec::new();
     for scheme in [SchemeSpec::presto(), SchemeSpec::presto_ecmp()] {
         let name = scheme.name;

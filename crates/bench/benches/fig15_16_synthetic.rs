@@ -14,11 +14,13 @@
 //! every few ms instead of every 100 ms so short runs gather samples —
 //! each mouse is still an independent 50 KB connection.
 
-use presto_bench::{banner, base_seed, new_table, print_cdf, sim_duration, table::f, warmup_of};
+use presto_bench::{
+    banner, base_seed, new_table, print_cdf, sim_duration, table::f, warmup_of, workers,
+};
 use presto_simcore::SimDuration;
 use presto_testbed::{
-    bijection_elephants, random_elephants, stride_elephants, MiceSpec, Scenario, SchemeSpec,
-    ShuffleSpec,
+    bijection_elephants, random_elephants, stride_elephants, MiceSpec, ParallelRunner, Scenario,
+    SchemeSpec, ShuffleSpec,
 };
 
 fn mice_on_stride(n: usize) -> Vec<MiceSpec> {
@@ -47,12 +49,20 @@ fn main() {
     let workloads = ["shuffle", "random", "stride", "bijection"];
     let mut tput_tbl = new_table(["workload", "ECMP", "MPTCP", "Presto", "Optimal"]);
     let mut fct_cdfs: Vec<(String, presto_metrics::Samples)> = Vec::new();
-    let mut fct_tbl = new_table(["workload", "scheme", "p50(ms)", "p99(ms)", "p99.9(ms)", "timeouts"]);
+    let mut fct_tbl = new_table([
+        "workload",
+        "scheme",
+        "p50(ms)",
+        "p99(ms)",
+        "p99.9(ms)",
+        "timeouts",
+    ]);
 
+    // One scenario per workload × scheme cell, fanned out in parallel;
+    // reports come back in build order, so the tables read identically.
+    let mut scenarios = Vec::new();
     for wl in workloads {
-        let mut row = vec![wl.to_string()];
         for scheme in &schemes {
-            let name = scheme.name;
             let mut sc = Scenario::testbed16(scheme.clone(), base_seed());
             sc.duration = sim_duration() * 2;
             sc.warmup = warmup_of(sc.duration);
@@ -71,7 +81,16 @@ fn main() {
             if wl != "random" {
                 sc.mice = mice_on_stride(16);
             }
-            let r = sc.run();
+            scenarios.push(sc);
+        }
+    }
+    let mut reports = ParallelRunner::new(workers()).run(&scenarios).into_iter();
+
+    for wl in workloads {
+        let mut row = vec![wl.to_string()];
+        for scheme in &schemes {
+            let name = scheme.name;
+            let r = reports.next().expect("report per scenario");
             row.push(f(r.mean_elephant_tput(), 2));
             if matches!(wl, "stride" | "bijection" | "shuffle") {
                 let mut fct = r.mice_fct_ms.clone();

@@ -22,11 +22,15 @@ use presto_workloads::FlowSpec;
 
 /// L1→L4: each host on leaf 0 sends to one host on leaf 3.
 fn l1_to_l4() -> Vec<FlowSpec> {
-    (0..4).map(|i| FlowSpec::elephant(i, 12 + i, SimTime::ZERO)).collect()
+    (0..4)
+        .map(|i| FlowSpec::elephant(i, 12 + i, SimTime::ZERO))
+        .collect()
 }
 
 fn l4_to_l1() -> Vec<FlowSpec> {
-    (0..4).map(|i| FlowSpec::elephant(12 + i, i, SimTime::ZERO)).collect()
+    (0..4)
+        .map(|i| FlowSpec::elephant(12 + i, i, SimTime::ZERO))
+        .collect()
 }
 
 fn main() {
@@ -58,7 +62,8 @@ fn main() {
             }),
         ),
     ];
-    let workloads: [(&str, fn() -> Vec<FlowSpec>); 4] = [
+    type FlowsFn = fn() -> Vec<FlowSpec>;
+    let workloads: [(&str, FlowsFn); 4] = [
         ("L1->L4", l1_to_l4),
         ("L4->L1", l4_to_l1),
         ("stride", || stride_elephants(16, 8)),

@@ -9,10 +9,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use presto_core::FlowcellScheduler;
-use presto_endhost::{tso_split, EdgePolicy, PathTag, ReceiveOffload, TxSegment};
+use presto_endhost::{tso_split, tso_split_into, EdgePolicy, PathTag, ReceiveOffload, TxSegment};
 use presto_gro::{OfficialGro, PrestoGro};
-use presto_netsim::{FlowKey, HostId, Mac, Packet, PacketKind, MSS};
-use presto_simcore::{EventQueue, SimTime};
+use presto_netsim::{FlowKey, HostId, Mac, Packet, PacketKind, PacketPool, MSS};
+use presto_simcore::{EventQueue, HeapEventQueue, SimTime};
 use presto_transport::TcpReceiver;
 
 fn flow() -> FlowKey {
@@ -48,6 +48,58 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(sum)
         })
     });
+}
+
+/// Push `times` in order, then pop everything — one bench body shared by
+/// the calendar [`EventQueue`] and the reference [`HeapEventQueue`].
+macro_rules! queue_bench {
+    ($c:expr, $name:expr, $times:expr, $ty:ty) => {
+        $c.bench_function($name, |b| {
+            b.iter(|| {
+                let mut q: $ty = <$ty>::new();
+                for (i, &t) in $times.iter().enumerate() {
+                    q.push(t, i as u64);
+                }
+                let mut sum = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    sum += v;
+                }
+                black_box(sum)
+            })
+        });
+    };
+}
+
+fn bench_queue_head_to_head(c: &mut Criterion) {
+    // Uniform near-horizon timers: the common case (packet serializations,
+    // coalescing timers) — everything lands in the calendar wheel.
+    let uniform: Vec<SimTime> = (0..2000u64)
+        .map(|i| SimTime::from_nanos((i * 7919) % 100_000))
+        .collect();
+    queue_bench!(c, "queue_uniform_2k_calendar", uniform, EventQueue<u64>);
+    queue_bench!(c, "queue_uniform_2k_heap", uniform, HeapEventQueue<u64>);
+
+    // Bimodal near/far: 80% within 100 µs, 20% RTO-like timers 10-50 ms
+    // out — exercises the overflow tier and its migration.
+    let bimodal: Vec<SimTime> = (0..2000u64)
+        .map(|i| {
+            if i % 5 == 4 {
+                SimTime::from_nanos(10_000_000 + (i * 104_729) % 40_000_000)
+            } else {
+                SimTime::from_nanos((i * 7919) % 100_000)
+            }
+        })
+        .collect();
+    queue_bench!(c, "queue_bimodal_2k_calendar", bimodal, EventQueue<u64>);
+    queue_bench!(c, "queue_bimodal_2k_heap", bimodal, HeapEventQueue<u64>);
+
+    // Same-instant burst: many events at few distinct times (incast
+    // arrivals) — stresses the (time, seq) FIFO tiebreak path.
+    let burst: Vec<SimTime> = (0..2000u64)
+        .map(|i| SimTime::from_nanos((i / 250) * 4096))
+        .collect();
+    queue_bench!(c, "queue_burst_2k_calendar", burst, EventQueue<u64>);
+    queue_bench!(c, "queue_burst_2k_heap", burst, HeapEventQueue<u64>);
 }
 
 fn bench_gro(c: &mut Criterion) {
@@ -88,7 +140,10 @@ fn bench_gro(c: &mut Criterion) {
 fn bench_flowcell_scheduler(c: &mut Criterion) {
     c.bench_function("flowcell_assign_64kb", |b| {
         let mut s = FlowcellScheduler::new();
-        s.set_labels(HostId(1), (0..4).map(|t| Mac::shadow(HostId(1), t)).collect());
+        s.set_labels(
+            HostId(1),
+            (0..4).map(|t| Mac::shadow(HostId(1), t)).collect(),
+        );
         b.iter(|| black_box(s.assign(SimTime::ZERO, flow(), 64 * 1024, false)))
     });
 }
@@ -106,6 +161,28 @@ fn bench_tso(c: &mut Criterion) {
             },
         };
         b.iter(|| black_box(tso_split(seg).len()))
+    });
+    // Same split through the packet pool: the hot path reuses one warm
+    // allocation instead of a fresh 45-packet Vec per segment.
+    c.bench_function("tso_split_64kb_pooled", |b| {
+        let seg = TxSegment {
+            flow: flow(),
+            seq: 0,
+            len: 64 * 1024,
+            retx: false,
+            tag: PathTag {
+                dst_mac: Mac::shadow(HostId(1), 2),
+                flowcell: 9,
+            },
+        };
+        let mut pool = PacketPool::new();
+        b.iter(|| {
+            let mut buf = pool.take();
+            tso_split_into(seg, &mut buf);
+            let n = buf.len();
+            pool.put(buf);
+            black_box(n)
+        })
     });
 }
 
@@ -134,6 +211,6 @@ fn bench_receiver(c: &mut Criterion) {
 criterion_group!(
     name = hotpaths;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_event_queue, bench_gro, bench_flowcell_scheduler, bench_tso, bench_receiver
+    targets = bench_event_queue, bench_queue_head_to_head, bench_gro, bench_flowcell_scheduler, bench_tso, bench_receiver
 );
 criterion_main!(hotpaths);

@@ -17,9 +17,13 @@
 //! ECMP. MPTCP is omitted exactly as the paper omits it (unstable with
 //! many small flows).
 
-use presto_bench::{banner, base_seed, new_table, sim_duration, table::{f, pct_vs}, warmup_of};
+use presto_bench::{
+    banner, base_seed, new_table, sim_duration,
+    table::{f, pct_vs},
+    warmup_of, workers,
+};
 use presto_simcore::{SimDuration, SimTime};
-use presto_testbed::{Scenario, SchemeSpec};
+use presto_testbed::{ParallelRunner, Scenario, SchemeSpec};
 use presto_workloads::{FlowSpec, TraceWorkload};
 
 fn trace_flows(seed: u64, horizon: SimTime) -> Vec<FlowSpec> {
@@ -49,32 +53,44 @@ fn main() {
     );
     let duration = sim_duration() * 4;
     let horizon = SimTime::ZERO + duration;
-    let mut results = Vec::new();
-    for scheme in [SchemeSpec::ecmp(), SchemeSpec::optimal(), SchemeSpec::presto()] {
-        let name = scheme.name;
-        let mut sc = Scenario::testbed16(scheme, base_seed());
-        sc.duration = duration;
-        sc.warmup = warmup_of(duration);
-        let all = trace_flows(base_seed(), horizon);
-        // FCT statistics come from mice only; elephants report throughput
-        // through completion times of their bulk transfers.
-        sc.flows = all;
-        let r = sc.run();
-        results.push((name, r));
-    }
+    let schemes = [
+        SchemeSpec::ecmp(),
+        SchemeSpec::optimal(),
+        SchemeSpec::presto(),
+    ];
+    let scenarios: Vec<Scenario> = schemes
+        .iter()
+        .map(|scheme| {
+            let mut sc = Scenario::testbed16(scheme.clone(), base_seed());
+            sc.duration = duration;
+            sc.warmup = warmup_of(duration);
+            // FCT statistics come from mice only; elephants report
+            // throughput through completion times of their bulk transfers.
+            sc.flows = trace_flows(base_seed(), horizon);
+            sc
+        })
+        .collect();
+    let reports = ParallelRunner::new(workers()).run(&scenarios);
+    let results: Vec<(&str, presto_testbed::Report)> =
+        schemes.iter().map(|s| s.name).zip(reports).collect();
 
     let mut tbl = new_table(["percentile", "ECMP(ms)", "Optimal", "Presto"]);
     let base = &results[0].1.mice_fct_ms;
     for p in [50.0, 90.0, 99.0, 99.9] {
         let b = base.clone().percentile(p).unwrap_or(0.0);
-        let o = results[1].1.mice_fct_ms.clone().percentile(p).unwrap_or(0.0);
-        let pr = results[2].1.mice_fct_ms.clone().percentile(p).unwrap_or(0.0);
-        tbl.row([
-            format!("{p}%"),
-            f(b, 2),
-            pct_vs(b, o),
-            pct_vs(b, pr),
-        ]);
+        let o = results[1]
+            .1
+            .mice_fct_ms
+            .clone()
+            .percentile(p)
+            .unwrap_or(0.0);
+        let pr = results[2]
+            .1
+            .mice_fct_ms
+            .clone()
+            .percentile(p)
+            .unwrap_or(0.0);
+        tbl.row([format!("{p}%"), f(b, 2), pct_vs(b, o), pct_vs(b, pr)]);
     }
     tbl.print();
     println!("\nElephant goodput and run health:");

@@ -17,7 +17,11 @@
 //! and average east-west throughputs 5.7 / 7.4 / 8.2 / 8.9 Gbps for
 //! ECMP / MPTCP / Presto / Optimal.
 
-use presto_bench::{banner, base_seed, new_table, sim_duration, table::{f, pct_vs}, warmup_of};
+use presto_bench::{
+    banner, base_seed, new_table, sim_duration,
+    table::{f, pct_vs},
+    warmup_of,
+};
 use presto_simcore::{SimDuration, SimTime};
 use presto_testbed::{stride_elephants, MiceSpec, Scenario, SchemeSpec};
 use presto_workloads::northsouth::ns_schedule;
@@ -47,7 +51,8 @@ fn main() {
         // North-south: every server to a random remote every 1 ms.
         for src in 0..16usize {
             for nsf in ns_schedule(base_seed(), src, n_remote, SimTime::ZERO + duration) {
-                sc.flows.push(FlowSpec::bulk(src, 16 + nsf.remote, nsf.at, nsf.bytes));
+                sc.flows
+                    .push(FlowSpec::bulk(src, 16 + nsf.remote, nsf.at, nsf.bytes));
             }
         }
         // East-west mice on the stride pairs.

@@ -48,6 +48,21 @@ pub fn base_seed() -> u64 {
         .unwrap_or(1)
 }
 
+/// Worker threads for multi-scenario sweeps, from `PRESTO_WORKERS`
+/// (default: the machine's available parallelism). Reports are identical
+/// for any worker count — see `presto_testbed::ParallelRunner`.
+pub fn workers() -> usize {
+    std::env::var("PRESTO_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
 /// Print a figure banner.
 pub fn banner(id: &str, title: &str, paper: &str) {
     println!();
@@ -55,9 +70,10 @@ pub fn banner(id: &str, title: &str, paper: &str) {
     println!("{id}: {title}");
     println!("paper reports: {paper}");
     println!(
-        "(sim {} per run, {} run(s); set PRESTO_SIM_MS / PRESTO_RUNS to scale)",
+        "(sim {} per run, {} run(s), {} worker(s); set PRESTO_SIM_MS / PRESTO_RUNS / PRESTO_WORKERS)",
         sim_duration(),
-        runs()
+        runs(),
+        workers()
     );
     println!("================================================================");
 }
@@ -121,7 +137,11 @@ mod tests {
     fn env_defaults() {
         assert!(sim_duration() >= SimDuration::from_millis(20));
         assert!(runs() >= 1);
-        assert_eq!(warmup_of(SimDuration::from_millis(80)), SimDuration::from_millis(20));
+        assert!(workers() >= 1);
+        assert_eq!(
+            warmup_of(SimDuration::from_millis(80)),
+            SimDuration::from_millis(20)
+        );
     }
 
     #[test]

@@ -94,7 +94,9 @@ impl Controller {
                     let dst_leaf = topo.host_leaf[h.index()];
                     // Use the same parallel-link index as the tree where
                     // possible; redirected traffic keeps its label.
-                    let j = trees[t].link.min(topo.spine_leaf[&(spine, dst_leaf)].len() - 1);
+                    let j = trees[t]
+                        .link
+                        .min(topo.spine_leaf[&(spine, dst_leaf)].len() - 1);
                     let down = topo.spine_leaf[&(spine, dst_leaf)][j];
                     topo.fabric
                         .switch_mut(spine)
@@ -111,7 +113,9 @@ impl Controller {
                     for j in 0..gamma {
                         let primary = topo.leaf_spine[&(leaf, spines[s])][j];
                         let backup = topo.leaf_spine[&(leaf, spines[(s + 1) % n_spine])][j];
-                        topo.fabric.switch_mut(leaf).install_failover(primary, backup);
+                        topo.fabric
+                            .switch_mut(leaf)
+                            .install_failover(primary, backup);
                     }
                 }
             }
@@ -252,14 +256,22 @@ mod tests {
         for t in 0..ctl.tree_count() as u32 {
             let mac = Mac::shadow(dst, t);
             let leaf0 = topo.leaves[0];
-            let up = topo.fabric.switch(leaf0).l2_lookup(mac).expect("leaf entry");
+            let up = topo
+                .fabric
+                .switch(leaf0)
+                .l2_lookup(mac)
+                .expect("leaf entry");
             // The uplink must terminate at the tree's spine.
             let spine = topo.spines[ctl.trees[t as usize].spine];
             assert_eq!(
                 topo.fabric.link(up).dst,
                 presto_netsim::ids::Node::Switch(spine)
             );
-            let down = topo.fabric.switch(spine).l2_lookup(mac).expect("spine entry");
+            let down = topo
+                .fabric
+                .switch(spine)
+                .l2_lookup(mac)
+                .expect("spine entry");
             let dst_leaf = topo.host_leaf[dst.index()];
             assert_eq!(
                 topo.fabric.link(down).dst,
@@ -337,7 +349,10 @@ mod tests {
             for &h in &topo.hosts {
                 for t in 0..ctl.tree_count() as u32 {
                     assert!(
-                        topo.fabric.switch(spine).l2_lookup(Mac::shadow(h, t)).is_some(),
+                        topo.fabric
+                            .switch(spine)
+                            .l2_lookup(Mac::shadow(h, t))
+                            .is_some(),
                         "spine {spine:?} missing shadow(h{},t{t})",
                         h.0
                     );

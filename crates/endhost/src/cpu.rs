@@ -92,14 +92,24 @@ impl CpuModel {
         }
     }
 
-    /// Process a batch of segments arriving at `now`; returns each segment
-    /// with the time its processing completes (when TCP sees it).
-    pub fn process(&mut self, now: SimTime, segments: Vec<Segment>) -> Vec<(SimTime, Segment)> {
-        let mut out = Vec::with_capacity(segments.len());
-        for seg in segments {
+    /// Process a batch of segments arriving at `now`, appending each
+    /// segment and the time its processing completes (when TCP sees it)
+    /// to `out`. Buffer-reusing hot-path variant.
+    pub fn process_into(
+        &mut self,
+        now: SimTime,
+        segments: &[Segment],
+        out: &mut Vec<(SimTime, Segment)>,
+    ) {
+        out.reserve(segments.len());
+        for &seg in segments {
             let cost = self.costs.segment_cost(&seg)
                 + self.per_packet_extra.saturating_mul(seg.packets as u64);
-            let start = if self.busy_until > now { self.busy_until } else { now };
+            let start = if self.busy_until > now {
+                self.busy_until
+            } else {
+                now
+            };
             let done = start + cost;
             self.busy_until = done;
             self.busy_total += cost;
@@ -107,13 +117,23 @@ impl CpuModel {
             self.packets_processed += seg.packets as u64;
             out.push((done, seg));
         }
+    }
+
+    /// Allocating convenience wrapper over [`CpuModel::process_into`].
+    pub fn process(&mut self, now: SimTime, segments: Vec<Segment>) -> Vec<(SimTime, Segment)> {
+        let mut out = Vec::with_capacity(segments.len());
+        self.process_into(now, &segments, &mut out);
         out
     }
 
     /// Charge miscellaneous work (ACK processing, probe echo) without a
     /// segment attached; returns its completion time.
     pub fn charge(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
-        let start = if self.busy_until > now { self.busy_until } else { now };
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
         let done = start + cost;
         self.busy_until = done;
         self.busy_total += cost;
@@ -187,10 +207,8 @@ mod tests {
     #[test]
     fn big_segments_amortize_cost() {
         let c = CpuCosts::default();
-        let small_per_byte =
-            c.segment_cost(&seg(1460, 1)).as_nanos() as f64 / 1460.0;
-        let big_per_byte =
-            c.segment_cost(&seg(65536, 45)).as_nanos() as f64 / 65536.0;
+        let small_per_byte = c.segment_cost(&seg(1460, 1)).as_nanos() as f64 / 1460.0;
+        let big_per_byte = c.segment_cost(&seg(65536, 45)).as_nanos() as f64 / 65536.0;
         assert!(
             small_per_byte > 3.0 * big_per_byte,
             "per-byte cost should collapse with merging: {small_per_byte} vs {big_per_byte}"

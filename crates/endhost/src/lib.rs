@@ -22,6 +22,6 @@ pub mod offload;
 pub mod vswitch;
 
 pub use cpu::{CpuCosts, CpuModel};
-pub use nic::{make_ack, tso_split, RxAction, RxRing, TxSegment, TSO_MAX_BYTES};
+pub use nic::{make_ack, tso_split, tso_split_into, RxAction, RxRing, TxSegment, TSO_MAX_BYTES};
 pub use offload::{ReceiveOffload, Segment};
 pub use vswitch::{DirectPolicy, EdgePolicy, PathTag, VSwitch};

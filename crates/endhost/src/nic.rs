@@ -35,10 +35,15 @@ pub struct TxSegment {
 }
 
 /// Split an skb into MTU packets, replicating the path tag onto each —
-/// the NIC's TSO engine.
-pub fn tso_split(seg: TxSegment) -> Vec<Packet> {
-    assert!(seg.len > 0 && seg.len <= TSO_MAX_BYTES, "bad TSO segment len {}", seg.len);
-    let mut out = Vec::with_capacity((seg.len as usize).div_ceil(MSS as usize));
+/// the NIC's TSO engine. Appends into `out`, so the hot path can reuse a
+/// pooled buffer instead of allocating per segment.
+pub fn tso_split_into(seg: TxSegment, out: &mut Vec<Packet>) {
+    assert!(
+        seg.len > 0 && seg.len <= TSO_MAX_BYTES,
+        "bad TSO segment len {}",
+        seg.len
+    );
+    out.reserve((seg.len as usize).div_ceil(MSS as usize));
     let mut off = 0u32;
     while off < seg.len {
         let chunk = (seg.len - off).min(MSS);
@@ -56,6 +61,12 @@ pub fn tso_split(seg: TxSegment) -> Vec<Packet> {
         });
         off += chunk;
     }
+}
+
+/// Allocating convenience wrapper over [`tso_split_into`].
+pub fn tso_split(seg: TxSegment) -> Vec<Packet> {
+    let mut out = Vec::with_capacity((seg.len as usize).div_ceil(MSS as usize));
+    tso_split_into(seg, &mut out);
     out
 }
 
@@ -142,6 +153,15 @@ impl RxRing {
     pub fn drain(&mut self) -> Vec<Packet> {
         self.poll_pending = false;
         std::mem::take(&mut self.buf)
+    }
+
+    /// Drain the batch into `out` by buffer swap: `out` receives the
+    /// accumulated packets and the ring keeps `out`'s (cleared) allocation
+    /// for the next interrupt — no allocation on either side once warm.
+    pub fn drain_into(&mut self, out: &mut Vec<Packet>) {
+        self.poll_pending = false;
+        out.clear();
+        std::mem::swap(&mut self.buf, out);
     }
 
     /// Packets currently waiting.
@@ -238,14 +258,21 @@ mod tests {
             dst_host: HostId(1),
             dst_mac: Mac::host(HostId(1)),
             flowcell: 0,
-            kind: PacketKind::Data { seq: 0, len: 1460, retx: false },
+            kind: PacketKind::Data {
+                seq: 0,
+                len: 1460,
+                retx: false,
+            },
         }
     }
 
     #[test]
     fn first_packet_schedules_poll() {
         let mut r = RxRing::new();
-        assert_eq!(r.push(data_pkt()), RxAction::SchedulePoll(SimDuration::from_micros(20)));
+        assert_eq!(
+            r.push(data_pkt()),
+            RxAction::SchedulePoll(SimDuration::from_micros(20))
+        );
         assert_eq!(r.push(data_pkt()), RxAction::None);
         assert_eq!(r.pending(), 2);
     }
@@ -287,7 +314,13 @@ mod tests {
         let f = FlowKey::new(HostId(1), HostId(0), 6, 5);
         let a = make_ack(f, 5000, 8000, tag());
         assert_eq!(a.dst_mac, tag().dst_mac);
-        assert!(matches!(a.kind, PacketKind::Ack { ack: 5000, sack_hi: 8000 }));
+        assert!(matches!(
+            a.kind,
+            PacketKind::Ack {
+                ack: 5000,
+                sack_hi: 8000
+            }
+        ));
         assert_eq!(a.src_host, HostId(1));
         assert_eq!(a.dst_host, HostId(0));
     }

@@ -89,11 +89,23 @@ pub trait ReceiveOffload {
     /// End-of-poll flush: segments to push up, in delivery order.
     fn flush(&mut self, now: SimTime) -> Vec<Segment>;
 
+    /// Buffer-reusing variant of [`ReceiveOffload::flush`]: append the
+    /// flushed segments to `out` instead of allocating. Engines override
+    /// this to make the poll path allocation-free; the default delegates.
+    fn flush_into(&mut self, now: SimTime, out: &mut Vec<Segment>) {
+        out.extend(self.flush(now));
+    }
+
     /// Earliest pending hold timeout, if the engine is holding segments.
     fn next_deadline(&self) -> Option<SimTime>;
 
     /// Fire expired hold timeouts; returns segments released by them.
     fn flush_expired(&mut self, now: SimTime) -> Vec<Segment>;
+
+    /// Buffer-reusing variant of [`ReceiveOffload::flush_expired`].
+    fn flush_expired_into(&mut self, now: SimTime, out: &mut Vec<Segment>) {
+        out.extend(self.flush_expired(now));
+    }
 
     /// `(reorders masked, hold timeouts fired)` — nonzero only for engines
     /// that hold segments (Presto's GRO).
@@ -114,7 +126,11 @@ mod tests {
             dst_host: HostId(1),
             dst_mac: Mac::host(HostId(1)),
             flowcell,
-            kind: PacketKind::Data { seq, len, retx: false },
+            kind: PacketKind::Data {
+                seq,
+                len,
+                retx: false,
+            },
         }
     }
 
@@ -172,7 +188,11 @@ mod tests {
     fn merge_propagates_retx_flag() {
         let mut s = Segment::from_packet(&pkt(0, 1460, 0));
         let mut r = pkt(1460, 1460, 0);
-        r.kind = PacketKind::Data { seq: 1460, len: 1460, retx: true };
+        r.kind = PacketKind::Data {
+            seq: 1460,
+            len: 1460,
+            retx: true,
+        };
         assert!(s.try_merge_tail(&r));
         assert!(s.retx);
     }

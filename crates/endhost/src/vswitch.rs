@@ -180,8 +180,14 @@ mod tests {
     #[test]
     fn set_policy_replaces_behaviour() {
         let mut v = VSwitch::new(HostId(0), Box::new(Alternating { count: 0 }));
-        assert!(v.process(SimTime::ZERO, flow(), 1, false).dst_mac.is_shadow());
+        assert!(v
+            .process(SimTime::ZERO, flow(), 1, false)
+            .dst_mac
+            .is_shadow());
         v.set_policy(Box::new(DirectPolicy));
-        assert!(!v.process(SimTime::ZERO, flow(), 1, false).dst_mac.is_shadow());
+        assert!(!v
+            .process(SimTime::ZERO, flow(), 1, false)
+            .dst_mac
+            .is_shadow());
     }
 }

@@ -61,13 +61,20 @@ impl ReceiveOffload for OfficialGro {
         }
     }
 
-    fn flush(&mut self, _now: SimTime) -> Vec<Segment> {
-        let mut out = std::mem::take(&mut self.ready);
-        // End-of-poll flush pushes up every segment in the gro_list.
-        let list = std::mem::take(&mut self.gro_list);
-        out.extend(list.into_values());
-        self.segments_pushed += out.len() as u64;
+    fn flush(&mut self, now: SimTime) -> Vec<Segment> {
+        let mut out = Vec::new();
+        self.flush_into(now, &mut out);
         out
+    }
+
+    fn flush_into(&mut self, _now: SimTime, out: &mut Vec<Segment>) {
+        let pushed = self.ready.len() + self.gro_list.len();
+        out.append(&mut self.ready);
+        // End-of-poll flush pushes up every segment in the gro_list.
+        // Draining in place keeps the map's allocation for the next poll.
+        out.extend(self.gro_list.values().copied());
+        self.gro_list.clear();
+        self.segments_pushed += pushed as u64;
     }
 
     fn next_deadline(&self) -> Option<SimTime> {
@@ -78,6 +85,8 @@ impl ReceiveOffload for OfficialGro {
     fn flush_expired(&mut self, _now: SimTime) -> Vec<Segment> {
         Vec::new()
     }
+
+    fn flush_expired_into(&mut self, _now: SimTime, _out: &mut Vec<Segment>) {}
 }
 
 #[cfg(test)]
@@ -92,7 +101,11 @@ mod tests {
             dst_host: HostId(1),
             dst_mac: Mac::host(HostId(1)),
             flowcell,
-            kind: PacketKind::Data { seq, len: MSS as u32, retx: false },
+            kind: PacketKind::Data {
+                seq,
+                len: MSS,
+                retx: false,
+            },
         }
     }
 

@@ -304,17 +304,22 @@ impl PrestoGro {
         f.segs = kept;
     }
 
-    fn flush_impl(&mut self, now: SimTime) -> Vec<Segment> {
-        let mut out = Vec::new();
+    fn flush_impl_into(&mut self, now: SimTime, out: &mut Vec<Segment>) {
+        let before = out.len();
         let cfg = self.cfg.clone();
         let mut masked = 0u64;
         let mut fired = 0u64;
         for f in self.flows.values_mut() {
-            Self::flush_flow(&cfg, f, now, &mut out, &mut masked, &mut fired);
+            Self::flush_flow(&cfg, f, now, out, &mut masked, &mut fired);
         }
         self.reorders_masked += masked;
         self.timeout_fires += fired;
-        self.segments_pushed += out.len() as u64;
+        self.segments_pushed += (out.len() - before) as u64;
+    }
+
+    fn flush_impl(&mut self, now: SimTime) -> Vec<Segment> {
+        let mut out = Vec::new();
+        self.flush_impl_into(now, &mut out);
         out
     }
 }
@@ -360,6 +365,10 @@ impl ReceiveOffload for PrestoGro {
         self.flush_impl(now)
     }
 
+    fn flush_into(&mut self, now: SimTime, out: &mut Vec<Segment>) {
+        self.flush_impl_into(now, out);
+    }
+
     fn next_deadline(&self) -> Option<SimTime> {
         let mut min: Option<SimTime> = None;
         for f in self.flows.values() {
@@ -384,6 +393,10 @@ impl ReceiveOffload for PrestoGro {
 
     fn flush_expired(&mut self, now: SimTime) -> Vec<Segment> {
         self.flush_impl(now)
+    }
+
+    fn flush_expired_into(&mut self, now: SimTime, out: &mut Vec<Segment>) {
+        self.flush_impl_into(now, out);
     }
 
     fn reorder_stats(&self) -> (u64, u64) {
@@ -548,14 +561,9 @@ mod tests {
                 g.on_packet(t, &pkt(i));
             }
             // next cell's tail arrives first (gap at boundary)
-            for i in [base + CELL + 1] {
-                g.on_packet(t, &pkt(i - 1 + 1));
-            }
+            g.on_packet(t, &pkt(base + CELL + 1));
             g.flush(t);
             t += SimDuration::from_micros(50);
-            for i in [base + CELL] {
-                let _ = i;
-            }
             // fill the gap: push remaining packets of the next cell
             for i in [base + CELL, base + CELL + 2, base + CELL + 3] {
                 g.on_packet(t, &pkt(i));
@@ -635,7 +643,13 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(delivered, sorted, "TCP saw reordering: {delivered:?}");
         // All 12 packets' bytes delivered.
-        assert_eq!(delivered.len(), delivered.iter().collect::<std::collections::HashSet<_>>().len());
+        assert_eq!(
+            delivered.len(),
+            delivered
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        );
     }
 
     #[test]
@@ -647,9 +661,11 @@ mod tests {
 
     #[test]
     fn max_hold_clamps_the_timeout() {
-        let mut cfg = PrestoGroConfig::default();
-        cfg.ewma_init = SimDuration::from_millis(100); // huge estimator
-        cfg.max_hold = SimDuration::from_micros(50);
+        let cfg = PrestoGroConfig {
+            ewma_init: SimDuration::from_millis(100), // huge estimator
+            max_hold: SimDuration::from_micros(50),
+            ..PrestoGroConfig::default()
+        };
         let mut g = PrestoGro::with_config(cfg);
         let t0 = SimTime::from_micros(10);
         for i in [0u64, 1, 2, 3, 8] {

@@ -121,7 +121,10 @@ mod tests {
 
     fn policy(gap_us: u64) -> FlowletPolicy {
         let mut p = FlowletPolicy::new(SimDuration::from_micros(gap_us));
-        p.set_labels(HostId(9), (0..4).map(|t| Mac::shadow(HostId(9), t)).collect());
+        p.set_labels(
+            HostId(9),
+            (0..4).map(|t| Mac::shadow(HostId(9), t)).collect(),
+        );
         p
     }
 

@@ -74,7 +74,10 @@ mod tests {
     #[test]
     fn every_skb_rotates() {
         let mut p = PerPacketPolicy::new();
-        p.set_labels(HostId(9), (0..4).map(|t| Mac::shadow(HostId(9), t)).collect());
+        p.set_labels(
+            HostId(9),
+            (0..4).map(|t| Mac::shadow(HostId(9), t)).collect(),
+        );
         let tags: Vec<PathTag> = (0..8)
             .map(|_| p.assign(SimTime::ZERO, flow(), 1460, false))
             .collect();
@@ -89,7 +92,10 @@ mod tests {
     #[test]
     fn even_byte_spread() {
         let mut p = PerPacketPolicy::new();
-        p.set_labels(HostId(9), (0..4).map(|t| Mac::shadow(HostId(9), t)).collect());
+        p.set_labels(
+            HostId(9),
+            (0..4).map(|t| Mac::shadow(HostId(9), t)).collect(),
+        );
         let mut counts: HashMap<Mac, u32> = HashMap::new();
         for _ in 0..400 {
             *counts

@@ -102,7 +102,11 @@ impl LogHistogram {
             if seen + c >= target {
                 let into = (target - seen) as f64 / c as f64;
                 let lo = 1u64 << i;
-                let hi = if i == 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let hi = if i == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 let est = lo as f64 + into * (hi - lo) as f64;
                 // Clamp into the recorded range for tighter tails.
                 return Some((est as u64).clamp(self.min, self.max));

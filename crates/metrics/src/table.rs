@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn float_helper() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(3.456, 2), "3.46");
         assert_eq!(f(1.0, 0), "1");
     }
 }

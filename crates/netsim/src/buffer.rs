@@ -52,10 +52,19 @@ impl SharedBuffer {
     /// The DT admission test: may a packet of `wire` bytes join a queue
     /// currently holding `queue_bytes`?
     pub fn admits(&self, queue_bytes: u64, wire: u64) -> bool {
-        if self.used + wire > self.pool_bytes {
+        self.admits_with_credit(0, queue_bytes, wire)
+    }
+
+    /// [`SharedBuffer::admits`] with `credit` bytes virtually released:
+    /// packets that finished serializing but whose batched `TxDone` has
+    /// not yet settled the pool (see `Link::finished_unsettled`). Keeps
+    /// DT admission exact under departure batching.
+    pub fn admits_with_credit(&self, credit: u64, queue_bytes: u64, wire: u64) -> bool {
+        let used = self.used.saturating_sub(credit);
+        if used + wire > self.pool_bytes {
             return false;
         }
-        let threshold = self.alpha * self.free() as f64;
+        let threshold = self.alpha * (self.pool_bytes - used) as f64;
         (queue_bytes as f64) < threshold
     }
 

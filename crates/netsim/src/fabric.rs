@@ -52,6 +52,10 @@ pub struct Fabric {
     /// Optional shared-memory buffer per switch (dynamic-threshold
     /// admission); `None` = static per-port drop-tail.
     shared: Vec<Option<SharedBuffer>>,
+    /// Egress links per switch index (links whose `src` is the switch) —
+    /// used to compute the pool's virtual-settlement credit under
+    /// departure batching.
+    egress: Vec<Vec<LinkId>>,
     /// Host uplink (host → leaf) per host index.
     host_uplink: Vec<LinkId>,
 }
@@ -67,6 +71,7 @@ impl Fabric {
         let id = SwitchId(self.switches.len() as u32);
         self.switches.push(Switch::new(id));
         self.shared.push(None);
+        self.egress.push(Vec::new());
         id
     }
 
@@ -86,6 +91,9 @@ impl Fabric {
     /// Add a unidirectional link, returning its id.
     pub fn add_link(&mut self, link: Link) -> LinkId {
         let id = LinkId(self.links.len() as u32);
+        if let Node::Switch(sw) = link.src {
+            self.egress[sw.index()].push(id);
+        }
         self.links.push(link);
         id
     }
@@ -93,7 +101,11 @@ impl Fabric {
     /// Register a host's uplink. Hosts must be registered in id order
     /// (host 0 first); panics otherwise.
     pub fn attach_host(&mut self, host: HostId, uplink: LinkId) {
-        assert_eq!(host.index(), self.host_uplink.len(), "hosts must attach in order");
+        assert_eq!(
+            host.index(),
+            self.host_uplink.len(),
+            "hosts must attach in order"
+        );
         self.host_uplink.push(uplink);
     }
 
@@ -154,28 +166,21 @@ impl Fabric {
         match ev {
             NetEvent::TxDone { link } => {
                 let l = &mut self.links[link.index()];
-                let (pkt, next) = l.tx_done();
-                let prop = l.propagation;
+                let (bytes, _pkts) = l.settle_batch();
                 let src = l.src;
-                if let Some(d) = next {
-                    s.schedule_net(d, NetEvent::TxDone { link });
-                }
-                // Release shared-buffer occupancy at the egress switch.
+                // Release shared-buffer occupancy at the egress switch for
+                // the whole settled batch.
                 if let Node::Switch(sw) = src {
                     if let Some(buf) = &mut self.shared[sw.index()] {
-                        buf.on_dequeue(pkt.wire_bytes() as u64);
+                        buf.on_dequeue(bytes);
                     }
                 }
-                // The packet is committed to the wire; propagation loss on a
-                // failed link is modeled at forwarding time, not here.
-                s.schedule_net(prop, NetEvent::Arrive { link, packet: pkt });
+                self.start_tx(link, s);
             }
-            NetEvent::Arrive { link, packet } => {
-                match self.links[link.index()].dst {
-                    Node::Host(h) => s.deliver(h, packet),
-                    Node::Switch(sw) => self.forward_at(sw, packet, s),
-                }
-            }
+            NetEvent::Arrive { link, packet } => match self.links[link.index()].dst {
+                Node::Host(h) => s.deliver(h, packet),
+                Node::Switch(sw) => self.forward_at(sw, packet, s),
+            },
         }
     }
 
@@ -190,33 +195,74 @@ impl Fabric {
     }
 
     fn enqueue_on(&mut self, link: LinkId, packet: Packet, s: &mut impl NetScheduler) -> bool {
+        let now = s.now();
         // Shared-buffer admission at switch egress, when configured.
         let wire = packet.wire_bytes() as u64;
         let mut charge_pool: Option<usize> = None;
         if let Node::Switch(sw) = self.links[link.index()].src {
             if let Some(buf) = &self.shared[sw.index()] {
-                if !buf.admits(self.links[link.index()].queued_bytes(), wire) {
+                // Credit the pool for committed packets that already left
+                // the wire: batched TxDone settles them late, and DT
+                // admission must see the per-packet-model occupancy.
+                let credit: u64 = self.egress[sw.index()]
+                    .iter()
+                    .map(|l| self.links[l.index()].finished_unsettled(now))
+                    .sum();
+                if !buf.admits_with_credit(credit, self.links[link.index()].occupancy(now), wire) {
                     self.links[link.index()].count_admission_drop(&packet);
                     return false;
                 }
                 charge_pool = Some(sw.index());
             }
         }
-        match self.links[link.index()].enqueue(packet) {
-            Enqueue::StartTx(d) => {
+        match self.links[link.index()].enqueue(now, packet) {
+            Enqueue::StartTx => {
                 if let Some(i) = charge_pool {
-                    self.shared[i].as_mut().expect("pool exists").on_enqueue(wire);
+                    self.shared[i]
+                        .as_mut()
+                        .expect("pool exists")
+                        .on_enqueue(wire);
                 }
-                s.schedule_net(d, NetEvent::TxDone { link });
+                self.start_tx(link, s);
                 true
             }
             Enqueue::Queued => {
                 if let Some(i) = charge_pool {
-                    self.shared[i].as_mut().expect("pool exists").on_enqueue(wire);
+                    self.shared[i]
+                        .as_mut()
+                        .expect("pool exists")
+                        .on_enqueue(wire);
                 }
                 true
             }
             Enqueue::Dropped => false,
+        }
+    }
+
+    /// Commit the next departure batch on `link`: pre-schedule each
+    /// committed packet's arrival at its exact completion + propagation
+    /// instant, and one `TxDone` at the batch's last completion. Packets
+    /// are committed to the wire here; propagation loss on a link that
+    /// fails mid-batch is modeled at forwarding time, not here.
+    fn start_tx(&mut self, link: LinkId, s: &mut impl NetScheduler) {
+        let now = s.now();
+        let l = &mut self.links[link.index()];
+        let prop = l.propagation;
+        let last = l.commit_batch(now, |packet, completion| {
+            s.schedule_net(completion + prop, NetEvent::Arrive { link, packet });
+        });
+        if let Some(last) = last {
+            s.schedule_net(last, NetEvent::TxDone { link });
+        }
+    }
+
+    /// Set the departure batch size on every link (1 = the classic
+    /// one-event-per-packet model). Arrival times are identical for any
+    /// batch size; only queue-release accounting granularity changes.
+    pub fn set_tx_batch(&mut self, batch: u32) {
+        let batch = batch.max(1);
+        for l in &mut self.links {
+            l.tx_batch = batch;
         }
     }
 
@@ -234,7 +280,11 @@ impl Fabric {
     /// Total data packets tail-dropped or unroutable across the fabric —
     /// the paper's loss-rate numerator.
     pub fn total_data_drops(&self) -> u64 {
-        let q: u64 = self.links.iter().map(|l| l.counters.dropped_data_packets).sum();
+        let q: u64 = self
+            .links
+            .iter()
+            .map(|l| l.counters.dropped_data_packets)
+            .sum();
         let r: u64 = self.switches.iter().map(|s| s.no_route_drops).sum();
         q + r
     }
@@ -362,7 +412,11 @@ mod tests {
             dst_host: HostId(1),
             dst_mac: Mac::host(HostId(1)),
             flowcell: 0,
-            kind: PacketKind::Data { seq, len, retx: false },
+            kind: PacketKind::Data {
+                seq,
+                len,
+                retx: false,
+            },
         }
     }
 
@@ -441,7 +495,10 @@ mod tests {
         let (mut f, _, down1) = two_host_fabric();
         f.link_mut(down1).rate_bps = 1_000_000_000;
         f.link_mut(down1).queue_capacity_bytes = u64::MAX >> 1;
-        f.set_shared_buffer(SwitchId(0), crate::buffer::SharedBuffer::new(10 * 1538, 1.0));
+        f.set_shared_buffer(
+            SwitchId(0),
+            crate::buffer::SharedBuffer::new(10 * 1538, 1.0),
+        );
         let mut h = Harness::new();
         for i in 0..40 {
             h.inject(&mut f, HostId(0), data_pkt(MSS, i * MSS as u64));
@@ -451,6 +508,33 @@ mod tests {
         assert!(f.total_data_drops() > 0);
         let buf = f.shared_buffer(SwitchId(0)).unwrap();
         assert_eq!(buf.used(), 0, "pool must drain to zero");
+    }
+
+    #[test]
+    fn batched_departures_keep_exact_delivery_times() {
+        // The departure batch only coalesces TxDone bookkeeping; every
+        // packet's arrival instant must be bit-identical to the classic
+        // one-event-per-packet model.
+        let mut traces = Vec::new();
+        for batch in [1u32, 4, 8, 64] {
+            let (mut f, ..) = two_host_fabric();
+            f.set_tx_batch(batch);
+            let mut h = Harness::new();
+            for i in 0..25 {
+                assert!(h.inject(&mut f, HostId(0), data_pkt(MSS, i * MSS as u64)));
+            }
+            h.run(&mut f);
+            let trace: Vec<(u64, Option<u64>)> = h
+                .delivered
+                .iter()
+                .map(|(t, _, p)| (t.as_nanos(), p.end_seq()))
+                .collect();
+            assert_eq!(trace.len(), 25);
+            traces.push(trace);
+        }
+        for t in &traces[1..] {
+            assert_eq!(t, &traces[0], "delivery trace changed with batch size");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod fabric;
 pub mod ids;
 pub mod link;
 pub mod packet;
+pub mod pool;
 pub mod switch;
 pub mod topology;
 
@@ -27,5 +28,6 @@ pub use fabric::{Fabric, NetEvent, NetScheduler};
 pub use ids::{HostId, LinkId, Mac, SwitchId};
 pub use link::{Link, LinkCounters};
 pub use packet::{FlowKey, Packet, PacketKind, ACK_WIRE_BYTES, MSS, WIRE_OVERHEAD};
+pub use pool::{BufferPool, PacketPool};
 pub use switch::{EcmpMode, Switch};
 pub use topology::{ClosSpec, Topology};

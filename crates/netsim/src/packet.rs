@@ -39,7 +39,12 @@ pub struct FlowKey {
 impl FlowKey {
     /// Construct a flow key.
     pub fn new(src: HostId, dst: HostId, sport: u16, dport: u16) -> Self {
-        FlowKey { src, dst, sport, dport }
+        FlowKey {
+            src,
+            dst,
+            sport,
+            dport,
+        }
     }
 
     /// The reverse direction (where ACKs travel).
@@ -180,7 +185,11 @@ mod tests {
             dst_host: HostId(2),
             dst_mac: Mac::host(HostId(2)),
             flowcell: 0,
-            kind: PacketKind::Data { seq: 0, len: MSS, retx: false },
+            kind: PacketKind::Data {
+                seq: 0,
+                len: MSS,
+                retx: false,
+            },
         };
         assert_eq!(data.wire_bytes(), MSS + WIRE_OVERHEAD);
         assert_eq!(data.payload_bytes(), MSS);
@@ -188,7 +197,10 @@ mod tests {
         assert_eq!(data.end_seq(), Some(MSS as u64));
 
         let ack = Packet {
-            kind: PacketKind::Ack { ack: 100, sack_hi: 100 },
+            kind: PacketKind::Ack {
+                ack: 100,
+                sack_hi: 100,
+            },
             ..data
         };
         assert_eq!(ack.wire_bytes(), ACK_WIRE_BYTES);

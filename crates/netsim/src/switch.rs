@@ -158,7 +158,11 @@ mod tests {
             dst_host: HostId(9),
             dst_mac,
             flowcell,
-            kind: PacketKind::Data { seq: 0, len: 1460, retx: false },
+            kind: PacketKind::Data {
+                seq: 0,
+                len: 1460,
+                retx: false,
+            },
         }
     }
 
@@ -192,7 +196,10 @@ mod tests {
         sw.install_ecmp(HostId(9), links);
         let mut used = std::collections::HashSet::new();
         for sport in 0..64 {
-            used.insert(sw.forward(&pkt(sport, 0, Mac::host(HostId(9))), |_| true).unwrap());
+            used.insert(
+                sw.forward(&pkt(sport, 0, Mac::host(HostId(9))), |_| true)
+                    .unwrap(),
+            );
         }
         assert_eq!(used.len(), 4, "64 flows should hit all 4 links");
     }
@@ -204,7 +211,10 @@ mod tests {
         sw.install_ecmp(HostId(9), (0..4).map(LinkId).collect());
         let mut used = std::collections::HashSet::new();
         for cell in 0..64 {
-            used.insert(sw.forward(&pkt(7, cell, Mac::host(HostId(9))), |_| true).unwrap());
+            used.insert(
+                sw.forward(&pkt(7, cell, Mac::host(HostId(9))), |_| true)
+                    .unwrap(),
+            );
         }
         assert_eq!(used.len(), 4, "one flow's flowcells should hit all links");
     }

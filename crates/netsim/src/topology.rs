@@ -230,7 +230,9 @@ impl Topology {
             queue_bytes,
         ));
         self.fabric.attach_host(host, up);
-        self.fabric.switch_mut(switch).install_l2(Mac::host(host), down);
+        self.fabric
+            .switch_mut(switch)
+            .install_l2(Mac::host(host), down);
         self.hosts.push(host);
         self.host_leaf.push(switch);
         self.host_up.push(up);
@@ -370,7 +372,10 @@ mod tests {
         }
         // Per-port static caps are raised to the pool size.
         let some_link = t.leaf_spine[&(t.leaves[0], t.spines[0])][0];
-        assert_eq!(t.fabric.link(some_link).queue_capacity_bytes, 4 * 1024 * 1024);
+        assert_eq!(
+            t.fabric.link(some_link).queue_capacity_bytes,
+            4 * 1024 * 1024
+        );
     }
 
     #[test]
@@ -390,12 +395,16 @@ mod tests {
             Some(t.host_down[0])
         );
         // And no entry for a remote host's real MAC.
-        assert_eq!(t.fabric.switch(t.leaves[0]).l2_lookup(Mac::host(HostId(4))), None);
+        assert_eq!(
+            t.fabric.switch(t.leaves[0]).l2_lookup(Mac::host(HostId(4))),
+            None
+        );
     }
 
     #[test]
     fn single_switch_routing_delivers_all() {
-        let mut t = Topology::single_switch(4, 10_000_000_000, SimDuration::from_micros(1), 1 << 20);
+        let mut t =
+            Topology::single_switch(4, 10_000_000_000, SimDuration::from_micros(1), 1 << 20);
         t.install_basic_routing();
         let sw = t.leaves[0];
         for &h in &t.hosts {

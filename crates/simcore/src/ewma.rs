@@ -23,7 +23,10 @@ impl Ewma {
     /// # Panics
     /// Panics if `weight` is outside `(0, 1]` or `initial` is not finite.
     pub fn new(weight: f64, initial: f64) -> Self {
-        assert!(weight > 0.0 && weight <= 1.0, "EWMA weight must be in (0,1]");
+        assert!(
+            weight > 0.0 && weight <= 1.0,
+            "EWMA weight must be in (0,1]"
+        );
         assert!(initial.is_finite(), "EWMA initial value must be finite");
         Ewma {
             weight,

@@ -14,11 +14,11 @@
 //! scheduled for the same instant are popped in the order they were pushed,
 //! which the event queue enforces with a monotone sequence number.
 
-pub mod ewma;
 pub mod events;
+pub mod ewma;
 pub mod rng;
 pub mod time;
 
+pub use events::{EventQueue, HeapEventQueue};
 pub use ewma::Ewma;
-pub use events::EventQueue;
 pub use time::{SimDuration, SimTime};

@@ -148,8 +148,7 @@ impl SimDuration {
         let bits = bytes * 8;
         // ceil(bits * 1e9 / rate) without overflow for realistic inputs:
         // bytes < 2^40 and rates >= 1 Mbps keep the product within u128.
-        let ns = ((bits as u128) * 1_000_000_000 + (bits_per_sec as u128) - 1)
-            / (bits_per_sec as u128);
+        let ns = ((bits as u128) * 1_000_000_000).div_ceil(bits_per_sec as u128);
         SimDuration(ns as u64)
     }
 
@@ -296,7 +295,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_nanos(2_000_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_nanos(2_000_000_000)
+        );
     }
 
     #[test]
@@ -333,7 +335,10 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimTime::ZERO.saturating_since(SimTime::from_secs(1)),
             SimDuration::ZERO

@@ -26,7 +26,10 @@ fn main() {
     println!("mean tput         {:.2} Gbps", r.mean_elephant_tput());
     println!(
         "tputs             {:?}",
-        r.elephant_tputs.iter().map(|t| (t * 10.0).round() / 10.0).collect::<Vec<_>>()
+        r.elephant_tputs
+            .iter()
+            .map(|t| (t * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
     );
     println!("fairness          {:.3}", r.fairness());
     println!("loss rate         {:.5}", r.loss_rate);

@@ -26,11 +26,13 @@
 //! ```
 
 pub mod report;
+pub mod runner;
 pub mod scenario;
 pub mod scheme;
 pub mod sim;
 
 pub use report::Report;
+pub use runner::ParallelRunner;
 pub use scenario::{
     bijection_elephants, random_elephants, stride_elephants, FailureSpec, MiceSpec, Scenario,
     ShuffleSpec,

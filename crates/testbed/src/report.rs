@@ -65,6 +65,52 @@ impl Report {
         fairness::jain_index(&self.elephant_tputs)
     }
 
+    /// Bit-exact fingerprint of the full report.
+    ///
+    /// Folds every field — float values by their IEEE-754 bit patterns,
+    /// map entries in sorted key order so `HashMap` iteration order can't
+    /// leak in — into one FNV-1a word. Two runs are behaviourally
+    /// identical iff their digests match, which is how the parallel
+    /// runner's determinism contract is tested: the digest of scenario
+    /// *i* must not depend on the number of worker threads.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.bytes(self.scheme.as_bytes());
+        h.f64s(&self.elephant_tputs);
+        h.f64s(self.mice_fct_ms.values());
+        h.f64s(self.rtt_ms.values());
+        h.f64(self.loss_rate);
+        let mut cpu_keys: Vec<u32> = self.cpu_util.keys().copied().collect();
+        cpu_keys.sort_unstable();
+        for k in cpu_keys {
+            h.u64(k as u64);
+            for &(t, v) in self.cpu_util[&k].points() {
+                h.f64(t);
+                h.f64(v);
+            }
+        }
+        h.f64s(self.segment_bytes.values());
+        h.f64s(self.ooo_cell_counts.values());
+        h.u64(self.tcp_ooo_segments);
+        h.f64(self.reordered_fraction);
+        h.u64(self.retransmissions);
+        h.u64(self.timeouts);
+        h.u64(self.fast_retransmits);
+        h.u64(self.flowcells);
+        h.u64(self.gro_reorders_masked);
+        h.u64(self.gro_timeout_fires);
+        let mut fl_keys: Vec<u32> = self.flowlet_sizes.keys().copied().collect();
+        fl_keys.sort_unstable();
+        for k in fl_keys {
+            h.u64(k as u64);
+            for &s in &self.flowlet_sizes[&k] {
+                h.u64(s);
+            }
+        }
+        h.u64(self.events_processed);
+        h.finish()
+    }
+
     /// Mean receiver CPU utilization (percent) across hosts that did any
     /// work.
     pub fn mean_cpu_util(&self) -> f64 {
@@ -79,6 +125,40 @@ impl Report {
         } else {
             means.iter().sum::<f64>() / means.len() as f64
         }
+    }
+}
+
+/// Incremental FNV-1a, 64-bit.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        // Length terminator so concatenated fields can't alias.
+        let len = bytes.len() as u64;
+        for b in len.to_le_bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn f64s(&mut self, vs: &[f64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -139,6 +219,29 @@ mod tests {
     fn ooo_single_segment_cells() {
         let seq = [5, 6, 7];
         assert_eq!(ooo_cell_counts(&seq), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let mut a = Report {
+            scheme: "presto".into(),
+            elephant_tputs: vec![9.0, 9.2],
+            ..Report::default()
+        };
+        a.cpu_util.insert(3, TimeSeries::new());
+        a.cpu_util.insert(1, TimeSeries::new());
+        let mut b = Report {
+            scheme: "presto".into(),
+            elephant_tputs: vec![9.0, 9.2],
+            ..Report::default()
+        };
+        // Insert keys in the opposite order: HashMap iteration order must
+        // not leak into the digest.
+        b.cpu_util.insert(1, TimeSeries::new());
+        b.cpu_util.insert(3, TimeSeries::new());
+        assert_eq!(a.digest(), b.digest());
+        b.elephant_tputs[1] = 9.200000001;
+        assert_ne!(a.digest(), b.digest(), "digest must see tiny changes");
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Parallel multi-scenario execution.
+//!
+//! Every figure harness sweeps a grid of independent [`Scenario`]s —
+//! schemes × topology sizes × seeds. Each simulation is strictly
+//! single-threaded and fully determined by its scenario (topology, scheme,
+//! seed), so the sweep is embarrassingly parallel: [`ParallelRunner`] fans
+//! the scenarios out over scoped worker threads and returns the reports
+//! in scenario order.
+//!
+//! # Determinism contract
+//!
+//! The report for scenario `i` is byte-identical no matter how many
+//! workers run the sweep (see [`Report::digest`]). That holds because:
+//!
+//! * workers share **no** mutable simulation state — each `Scenario::run`
+//!   builds a private `Simulation` seeded only from the scenario;
+//! * work is claimed from an atomic counter, which only decides *which
+//!   thread* runs a scenario, never *what* it computes;
+//! * results land in a per-index slot and are returned in index order,
+//!   so completion order (which is timing-dependent) is unobservable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::report::Report;
+use crate::scenario::Scenario;
+
+/// Fans independent scenario runs over `workers` scoped threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelRunner {
+    /// Number of worker threads (≥ 1).
+    pub workers: usize,
+}
+
+impl ParallelRunner {
+    /// A runner with exactly `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        ParallelRunner {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A runner sized to the machine's available parallelism.
+    pub fn available() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Run every scenario; reports come back in scenario order.
+    pub fn run(&self, scenarios: &[Scenario]) -> Vec<Report> {
+        if self.workers == 1 || scenarios.len() <= 1 {
+            // Serial reference path — also what the determinism tests
+            // compare the threaded path against.
+            return scenarios.iter().map(Scenario::run).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Report>>> =
+            scenarios.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(scenarios.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(sc) = scenarios.get(i) else { break };
+                    let report = sc.run();
+                    *slots[i].lock().expect("result slot poisoned") = Some(report);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every scenario produced a report")
+            })
+            .collect()
+    }
+
+    /// Run scenarios and fold each report through `f` — convenience for
+    /// harnesses that tabulate `(scenario, report)` rows in sweep order.
+    pub fn run_map<T>(
+        &self,
+        scenarios: &[Scenario],
+        mut f: impl FnMut(&Scenario, Report) -> T,
+    ) -> Vec<T> {
+        let reports = self.run(scenarios);
+        scenarios
+            .iter()
+            .zip(reports)
+            .map(|(s, r)| f(s, r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::stride_elephants;
+    use crate::scheme::SchemeSpec;
+    use presto_simcore::SimDuration;
+
+    fn tiny(seed: u64) -> Scenario {
+        let mut sc = Scenario::testbed16(SchemeSpec::presto(), seed);
+        sc.duration = SimDuration::from_millis(6);
+        sc.warmup = SimDuration::from_millis(2);
+        sc.flows = stride_elephants(16, 8);
+        sc
+    }
+
+    #[test]
+    fn reports_come_back_in_scenario_order() {
+        let scenarios: Vec<Scenario> = (0..4).map(tiny).collect();
+        let serial: Vec<u64> = scenarios.iter().map(|s| s.run().digest()).collect();
+        let parallel = ParallelRunner::new(4).run(&scenarios);
+        let got: Vec<u64> = parallel.iter().map(Report::digest).collect();
+        assert_eq!(serial, got, "order or content changed under threading");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let scenarios: Vec<Scenario> = (0..3).map(tiny).collect();
+        let one: Vec<u64> = ParallelRunner::new(1)
+            .run(&scenarios)
+            .iter()
+            .map(Report::digest)
+            .collect();
+        let three: Vec<u64> = ParallelRunner::new(3)
+            .run(&scenarios)
+            .iter()
+            .map(Report::digest)
+            .collect();
+        assert_eq!(one, three);
+    }
+
+    #[test]
+    fn run_map_pairs_rows_with_scenarios() {
+        let scenarios: Vec<Scenario> = (0..2).map(tiny).collect();
+        let names = ParallelRunner::new(2).run_map(&scenarios, |sc, r| (sc.seed, r.scheme.clone()));
+        assert_eq!(names.len(), 2);
+        assert_eq!(names[0].0, 0);
+        assert_eq!(names[1].0, 1);
+    }
+
+    #[test]
+    fn empty_and_oversized_worker_counts() {
+        assert!(ParallelRunner::new(0).workers == 1);
+        let none = ParallelRunner::new(8).run(&[]);
+        assert!(none.is_empty());
+    }
+}

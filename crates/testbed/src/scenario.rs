@@ -96,6 +96,13 @@ pub struct Scenario {
     /// Host uplink queue (large: the sender NIC/qdisc backpressures
     /// instead of dropping).
     pub host_uplink_queue: u64,
+    /// Link departure batch (`Link::tx_batch`). 1 (the default) replays
+    /// the classic one-event-per-packet model exactly; larger values
+    /// coalesce `TxDone` bookkeeping for a lower event rate — arrival
+    /// times and drop decisions stay exact, but same-instant event ties
+    /// across links resolve in commit order, which perturbs tightly
+    /// synchronized workloads slightly. Overridable via `PRESTO_TX_BATCH`.
+    pub tx_batch: u32,
 }
 
 impl Scenario {
@@ -119,6 +126,7 @@ impl Scenario {
             collect_reorder: false,
             cpu_sample: None,
             host_uplink_queue: 16 * 1024 * 1024,
+            tx_batch: 1,
         }
     }
 
@@ -277,6 +285,11 @@ impl Scenario {
         let end = SimTime::ZERO + self.duration;
         let warm = SimTime::ZERO + self.warmup;
         let mut sim = Simulation::new(topo, self.scheme.clone(), mk_host, end, warm);
+        let tx_batch = std::env::var("PRESTO_TX_BATCH")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.tx_batch);
+        sim.topo.fabric.set_tx_batch(tx_batch);
         sim.controller = controller;
         sim.collect_reorder = self.collect_reorder;
         sim.cpu_sample_every = self.cpu_sample;

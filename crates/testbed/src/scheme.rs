@@ -223,7 +223,13 @@ mod tests {
 
     #[test]
     fn flowlet_names_by_gap() {
-        assert_eq!(SchemeSpec::flowlet(SimDuration::from_micros(100)).name, "Flowlet-100us");
-        assert_eq!(SchemeSpec::flowlet(SimDuration::from_micros(500)).name, "Flowlet-500us");
+        assert_eq!(
+            SchemeSpec::flowlet(SimDuration::from_micros(100)).name,
+            "Flowlet-100us"
+        );
+        assert_eq!(
+            SchemeSpec::flowlet(SimDuration::from_micros(500)).name,
+            "Flowlet-500us"
+        );
     }
 }

@@ -17,12 +17,12 @@ use std::collections::HashMap;
 
 use presto_core::Controller;
 use presto_endhost::{
-    make_ack, tso_split, CpuCosts, CpuModel, EdgePolicy, ReceiveOffload, RxAction, RxRing,
+    make_ack, tso_split_into, CpuCosts, CpuModel, EdgePolicy, ReceiveOffload, RxAction, RxRing,
     Segment, TxSegment, VSwitch,
 };
 use presto_metrics::TimeSeries;
 use presto_netsim::{
-    FlowKey, HostId, LinkId, NetEvent, NetScheduler, Packet, PacketKind, Topology,
+    FlowKey, HostId, LinkId, NetEvent, NetScheduler, Packet, PacketKind, PacketPool, Topology,
 };
 use presto_simcore::{EventQueue, SimDuration, SimTime};
 use presto_transport::{
@@ -264,6 +264,30 @@ pub struct Stats {
     pub bulk_tputs: Vec<f64>,
 }
 
+/// Reusable hot-path buffers.
+///
+/// Every per-event allocation in the dispatch loop goes through one of
+/// these instead of a fresh `Vec`. Each buffer is `mem::take`n for the
+/// duration of the handler that uses it and restored (cleared) on the way
+/// out, so re-entrant handlers (ACK processing can re-enter the egress
+/// path, for example) can never observe a buffer that is still in use —
+/// the same "quiescent before reuse" invariant as [`PacketPool`].
+#[derive(Default)]
+struct Scratch {
+    /// Fabric deliveries drained after each `fabric.handle` call.
+    delivered: Vec<(HostId, Packet)>,
+    /// One NIC poll's worth of raw packets.
+    rx_batch: Vec<Packet>,
+    /// ACKs seen in the current poll batch.
+    acks: Vec<(FlowKey, u64, u64)>,
+    /// Probe packets seen in the current poll batch.
+    probes: Vec<Packet>,
+    /// Segments flushed out of GRO this poll/timer.
+    segs: Vec<Segment>,
+    /// CPU completions for the flushed segments.
+    completions: Vec<(SimTime, Segment)>,
+}
+
 /// The composed simulator.
 pub struct Simulation {
     /// Current simulated time.
@@ -305,6 +329,9 @@ pub struct Simulation {
     pub cpu_sample_every: Option<SimDuration>,
     /// Live statistics.
     pub stats: Stats,
+    /// Pool of packet buffers reused by TSO splits on the egress path.
+    pkt_pool: PacketPool,
+    scratch: Scratch,
     events_processed: u64,
     /// Pending failure links for the ControllerUpdate handler.
     pub failed_pair: Option<(LinkId, LinkId)>,
@@ -346,8 +373,10 @@ impl Simulation {
         warmup: SimTime,
     ) -> Self {
         let hosts: Vec<HostNode> = topo.hosts.iter().map(|&h| mk_host(h)).collect();
-        let mut tcp_cfg = TcpConfig::default();
-        tcp_cfg.max_tso = scheme.max_tso;
+        let tcp_cfg = TcpConfig {
+            max_tso: scheme.max_tso,
+            ..TcpConfig::default()
+        };
         let mut sim = Simulation {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
@@ -371,6 +400,8 @@ impl Simulation {
             collect_reorder: false,
             cpu_sample_every: None,
             stats: Stats::default(),
+            pkt_pool: PacketPool::new(),
+            scratch: Scratch::default(),
             events_processed: 0,
             failed_pair: None,
         };
@@ -433,18 +464,14 @@ impl Simulation {
                 let mut conn = MptcpConnection::new(self.tcp_cfg.clone(), subflows, total);
                 let flows: Vec<FlowKey> = (0..subflows)
                     .map(|i| {
-                        FlowKey::new(
-                            HostId(src as u32),
-                            HostId(dst as u32),
-                            sport + i as u16,
-                            80,
-                        )
+                        FlowKey::new(HostId(src as u32), HostId(dst as u32), sport + i as u16, 80)
                     })
                     .collect();
                 let outs = conn.start(self.now);
                 let idx = self.mptcp_conns.len();
                 for (i, &f) in flows.iter().enumerate() {
-                    self.flow_senders.insert(f, SenderRef::Mptcp { conn: idx, sub: i });
+                    self.flow_senders
+                        .insert(f, SenderRef::Mptcp { conn: idx, sub: i });
                     self.receivers.insert(f, TcpReceiver::new());
                 }
                 self.mptcp_conns.push(MptcpConnState {
@@ -500,7 +527,13 @@ impl Simulation {
         let tag = self.hosts[host.index()]
             .vswitch
             .process(self.now, flow, len, retx);
-        self.hosts[host.index()].egress.stage(TxSegment { flow, seq, len, retx, tag });
+        self.hosts[host.index()].egress.stage(TxSegment {
+            flow,
+            seq,
+            len,
+            retx,
+            tag,
+        });
         self.drain_egress(host);
     }
 
@@ -509,28 +542,34 @@ impl Simulation {
     fn drain_egress(&mut self, host: HostId) {
         let uplink = self.topo.fabric.host_uplink(host);
         loop {
-            if self.topo.fabric.link(uplink).queued_bytes() >= EGRESS_TARGET_BYTES {
+            if self.topo.fabric.link(uplink).occupancy(self.now) >= EGRESS_TARGET_BYTES {
                 break;
             }
             let Some(seg) = self.hosts[host.index()].egress.pop() else {
                 break;
             };
-            let pkts = tso_split(seg);
-            let mut delivered = Vec::new();
-            let mut sched = Sched {
-                now: self.now,
-                queue: &mut self.queue,
-                delivered: &mut delivered,
-            };
-            for p in pkts {
-                let _ = self.topo.fabric.inject(host, p, &mut sched);
+            let mut pkts = self.pkt_pool.take();
+            tso_split_into(seg, &mut pkts);
+            {
+                let mut sched = Sched {
+                    now: self.now,
+                    queue: &mut self.queue,
+                    delivered: &mut self.scratch.delivered,
+                };
+                for p in pkts.drain(..) {
+                    let _ = self.topo.fabric.inject(host, p, &mut sched);
+                }
             }
-            debug_assert!(delivered.is_empty(), "inject cannot deliver directly");
+            self.pkt_pool.put(pkts);
+            debug_assert!(
+                self.scratch.delivered.is_empty(),
+                "inject cannot deliver directly"
+            );
         }
         // More staged data: wake up when the uplink has drained to target.
         if !self.hosts[host.index()].egress.is_empty() {
             let link = self.topo.fabric.link(uplink);
-            let backlog = link.queued_bytes().saturating_sub(EGRESS_TARGET_BYTES) + 1538;
+            let backlog = link.occupancy(self.now).saturating_sub(EGRESS_TARGET_BYTES) + 1538;
             let at = self.now + SimDuration::transmission(backlog, link.rate_bps);
             let need = match self.hosts[host.index()].egress.drain_at {
                 Some(cur) => at < cur || cur <= self.now,
@@ -545,13 +584,16 @@ impl Simulation {
 
     /// Inject one already-built packet (ACKs, probes) at `host`.
     fn inject(&mut self, host: HostId, pkt: Packet) {
-        let mut delivered = Vec::new();
         let mut sched = Sched {
             now: self.now,
             queue: &mut self.queue,
-            delivered: &mut delivered,
+            delivered: &mut self.scratch.delivered,
         };
         let _ = self.topo.fabric.inject(host, pkt, &mut sched);
+        debug_assert!(
+            self.scratch.delivered.is_empty(),
+            "inject cannot deliver directly"
+        );
     }
 
     fn on_flow_complete(&mut self, sref: SenderRef) {
@@ -640,7 +682,10 @@ impl Simulation {
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::Net(nev) => {
-                let mut delivered = Vec::new();
+                // Take the scratch buffer for the duration of the handler:
+                // `on_deliver` needs `&mut self` and must never see a
+                // half-drained delivery list on re-entry.
+                let mut delivered = std::mem::take(&mut self.scratch.delivered);
                 {
                     let mut sched = Sched {
                         now: self.now,
@@ -649,9 +694,10 @@ impl Simulation {
                     };
                     self.topo.fabric.handle(nev, &mut sched);
                 }
-                for (h, pkt) in delivered {
+                for (h, pkt) in delivered.drain(..) {
                     self.on_deliver(h, pkt);
                 }
+                self.scratch.delivered = delivered;
             }
             Event::NicPoll(h) => self.on_poll(h),
             Event::GroTimer(h) => self.on_gro_timer(h),
@@ -713,12 +759,14 @@ impl Simulation {
     }
 
     fn on_poll(&mut self, h: HostId) {
-        let batch = self.hosts[h.index()].ring.drain();
+        let mut batch = std::mem::take(&mut self.scratch.rx_batch);
+        self.hosts[h.index()].ring.drain_into(&mut batch);
         if batch.is_empty() {
+            self.scratch.rx_batch = batch;
             return;
         }
-        let mut acks: Vec<(FlowKey, u64, u64)> = Vec::new();
-        let mut probes: Vec<Packet> = Vec::new();
+        let mut acks = std::mem::take(&mut self.scratch.acks);
+        let mut probes = std::mem::take(&mut self.scratch.probes);
         let mut misc_pkts = 0u64;
         {
             let host = &mut self.hosts[h.index()];
@@ -741,19 +789,42 @@ impl Simulation {
                 let cost = host.cpu.costs.per_packet.saturating_mul(misc_pkts);
                 host.cpu.charge(self.now, cost);
             }
-            let segs = host.gro.flush(self.now);
-            let completions = host.cpu.process(self.now, segs);
-            for (t, seg) in completions {
-                self.queue.push(t, Event::CpuDone(h, seg));
-            }
         }
+        self.push_up_flushed(h, false);
         self.arm_gro_timer(h);
-        for (flow, ack, sack) in acks {
+        for (flow, ack, sack) in acks.drain(..) {
             self.on_ack(flow, ack, sack);
         }
-        for p in probes {
+        for p in probes.drain(..) {
             self.on_probe(h, p);
         }
+        batch.clear();
+        self.scratch.rx_batch = batch;
+        self.scratch.acks = acks;
+        self.scratch.probes = probes;
+    }
+
+    /// Flush GRO (end-of-poll or expired-only), run the CPU model, and
+    /// schedule the completions — all through reused scratch buffers.
+    fn push_up_flushed(&mut self, h: HostId, expired_only: bool) {
+        let mut segs = std::mem::take(&mut self.scratch.segs);
+        let mut completions = std::mem::take(&mut self.scratch.completions);
+        {
+            let host = &mut self.hosts[h.index()];
+            if expired_only {
+                host.gro.flush_expired_into(self.now, &mut segs);
+            } else {
+                host.gro.flush_into(self.now, &mut segs);
+            }
+            host.cpu.process_into(self.now, &segs, &mut completions);
+        }
+        for &(t, seg) in &completions {
+            self.queue.push(t, Event::CpuDone(h, seg));
+        }
+        segs.clear();
+        completions.clear();
+        self.scratch.segs = segs;
+        self.scratch.completions = completions;
     }
 
     fn on_gro_timer(&mut self, h: HostId) {
@@ -764,12 +835,7 @@ impl Simulation {
             None => return,
         };
         if due {
-            let host = &mut self.hosts[h.index()];
-            let segs = host.gro.flush_expired(self.now);
-            let completions = host.cpu.process(self.now, segs);
-            for (t, seg) in completions {
-                self.queue.push(t, Event::CpuDone(h, seg));
-            }
+            self.push_up_flushed(h, true);
         }
         self.arm_gro_timer(h);
     }
@@ -814,7 +880,9 @@ impl Simulation {
         // One ACK per delivered segment, sent through the reverse-path
         // policy of the receiving host's vSwitch.
         let rflow = seg.flow.reverse();
-        let tag = self.hosts[h.index()].vswitch.process(self.now, rflow, 0, false);
+        let tag = self.hosts[h.index()]
+            .vswitch
+            .process(self.now, rflow, 0, false);
         let ack = make_ack(rflow, out.ack, out.sack_hi, tag);
         self.inject(h, ack);
     }
@@ -826,9 +894,9 @@ impl Simulation {
         };
         let out = match sref {
             SenderRef::Tcp(i) => self.tcp_conns[i].sender.on_ack(self.now, ack, sack_hi),
-            SenderRef::Mptcp { conn, sub } => {
-                self.mptcp_conns[conn].conn.on_ack(self.now, sub, ack, sack_hi)
-            }
+            SenderRef::Mptcp { conn, sub } => self.mptcp_conns[conn]
+                .conn
+                .on_ack(self.now, sub, ack, sack_hi),
         };
         self.emit(sref, fwd, out);
     }
@@ -866,7 +934,9 @@ impl Simulation {
         if !echo {
             // Echo it back through this host's policy.
             let rflow = pkt.flow.reverse();
-            let tag = self.hosts[h.index()].vswitch.process(self.now, rflow, 0, false);
+            let tag = self.hosts[h.index()]
+                .vswitch
+                .process(self.now, rflow, 0, false);
             let back = Packet {
                 flow: rflow,
                 src_host: rflow.src,
@@ -962,7 +1032,9 @@ impl Simulation {
         for c in &self.tcp_conns {
             if c.unbounded && window > 0.0 {
                 let bytes = c.sender.acked_bytes() - c.warm_acked;
-                report.elephant_tputs.push(bytes as f64 * 8.0 / window / 1e9);
+                report
+                    .elephant_tputs
+                    .push(bytes as f64 * 8.0 / window / 1e9);
             }
             report.retransmissions += c.sender.retransmissions;
             report.timeouts += c.sender.timeouts;
@@ -971,7 +1043,9 @@ impl Simulation {
         for c in &self.mptcp_conns {
             if c.unbounded && window > 0.0 {
                 let bytes = c.conn.acked_bytes() - c.warm_acked;
-                report.elephant_tputs.push(bytes as f64 * 8.0 / window / 1e9);
+                report
+                    .elephant_tputs
+                    .push(bytes as f64 * 8.0 / window / 1e9);
             }
             report.retransmissions += c.conn.retransmissions();
             report.timeouts += c.conn.timeouts();
@@ -979,7 +1053,9 @@ impl Simulation {
         if let Some(sh) = &self.shuffle {
             report.elephant_tputs.extend(sh.tputs.iter().copied());
         }
-        report.elephant_tputs.extend(self.stats.bulk_tputs.iter().copied());
+        report
+            .elephant_tputs
+            .extend(self.stats.bulk_tputs.iter().copied());
         for v in &self.stats.rtt_ms {
             report.rtt_ms.add(*v);
         }

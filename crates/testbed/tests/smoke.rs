@@ -1,9 +1,9 @@
 //! End-to-end smoke tests of the composed simulator.
 
 use presto_simcore::SimDuration;
+use presto_simcore::SimTime;
 use presto_testbed::{stride_elephants, MiceSpec, Scenario, SchemeSpec};
 use presto_workloads::FlowSpec;
-use presto_simcore::SimTime;
 
 fn short(mut sc: Scenario) -> Scenario {
     sc.duration = SimDuration::from_millis(60);
@@ -84,7 +84,11 @@ fn mice_and_probes_record_samples() {
     }];
     sc.probes = vec![(1, 9)];
     let r = sc.run();
-    assert!(r.mice_fct_ms.len() >= 2, "mice fcts: {}", r.mice_fct_ms.len());
+    assert!(
+        r.mice_fct_ms.len() >= 2,
+        "mice fcts: {}",
+        r.mice_fct_ms.len()
+    );
     assert!(r.rtt_ms.len() > 20, "rtt samples: {}", r.rtt_ms.len());
     let p50 = r.rtt_ms.clone().percentile(50.0).unwrap();
     assert!(p50 > 0.01 && p50 < 5.0, "median RTT {p50} ms");

@@ -177,8 +177,8 @@ impl CongestionControl for Cubic {
         let target = target_mss.max(self.w_est.min(cwnd_mss + 1.0));
         if target > cwnd_mss {
             // Approach the target over roughly one RTT of acks.
-            self.cwnd += MSS_F * (target - cwnd_mss) / cwnd_mss * (acked as f64 / self.cwnd)
-                * cwnd_mss;
+            self.cwnd +=
+                MSS_F * (target - cwnd_mss) / cwnd_mss * (acked as f64 / self.cwnd) * cwnd_mss;
         } else {
             // Plateau: tiny growth to probe.
             self.cwnd += MSS_F * 0.01 * acked as f64 / self.cwnd;
@@ -313,7 +313,11 @@ mod tests {
             cc.on_ack(t(2), MSS_F as u64, srtt());
             acked += MSS_F;
         }
-        assert!((cc.cwnd() - w0 - MSS_F).abs() < MSS_F * 0.2, "grew {}", cc.cwnd() - w0);
+        assert!(
+            (cc.cwnd() - w0 - MSS_F).abs() < MSS_F * 0.2,
+            "grew {}",
+            cc.cwnd() - w0
+        );
     }
 
     #[test]

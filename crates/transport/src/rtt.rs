@@ -39,9 +39,8 @@ impl RttEstimator {
             Some(srtt) => {
                 let delta = if srtt > rtt { srtt - rtt } else { rtt - srtt };
                 // rttvar = 3/4 rttvar + 1/4 |delta|
-                self.rttvar = SimDuration::from_nanos(
-                    (self.rttvar.as_nanos() * 3 + delta.as_nanos()) / 4,
-                );
+                self.rttvar =
+                    SimDuration::from_nanos((self.rttvar.as_nanos() * 3 + delta.as_nanos()) / 4);
                 // srtt = 7/8 srtt + 1/8 rtt
                 self.srtt = Some(SimDuration::from_nanos(
                     (srtt.as_nanos() * 7 + rtt.as_nanos()) / 8,
@@ -108,7 +107,8 @@ mod tests {
     #[test]
     fn jitter_raises_rto() {
         let mut stable = RttEstimator::new(SimDuration::from_micros(1), SimDuration::from_secs(60));
-        let mut jittery = RttEstimator::new(SimDuration::from_micros(1), SimDuration::from_secs(60));
+        let mut jittery =
+            RttEstimator::new(SimDuration::from_micros(1), SimDuration::from_secs(60));
         for i in 0..100 {
             stable.sample(SimDuration::from_micros(500));
             jittery.sample(SimDuration::from_micros(if i % 2 == 0 { 100 } else { 900 }));

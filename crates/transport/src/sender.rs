@@ -263,10 +263,7 @@ impl<C: CongestionControl> TcpSender<C> {
                 self.dup_acks = 0;
             }
             self.cc.on_ack(now, acked, self.rtt.srtt());
-            if self.write_limit != u64::MAX
-                && self.snd_una >= self.write_limit
-                && !self.completed
-            {
+            if self.write_limit != u64::MAX && self.snd_una >= self.write_limit && !self.completed {
                 self.completed = true;
                 out.completed = true;
             }
@@ -328,7 +325,9 @@ impl<C: CongestionControl> TcpSender<C> {
         } else {
             self.write_limit - self.snd_una
         };
-        let len = (self.cfg.mss as u64).min(avail).min(self.snd_nxt - self.snd_una);
+        let len = (self.cfg.mss as u64)
+            .min(avail)
+            .min(self.snd_nxt - self.snd_una);
         if len == 0 {
             return;
         }
@@ -354,10 +353,8 @@ impl<C: CongestionControl> TcpSender<C> {
             }
             let data_avail = if self.write_limit == u64::MAX {
                 u64::MAX
-            } else if self.snd_nxt >= self.write_limit {
-                0
             } else {
-                self.write_limit - self.snd_nxt
+                self.write_limit.saturating_sub(self.snd_nxt)
             };
             if data_avail == 0 {
                 break;
@@ -373,7 +370,9 @@ impl<C: CongestionControl> TcpSender<C> {
             // one) and take no RTT samples from them (Karn).
             let retx = self.snd_nxt < self.max_sent;
             if retx {
-                len = len.min(self.cfg.mss as u64).min(self.max_sent - self.snd_nxt);
+                len = len
+                    .min(self.cfg.mss as u64)
+                    .min(self.max_sent - self.snd_nxt);
                 self.retransmissions += 1;
             }
             out.to_send.push(SendAction {
@@ -424,7 +423,14 @@ mod tests {
         let out = s.app_write(t(0), 1_000_000);
         // IW10 = 14600 bytes in one TSO segment.
         assert_eq!(out.to_send.len(), 1);
-        assert_eq!(out.to_send[0], SendAction { seq: 0, len: 14600, retx: false });
+        assert_eq!(
+            out.to_send[0],
+            SendAction {
+                seq: 0,
+                len: 14600,
+                retx: false
+            }
+        );
         assert!(out.arm_rto.is_some());
         assert_eq!(s.flight(), 14600);
     }
@@ -518,7 +524,10 @@ mod tests {
         // Originals land: partial acks race forward without stalling.
         for (i, ack) in [1460u64, 4380, 8760, 14600].iter().enumerate() {
             let out = s.on_ack(t(20 + i as u64), *ack, 14600);
-            assert!(out.to_send.iter().all(|a| !a.retx), "spurious retx at {ack}");
+            assert!(
+                out.to_send.iter().all(|a| !a.retx),
+                "spurious retx at {ack}"
+            );
         }
         assert_eq!(s.retransmissions, 1);
     }
@@ -581,8 +590,10 @@ mod tests {
 
     #[test]
     fn rwnd_caps_flight() {
-        let mut cfg = TcpConfig::default();
-        cfg.rwnd = 20_000;
+        let cfg = TcpConfig {
+            rwnd: 20_000,
+            ..TcpConfig::default()
+        };
         let mut s = TcpSender::new(cfg, Reno::new(1000));
         s.app_write(t(0), 10_000_000);
         assert!(s.flight() <= 20_000);

@@ -17,9 +17,9 @@ pub const NS_INTERVAL: SimDuration = SimDuration::from_millis(1);
 
 /// Web-response size mixture: (probability, lo, hi), log-uniform within.
 const NS_SIZE_MIX: &[(f64, f64, f64)] = &[
-    (0.60, 5.0e2, 1.0e4),  // small API/static responses
-    (0.30, 1.0e4, 1.0e5),  // page-ish payloads
-    (0.10, 1.0e5, 2.0e6),  // downloads
+    (0.60, 5.0e2, 1.0e4), // small API/static responses
+    (0.30, 1.0e4, 1.0e5), // page-ish payloads
+    (0.10, 1.0e5, 2.0e6), // downloads
 ];
 
 /// One north-south flow.
@@ -34,12 +34,7 @@ pub struct NsFlow {
 }
 
 /// Generate the north-south flow schedule for one server over `horizon`.
-pub fn ns_schedule(
-    seed: u64,
-    src: usize,
-    n_remote: usize,
-    horizon: SimTime,
-) -> Vec<NsFlow> {
+pub fn ns_schedule(seed: u64, src: usize, n_remote: usize, horizon: SimTime) -> Vec<NsFlow> {
     let mut rng = DetRng::new(seed ^ 0x4E53).for_stream(src as u64);
     let mut out = Vec::new();
     let mut at = SimTime::ZERO + NS_INTERVAL;
@@ -107,6 +102,9 @@ mod tests {
     fn per_server_schedules_differ() {
         let a = ns_schedule(1, 0, 4, SimTime::from_millis(10));
         let b = ns_schedule(1, 1, 4, SimTime::from_millis(10));
-        assert!(a.iter().zip(&b).any(|(x, y)| x.bytes != y.bytes || x.remote != y.remote));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .any(|(x, y)| x.bytes != y.bytes || x.remote != y.remote));
     }
 }

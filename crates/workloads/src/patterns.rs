@@ -5,7 +5,7 @@ use presto_simcore::rng::DetRng;
 /// `server[i] → server[(i+k) mod n]`. The paper uses stride(8) on 16
 /// hosts, which forces every flow across the spine layer.
 pub fn stride(n_hosts: usize, k: usize) -> Vec<(usize, usize)> {
-    assert!(n_hosts > 1 && k % n_hosts != 0);
+    assert!(n_hosts > 1 && !k.is_multiple_of(n_hosts));
     (0..n_hosts).map(|i| (i, (i + k) % n_hosts)).collect()
 }
 

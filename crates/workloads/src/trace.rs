@@ -14,10 +14,10 @@ use presto_simcore::{SimDuration, SimTime};
 /// Empirical flow-size mixture, already ×10-scaled like the paper's runs.
 /// Segments are (probability, lo_bytes, hi_bytes), log-uniform inside.
 const SIZE_MIX: &[(f64, f64, f64)] = &[
-    (0.50, 1.0e3, 1.0e4),   // small RPC-ish mice
-    (0.30, 1.0e4, 1.0e5),   // larger mice
-    (0.15, 1.0e5, 1.0e6),   // medium flows
-    (0.05, 1.0e6, 3.0e7),   // elephants: 1-30 MB
+    (0.50, 1.0e3, 1.0e4), // small RPC-ish mice
+    (0.30, 1.0e4, 1.0e5), // larger mice
+    (0.15, 1.0e5, 1.0e6), // medium flows
+    (0.05, 1.0e6, 3.0e7), // elephants: 1-30 MB
 ];
 
 /// One generated flow.
@@ -55,9 +55,7 @@ impl TraceWorkload {
     ) -> Self {
         assert!(n_hosts > hosts_per_pod);
         let mut rng = DetRng::new(seed).for_stream(src as u64);
-        let first = SimDuration::from_secs_f64(
-            rng.exp(mean_interarrival.as_secs_f64()),
-        );
+        let first = SimDuration::from_secs_f64(rng.exp(mean_interarrival.as_secs_f64()));
         TraceWorkload {
             rng,
             src,
@@ -118,7 +116,9 @@ mod tests {
 
     fn sizes(n: usize) -> Vec<u64> {
         let mut rng = DetRng::new(42);
-        (0..n).map(|_| TraceWorkload::sample_size(&mut rng)).collect()
+        (0..n)
+            .map(|_| TraceWorkload::sample_size(&mut rng))
+            .collect()
     }
 
     #[test]
@@ -154,7 +154,11 @@ mod tests {
     fn arrivals_are_increasing_and_exponential_ish() {
         let mut w = TraceWorkload::new(7, 0, 16, 4, SimDuration::from_millis(10));
         let flows = w.flows_until(SimTime::from_secs(20));
-        assert!(flows.len() > 1500 && flows.len() < 2500, "{} arrivals", flows.len());
+        assert!(
+            flows.len() > 1500 && flows.len() < 2500,
+            "{} arrivals",
+            flows.len()
+        );
         for pair in flows.windows(2) {
             assert!(pair[1].at >= pair[0].at);
         }

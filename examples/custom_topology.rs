@@ -40,13 +40,22 @@ fn main() {
     let trees = sim.controller.as_ref().map(|c| c.tree_count()).unwrap_or(0);
     println!("spanning trees allocated: {trees}");
     let report = sim.run();
-    println!("mean elephant tput:       {:.2} Gbps", report.mean_elephant_tput());
+    println!(
+        "mean elephant tput:       {:.2} Gbps",
+        report.mean_elephant_tput()
+    );
     println!("fairness:                 {:.3}", report.fairness());
     println!("flowcells created:        {}", report.flowcells);
     println!("loss rate:                {:.5}%", report.loss_rate * 100.0);
 
     // Peek at the shared pools after the run.
-    for (i, sw) in sim.topo.leaves.iter().chain(sim.topo.spines.iter()).enumerate() {
+    for (i, sw) in sim
+        .topo
+        .leaves
+        .iter()
+        .chain(sim.topo.spines.iter())
+        .enumerate()
+    {
         if let Some(buf) = sim.topo.fabric.shared_buffer(*sw) {
             println!(
                 "switch {i}: shared pool {} bytes, residual occupancy {}",

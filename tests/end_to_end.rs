@@ -109,7 +109,11 @@ fn mice_tail_fct_improves_under_presto() {
     };
     let presto = run(SchemeSpec::presto());
     let ecmp = run(SchemeSpec::ecmp());
-    assert!(presto.mice_fct_ms.len() > 50, "presto mice {}", presto.mice_fct_ms.len());
+    assert!(
+        presto.mice_fct_ms.len() > 50,
+        "presto mice {}",
+        presto.mice_fct_ms.len()
+    );
     let p99_presto = presto.mice_fct_ms.clone().percentile(99.0).unwrap();
     let p99_ecmp = ecmp.mice_fct_ms.clone().percentile(99.0).unwrap();
     assert!(

@@ -23,13 +23,21 @@ fn mice_are_not_starved_by_same_host_elephants() {
         interval: SimDuration::from_millis(5),
     }];
     let r = sc.run();
-    assert!(r.mice_fct_ms.len() >= 8, "mice recorded: {}", r.mice_fct_ms.len());
+    assert!(
+        r.mice_fct_ms.len() >= 8,
+        "mice recorded: {}",
+        r.mice_fct_ms.len()
+    );
     let p99 = r.mice_fct_ms.clone().percentile(99.0).unwrap();
     // Without fq, the mouse would queue behind ~hundreds of KB of elephant
     // backlog per RTT round (several ms); with fq it completes in ~1 ms.
     assert!(p99 < 2.5, "mouse p99 {p99} ms suggests uplink starvation");
     // And the elephant still runs at line rate.
-    assert!(r.mean_elephant_tput() > 8.5, "elephant {}", r.mean_elephant_tput());
+    assert!(
+        r.mean_elephant_tput() > 8.5,
+        "elephant {}",
+        r.mean_elephant_tput()
+    );
 }
 
 /// The shared-buffer fabric sustains the same headline result as static
@@ -46,7 +54,11 @@ fn shared_buffer_preserves_presto_vs_ecmp() {
     };
     let presto = run(SchemeSpec::presto());
     let ecmp = run(SchemeSpec::ecmp());
-    assert!(presto.mean_elephant_tput() > 8.5, "presto {}", presto.mean_elephant_tput());
+    assert!(
+        presto.mean_elephant_tput() > 8.5,
+        "presto {}",
+        presto.mean_elephant_tput()
+    );
     assert!(
         presto.mean_elephant_tput() > 1.2 * ecmp.mean_elephant_tput(),
         "presto {} vs ecmp {}",
@@ -76,7 +88,11 @@ fn parallel_links_scale_like_extra_spines() {
     let mut sim = sc.build();
     assert_eq!(sim.controller.as_ref().unwrap().tree_count(), 4);
     let r = sim.run();
-    assert!(r.mean_elephant_tput() > 8.5, "tput {}", r.mean_elephant_tput());
+    assert!(
+        r.mean_elephant_tput() > 8.5,
+        "tput {}",
+        r.mean_elephant_tput()
+    );
     assert!(r.fairness() > 0.99);
 }
 
@@ -102,5 +118,10 @@ fn incast_is_last_hop_bound_for_all_schemes() {
     assert!(presto.mice_fct_ms.len() > 30);
     // 8 x 128 KB = 1 MB into a 10G downlink ~ 0.9 ms floor; allow recovery
     // slack but catch pathological collapse.
-    assert!(p99(&presto) < 4.0 * p99(&ecmp) + 5.0, "presto {} ecmp {}", p99(&presto), p99(&ecmp));
+    assert!(
+        p99(&presto) < 4.0 * p99(&ecmp) + 5.0,
+        "presto {} ecmp {}",
+        p99(&presto),
+        p99(&ecmp)
+    );
 }

@@ -14,11 +14,15 @@ fn scenario(failure: Option<FailureSpec>, flows: Vec<FlowSpec>) -> Scenario {
 }
 
 fn l1_to_l4() -> Vec<FlowSpec> {
-    (0..4).map(|i| FlowSpec::elephant(i, 12 + i, SimTime::ZERO)).collect()
+    (0..4)
+        .map(|i| FlowSpec::elephant(i, 12 + i, SimTime::ZERO))
+        .collect()
 }
 
 fn l4_to_l1() -> Vec<FlowSpec> {
-    (0..4).map(|i| FlowSpec::elephant(12 + i, i, SimTime::ZERO)).collect()
+    (0..4)
+        .map(|i| FlowSpec::elephant(12 + i, i, SimTime::ZERO))
+        .collect()
 }
 
 fn fail(controller_at: Option<SimTime>) -> Option<FailureSpec> {

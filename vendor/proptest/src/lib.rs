@@ -1,0 +1,214 @@
+//! Deterministic, API-compatible subset of the `proptest` crate.
+//!
+//! Provides the surface this repository's property tests use: the
+//! [`proptest!`] macro, strategies for integer ranges and
+//! `prop::collection::vec`, and the `prop_assert*` macros. Values are
+//! drawn from a splitmix64 stream seeded from the test's name, so every
+//! run of a given test sees the same cases — matching the simulator's
+//! own determinism-first philosophy. `PROPTEST_CASES` overrides the
+//! per-test case count (default 64).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic case-generation stream (splitmix64).
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    /// Seed the stream from a test name, stably across runs and platforms.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRunner { state: h | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi]` (inclusive).
+    pub fn below_incl(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_u64() % (span + 1)
+    }
+
+    /// Number of cases each `proptest!` test runs.
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+/// A source of values for one `proptest!` parameter.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draw one value from the runner's stream.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                runner.below_incl(self.start as u64, self.end as u64 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.below_incl(*self.start() as u64, *self.end() as u64) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn sample(&self, runner: &mut TestRunner) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = (self.end - self.start) as u64;
+        self.start + (runner.next_u64() % span) as i64
+    }
+}
+
+/// Strategy combinators over collections (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(elem, min..max)`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = self.len.sample(runner);
+            (0..n).map(|_| self.elem.sample(runner)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Assert inside a `proptest!` body; reports the failing condition.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` that samples its arguments deterministically for
+/// [`TestRunner::cases`] cases and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::deterministic(stringify!($name));
+            for case in 0..$crate::TestRunner::cases() {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut runner);)*
+                let run = || -> () { $body };
+                if ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)).is_err() {
+                    panic!(
+                        "proptest case {case} failed{}",
+                        [$((" with ", stringify!($arg), format!(" = {:?}", $arg))),*]
+                            .iter()
+                            .map(|(a, b, c)| format!("{a}{b}{c}"))
+                            .collect::<String>()
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRunner;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 3u64..9, b in 1u32..=4, c in 0usize..100) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+            prop_assert!(c < 100);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(1u32..=10, 5..12)) {
+            prop_assert!((5..12).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (1..=10).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRunner::deterministic("t");
+        let mut b = TestRunner::deterministic("t");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
