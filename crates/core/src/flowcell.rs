@@ -67,6 +67,9 @@ pub struct FlowcellScheduler {
     pub threshold: u64,
     /// Flowcells created (instrumentation).
     pub flowcells_created: u64,
+    /// Flowcells assigned per spanning-tree path, indexed by the chosen
+    /// label's tree id (telemetry spray histogram).
+    spray_counts: Vec<u64>,
 }
 
 impl FlowcellScheduler {
@@ -77,6 +80,7 @@ impl FlowcellScheduler {
             flows: HashMap::new(),
             threshold: FLOWCELL_BYTES,
             flowcells_created: 0,
+            spray_counts: Vec::new(),
         }
     }
 
@@ -126,6 +130,10 @@ impl EdgePolicy for FlowcellScheduler {
         self.flowcells_created
     }
 
+    fn path_spray_counts(&self) -> Vec<u64> {
+        self.spray_counts.clone()
+    }
+
     fn assign(&mut self, _now: SimTime, flow: FlowKey, len: u32, _retx: bool) -> PathTag {
         let labels = match self.labels.get(&flow.dst) {
             Some(l) => l,
@@ -139,8 +147,10 @@ impl EdgePolicy for FlowcellScheduler {
             }
         };
         let n = labels.len();
+        let mut new_cell = false;
         let state = self.flows.entry(flow).or_insert_with(|| {
             self.flowcells_created += 1;
+            new_cell = true;
             FlowState {
                 bytecount: 0,
                 // Stagger flows across the sequence so simultaneous flows
@@ -156,13 +166,22 @@ impl EdgePolicy for FlowcellScheduler {
             state.current_mac = (state.current_mac + 1) % n;
             state.flowcell += 1;
             self.flowcells_created += 1;
+            new_cell = true;
         } else {
             state.bytecount += len as u64;
         }
-        PathTag {
+        let tag = PathTag {
             dst_mac: labels[state.current_mac % n],
             flowcell: state.flowcell,
+        };
+        if new_cell {
+            let path = tag.dst_mac.tree() as usize;
+            if self.spray_counts.len() <= path {
+                self.spray_counts.resize(path + 1, 0);
+            }
+            self.spray_counts[path] += 1;
         }
+        tag
     }
 }
 
@@ -295,6 +314,20 @@ mod tests {
         assert_eq!(counts[&p1], 100);
         assert_eq!(counts[&p2], 200);
         assert_eq!(counts[&p3], 100);
+    }
+
+    #[test]
+    fn spray_counts_track_flowcells_per_path() {
+        let mut s = sched(4);
+        let f = flow(1);
+        for _ in 0..40 {
+            s.assign(SimTime::ZERO, f, 64 * 1024, false);
+        }
+        let counts = s.path_spray_counts();
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts.iter().sum::<u64>(), s.flowcells_created);
+        // Round robin balances cells across all four trees.
+        assert!(counts.iter().all(|&c| c == 10), "unbalanced: {counts:?}");
     }
 
     #[test]

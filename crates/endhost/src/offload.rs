@@ -9,6 +9,7 @@
 
 use presto_netsim::{FlowKey, Packet};
 use presto_simcore::SimTime;
+use presto_telemetry::{FlushReason, SharedSink};
 
 /// A run of merged packets pushed up the stack as one unit (an `sk_buff`
 /// after GRO).
@@ -111,6 +112,20 @@ pub trait ReceiveOffload {
     /// that hold segments (Presto's GRO).
     fn reorder_stats(&self) -> (u64, u64) {
         (0, 0)
+    }
+
+    /// Segments pushed per flush cause, indexed by
+    /// [`FlushReason::index`]. Engines that attribute their pushes
+    /// override this; the default reports nothing.
+    fn flush_reason_counts(&self) -> [u64; FlushReason::COUNT] {
+        [0; FlushReason::COUNT]
+    }
+
+    /// Install a trace sink for `GroHold`/`GroFlush` events, tagging them
+    /// with the receiving `host` index. Engines without event support
+    /// ignore the call.
+    fn set_telemetry(&mut self, host: u32, sink: SharedSink) {
+        let _ = (host, sink);
     }
 }
 

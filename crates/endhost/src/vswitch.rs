@@ -52,6 +52,13 @@ pub trait EdgePolicy {
     fn flowcells_created(&self) -> u64 {
         0
     }
+
+    /// Flowcells assigned per spanning-tree path, indexed by the label's
+    /// tree id — the telemetry spray histogram. Policies that don't spray
+    /// report nothing.
+    fn path_spray_counts(&self) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 /// Pass-through policy: real destination MAC, flowcell 0. Used for the

@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use presto_endhost::{ReceiveOffload, Segment};
 use presto_netsim::{FlowKey, Packet};
 use presto_simcore::SimTime;
+use presto_telemetry::{trace_event, FlushReason, SharedSink, TraceEvent};
 
 /// Largest segment GRO will grow before pushing it up (64 KB, the TSO/GRO
 /// limit in Linux).
@@ -28,6 +29,15 @@ pub struct OfficialGro {
     ready: Vec<Segment>,
     /// Total segments pushed up (instrumentation).
     pub segments_pushed: u64,
+    /// Pushes attributed per cause: `SizeCapEject`, `BoundaryEject`,
+    /// `OutOfOrderEject` for mid-batch ejections, `EndOfPoll` for the
+    /// end-of-batch drain — so Fig 5 comparisons can attribute per cause
+    /// on the baseline side too.
+    flush_reasons: [u64; FlushReason::COUNT],
+    /// Host index stamped into trace events.
+    host: u32,
+    /// Optional trace sink for `GroFlush` events.
+    sink: Option<SharedSink>,
 }
 
 impl OfficialGro {
@@ -35,10 +45,25 @@ impl OfficialGro {
     pub fn new() -> Self {
         Self::default()
     }
+
+    fn attribute(&mut self, now: SimTime, seg: &Segment, reason: FlushReason) {
+        self.flush_reasons[reason.index()] += 1;
+        trace_event!(
+            self.sink,
+            now.as_nanos(),
+            TraceEvent::GroFlush {
+                host: self.host,
+                seq: seg.seq,
+                len: seg.len,
+                packets: seg.packets,
+                reason,
+            }
+        );
+    }
 }
 
 impl ReceiveOffload for OfficialGro {
-    fn on_packet(&mut self, _now: SimTime, pkt: &Packet) {
+    fn on_packet(&mut self, now: SimTime, pkt: &Packet) {
         debug_assert!(pkt.is_data());
         match self.gro_list.get_mut(&pkt.flow) {
             Some(seg) => {
@@ -48,11 +73,22 @@ impl ReceiveOffload for OfficialGro {
                 }
                 // Cannot merge (reordered, new flowcell, or size cap):
                 // eject the existing segment and start fresh — the exact
-                // behaviour Fig 2 illustrates.
+                // behaviour Fig 2 illustrates. Attribute the ejection:
+                // under spraying, flowcell boundaries (path changes) are
+                // what floods small segments; in-flowcell sequence breaks
+                // indicate loss on the cell's single path.
+                let reason = if would_overflow {
+                    FlushReason::SizeCapEject
+                } else if pkt.flowcell != seg.flowcell {
+                    FlushReason::BoundaryEject
+                } else {
+                    FlushReason::OutOfOrderEject
+                };
                 let ejected = self
                     .gro_list
                     .insert(pkt.flow, Segment::from_packet(pkt))
                     .expect("segment present");
+                self.attribute(now, &ejected, reason);
                 self.ready.push(ejected);
             }
             None => {
@@ -67,13 +103,16 @@ impl ReceiveOffload for OfficialGro {
         out
     }
 
-    fn flush_into(&mut self, _now: SimTime, out: &mut Vec<Segment>) {
+    fn flush_into(&mut self, now: SimTime, out: &mut Vec<Segment>) {
         let pushed = self.ready.len() + self.gro_list.len();
+        // Mid-batch ejections were attributed at ejection time.
         out.append(&mut self.ready);
         // End-of-poll flush pushes up every segment in the gro_list.
-        // Draining in place keeps the map's allocation for the next poll.
-        out.extend(self.gro_list.values().copied());
-        self.gro_list.clear();
+        let list = std::mem::take(&mut self.gro_list);
+        for seg in list.values() {
+            self.attribute(now, seg, FlushReason::EndOfPoll);
+            out.push(*seg);
+        }
         self.segments_pushed += pushed as u64;
     }
 
@@ -87,6 +126,15 @@ impl ReceiveOffload for OfficialGro {
     }
 
     fn flush_expired_into(&mut self, _now: SimTime, _out: &mut Vec<Segment>) {}
+
+    fn flush_reason_counts(&self) -> [u64; FlushReason::COUNT] {
+        self.flush_reasons
+    }
+
+    fn set_telemetry(&mut self, host: u32, sink: SharedSink) {
+        self.host = host;
+        self.sink = Some(sink);
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +246,42 @@ mod tests {
         assert_eq!(segs.len(), 2);
         let ours: Vec<_> = segs.iter().filter(|s| s.flow.src == HostId(0)).collect();
         assert_eq!(ours[0].packets, 2, "interleaved flows still merge");
+    }
+
+    #[test]
+    fn flush_reasons_attribute_ejections_per_cause() {
+        let mut g = OfficialGro::new();
+        let reason = |g: &OfficialGro, r: FlushReason| g.flush_reason_counts()[r.index()];
+
+        // Out-of-order within one flowcell (loss signature): P0 P2 ejects
+        // S(P0), P1 ejects S(P2).
+        g.on_packet(SimTime::ZERO, &pkt(seq(0)));
+        g.on_packet(SimTime::ZERO, &pkt(seq(2)));
+        g.on_packet(SimTime::ZERO, &pkt(seq(1)));
+        g.flush(SimTime::ZERO);
+        assert_eq!(reason(&g, FlushReason::OutOfOrderEject), 2);
+        assert_eq!(reason(&g, FlushReason::EndOfPoll), 1);
+
+        // Flowcell boundary (path change under spraying) ejects.
+        g.on_packet(SimTime::ZERO, &pkt_cell(seq(10), 0));
+        g.on_packet(SimTime::ZERO, &pkt_cell(seq(11), 1));
+        g.flush(SimTime::ZERO);
+        assert_eq!(reason(&g, FlushReason::BoundaryEject), 1);
+
+        // 64 KB size cap ejects.
+        for i in 0..46 {
+            g.on_packet(SimTime::ZERO, &pkt(seq(100 + i)));
+        }
+        g.flush(SimTime::ZERO);
+        assert_eq!(reason(&g, FlushReason::SizeCapEject), 1);
+
+        // Every push is attributed.
+        let total: u64 = g.flush_reason_counts().iter().sum();
+        assert_eq!(total, g.segments_pushed);
+        // The baseline's boundary ejections attribute to the reordering
+        // side of the Fig 5 split, like Presto GRO's boundary reasons.
+        assert!(FlushReason::BoundaryEject.indicates_reordering());
+        assert!(FlushReason::OutOfOrderEject.indicates_loss());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use std::collections::BTreeMap;
 use presto_endhost::{ReceiveOffload, Segment};
 use presto_netsim::{FlowKey, Packet};
 use presto_simcore::{Ewma, SimDuration, SimTime};
+use presto_telemetry::{trace_event, FlushReason, SharedSink, TraceEvent};
 
 /// Tunables of the Presto GRO engine.
 #[derive(Debug, Clone)]
@@ -158,6 +159,13 @@ pub struct PrestoGro {
     pub timeout_fires: u64,
     /// Boundary holds that ended with the gap filled (reordering masked).
     pub reorders_masked: u64,
+    /// Pushes attributed per flush cause (always counted; see
+    /// [`FlushReason`] for the taxonomy).
+    flush_reasons: [u64; FlushReason::COUNT],
+    /// Host index stamped into trace events.
+    host: u32,
+    /// Optional trace sink for `GroHold`/`GroFlush` events.
+    sink: Option<SharedSink>,
 }
 
 impl PrestoGro {
@@ -175,6 +183,9 @@ impl PrestoGro {
             segments_pushed: 0,
             timeout_fires: 0,
             reorders_masked: 0,
+            flush_reasons: [0; FlushReason::COUNT],
+            host: 0,
+            sink: None,
         }
     }
 
@@ -196,7 +207,10 @@ impl PrestoGro {
 
     /// The flush function of Algorithm 2, applied to one flow.
     /// Appends pushed segments to `out`; `masked`/`fired` count boundary
-    /// holds resolved by gap fill vs by timeout.
+    /// holds resolved by gap fill vs by timeout; every push is attributed
+    /// to a [`FlushReason`] row of `reasons` (and traced when a sink is
+    /// compiled in and installed).
+    #[allow(clippy::too_many_arguments)]
     fn flush_flow(
         cfg: &PrestoGroConfig,
         f: &mut FlowState,
@@ -204,6 +218,9 @@ impl PrestoGro {
         out: &mut Vec<Segment>,
         masked: &mut u64,
         fired: &mut u64,
+        reasons: &mut [u64; FlushReason::COUNT],
+        sink: &Option<SharedSink>,
+        host: u32,
     ) {
         if f.segs.is_empty() {
             return;
@@ -216,6 +233,22 @@ impl PrestoGro {
         let ewma = SimDuration::from_nanos(f.reorder_ewma.get().max(0.0) as u64);
         let timeout = cfg.hold_timeout(ewma);
         let merge_grace = cfg.merge_grace(ewma);
+
+        let mut push = |s: Segment, reason: FlushReason| {
+            reasons[reason.index()] += 1;
+            trace_event!(
+                sink,
+                now.as_nanos(),
+                TraceEvent::GroFlush {
+                    host,
+                    seq: s.seq,
+                    len: s.len,
+                    packets: s.packets,
+                    reason,
+                }
+            );
+            out.push(s);
+        };
 
         for mut h in f.segs.drain(..) {
             let s = h.seg;
@@ -230,13 +263,20 @@ impl PrestoGro {
                         f.exp_seq = Some(exp.max(s.end_seq()));
                     }
                 }
-                out.push(s);
+                push(s, FlushReason::Retransmit);
                 continue;
             }
 
             if f.last_flowcell == s.flowcell {
                 // Lines 3-5: same flowcell — any gap is loss on one path,
                 // push immediately.
+                let reason = if h.held_at.is_some() {
+                    FlushReason::BoundaryGapFilled
+                } else if s.seq > exp {
+                    FlushReason::InFlowcellGap
+                } else {
+                    FlushReason::InOrder
+                };
                 if let Some(held_at) = h.held_at {
                     // A previously held boundary segment whose cell became
                     // current: the gap filled — a pure reordering event.
@@ -247,10 +287,15 @@ impl PrestoGro {
                     *masked += 1;
                 }
                 f.exp_seq = Some(exp.max(s.end_seq()));
-                out.push(s);
+                push(s, reason);
             } else if s.flowcell > f.last_flowcell {
                 if exp == s.seq {
                     // Lines 7-10: boundary reached exactly in order.
+                    let reason = if h.held_at.is_some() {
+                        FlushReason::BoundaryGapFilled
+                    } else {
+                        FlushReason::InOrder
+                    };
                     if let Some(held_at) = h.held_at {
                         // The gap filled while we held: a pure reordering
                         // event — feed the EWMA.
@@ -262,15 +307,27 @@ impl PrestoGro {
                     }
                     f.last_flowcell = s.flowcell;
                     f.exp_seq = Some(s.end_seq());
-                    out.push(s);
+                    push(s, reason);
                 } else if exp > s.seq {
                     // Lines 11-13: first packet of a newer flowcell starts
                     // below expSeq — a retransmission crossing cells.
                     f.last_flowcell = s.flowcell;
-                    out.push(s);
+                    push(s, FlushReason::CrossCellRetx);
                 } else {
                     // Gap at a flowcell boundary: loss or reordering?
+                    let first_hold = h.held_at.is_none();
                     let held_at = *h.held_at.get_or_insert(now);
+                    if first_hold {
+                        trace_event!(
+                            sink,
+                            now.as_nanos(),
+                            TraceEvent::GroHold {
+                                host,
+                                seq: s.seq,
+                                flowcell: s.flowcell,
+                            }
+                        );
+                    }
                     let mut deadline = held_at + timeout;
                     if h.last_merge > held_at {
                         // β optimization: recent merge extends the hold.
@@ -290,7 +347,7 @@ impl PrestoGro {
                         }
                         f.last_flowcell = s.flowcell;
                         f.exp_seq = Some(s.end_seq());
-                        out.push(s);
+                        push(s, FlushReason::BoundaryTimeout);
                     } else {
                         kept.push(h);
                     }
@@ -298,7 +355,7 @@ impl PrestoGro {
             } else {
                 // Lines 19-20: stale flowcell (below lastFlowcell) — a
                 // late retransmission or straggler; push immediately.
-                out.push(s);
+                push(s, FlushReason::StaleFlowcell);
             }
         }
         f.segs = kept;
@@ -307,13 +364,29 @@ impl PrestoGro {
     fn flush_impl_into(&mut self, now: SimTime, out: &mut Vec<Segment>) {
         let before = out.len();
         let cfg = self.cfg.clone();
+        let sink = self.sink.clone();
+        let host = self.host;
         let mut masked = 0u64;
         let mut fired = 0u64;
+        let mut reasons = [0u64; FlushReason::COUNT];
         for f in self.flows.values_mut() {
-            Self::flush_flow(&cfg, f, now, out, &mut masked, &mut fired);
+            Self::flush_flow(
+                &cfg,
+                f,
+                now,
+                out,
+                &mut masked,
+                &mut fired,
+                &mut reasons,
+                &sink,
+                host,
+            );
         }
         self.reorders_masked += masked;
         self.timeout_fires += fired;
+        for (total, new) in self.flush_reasons.iter_mut().zip(reasons) {
+            *total += new;
+        }
         self.segments_pushed += (out.len() - before) as u64;
     }
 
@@ -401,6 +474,15 @@ impl ReceiveOffload for PrestoGro {
 
     fn reorder_stats(&self) -> (u64, u64) {
         (self.reorders_masked, self.timeout_fires)
+    }
+
+    fn flush_reason_counts(&self) -> [u64; FlushReason::COUNT] {
+        self.flush_reasons
+    }
+
+    fn set_telemetry(&mut self, host: u32, sink: SharedSink) {
+        self.host = host;
+        self.sink = Some(sink);
     }
 }
 
@@ -722,6 +804,52 @@ mod tests {
         g2.on_packet(SimTime::ZERO, &f3);
         let b: Vec<_> = g2.flush(SimTime::ZERO).iter().map(|s| s.flow.src).collect();
         assert_eq!(a, b, "flush order must not depend on arrival order");
+    }
+
+    #[test]
+    fn flush_reasons_attribute_every_push() {
+        let mut g = PrestoGro::new();
+        let t0 = SimTime::ZERO;
+        let reason = |g: &PrestoGro, r: FlushReason| g.flush_reason_counts()[r.index()];
+
+        // In-order cell 0 → InOrder.
+        push_all(&mut g, t0, &[0, 1, 2, 3]);
+        assert_eq!(reason(&g, FlushReason::InOrder), 1);
+
+        // In-flowcell gap (packet 6 lost) → two pushes, one a loss signal.
+        push_all(&mut g, t0, &[4, 5, 7]);
+        assert_eq!(reason(&g, FlushReason::InFlowcellGap), 1);
+
+        // Boundary gap held, then filled → BoundaryGapFilled.
+        push_all(&mut g, t0, &[8, 9, 10, 11, 13]);
+        let t1 = t0 + SimDuration::from_micros(20);
+        push_all(&mut g, t1, &[12, 14, 15]);
+        assert_eq!(reason(&g, FlushReason::BoundaryGapFilled), 1);
+
+        // Boundary gap that times out → BoundaryTimeout.
+        for i in [20u64, 21] {
+            g.on_packet(t1, &pkt(i));
+        }
+        g.flush(t1);
+        let deadline = g.next_deadline().expect("held");
+        g.flush_expired(deadline);
+        assert_eq!(reason(&g, FlushReason::BoundaryTimeout), 1);
+
+        // Retransmission → Retransmit; stale flowcell → StaleFlowcell.
+        let t2 = deadline + SimDuration::from_micros(1);
+        g.on_packet(t2, &pkt_retx(22, true));
+        g.flush(t2);
+        assert_eq!(reason(&g, FlushReason::Retransmit), 1);
+        g.on_packet(t2, &pkt(2));
+        g.flush(t2);
+        assert_eq!(reason(&g, FlushReason::StaleFlowcell), 1);
+
+        // Every push is attributed: the reason table sums to the total.
+        let total: u64 = g.flush_reason_counts().iter().sum();
+        assert_eq!(total, g.segments_pushed);
+        // Loss vs reordering lands on the right side of the Fig 5 split.
+        assert!(FlushReason::InFlowcellGap.indicates_loss());
+        assert!(FlushReason::BoundaryTimeout.indicates_reordering());
     }
 
     #[test]

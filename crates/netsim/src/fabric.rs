@@ -8,6 +8,7 @@
 //! TCP, which keeps it independently testable.
 
 use presto_simcore::{SimDuration, SimTime};
+use presto_telemetry::{trace_event, DropReason, SharedSink, TraceEvent};
 
 use crate::buffer::SharedBuffer;
 use crate::ids::{HostId, LinkId, Node, SwitchId};
@@ -58,6 +59,9 @@ pub struct Fabric {
     egress: Vec<Vec<LinkId>>,
     /// Host uplink (host → leaf) per host index.
     host_uplink: Vec<LinkId>,
+    /// Optional trace sink for enqueue/drop events. Recording is compiled
+    /// out entirely unless the `telemetry` feature is on.
+    sink: Option<SharedSink>,
 }
 
 impl Fabric {
@@ -184,14 +188,29 @@ impl Fabric {
         }
     }
 
+    /// Install a trace sink; subsequent enqueues and drops are recorded
+    /// (when the `telemetry` feature is compiled in).
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
+    }
+
     /// Run the forwarding pipeline of switch `sw` on `packet`.
     fn forward_at(&mut self, sw: SwitchId, packet: Packet, s: &mut impl NetScheduler) {
         let (switches, links) = (&mut self.switches, &self.links);
         let out = switches[sw.index()].forward(&packet, |l: LinkId| links[l.index()].up);
         if let Some(out) = out {
             self.enqueue_on(out, packet, s);
+        } else {
+            // Already counted in the switch's no_route_drops.
+            trace_event!(
+                self.sink,
+                s.now().as_nanos(),
+                TraceEvent::PacketDropped {
+                    site: sw.0,
+                    reason: DropReason::NoRoute,
+                }
+            );
         }
-        // `None` already counted in the switch's no_route_drops.
     }
 
     fn enqueue_on(&mut self, link: LinkId, packet: Packet, s: &mut impl NetScheduler) -> bool {
@@ -210,6 +229,14 @@ impl Fabric {
                     .sum();
                 if !buf.admits_with_credit(credit, self.links[link.index()].occupancy(now), wire) {
                     self.links[link.index()].count_admission_drop(&packet);
+                    trace_event!(
+                        self.sink,
+                        now.as_nanos(),
+                        TraceEvent::PacketDropped {
+                            site: link.0,
+                            reason: DropReason::Admission,
+                        }
+                    );
                     return false;
                 }
                 charge_pool = Some(sw.index());
@@ -223,6 +250,14 @@ impl Fabric {
                         .expect("pool exists")
                         .on_enqueue(wire);
                 }
+                trace_event!(
+                    self.sink,
+                    now.as_nanos(),
+                    TraceEvent::PacketEnqueued {
+                        link: link.0,
+                        queue_bytes: self.links[link.index()].occupancy(now),
+                    }
+                );
                 self.start_tx(link, s);
                 true
             }
@@ -233,9 +268,27 @@ impl Fabric {
                         .expect("pool exists")
                         .on_enqueue(wire);
                 }
+                trace_event!(
+                    self.sink,
+                    now.as_nanos(),
+                    TraceEvent::PacketEnqueued {
+                        link: link.0,
+                        queue_bytes: self.links[link.index()].occupancy(now),
+                    }
+                );
                 true
             }
-            Enqueue::Dropped => false,
+            Enqueue::Dropped => {
+                trace_event!(
+                    self.sink,
+                    now.as_nanos(),
+                    TraceEvent::PacketDropped {
+                        site: link.0,
+                        reason: DropReason::QueueFull,
+                    }
+                );
+                false
+            }
         }
     }
 

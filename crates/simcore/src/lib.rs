@@ -19,6 +19,6 @@ pub mod ewma;
 pub mod rng;
 pub mod time;
 
-pub use events::{EventQueue, HeapEventQueue};
+pub use events::{EventQueue, HeapEventQueue, QueueProfile};
 pub use ewma::Ewma;
 pub use time::{SimDuration, SimTime};

@@ -31,6 +31,7 @@ pub mod scenario;
 pub mod scheme;
 pub mod sim;
 
+pub use presto_telemetry::{TelemetryConfig, TelemetryReport};
 pub use report::Report;
 pub use runner::ParallelRunner;
 pub use scenario::{

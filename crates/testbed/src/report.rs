@@ -74,40 +74,63 @@ impl Report {
     /// runner's determinism contract is tested: the digest of scenario
     /// *i* must not depend on the number of worker threads.
     pub fn digest(&self) -> u64 {
+        // Exhaustive destructure (no `..`): adding a field to `Report`
+        // without deciding how it folds into the digest is a compile
+        // error, not a silently-weaker fingerprint.
+        let Report {
+            scheme,
+            elephant_tputs,
+            mice_fct_ms,
+            rtt_ms,
+            loss_rate,
+            cpu_util,
+            segment_bytes,
+            ooo_cell_counts,
+            tcp_ooo_segments,
+            reordered_fraction,
+            retransmissions,
+            timeouts,
+            fast_retransmits,
+            flowcells,
+            gro_reorders_masked,
+            gro_timeout_fires,
+            flowlet_sizes,
+            events_processed,
+        } = self;
         let mut h = Fnv::new();
-        h.bytes(self.scheme.as_bytes());
-        h.f64s(&self.elephant_tputs);
-        h.f64s(self.mice_fct_ms.values());
-        h.f64s(self.rtt_ms.values());
-        h.f64(self.loss_rate);
-        let mut cpu_keys: Vec<u32> = self.cpu_util.keys().copied().collect();
+        h.bytes(scheme.as_bytes());
+        h.f64s(elephant_tputs);
+        h.f64s(mice_fct_ms.values());
+        h.f64s(rtt_ms.values());
+        h.f64(*loss_rate);
+        let mut cpu_keys: Vec<u32> = cpu_util.keys().copied().collect();
         cpu_keys.sort_unstable();
         for k in cpu_keys {
             h.u64(k as u64);
-            for &(t, v) in self.cpu_util[&k].points() {
+            for &(t, v) in cpu_util[&k].points() {
                 h.f64(t);
                 h.f64(v);
             }
         }
-        h.f64s(self.segment_bytes.values());
-        h.f64s(self.ooo_cell_counts.values());
-        h.u64(self.tcp_ooo_segments);
-        h.f64(self.reordered_fraction);
-        h.u64(self.retransmissions);
-        h.u64(self.timeouts);
-        h.u64(self.fast_retransmits);
-        h.u64(self.flowcells);
-        h.u64(self.gro_reorders_masked);
-        h.u64(self.gro_timeout_fires);
-        let mut fl_keys: Vec<u32> = self.flowlet_sizes.keys().copied().collect();
+        h.f64s(segment_bytes.values());
+        h.f64s(ooo_cell_counts.values());
+        h.u64(*tcp_ooo_segments);
+        h.f64(*reordered_fraction);
+        h.u64(*retransmissions);
+        h.u64(*timeouts);
+        h.u64(*fast_retransmits);
+        h.u64(*flowcells);
+        h.u64(*gro_reorders_masked);
+        h.u64(*gro_timeout_fires);
+        let mut fl_keys: Vec<u32> = flowlet_sizes.keys().copied().collect();
         fl_keys.sort_unstable();
         for k in fl_keys {
             h.u64(k as u64);
-            for &s in &self.flowlet_sizes[&k] {
+            for &s in &flowlet_sizes[&k] {
                 h.u64(s);
             }
         }
-        h.u64(self.events_processed);
+        h.u64(*events_processed);
         h.finish()
     }
 

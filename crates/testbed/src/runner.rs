@@ -22,6 +22,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use presto_telemetry::TelemetryReport;
+
 use crate::report::Report;
 use crate::scenario::Scenario;
 
@@ -48,23 +50,28 @@ impl ParallelRunner {
         Self::new(n)
     }
 
-    /// Run every scenario; reports come back in scenario order.
-    pub fn run(&self, scenarios: &[Scenario]) -> Vec<Report> {
+    /// Run every scenario through `job`; results come back in scenario
+    /// order. This is the single fan-out primitive: `run` and
+    /// `run_traced` are `run_with` over different jobs.
+    pub fn run_with<R: Send>(
+        &self,
+        scenarios: &[Scenario],
+        job: impl Fn(&Scenario) -> R + Sync,
+    ) -> Vec<R> {
         if self.workers == 1 || scenarios.len() <= 1 {
             // Serial reference path — also what the determinism tests
             // compare the threaded path against.
-            return scenarios.iter().map(Scenario::run).collect();
+            return scenarios.iter().map(job).collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Report>>> =
-            scenarios.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<R>>> = scenarios.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..self.workers.min(scenarios.len()) {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(sc) = scenarios.get(i) else { break };
-                    let report = sc.run();
-                    *slots[i].lock().expect("result slot poisoned") = Some(report);
+                    let result = job(sc);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
                 });
             }
         });
@@ -73,9 +80,22 @@ impl ParallelRunner {
             .map(|m| {
                 m.into_inner()
                     .expect("result slot poisoned")
-                    .expect("every scenario produced a report")
+                    .expect("every scenario produced a result")
             })
             .collect()
+    }
+
+    /// Run every scenario; reports come back in scenario order.
+    pub fn run(&self, scenarios: &[Scenario]) -> Vec<Report> {
+        self.run_with(scenarios, Scenario::run)
+    }
+
+    /// Run every scenario with the telemetry layer attached; report pairs
+    /// come back in scenario order. Each worker builds and drains its own
+    /// trace ring, so traces — like reports — are byte-identical no matter
+    /// how many workers ran the sweep.
+    pub fn run_traced(&self, scenarios: &[Scenario]) -> Vec<(Report, TelemetryReport)> {
+        self.run_with(scenarios, Scenario::run_traced)
     }
 
     /// Run scenarios and fold each report through `f` — convenience for

@@ -12,6 +12,7 @@ use presto_lb::{EcmpPolicy, FlowletPolicy, PerPacketPolicy};
 use presto_netsim::{ClosSpec, HostId, Mac, Topology};
 use presto_simcore::rng::DetRng;
 use presto_simcore::{SimDuration, SimTime};
+use presto_telemetry::{TelemetryConfig, TelemetryReport};
 use presto_workloads::patterns;
 use presto_workloads::FlowSpec;
 
@@ -103,6 +104,10 @@ pub struct Scenario {
     /// across links resolve in commit order, which perturbs tightly
     /// synchronized workloads slightly. Overridable via `PRESTO_TX_BATCH`.
     pub tx_batch: u32,
+    /// Attach the telemetry layer with this configuration (`None` = off).
+    /// Enabling it never changes simulation behaviour or the report
+    /// digest; it only collects counters, samples, and trace events.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Scenario {
@@ -127,6 +132,7 @@ impl Scenario {
             cpu_sample: None,
             host_uplink_queue: 16 * 1024 * 1024,
             tx_batch: 1,
+            telemetry: None,
         }
     }
 
@@ -164,6 +170,19 @@ impl Scenario {
     pub fn run(&self) -> Report {
         let mut sim = self.build();
         sim.run()
+    }
+
+    /// Run with the telemetry layer attached — `self.telemetry` if set,
+    /// the default configuration otherwise — and return the figure report
+    /// together with the telemetry report.
+    pub fn run_traced(&self) -> (Report, TelemetryReport) {
+        let mut sim = self.build();
+        if !sim.telemetry_enabled() {
+            sim.enable_telemetry(TelemetryConfig::default());
+        }
+        let report = sim.run();
+        let telemetry = sim.telemetry_report().expect("telemetry enabled");
+        (report, telemetry)
     }
 
     /// Assemble the simulator without running it — useful for inspection
@@ -293,6 +312,9 @@ impl Scenario {
         sim.controller = controller;
         sim.collect_reorder = self.collect_reorder;
         sim.cpu_sample_every = self.cpu_sample;
+        if let Some(cfg) = self.telemetry {
+            sim.enable_telemetry(cfg);
+        }
 
         // 8. Applications.
         for spec in &self.flows {

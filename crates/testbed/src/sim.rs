@@ -25,6 +25,10 @@ use presto_netsim::{
     FlowKey, HostId, LinkId, NetEvent, NetScheduler, Packet, PacketKind, PacketPool, Topology,
 };
 use presto_simcore::{EventQueue, SimDuration, SimTime};
+use presto_telemetry::{
+    shared_sink, CounterEntry, DropReason, QueueDepthSummary, QueueProfileEntry, SharedSink,
+    TelemetryConfig, TelemetryReport, TraceEvent,
+};
 use presto_transport::{
     CongestionControl, Cubic, MptcpConnection, SenderOutput, TcpConfig, TcpReceiver, TcpSender,
 };
@@ -81,6 +85,69 @@ pub enum Event {
     ShuffleMore(usize),
     /// Host egress scheduler: move staged segments onto the uplink.
     EgressDrain(HostId),
+}
+
+/// Event-class names for the queue profiler, index-aligned with
+/// [`classify_event`].
+pub const EVENT_NAMES: &[&str] = &[
+    "Net",
+    "NicPoll",
+    "GroTimer",
+    "CpuDone",
+    "Rto",
+    "FlowStart",
+    "MiceNext",
+    "ProbeSend",
+    "CpuSample",
+    "WarmupMark",
+    "LinkFail",
+    "ControllerUpdate",
+    "ShuffleMore",
+    "EgressDrain",
+];
+
+/// Map an [`Event`] to its [`EVENT_NAMES`] row for the queue profiler.
+pub fn classify_event(ev: &Event) -> usize {
+    match ev {
+        Event::Net(_) => 0,
+        Event::NicPoll(_) => 1,
+        Event::GroTimer(_) => 2,
+        Event::CpuDone(..) => 3,
+        Event::Rto(..) => 4,
+        Event::FlowStart(_) => 5,
+        Event::MiceNext(_) => 6,
+        Event::ProbeSend(_) => 7,
+        Event::CpuSample => 8,
+        Event::WarmupMark => 9,
+        Event::LinkFail(..) => 10,
+        Event::ControllerUpdate => 11,
+        Event::ShuffleMore(_) => 12,
+        Event::EgressDrain(_) => 13,
+    }
+}
+
+/// Telemetry plumbing attached to a running simulation by
+/// [`Simulation::enable_telemetry`].
+///
+/// Holds the shared trace ring plus the periodic sampler's state: the next
+/// grid time, per-link queue-depth samples, and the tx-byte snapshots that
+/// turn counter deltas into utilization. Sampling is driven from the run
+/// loop against a fixed time grid rather than via queue events so that
+/// enabling telemetry never perturbs `events_processed` (and therefore
+/// never changes `Report::digest()`).
+pub struct TelemetryState {
+    cfg: TelemetryConfig,
+    sink: SharedSink,
+    next_sample: SimTime,
+    /// Per-link queue-depth samples (bytes), one inner vec per link.
+    depth_samples: Vec<Vec<u64>>,
+    /// `tx_bytes` at the previous sample, per link.
+    last_tx_bytes: Vec<u64>,
+    /// Running sum of per-sample utilization fractions, per link.
+    util_sum: Vec<f64>,
+    /// Last flowcell tag seen per flow, to emit `FlowcellEmitted` once per
+    /// cell rather than once per segment.
+    last_cell: HashMap<FlowKey, u64>,
 }
 
 /// One host's soft edge.
@@ -335,6 +402,7 @@ pub struct Simulation {
     events_processed: u64,
     /// Pending failure links for the ControllerUpdate handler.
     pub failed_pair: Option<(LinkId, LinkId)>,
+    telemetry: Option<TelemetryState>,
 }
 
 /// `NetScheduler` adapter: fabric events go back into the global queue,
@@ -404,6 +472,7 @@ impl Simulation {
             scratch: Scratch::default(),
             events_processed: 0,
             failed_pair: None,
+            telemetry: None,
         };
         sim.queue.push(warmup, Event::WarmupMark);
         sim
@@ -412,6 +481,83 @@ impl Simulation {
     /// Schedule an event at an absolute time.
     pub fn schedule(&mut self, at: SimTime, ev: Event) {
         self.queue.push(at, ev);
+    }
+
+    /// Attach the telemetry layer: a shared trace ring wired into the
+    /// fabric and every host's GRO engine, the event-queue profiler, and
+    /// the periodic link/queue sampler.
+    ///
+    /// Must be called before [`Simulation::run`]. Enabling telemetry does
+    /// not change simulation behaviour: no events are added to the queue
+    /// and no packet takes a different path, so `Report::digest()` is
+    /// byte-identical with telemetry on or off.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        let sink = shared_sink(cfg.ring_capacity);
+        self.topo.fabric.set_trace_sink(std::rc::Rc::clone(&sink));
+        for (hi, host) in self.hosts.iter_mut().enumerate() {
+            host.gro.set_telemetry(hi as u32, std::rc::Rc::clone(&sink));
+        }
+        self.queue.enable_profiler(EVENT_NAMES, classify_event);
+        let nlinks = self.topo.fabric.links().len();
+        self.telemetry = Some(TelemetryState {
+            next_sample: SimTime::ZERO + cfg.sample_every,
+            depth_samples: vec![Vec::new(); nlinks],
+            last_tx_bytes: vec![0; nlinks],
+            util_sum: vec![0.0; nlinks],
+            last_cell: HashMap::new(),
+            sink,
+            cfg,
+        });
+    }
+
+    /// Is the telemetry layer attached?
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Advance the sampling grid up to (and including) `t`, taking one
+    /// queue-depth / utilization / event-queue sample per grid crossing.
+    fn telemetry_sample_until(&mut self, t: SimTime) {
+        let Some(tel) = self.telemetry.as_mut() else {
+            return;
+        };
+        let every = tel.cfg.sample_every;
+        let window = every.as_secs_f64();
+        while tel.next_sample <= t && tel.next_sample <= self.end {
+            let g = tel.next_sample;
+            let t_ns = g.as_nanos();
+            for (i, samples) in tel.depth_samples.iter_mut().enumerate() {
+                let link = self.topo.fabric.link(LinkId(i as u32));
+                let occ = link.occupancy(g);
+                samples.push(occ);
+                let tx = link.counters.tx_bytes;
+                // `reset_counters` at the warmup mark can move tx_bytes
+                // backwards; treat that sample's delta as zero.
+                let delta = tx.saturating_sub(tel.last_tx_bytes[i]);
+                tel.last_tx_bytes[i] = tx;
+                let util = (delta as f64 * 8.0) / (window * link.rate_bps as f64);
+                tel.util_sum[i] += util.min(1.0);
+                if presto_telemetry::ENABLED {
+                    tel.sink.borrow_mut().record(
+                        t_ns,
+                        TraceEvent::LinkOccupancySample {
+                            link: i as u32,
+                            queue_bytes: occ,
+                        },
+                    );
+                }
+            }
+            if presto_telemetry::ENABLED {
+                tel.sink.borrow_mut().record(
+                    t_ns,
+                    TraceEvent::EventQueueSample {
+                        len: self.queue.len() as u64,
+                        high_water: self.queue.high_water_mark() as u64,
+                    },
+                );
+            }
+            tel.next_sample = g + every;
+        }
     }
 
     /// Allocate a fresh source port for a (src, dst) pair, reserving
@@ -527,6 +673,27 @@ impl Simulation {
         let tag = self.hosts[host.index()]
             .vswitch
             .process(self.now, flow, len, retx);
+        if presto_telemetry::ENABLED {
+            if let Some(tel) = self.telemetry.as_mut() {
+                let t_ns = self.now.as_nanos();
+                if retx {
+                    tel.sink
+                        .borrow_mut()
+                        .record(t_ns, TraceEvent::Retransmit { host: host.0, seq });
+                }
+                // One FlowcellEmitted per cell, not per segment.
+                if tel.last_cell.insert(flow, tag.flowcell) != Some(tag.flowcell) {
+                    tel.sink.borrow_mut().record(
+                        t_ns,
+                        TraceEvent::FlowcellEmitted {
+                            host: host.0,
+                            flowcell: tag.flowcell,
+                            path: tag.dst_mac.tree(),
+                        },
+                    );
+                }
+            }
+        }
         self.hosts[host.index()].egress.stage(TxSegment {
             flow,
             seq,
@@ -668,13 +835,20 @@ impl Simulation {
         if let Some(every) = self.cpu_sample_every {
             self.queue.push(SimTime::ZERO + every, Event::CpuSample);
         }
+        let sampling = self.telemetry.is_some();
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.end {
                 break;
             }
+            if sampling {
+                self.telemetry_sample_until(t);
+            }
             self.now = t;
             self.events_processed += 1;
             self.dispatch(ev);
+        }
+        if sampling {
+            self.telemetry_sample_until(self.end);
         }
         self.finish()
     }
@@ -753,7 +927,20 @@ impl Simulation {
         match self.hosts[h.index()].ring.push(pkt) {
             RxAction::SchedulePoll(d) => self.queue.push(self.now + d, Event::NicPoll(h)),
             RxAction::PollNow => self.queue.push(self.now, Event::NicPoll(h)),
-            RxAction::Dropped => self.stats.ring_drops += 1,
+            RxAction::Dropped => {
+                self.stats.ring_drops += 1;
+                if presto_telemetry::ENABLED {
+                    if let Some(tel) = self.telemetry.as_ref() {
+                        tel.sink.borrow_mut().record(
+                            self.now.as_nanos(),
+                            TraceEvent::PacketDropped {
+                                site: h.0,
+                                reason: DropReason::RingOverflow,
+                            },
+                        );
+                    }
+                }
+            }
             RxAction::None => {}
         }
     }
@@ -1101,6 +1288,126 @@ impl Simulation {
         }
         report.events_processed = self.events_processed;
         report
+    }
+
+    /// Assemble the [`TelemetryReport`] after a run: per-component counter
+    /// registries in a fixed order (links, switches, hosts, TCP
+    /// aggregate), GRO flush-reason totals, per-path spray counts,
+    /// queue-depth summaries, the event-queue profile, and the drained
+    /// trace ring. Returns `None` unless telemetry was enabled.
+    ///
+    /// Every collection is emitted in index order — no map iteration — so
+    /// two identical runs produce byte-identical reports.
+    pub fn telemetry_report(&mut self) -> Option<TelemetryReport> {
+        let tel = self.telemetry.as_mut()?;
+        let mut rep = TelemetryReport {
+            scheme: self.scheme.name.to_string(),
+            ..TelemetryReport::default()
+        };
+        // Link counters, ascending link id.
+        for (i, link) in self.topo.fabric.links().iter().enumerate() {
+            let component = format!("link{i}");
+            let c = &link.counters;
+            for (name, value) in [
+                ("tx_packets", c.tx_packets),
+                ("tx_bytes", c.tx_bytes),
+                ("dropped_packets", c.dropped_packets),
+                ("dropped_bytes", c.dropped_bytes),
+                ("max_queue_bytes", c.max_queue_bytes),
+            ] {
+                rep.counters.push(CounterEntry {
+                    component: component.clone(),
+                    name: name.to_string(),
+                    value,
+                });
+            }
+        }
+        // Switch counters, ascending switch id.
+        for (i, sw) in self.topo.fabric.switches().iter().enumerate() {
+            rep.counters.push(CounterEntry {
+                component: format!("switch{i}"),
+                name: "no_route_drops".to_string(),
+                value: sw.no_route_drops,
+            });
+        }
+        // Host counters (NIC ring, egress, GRO), ascending host id.
+        for (i, host) in self.hosts.iter().enumerate() {
+            let component = format!("host{i}");
+            let fr = host.gro.flush_reason_counts();
+            for (name, value) in [
+                ("ring_overflow_drops", host.ring.overflow_drops),
+                ("egress_staged", host.egress.staged_total),
+                ("gro_flushes", fr.iter().sum::<u64>()),
+            ] {
+                rep.counters.push(CounterEntry {
+                    component: component.clone(),
+                    name: name.to_string(),
+                    value,
+                });
+            }
+            for (j, v) in fr.iter().enumerate() {
+                rep.flush_reasons[j] += v;
+            }
+            let sp = host.vswitch.policy().path_spray_counts();
+            if rep.spray_counts.len() < sp.len() {
+                rep.spray_counts.resize(sp.len(), 0);
+            }
+            for (j, v) in sp.iter().enumerate() {
+                rep.spray_counts[j] += v;
+            }
+        }
+        // Transport aggregate across all connections.
+        let mut tcp = [
+            ("acked_bytes", 0u64),
+            ("retransmissions", 0),
+            ("timeouts", 0),
+            ("fast_retransmits", 0),
+        ];
+        for c in &self.tcp_conns {
+            for (slot, (name, value)) in tcp.iter_mut().zip(c.sender.telemetry_counters()) {
+                debug_assert_eq!(slot.0, name);
+                slot.1 += value;
+            }
+        }
+        for c in &self.mptcp_conns {
+            tcp[0].1 += c.conn.acked_bytes();
+            tcp[1].1 += c.conn.retransmissions();
+            tcp[2].1 += c.conn.timeouts();
+        }
+        for (name, value) in tcp {
+            rep.counters.push(CounterEntry {
+                component: "tcp".to_string(),
+                name: name.to_string(),
+                value,
+            });
+        }
+        // Queue-depth summaries per link, from the periodic sampler.
+        for (i, samples) in tel.depth_samples.iter().enumerate() {
+            let mean_util = if samples.is_empty() {
+                0.0
+            } else {
+                tel.util_sum[i] / samples.len() as f64
+            };
+            rep.queue_depths.push(QueueDepthSummary::from_samples(
+                i as u32,
+                samples.clone(),
+                mean_util,
+            ));
+        }
+        // Event-queue profile, in EVENT_NAMES order.
+        if let Some(profile) = self.queue.profile() {
+            for (i, name) in profile.names().iter().enumerate() {
+                rep.event_queue.push(QueueProfileEntry {
+                    name: name.to_string(),
+                    count: profile.counts()[i],
+                    dwell_ns: profile.dwell_ns()[i],
+                });
+            }
+        }
+        rep.queue_high_water = self.queue.high_water_mark() as u64;
+        rep.events_dropped = tel.sink.borrow().evicted();
+        rep.events = tel.sink.borrow_mut().drain();
+        Some(rep)
     }
 }
 

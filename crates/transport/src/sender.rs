@@ -194,6 +194,16 @@ impl<C: CongestionControl> TcpSender<C> {
         self.snd_una
     }
 
+    /// Named counter snapshot for the telemetry registry.
+    pub fn telemetry_counters(&self) -> [(&'static str, u64); 4] {
+        [
+            ("acked_bytes", self.snd_una),
+            ("retransmissions", self.retransmissions),
+            ("timeouts", self.timeouts),
+            ("fast_retransmits", self.fast_retransmits),
+        ]
+    }
+
     /// Bytes in flight.
     pub fn flight(&self) -> u64 {
         self.snd_nxt - self.snd_una

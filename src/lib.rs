@@ -26,6 +26,7 @@
 //! | [`lb`] | `presto-lb` | ECMP / flowlet / per-packet baselines |
 //! | [`workloads`] | `presto-workloads` | stride/shuffle/random/trace generators |
 //! | [`metrics`] | `presto-metrics` | percentiles, CDFs, Jain fairness |
+//! | [`telemetry`] | `presto-telemetry` | trace events, counter registries, exporters |
 //! | [`testbed`] | `presto-testbed` | the composed simulator and scenarios |
 //!
 //! ## Quick start
@@ -49,6 +50,7 @@ pub use presto_lb as lb;
 pub use presto_metrics as metrics;
 pub use presto_netsim as netsim;
 pub use presto_simcore as simcore;
+pub use presto_telemetry as telemetry;
 pub use presto_testbed as testbed;
 pub use presto_transport as transport;
 pub use presto_workloads as workloads;

@@ -1,0 +1,109 @@
+//! The telemetry layer must be a pure observer.
+//!
+//! Two contracts, both required by the observability design (DESIGN.md
+//! §8):
+//!
+//! 1. **Tracing never perturbs the simulation.** A run with the telemetry
+//!    layer attached produces a byte-identical `Report::digest()` to the
+//!    same run without it — no extra events, no changed packet paths.
+//! 2. **Traces are as deterministic as reports.** The JSONL export of
+//!    scenario *i* is byte-identical whether the sweep ran on 1, 2, or 8
+//!    `ParallelRunner` workers.
+
+use presto_lab::simcore::SimDuration;
+use presto_lab::telemetry::{FlushReason, TelemetryConfig, TelemetryReport};
+use presto_lab::testbed::{stride_elephants, ParallelRunner, Scenario, SchemeSpec};
+
+fn tiny(scheme: SchemeSpec, seed: u64) -> Scenario {
+    let mut sc = Scenario::testbed16(scheme, seed);
+    sc.duration = SimDuration::from_millis(8);
+    sc.warmup = SimDuration::from_millis(2);
+    sc.flows = stride_elephants(16, 8);
+    sc
+}
+
+#[test]
+fn digest_identical_with_tracing_on_and_off() {
+    for scheme in [SchemeSpec::presto(), SchemeSpec::presto_official_gro()] {
+        let plain = tiny(scheme.clone(), 7);
+        let off = plain.run().digest();
+
+        let mut traced = tiny(scheme, 7);
+        traced.telemetry = Some(TelemetryConfig::default());
+        let on = traced.run().digest();
+
+        assert_eq!(off, on, "telemetry changed the simulation");
+    }
+}
+
+#[test]
+fn traces_identical_across_worker_counts() {
+    let scenarios: Vec<Scenario> = (0..3).map(|s| tiny(SchemeSpec::presto(), s)).collect();
+    let baseline: Vec<String> = ParallelRunner::new(1)
+        .run_traced(&scenarios)
+        .into_iter()
+        .map(|(_, tel)| tel.to_jsonl())
+        .collect();
+    for workers in [2, 8] {
+        let got: Vec<String> = ParallelRunner::new(workers)
+            .run_traced(&scenarios)
+            .into_iter()
+            .map(|(_, tel)| tel.to_jsonl())
+            .collect();
+        assert_eq!(baseline, got, "trace changed under {workers} workers");
+    }
+}
+
+#[test]
+fn jsonl_roundtrips_a_real_trace() {
+    let sc = tiny(SchemeSpec::presto(), 3);
+    let (_, tel) = sc.run_traced();
+    let parsed = TelemetryReport::from_jsonl(&tel.to_jsonl());
+    assert_eq!(tel, parsed, "JSONL export must round-trip losslessly");
+}
+
+#[test]
+fn flush_reasons_populate_for_both_engines() {
+    // The Fig 5 attribution: Presto GRO absorbs flowcell boundaries,
+    // stock GRO ejects at them. Counters are always-on, so this holds
+    // with or without the `telemetry` feature.
+    let (_, presto) = tiny(SchemeSpec::presto(), 5).run_traced();
+    let (_, official) = tiny(SchemeSpec::presto_official_gro(), 5).run_traced();
+
+    let total = |t: &TelemetryReport| t.flush_reasons.iter().sum::<u64>();
+    assert!(total(&presto) > 0, "presto GRO attributed no pushes");
+    assert!(total(&official) > 0, "stock GRO attributed no pushes");
+    assert!(
+        official.flush_reasons[FlushReason::BoundaryEject.index()] > 0,
+        "spraying must trigger boundary ejects in stock GRO"
+    );
+    assert_eq!(
+        presto.flush_reasons[FlushReason::BoundaryEject.index()],
+        0,
+        "Presto GRO never size-ejects at boundaries"
+    );
+    // Both engines spray: per-path counts cover every spine path.
+    assert!(presto.spray_counts.len() > 1);
+    assert!(presto.spray_counts.iter().all(|&c| c > 0));
+}
+
+#[test]
+fn trace_events_flow_when_feature_enabled() {
+    let (_, tel) = tiny(SchemeSpec::presto(), 9).run_traced();
+    if presto_lab::telemetry::ENABLED {
+        assert!(
+            !tel.events.is_empty(),
+            "telemetry feature on: the ring must capture events"
+        );
+    } else {
+        assert!(
+            tel.events.is_empty(),
+            "telemetry feature off: event recording must be compiled out"
+        );
+    }
+    // Counters, samples, and the queue profile are always-on.
+    assert!(!tel.counters.is_empty());
+    assert!(!tel.queue_depths.is_empty());
+    assert!(!tel.event_queue.is_empty());
+    assert!(tel.queue_high_water > 0);
+}
