@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Deprecation gate for the ScenarioBuilder migration.
+#
+# Two checks:
+#   1. `cargo clippy --workspace --all-targets -- -D deprecated` — no code
+#      outside an `#[allow(deprecated)]` block may use the deprecated
+#      Scenario fields (or any other deprecated item).
+#   2. Every `#[allow(deprecated)]` marker must live in a file named in
+#      ci/deprecated_allowlist.txt, so the escape hatch cannot quietly
+#      spread: new call sites migrate to the builder instead of silencing
+#      the lint.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> clippy with deprecation warnings fatal"
+cargo clippy --workspace --all-targets --quiet -- -D deprecated
+
+echo "==> allow(deprecated) markers confined to the allowlist"
+allowlist=ci/deprecated_allowlist.txt
+violations=0
+while IFS=: read -r file _; do
+    rel=${file#./}
+    if ! grep -qxF "$rel" <(grep -v '^\s*#' "$allowlist" | grep -v '^\s*$'); then
+        echo "error: $rel uses #[allow(deprecated)] but is not in $allowlist" >&2
+        violations=1
+    fi
+done < <(grep -rn 'allow(deprecated)' --include='*.rs' \
+    --exclude-dir=target --exclude-dir=vendor . || true)
+
+if [ "$violations" -ne 0 ]; then
+    echo "Migrate the file to ScenarioBuilder or, if it must construct" >&2
+    echo "Scenario fields directly, add it to $allowlist with a comment." >&2
+    exit 1
+fi
+echo "deprecation gate passed"

@@ -28,11 +28,12 @@ fn main() {
     for kb in [16u64, 32, 64, 128, 256] {
         let mut scheme = SchemeSpec::presto();
         scheme.flowcell_bytes = kb * 1024;
-        let mut sc = Scenario::testbed16(scheme, base_seed());
-        sc.duration = sim_duration();
-        sc.warmup = warmup_of(sc.duration);
-        sc.flows = stride_elephants(16, 8);
-        let r = sc.run();
+        let r = Scenario::builder(scheme, base_seed())
+            .duration(sim_duration())
+            .warmup(warmup_of(sim_duration()))
+            .elephants(stride_elephants(16, 8))
+            .build()
+            .run();
         tbl.row([
             format!("{kb}KB"),
             f(r.mean_elephant_tput(), 2),

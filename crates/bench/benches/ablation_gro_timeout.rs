@@ -49,19 +49,22 @@ fn main() {
     ]);
     for scheme in variants {
         let name = scheme.name;
-        let mut sc = Scenario::testbed16(scheme, base_seed());
-        sc.duration = sim_duration();
-        sc.warmup = warmup_of(sc.duration);
-        sc.flows = stride_elephants(16, 8);
-        sc.mice = (0..16)
-            .map(|i| presto_testbed::MiceSpec {
-                src: i,
-                dst: (i + 8) % 16,
-                bytes: 50_000,
-                interval: SimDuration::from_millis(4),
-            })
-            .collect();
-        let r = sc.run();
+        let r = Scenario::builder(scheme, base_seed())
+            .duration(sim_duration())
+            .warmup(warmup_of(sim_duration()))
+            .elephants(stride_elephants(16, 8))
+            .mice(
+                (0..16)
+                    .map(|i| presto_testbed::MiceSpec {
+                        src: i,
+                        dst: (i + 8) % 16,
+                        bytes: 50_000,
+                        interval: SimDuration::from_millis(4),
+                    })
+                    .collect(),
+            )
+            .build()
+            .run();
         let mut fct = r.mice_fct_ms.clone();
         tbl.row([
             name.to_string(),

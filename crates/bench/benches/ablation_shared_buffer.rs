@@ -27,15 +27,18 @@ fn main() {
     for &shared in &[false, true] {
         for scheme in [SchemeSpec::ecmp(), SchemeSpec::presto()] {
             let name = scheme.name;
-            let mut sc = Scenario::testbed16(scheme, base_seed());
+            let mut b = Scenario::builder(scheme, base_seed())
+                .duration(sim_duration())
+                .warmup(warmup_of(sim_duration()))
+                .elephants(stride_elephants(16, 8))
+                .probes((0..16).map(|i| (i, (i + 8) % 16)).collect());
             if shared {
-                sc.clos.shared_buffer = Some((4 * 1024 * 1024, 1.0));
+                b = b.topology(presto_netsim::ClosSpec {
+                    shared_buffer: Some((4 * 1024 * 1024, 1.0)),
+                    ..presto_netsim::ClosSpec::default()
+                });
             }
-            sc.duration = sim_duration();
-            sc.warmup = warmup_of(sc.duration);
-            sc.flows = stride_elephants(16, 8);
-            sc.probes = (0..16).map(|i| (i, (i + 8) % 16)).collect();
-            let r = sc.run();
+            let r = b.build().run();
             let mut rtt = r.rtt_ms.clone();
             tbl.row([
                 if shared {

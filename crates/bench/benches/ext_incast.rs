@@ -16,21 +16,26 @@ use presto_workloads::patterns::incast_senders;
 use presto_workloads::FlowSpec;
 
 fn run(scheme: SchemeSpec, fan_in: usize, shared: bool, seed: u64) -> presto_testbed::Report {
-    let mut sc = Scenario::testbed16(scheme, seed);
-    sc.duration = SimDuration::from_millis(120);
-    sc.warmup = SimDuration::from_millis(10);
-    if shared {
-        sc.clos.shared_buffer = Some((4 * 1024 * 1024, 1.0));
-    }
     // Synchronized 256 KB responses to host 0 every 10 ms.
     let receiver = 0usize;
+    let mut flows = Vec::new();
     for wave in 0..10u64 {
         let at = SimTime::ZERO + SimDuration::from_millis(10 + wave * 10);
         for &s in &incast_senders(16, receiver, fan_in) {
-            sc.flows.push(FlowSpec::mouse(s, receiver, at, 256 * 1024));
+            flows.push(FlowSpec::mouse(s, receiver, at, 256 * 1024));
         }
     }
-    sc.run()
+    let mut b = Scenario::builder(scheme, seed)
+        .duration(SimDuration::from_millis(120))
+        .warmup(SimDuration::from_millis(10))
+        .flows(flows);
+    if shared {
+        b = b.topology(presto_netsim::ClosSpec {
+            shared_buffer: Some((4 * 1024 * 1024, 1.0)),
+            ..presto_netsim::ClosSpec::default()
+        });
+    }
+    b.build().run()
 }
 
 fn main() {

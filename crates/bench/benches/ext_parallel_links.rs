@@ -15,21 +15,24 @@ use presto_testbed::{Scenario, SchemeSpec};
 use presto_workloads::FlowSpec;
 
 fn run(scheme: SchemeSpec, spines: usize, gamma: usize, seed: u64) -> presto_testbed::Report {
-    let mut sc = Scenario::testbed16(scheme, seed);
-    sc.clos = ClosSpec {
-        spines,
-        leaves: 2,
-        hosts_per_leaf: 8,
-        links_per_pair: gamma,
-        ..ClosSpec::default()
-    };
-    sc.duration = sim_duration();
-    sc.warmup = warmup_of(sc.duration);
     let paths = spines * gamma;
-    sc.flows = (0..paths.min(8))
-        .map(|i| FlowSpec::elephant(i, 8 + i, SimTime::ZERO))
-        .collect();
-    sc.run()
+    Scenario::builder(scheme, seed)
+        .topology(ClosSpec {
+            spines,
+            leaves: 2,
+            hosts_per_leaf: 8,
+            links_per_pair: gamma,
+            ..ClosSpec::default()
+        })
+        .duration(sim_duration())
+        .warmup(warmup_of(sim_duration()))
+        .elephants(
+            (0..paths.min(8))
+                .map(|i| FlowSpec::elephant(i, 8 + i, SimTime::ZERO))
+                .collect(),
+        )
+        .build()
+        .run()
 }
 
 fn main() {

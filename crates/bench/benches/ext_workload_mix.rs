@@ -66,11 +66,17 @@ fn main() {
     ] {
         for scheme in [SchemeSpec::ecmp(), SchemeSpec::presto()] {
             let name = scheme.name;
-            let mut sc = Scenario::testbed16(scheme, base_seed());
-            sc.duration = duration;
-            sc.warmup = warmup_of(duration);
-            sc.flows = mix_flows(&cdf, base_seed(), horizon, SimDuration::from_millis(gap_ms));
-            let r = sc.run();
+            let r = Scenario::builder(scheme, base_seed())
+                .duration(duration)
+                .warmup(warmup_of(duration))
+                .flows(mix_flows(
+                    &cdf,
+                    base_seed(),
+                    horizon,
+                    SimDuration::from_millis(gap_ms),
+                ))
+                .build()
+                .run();
             let mut fct = r.mice_fct_ms.clone();
             tbl.row([
                 mix_name.to_string(),

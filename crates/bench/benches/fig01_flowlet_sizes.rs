@@ -32,16 +32,18 @@ fn main() {
     ]);
     for competing in 0..=8usize {
         let scheme = SchemeSpec::flowlet(SimDuration::from_micros(500));
-        let mut sc = Scenario::testbed16(scheme, base_seed());
-        sc.duration = SimDuration::from_millis(600);
-        sc.warmup = SimDuration::from_millis(1);
-        // The observed transfer: host 0 -> host 8.
-        sc.flows = vec![FlowSpec::bulk(0, 8, SimTime::ZERO, transfer_bytes)];
-        // Competing flows from other senders to the same receiver.
+        // The observed transfer: host 0 -> host 8, plus competing flows
+        // from other senders to the same receiver.
+        let mut flows = vec![FlowSpec::bulk(0, 8, SimTime::ZERO, transfer_bytes)];
         for c in 0..competing {
-            sc.flows.push(FlowSpec::elephant(1 + c, 8, SimTime::ZERO));
+            flows.push(FlowSpec::elephant(1 + c, 8, SimTime::ZERO));
         }
-        let r = sc.run();
+        let r = Scenario::builder(scheme, base_seed())
+            .duration(SimDuration::from_millis(600))
+            .warmup(SimDuration::from_millis(1))
+            .flows(flows)
+            .build()
+            .run();
         let sizes = r.flowlet_sizes.get(&0).cloned().unwrap_or_default();
         let total: u64 = sizes.iter().sum();
         let mut sorted = sizes.clone();

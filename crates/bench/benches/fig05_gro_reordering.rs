@@ -29,20 +29,27 @@ fn main() {
         } else {
             "Presto GRO"
         };
-        let mut sc = Scenario::oversubscription(scheme, base_seed());
-        sc.duration = sim_duration();
-        sc.warmup = warmup_of(sc.duration);
         // A 27 us stagger between the senders breaks the phase lock that a
         // perfectly deterministic simulator would otherwise settle into
         // (real hosts drift via OS/NIC jitter), so the two flows' cells
         // genuinely collide on the spine queues as in the paper's run.
-        sc.flows = vec![
-            FlowSpec::elephant(0, 8, SimTime::ZERO),
-            FlowSpec::elephant(1, 9, SimTime::ZERO + SimDuration::from_micros(27)),
-        ];
-        sc.collect_reorder = true;
-        sc.cpu_sample = Some(SimDuration::from_millis(2));
-        let r = sc.run();
+        let r = Scenario::builder(scheme, base_seed())
+            .topology(presto_netsim::ClosSpec {
+                spines: 2,
+                leaves: 2,
+                hosts_per_leaf: 8,
+                ..presto_netsim::ClosSpec::default()
+            })
+            .duration(sim_duration())
+            .warmup(warmup_of(sim_duration()))
+            .elephants(vec![
+                FlowSpec::elephant(0, 8, SimTime::ZERO),
+                FlowSpec::elephant(1, 9, SimTime::ZERO + SimDuration::from_micros(27)),
+            ])
+            .collect_reorder(true)
+            .cpu_sample(SimDuration::from_millis(2))
+            .build()
+            .run();
         let mut ooo = r.ooo_cell_counts.clone();
         let zeros =
             ooo.values().iter().filter(|&&v| v == 0.0).count() as f64 / ooo.len().max(1) as f64;

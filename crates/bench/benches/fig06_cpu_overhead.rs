@@ -32,12 +32,14 @@ fn main() {
         ("Official (non-blocking)", SchemeSpec::optimal()),
         ("Presto", SchemeSpec::presto()),
     ] {
-        let mut sc = Scenario::testbed16(scheme, base_seed());
-        sc.duration = sim_duration() * 2;
-        sc.warmup = warmup_of(sc.duration);
-        sc.flows = stride_elephants(16, 8);
-        sc.cpu_sample = Some(SimDuration::from_millis(2));
-        let r = sc.run();
+        let duration = sim_duration() * 2;
+        let r = Scenario::builder(scheme, base_seed())
+            .duration(duration)
+            .warmup(warmup_of(duration))
+            .elephants(stride_elephants(16, 8))
+            .cpu_sample(SimDuration::from_millis(2))
+            .build()
+            .run();
         let series = receiver_cpu_series(&r);
         // Print one representative receiver's series (the figure's shape).
         if let Some((h, ts)) = series.first() {

@@ -39,13 +39,22 @@ fn main() {
     for (pi, &pairs) in pairs_sweep.iter().enumerate() {
         for (si, scheme) in schemes.iter().enumerate() {
             for run in 0..runs() {
-                let mut sc = Scenario::oversubscription(scheme.clone(), base_seed() + run);
-                sc.duration = duration;
-                sc.warmup = warmup_of(duration);
-                sc.flows = (0..pairs)
-                    .map(|i| FlowSpec::elephant(i, 8 + i, SimTime::ZERO))
-                    .collect();
-                sc.probes = (0..pairs).map(|i| (i, 8 + i)).collect();
+                let sc = Scenario::builder(scheme.clone(), base_seed() + run)
+                    .topology(presto_netsim::ClosSpec {
+                        spines: 2,
+                        leaves: 2,
+                        hosts_per_leaf: 8,
+                        ..presto_netsim::ClosSpec::default()
+                    })
+                    .duration(duration)
+                    .warmup(warmup_of(duration))
+                    .elephants(
+                        (0..pairs)
+                            .map(|i| FlowSpec::elephant(i, 8 + i, SimTime::ZERO))
+                            .collect(),
+                    )
+                    .probes((0..pairs).map(|i| (i, 8 + i)).collect())
+                    .build();
                 scenarios.push(sc);
                 meta.push((pi, si, run));
             }

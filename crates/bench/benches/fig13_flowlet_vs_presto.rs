@@ -30,13 +30,14 @@ fn main() {
         SchemeSpec::presto(),
     ] {
         let name = scheme.name;
-        let mut sc = Scenario::testbed16(scheme, base_seed());
-        sc.duration = sim_duration();
-        sc.warmup = warmup_of(sc.duration);
-        sc.flows = stride_elephants(16, 8);
-        sc.probes = (0..16).map(|i| (i, (i + 8) % 16)).collect();
-        sc.collect_reorder = true;
-        let r = sc.run();
+        let r = Scenario::builder(scheme, base_seed())
+            .duration(sim_duration())
+            .warmup(warmup_of(sim_duration()))
+            .elephants(stride_elephants(16, 8))
+            .probes((0..16).map(|i| (i, (i + 8) % 16)).collect())
+            .collect_reorder(true)
+            .build()
+            .run();
         let mut rtt = r.rtt_ms.clone();
         tbl.row([
             name.to_string(),

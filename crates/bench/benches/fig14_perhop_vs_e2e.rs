@@ -25,12 +25,13 @@ fn main() {
     let mut rtts = Vec::new();
     for scheme in [SchemeSpec::presto(), SchemeSpec::presto_ecmp()] {
         let name = scheme.name;
-        let mut sc = Scenario::testbed16(scheme, base_seed());
-        sc.duration = sim_duration();
-        sc.warmup = warmup_of(sc.duration);
-        sc.flows = stride_elephants(16, 8);
-        sc.probes = (0..16).map(|i| (i, (i + 8) % 16)).collect();
-        let r = sc.run();
+        let r = Scenario::builder(scheme, base_seed())
+            .duration(sim_duration())
+            .warmup(warmup_of(sim_duration()))
+            .elephants(stride_elephants(16, 8))
+            .probes((0..16).map(|i| (i, (i + 8) % 16)).collect())
+            .build()
+            .run();
         let mut rtt = r.rtt_ms.clone();
         tbl.row([
             name.to_string(),

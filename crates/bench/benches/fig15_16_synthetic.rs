@@ -63,25 +63,24 @@ fn main() {
     let mut scenarios = Vec::new();
     for wl in workloads {
         for scheme in &schemes {
-            let mut sc = Scenario::testbed16(scheme.clone(), base_seed());
-            sc.duration = sim_duration() * 2;
-            sc.warmup = warmup_of(sc.duration);
-            match wl {
-                "shuffle" => {
-                    sc.shuffle = Some(ShuffleSpec {
-                        bytes: 2 * 1024 * 1024,
-                        concurrency: 2,
-                    });
-                }
-                "random" => sc.flows = random_elephants(16, 4, base_seed()),
-                "stride" => sc.flows = stride_elephants(16, 8),
-                _ => sc.flows = bijection_elephants(16, 4, base_seed()),
-            }
+            let duration = sim_duration() * 2;
+            let mut b = Scenario::builder(scheme.clone(), base_seed())
+                .duration(duration)
+                .warmup(warmup_of(duration));
+            b = match wl {
+                "shuffle" => b.shuffle(ShuffleSpec {
+                    bytes: 2 * 1024 * 1024,
+                    concurrency: 2,
+                }),
+                "random" => b.elephants(random_elephants(16, 4, base_seed())),
+                "stride" => b.elephants(stride_elephants(16, 8)),
+                _ => b.elephants(bijection_elephants(16, 4, base_seed())),
+            };
             // Mice between stride pairs, as the paper measures per workload.
             if wl != "random" {
-                sc.mice = mice_on_stride(16);
+                b = b.mice(mice_on_stride(16));
             }
-            scenarios.push(sc);
+            scenarios.push(b.build());
         }
     }
     let mut reports = ParallelRunner::new(workers()).run(&scenarios).into_iter();

@@ -16,8 +16,9 @@
 //! non-blocking (Fig 18).
 
 use presto_bench::{banner, base_seed, new_table, print_cdf, sim_duration, table::f, warmup_of};
+use presto_faults::{FaultPlan, Notify};
 use presto_simcore::SimTime;
-use presto_testbed::{bijection_elephants, stride_elephants, FailureSpec, Scenario, SchemeSpec};
+use presto_testbed::{bijection_elephants, stride_elephants, Scenario, SchemeSpec};
 use presto_workloads::FlowSpec;
 
 /// L1→L4: each host on leaf 0 sends to one host on leaf 3.
@@ -39,27 +40,15 @@ fn main() {
         "Presto under S1-L1 link failure: symmetry / failover / weighted",
         "throughput dips under failover (worst for L4->L1), weighted recovers; RTT grows post-failure",
     );
-    let stages: [(&str, Option<FailureSpec>); 3] = [
-        ("symmetry", None),
+    let stages: [(&str, FaultPlan); 3] = [
+        ("symmetry", FaultPlan::new()),
         (
             "failover",
-            Some(FailureSpec {
-                at: SimTime::ZERO,
-                leaf: 0,
-                spine: 0,
-                link: 0,
-                controller_at: None,
-            }),
+            FaultPlan::new().link_down(SimTime::ZERO, 0, 0, 0, Notify::Never),
         ),
         (
             "weighted",
-            Some(FailureSpec {
-                at: SimTime::ZERO,
-                leaf: 0,
-                spine: 0,
-                link: 0,
-                controller_at: Some(SimTime::ZERO),
-            }),
+            FaultPlan::new().link_down(SimTime::ZERO, 0, 0, 0, Notify::Immediate),
         ),
     ];
     type FlowsFn = fn() -> Vec<FlowSpec>;
@@ -74,16 +63,21 @@ fn main() {
     let mut rtt_bijection = Vec::new();
     for (wname, flows) in &workloads {
         let mut row = vec![wname.to_string()];
-        for (sname, failure) in &stages {
-            let mut sc = Scenario::testbed16(SchemeSpec::presto(), base_seed());
-            sc.duration = sim_duration();
-            sc.warmup = warmup_of(sc.duration);
-            sc.flows = flows();
-            sc.failure = *failure;
-            if *wname == "bijection" {
-                sc.probes = sc.flows.iter().map(|f| (f.src, f.dst)).collect();
-            }
-            let r = sc.run();
+        for (sname, faults) in &stages {
+            let flows = flows();
+            let probes = if *wname == "bijection" {
+                flows.iter().map(|f| (f.src, f.dst)).collect()
+            } else {
+                Vec::new()
+            };
+            let r = Scenario::builder(SchemeSpec::presto(), base_seed())
+                .duration(sim_duration())
+                .warmup(warmup_of(sim_duration()))
+                .elephants(flows)
+                .probes(probes)
+                .faults(faults.clone())
+                .build()
+                .run();
             row.push(f(r.mean_elephant_tput(), 2));
             if *wname == "bijection" {
                 rtt_bijection.push((*sname, r.rtt_ms));

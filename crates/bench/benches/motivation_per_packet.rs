@@ -27,12 +27,13 @@ fn main() {
     ]);
     for scheme in [SchemeSpec::per_packet(), SchemeSpec::presto()] {
         let name = scheme.name;
-        let mut sc = Scenario::testbed16(scheme, base_seed());
-        sc.duration = sim_duration();
-        sc.warmup = warmup_of(sc.duration);
-        sc.flows = stride_elephants(16, 8);
-        sc.cpu_sample = Some(SimDuration::from_millis(2));
-        let r = sc.run();
+        let r = Scenario::builder(scheme, base_seed())
+            .duration(sim_duration())
+            .warmup(warmup_of(sim_duration()))
+            .elephants(stride_elephants(16, 8))
+            .cpu_sample(SimDuration::from_millis(2))
+            .build()
+            .run();
         let mut segs = r.segment_bytes.clone();
         tbl.row([
             name.to_string(),

@@ -61,13 +61,13 @@ fn main() {
     let scenarios: Vec<Scenario> = schemes
         .iter()
         .map(|scheme| {
-            let mut sc = Scenario::testbed16(scheme.clone(), base_seed());
-            sc.duration = duration;
-            sc.warmup = warmup_of(duration);
             // FCT statistics come from mice only; elephants report
             // throughput through completion times of their bulk transfers.
-            sc.flows = trace_flows(base_seed(), horizon);
-            sc
+            Scenario::builder(scheme.clone(), base_seed())
+                .duration(duration)
+                .warmup(warmup_of(duration))
+                .flows(trace_flows(base_seed(), horizon))
+                .build()
         })
         .collect();
     let reports = ParallelRunner::new(workers()).run(&scenarios);

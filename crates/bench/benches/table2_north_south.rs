@@ -43,28 +43,32 @@ fn main() {
         SchemeSpec::optimal(),
     ] {
         let name = scheme.name;
-        let mut sc = Scenario::testbed16(scheme, base_seed());
-        sc.duration = duration;
-        sc.warmup = warmup_of(duration);
-        sc.wan_remotes = n_remote;
-        sc.flows = stride_elephants(16, 8);
-        // North-south: every server to a random remote every 1 ms.
+        // North-south: every server to a random remote every 1 ms, on top
+        // of the stride east-west elephants.
+        let mut flows = stride_elephants(16, 8);
         for src in 0..16usize {
             for nsf in ns_schedule(base_seed(), src, n_remote, SimTime::ZERO + duration) {
-                sc.flows
-                    .push(FlowSpec::bulk(src, 16 + nsf.remote, nsf.at, nsf.bytes));
+                flows.push(FlowSpec::bulk(src, 16 + nsf.remote, nsf.at, nsf.bytes));
             }
         }
-        // East-west mice on the stride pairs.
-        sc.mice = (0..16)
-            .map(|i| MiceSpec {
-                src: i,
-                dst: (i + 8) % 16,
-                bytes: 50_000,
-                interval: SimDuration::from_millis(4),
-            })
-            .collect();
-        let r = sc.run();
+        let r = Scenario::builder(scheme, base_seed())
+            .duration(duration)
+            .warmup(warmup_of(duration))
+            .wan_remotes(n_remote)
+            .flows(flows)
+            // East-west mice on the stride pairs.
+            .mice(
+                (0..16)
+                    .map(|i| MiceSpec {
+                        src: i,
+                        dst: (i + 8) % 16,
+                        bytes: 50_000,
+                        interval: SimDuration::from_millis(4),
+                    })
+                    .collect(),
+            )
+            .build()
+            .run();
         results.push((name, r));
     }
 

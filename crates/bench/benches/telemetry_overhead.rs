@@ -26,14 +26,14 @@ use presto_telemetry::{trace_event, SharedSink, TelemetryConfig, TraceEvent};
 use presto_testbed::{stride_elephants, Scenario, SchemeSpec};
 
 fn tiny(telemetry: bool) -> Scenario {
-    let mut sc = Scenario::testbed16(SchemeSpec::presto(), 42);
-    sc.duration = SimDuration::from_millis(4);
-    sc.warmup = SimDuration::from_millis(1);
-    sc.flows = stride_elephants(16, 8);
+    let mut b = Scenario::builder(SchemeSpec::presto(), 42)
+        .duration(SimDuration::from_millis(4))
+        .warmup(SimDuration::from_millis(1))
+        .elephants(stride_elephants(16, 8));
     if telemetry {
-        sc.telemetry = Some(TelemetryConfig::default());
+        b = b.telemetry(TelemetryConfig::default());
     }
-    sc
+    b.build()
 }
 
 fn bench_run_overhead(c: &mut Criterion) {

@@ -22,6 +22,21 @@ use std::collections::HashMap;
 
 use presto_netsim::{HostId, LinkId, Mac, SwitchId, Topology};
 
+/// Quantization scale for tree weights: a healthy tree weighs
+/// `WEIGHT_SCALE`, a link degraded to fraction f weighs
+/// `round(f · WEIGHT_SCALE)` (min 1 while the link is up). Coarse on
+/// purpose — weights become duplicated labels in the vSwitch sequence,
+/// so the sequence length is bounded by `WEIGHT_SCALE · ν · γ`.
+pub const WEIGHT_SCALE: u32 = 4;
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
 /// A spanning tree's route through the fabric: spine index and parallel
 /// link index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +193,69 @@ impl Controller {
         } else {
             out
         }
+    }
+
+    /// Integer weight of tree `t` for traffic `src_leaf` → `dst_leaf`,
+    /// in `0..=WEIGHT_SCALE`: 0 when any path link is down, otherwise
+    /// the path's worst rate fraction quantized to `WEIGHT_SCALE` steps
+    /// (a healthy tree scores `WEIGHT_SCALE`; a degraded-but-alive tree
+    /// never rounds below 1, so it keeps draining at a trickle).
+    pub fn tree_weight(
+        &self,
+        topo: &Topology,
+        t: usize,
+        src_leaf: SwitchId,
+        dst_leaf: SwitchId,
+    ) -> u32 {
+        let mut frac = 1.0f64;
+        for &l in &self.tree_path(topo, t, src_leaf, dst_leaf) {
+            let link = topo.fabric.link(l);
+            if !link.up {
+                return 0;
+            }
+            frac = frac.min(link.rate_fraction());
+        }
+        ((frac * WEIGHT_SCALE as f64).round() as u32).clamp(1, WEIGHT_SCALE)
+    }
+
+    /// The weighted label multiset from `src` to `dst` (§3.1: weights are
+    /// expressed by duplicating labels, e.g. `p1 p2 p3 p2`).
+    ///
+    /// Generalizes [`Controller::usable_labels`]: a tree crossing a down
+    /// link is pruned (weight 0) exactly as before, and a tree crossing a
+    /// *degraded* link is kept at reduced weight. Weights are normalized
+    /// by their gcd so the all-healthy case collapses to the plain
+    /// one-label-per-tree sequence, and trees are interleaved round-robin
+    /// (not blocked per tree) so consecutive flowcells still spread.
+    ///
+    /// Falls back to the full equal-weight sequence when every tree is
+    /// dead, mirroring `usable_labels`.
+    pub fn weighted_labels(&self, topo: &Topology, src: HostId, dst: HostId) -> Vec<Mac> {
+        let src_leaf = topo.host_leaf[src.index()];
+        let dst_leaf = topo.host_leaf[dst.index()];
+        if src_leaf == dst_leaf {
+            return self.labels_for(dst);
+        }
+        let mut weights: Vec<u32> = (0..self.trees.len())
+            .map(|t| self.tree_weight(topo, t, src_leaf, dst_leaf))
+            .collect();
+        let g = weights.iter().fold(0u32, |acc, &w| gcd(acc, w));
+        if g == 0 {
+            return self.labels_for(dst);
+        }
+        for w in &mut weights {
+            *w /= g;
+        }
+        let max_w = *weights.iter().max().unwrap();
+        let mut out = Vec::new();
+        for round in 0..max_w {
+            for (t, &w) in weights.iter().enumerate() {
+                if round < w {
+                    out.push(Mac::shadow(dst, t as u32));
+                }
+            }
+        }
+        out
     }
 
     /// Verify tree disjointness: no leaf↔spine link is used by two trees.
@@ -410,6 +488,91 @@ mod tests {
         let b = ctl.tree_path(&topo, 1, topo.leaves[0], topo.leaves[1]);
         assert_ne!(a[0], b[0]);
         assert_ne!(a[1], b[1]);
+    }
+
+    #[test]
+    fn weighted_labels_healthy_equals_full_sequence() {
+        let (topo, ctl) = testbed();
+        assert_eq!(
+            ctl.weighted_labels(&topo, HostId(0), HostId(12)),
+            ctl.labels_for(HostId(12)),
+            "all-healthy weights must collapse to one label per tree"
+        );
+    }
+
+    #[test]
+    fn weighted_labels_prunes_down_links_like_usable_labels() {
+        let (mut topo, ctl) = testbed();
+        let up = topo.leaf_spine[&(topo.leaves[0], topo.spines[0])][0];
+        let down = topo.spine_leaf[&(topo.spines[0], topo.leaves[0])][0];
+        topo.fabric.set_link_down(up);
+        topo.fabric.set_link_down(down);
+        assert_eq!(
+            ctl.weighted_labels(&topo, HostId(0), HostId(12)),
+            ctl.usable_labels(&topo, HostId(0), HostId(12)),
+            "pure up/down faults must reproduce the pruning behavior"
+        );
+    }
+
+    #[test]
+    fn weighted_labels_derate_degraded_trees() {
+        let (mut topo, ctl) = testbed();
+        // Degrade tree 0's uplink from leaf 0 to half rate.
+        let up = topo.leaf_spine[&(topo.leaves[0], topo.spines[0])][0];
+        topo.fabric.degrade_link(up, 0.5);
+        let labels = ctl.weighted_labels(&topo, HostId(0), HostId(12));
+        // Weights [2,4,4,4] / gcd 2 = [1,2,2,2]: 7 labels, tree 0 once.
+        assert_eq!(labels.len(), 7);
+        let count = |t: u32| {
+            labels
+                .iter()
+                .filter(|&&m| m == Mac::shadow(HostId(12), t))
+                .count()
+        };
+        assert_eq!(count(0), 1);
+        assert_eq!(count(1), 2);
+        assert_eq!(count(2), 2);
+        assert_eq!(count(3), 2);
+        // First round still visits every tree (interleaved, not blocked).
+        assert_eq!(
+            &labels[..4],
+            &[
+                Mac::shadow(HostId(12), 0),
+                Mac::shadow(HostId(12), 1),
+                Mac::shadow(HostId(12), 2),
+                Mac::shadow(HostId(12), 3),
+            ]
+        );
+        // Pairs avoiding leaf 0 are unaffected.
+        assert_eq!(
+            ctl.weighted_labels(&topo, HostId(4), HostId(12)),
+            ctl.labels_for(HostId(12))
+        );
+    }
+
+    #[test]
+    fn recovery_restores_full_weights() {
+        let (mut topo, ctl) = testbed();
+        let up = topo.leaf_spine[&(topo.leaves[0], topo.spines[0])][0];
+        let down = topo.spine_leaf[&(topo.spines[0], topo.leaves[0])][0];
+        topo.fabric.set_link_down(up);
+        topo.fabric.set_link_down(down);
+        assert_eq!(ctl.weighted_labels(&topo, HostId(0), HostId(12)).len(), 3);
+        topo.fabric.set_link_up(up);
+        topo.fabric.set_link_up(down);
+        assert_eq!(
+            ctl.weighted_labels(&topo, HostId(0), HostId(12)),
+            ctl.labels_for(HostId(12)),
+            "a restored link must bring its tree back at full weight"
+        );
+        // Same for degradation.
+        topo.fabric.degrade_link(up, 0.25);
+        assert_eq!(ctl.tree_weight(&topo, 0, topo.leaves[0], topo.leaves[3]), 1);
+        topo.fabric.restore_link_rate(up);
+        assert_eq!(
+            ctl.tree_weight(&topo, 0, topo.leaves[0], topo.leaves[3]),
+            WEIGHT_SCALE
+        );
     }
 
     #[test]

@@ -126,6 +126,12 @@ impl EdgePolicy for FlowcellScheduler {
         FlowcellScheduler::set_labels(self, dst, labels);
     }
 
+    fn current_labels(&self, dst: HostId) -> Vec<Mac> {
+        self.labels_for(dst)
+            .map(<[Mac]>::to_vec)
+            .unwrap_or_default()
+    }
+
     fn flowcells_created(&self) -> u64 {
         self.flowcells_created
     }

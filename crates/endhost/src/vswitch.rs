@@ -42,6 +42,14 @@ pub trait EdgePolicy {
         let _ = (dst, labels);
     }
 
+    /// The label sequence currently installed toward `dst`, in schedule
+    /// order — lets tests and fault-recovery checks observe what the
+    /// controller last disseminated. Label-less policies report none.
+    fn current_labels(&self, dst: HostId) -> Vec<Mac> {
+        let _ = dst;
+        Vec::new()
+    }
+
     /// Completed flowlet sizes, for policies that track them (Fig 1's
     /// analysis); everyone else reports none.
     fn flowlet_sizes(&self) -> Vec<u64> {

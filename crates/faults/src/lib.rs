@@ -1,0 +1,510 @@
+//! Fault-injection plans — the failure matrix of Presto §3.5 as data.
+//!
+//! The paper's Fig 17 story is a *timeline*, not a single event: a link
+//! dies, hardware fast failover masks the loss within an RTT, the
+//! controller learns about it and re-weights the spanning-tree label
+//! multisets, and — eventually — the link comes back and the pruned
+//! trees are restored. [`FaultPlan`] expresses that timeline (and the
+//! richer matrices of follow-up studies: flapping links, degraded-rate
+//! links, whole-spine loss, delayed or lost controller notifications)
+//! as a list of typed, sim-time-scheduled [`FaultEvent`]s.
+//!
+//! A plan is pure data. It does not know about fabrics or simulators;
+//! the testbed resolves each event against the built topology when a
+//! scenario is assembled. Probabilistic flap processes are expanded into
+//! concrete events *at build time* from a [`DetRng`] sub-stream, so a
+//! faulted run stays exactly reproducible from the scenario seed — no
+//! randomness survives into the event loop.
+//!
+//! ```
+//! use presto_faults::{FaultPlan, Notify};
+//! use presto_simcore::{SimDuration, SimTime};
+//!
+//! // One flap on leaf0–spine1 with a 2 ms controller reaction time:
+//! let plan = FaultPlan::new()
+//!     .link_down(SimTime::from_millis(10), 0, 1, 0, Notify::After(SimDuration::from_millis(2)))
+//!     .link_up(SimTime::from_millis(30), 0, 1, 0, Notify::After(SimDuration::from_millis(2)));
+//! assert_eq!(plan.schedule(42).len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+use presto_simcore::rng::DetRng;
+use presto_simcore::{SimDuration, SimTime};
+
+/// What a single fault event does to the fabric.
+///
+/// Links are named structurally — `(leaf, spine, link)` indexes the
+/// `link`-th parallel link of the leaf↔spine pair — so a plan can be
+/// written before the topology is built. Every action covers *both*
+/// directions of the pair (up- and downlink fail together, as a cut
+/// cable would).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Take one leaf–spine parallel link down (both directions).
+    LinkDown {
+        /// Leaf index.
+        leaf: usize,
+        /// Spine index.
+        spine: usize,
+        /// Parallel-link index within the pair (0 for γ = 1).
+        link: usize,
+    },
+    /// Restore a previously failed leaf–spine link.
+    LinkUp {
+        /// Leaf index.
+        leaf: usize,
+        /// Spine index.
+        spine: usize,
+        /// Parallel-link index within the pair.
+        link: usize,
+    },
+    /// Degrade a leaf–spine link to `fraction` of its nominal line rate
+    /// (a dirty optic, an auto-negotiation fallback). The link stays up;
+    /// fast failover does not trigger, only re-weighting helps.
+    LinkDegrade {
+        /// Leaf index.
+        leaf: usize,
+        /// Spine index.
+        spine: usize,
+        /// Parallel-link index within the pair.
+        link: usize,
+        /// Surviving fraction of nominal rate, clamped to `(0, 1]`.
+        fraction: f64,
+    },
+    /// Restore a degraded link to full nominal rate.
+    LinkRestore {
+        /// Leaf index.
+        leaf: usize,
+        /// Spine index.
+        spine: usize,
+        /// Parallel-link index within the pair.
+        link: usize,
+    },
+    /// Fail a whole spine switch: every leaf–spine link of that spine
+    /// goes down in both directions.
+    SpineDown {
+        /// Spine index.
+        spine: usize,
+    },
+    /// Restore a whole spine switch.
+    SpineUp {
+        /// Spine index.
+        spine: usize,
+    },
+}
+
+impl FaultKind {
+    /// True for events that remove capacity (down / degrade), false for
+    /// events that restore it. Drives the failover-stage naming.
+    pub fn is_degrading(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::LinkDown { .. }
+                | FaultKind::LinkDegrade { .. }
+                | FaultKind::SpineDown { .. }
+        )
+    }
+}
+
+/// How (and whether) the controller learns about one fault event.
+///
+/// Presto's dataplane reacts in hardware immediately; the *controller*
+/// reaction — pruning or re-weighting label multisets — rides on an
+/// out-of-band notification that can be delayed or lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Notify {
+    /// The controller reacts at the fault instant (idealized).
+    #[default]
+    Immediate,
+    /// The controller reacts this long after the fault instant.
+    After(SimDuration),
+    /// The notification is lost: only hardware fast failover masks the
+    /// fault, forever (the "fast failover only" line of Fig 17).
+    Never,
+}
+
+impl Notify {
+    /// Absolute notification time for a fault at `fault_at`, or `None`
+    /// if the notification is dropped.
+    pub fn at(self, fault_at: SimTime) -> Option<SimTime> {
+        match self {
+            Notify::Immediate => Some(fault_at),
+            Notify::After(d) => Some(fault_at.saturating_add(d)),
+            Notify::Never => None,
+        }
+    }
+}
+
+/// One concrete scheduled fault: when, what, and how the controller
+/// hears about it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Sim time at which the fault hits the fabric.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+    /// Controller notification policy for this event.
+    pub notify: Notify,
+}
+
+/// A probabilistic link-flap process, expanded deterministically at
+/// schedule time.
+///
+/// The link alternates up → down → up inside `[start, end)`: time-to-
+/// failure is exponential with mean `mean_up`, repair time exponential
+/// with mean `mean_down`, both drawn from `DetRng::for_stream(stream)`
+/// of the schedule seed. Identical seeds yield identical timelines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlapProcess {
+    /// Leaf index of the flapping link.
+    pub leaf: usize,
+    /// Spine index of the flapping link.
+    pub spine: usize,
+    /// Parallel-link index within the pair.
+    pub link: usize,
+    /// Process start (link is up at `start`).
+    pub start: SimTime,
+    /// Process end: no event is emitted at or after `end`, and a final
+    /// `LinkUp` is appended at `end` if the last draw left the link down.
+    pub end: SimTime,
+    /// Mean time-to-failure while up.
+    pub mean_up: SimDuration,
+    /// Mean repair time while down.
+    pub mean_down: SimDuration,
+    /// Notification policy applied to every generated event.
+    pub notify: Notify,
+    /// RNG sub-stream id — distinct per process so adding one never
+    /// perturbs another's draws.
+    pub stream: u64,
+}
+
+/// A composable fault timeline: explicit events plus flap processes.
+///
+/// Built fluently and handed to `ScenarioBuilder::faults`. The testbed
+/// calls [`FaultPlan::schedule`] with the scenario seed to obtain the
+/// concrete, time-sorted event list it injects into the run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Explicitly scheduled events.
+    pub events: Vec<FaultEvent>,
+    /// Probabilistic flap processes, expanded at schedule time.
+    pub flaps: Vec<FlapProcess>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the healthy-network default).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.flaps.is_empty()
+    }
+
+    /// Append an arbitrary event.
+    pub fn event(mut self, at: SimTime, kind: FaultKind, notify: Notify) -> Self {
+        self.events.push(FaultEvent { at, kind, notify });
+        self
+    }
+
+    /// Fail the `link`-th parallel link of the `leaf`–`spine` pair at `at`.
+    pub fn link_down(
+        self,
+        at: SimTime,
+        leaf: usize,
+        spine: usize,
+        link: usize,
+        notify: Notify,
+    ) -> Self {
+        self.event(at, FaultKind::LinkDown { leaf, spine, link }, notify)
+    }
+
+    /// Restore the `link`-th parallel link of the `leaf`–`spine` pair at `at`.
+    pub fn link_up(
+        self,
+        at: SimTime,
+        leaf: usize,
+        spine: usize,
+        link: usize,
+        notify: Notify,
+    ) -> Self {
+        self.event(at, FaultKind::LinkUp { leaf, spine, link }, notify)
+    }
+
+    /// One down→up flap: fail at `down_at`, restore at `up_at`. Both
+    /// events share the notification policy.
+    pub fn flap_once(
+        self,
+        down_at: SimTime,
+        up_at: SimTime,
+        leaf: usize,
+        spine: usize,
+        link: usize,
+        notify: Notify,
+    ) -> Self {
+        assert!(up_at > down_at, "flap must restore after it fails");
+        self.link_down(down_at, leaf, spine, link, notify)
+            .link_up(up_at, leaf, spine, link, notify)
+    }
+
+    /// Degrade a link to `fraction` of nominal rate at `at`.
+    pub fn degrade(
+        self,
+        at: SimTime,
+        leaf: usize,
+        spine: usize,
+        link: usize,
+        fraction: f64,
+        notify: Notify,
+    ) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "degrade fraction must be in (0, 1], got {fraction}"
+        );
+        self.event(
+            at,
+            FaultKind::LinkDegrade {
+                leaf,
+                spine,
+                link,
+                fraction,
+            },
+            notify,
+        )
+    }
+
+    /// Restore a degraded link to nominal rate at `at`.
+    pub fn restore(
+        self,
+        at: SimTime,
+        leaf: usize,
+        spine: usize,
+        link: usize,
+        notify: Notify,
+    ) -> Self {
+        self.event(at, FaultKind::LinkRestore { leaf, spine, link }, notify)
+    }
+
+    /// Fail a whole spine at `at`.
+    pub fn spine_down(self, at: SimTime, spine: usize, notify: Notify) -> Self {
+        self.event(at, FaultKind::SpineDown { spine }, notify)
+    }
+
+    /// Restore a whole spine at `at`.
+    pub fn spine_up(self, at: SimTime, spine: usize, notify: Notify) -> Self {
+        self.event(at, FaultKind::SpineUp { spine }, notify)
+    }
+
+    /// Add a probabilistic flap process (see [`FlapProcess`]).
+    pub fn flap_process(mut self, process: FlapProcess) -> Self {
+        assert!(process.end > process.start, "flap window must be non-empty");
+        assert!(
+            process.mean_up > SimDuration::ZERO && process.mean_down > SimDuration::ZERO,
+            "flap means must be positive"
+        );
+        self.flaps.push(process);
+        self
+    }
+
+    /// Expand the plan into a concrete, time-sorted event list.
+    ///
+    /// `seed` drives the flap processes only; explicit events pass
+    /// through verbatim. The sort is stable on (time, insertion order),
+    /// so same-instant events apply in the order the plan listed them.
+    pub fn schedule(&self, seed: u64) -> Vec<FaultEvent> {
+        let mut out = self.events.clone();
+        let root = DetRng::new(seed);
+        for p in &self.flaps {
+            let mut rng = root.for_stream(p.stream);
+            let mut now = p.start;
+            let mut down = false;
+            loop {
+                let mean = if down { p.mean_down } else { p.mean_up };
+                let dwell = SimDuration::from_nanos(
+                    (rng.exp(mean.as_nanos() as f64).round() as u64).max(1),
+                );
+                now = now.saturating_add(dwell);
+                if now >= p.end {
+                    break;
+                }
+                let kind = if down {
+                    FaultKind::LinkUp {
+                        leaf: p.leaf,
+                        spine: p.spine,
+                        link: p.link,
+                    }
+                } else {
+                    FaultKind::LinkDown {
+                        leaf: p.leaf,
+                        spine: p.spine,
+                        link: p.link,
+                    }
+                };
+                out.push(FaultEvent {
+                    at: now,
+                    kind,
+                    notify: p.notify,
+                });
+                down = !down;
+            }
+            if down {
+                // Never leave a run with a silently dead link past the
+                // window: close the process with a restoring event.
+                out.push(FaultEvent {
+                    at: p.end,
+                    kind: FaultKind::LinkUp {
+                        leaf: p.leaf,
+                        spine: p.spine,
+                        link: p.link,
+                    },
+                    notify: p.notify,
+                });
+            }
+        }
+        out.sort_by_key(|e| e.at);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn empty_plan_schedules_nothing() {
+        assert!(FaultPlan::new().is_empty());
+        assert!(FaultPlan::new().schedule(1).is_empty());
+    }
+
+    #[test]
+    fn explicit_events_sorted_by_time() {
+        let plan = FaultPlan::new()
+            .link_up(ms(30), 0, 1, 0, Notify::Immediate)
+            .link_down(ms(10), 0, 1, 0, Notify::Immediate);
+        let sched = plan.schedule(7);
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched[0].at, ms(10));
+        assert!(matches!(sched[0].kind, FaultKind::LinkDown { .. }));
+        assert_eq!(sched[1].at, ms(30));
+        assert!(matches!(sched[1].kind, FaultKind::LinkUp { .. }));
+    }
+
+    #[test]
+    fn same_instant_keeps_plan_order() {
+        let plan = FaultPlan::new()
+            .link_down(ms(5), 0, 0, 0, Notify::Never)
+            .spine_down(ms(5), 2, Notify::Immediate);
+        let sched = plan.schedule(0);
+        assert!(matches!(sched[0].kind, FaultKind::LinkDown { .. }));
+        assert!(matches!(sched[1].kind, FaultKind::SpineDown { .. }));
+    }
+
+    #[test]
+    fn notify_resolution() {
+        let t = ms(10);
+        assert_eq!(Notify::Immediate.at(t), Some(t));
+        assert_eq!(
+            Notify::After(SimDuration::from_millis(3)).at(t),
+            Some(ms(13))
+        );
+        assert_eq!(Notify::Never.at(t), None);
+    }
+
+    fn test_flap() -> FlapProcess {
+        FlapProcess {
+            leaf: 1,
+            spine: 2,
+            link: 0,
+            start: ms(0),
+            end: ms(100),
+            mean_up: SimDuration::from_millis(10),
+            mean_down: SimDuration::from_millis(5),
+            notify: Notify::Immediate,
+            stream: 3,
+        }
+    }
+
+    #[test]
+    fn flap_expansion_is_deterministic() {
+        let plan = FaultPlan::new().flap_process(test_flap());
+        assert_eq!(plan.schedule(42), plan.schedule(42));
+        assert_ne!(
+            plan.schedule(42),
+            plan.schedule(43),
+            "different seeds should flap differently"
+        );
+    }
+
+    #[test]
+    fn flap_alternates_and_ends_up() {
+        let plan = FaultPlan::new().flap_process(test_flap());
+        let sched = plan.schedule(11);
+        assert!(!sched.is_empty(), "100 ms window with 10 ms MTTF must flap");
+        let mut expect_down = true;
+        for ev in &sched {
+            assert!(ev.at <= ms(100));
+            match ev.kind {
+                FaultKind::LinkDown { leaf, spine, link } => {
+                    assert!(expect_down);
+                    assert_eq!((leaf, spine, link), (1, 2, 0));
+                }
+                FaultKind::LinkUp { .. } => assert!(!expect_down),
+                other => panic!("flap emitted {other:?}"),
+            }
+            expect_down = !expect_down;
+        }
+        assert!(
+            matches!(sched.last().unwrap().kind, FaultKind::LinkUp { .. }),
+            "process must close with the link restored"
+        );
+    }
+
+    #[test]
+    fn adding_a_process_never_perturbs_another() {
+        let a = test_flap();
+        let mut b = test_flap();
+        b.stream = 9;
+        b.spine = 3;
+        let solo = FaultPlan::new().flap_process(a).schedule(5);
+        let both = FaultPlan::new().flap_process(a).flap_process(b).schedule(5);
+        let only_a: Vec<_> = both
+            .into_iter()
+            .filter(|e| match e.kind {
+                FaultKind::LinkDown { spine, .. } | FaultKind::LinkUp { spine, .. } => spine == 2,
+                _ => false,
+            })
+            .collect();
+        assert_eq!(solo, only_a, "stream isolation broken");
+    }
+
+    #[test]
+    fn is_degrading_classification() {
+        assert!(FaultKind::LinkDown {
+            leaf: 0,
+            spine: 0,
+            link: 0
+        }
+        .is_degrading());
+        assert!(FaultKind::SpineDown { spine: 0 }.is_degrading());
+        assert!(FaultKind::LinkDegrade {
+            leaf: 0,
+            spine: 0,
+            link: 0,
+            fraction: 0.5
+        }
+        .is_degrading());
+        assert!(!FaultKind::LinkUp {
+            leaf: 0,
+            spine: 0,
+            link: 0
+        }
+        .is_degrading());
+        assert!(!FaultKind::SpineUp { spine: 0 }.is_degrading());
+    }
+}

@@ -330,6 +330,18 @@ impl Fabric {
         self.links[link.index()].set_up();
     }
 
+    /// Degrade a link to `fraction` of its nominal rate (see
+    /// [`Link::degrade`]). The symmetric partner of [`Fabric::set_link_down`]
+    /// for partial faults: the link keeps forwarding, just slower.
+    pub fn degrade_link(&mut self, link: LinkId, fraction: f64) {
+        self.links[link.index()].degrade(fraction);
+    }
+
+    /// Restore a degraded link to its nominal rate.
+    pub fn restore_link_rate(&mut self, link: LinkId) {
+        self.links[link.index()].restore_rate();
+    }
+
     /// Total data packets tail-dropped or unroutable across the fabric —
     /// the paper's loss-rate numerator.
     pub fn total_data_drops(&self) -> u64 {

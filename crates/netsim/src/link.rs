@@ -62,6 +62,9 @@ pub struct Link {
     /// Administrative and failure state; a down link drops at forwarding
     /// time and finishes (then discards) whatever is mid-flight.
     pub up: bool,
+    /// Line rate the link was built with. [`Link::degrade`] lowers
+    /// `rate_bps` relative to this; [`Link::restore_rate`] returns to it.
+    nominal_rate_bps: u64,
     /// Maximum packets committed to the wire per `TxDone` event. 1 gives
     /// the classic one-event-per-packet model; larger values amortize
     /// event-queue traffic on busy ports without changing arrival times.
@@ -124,6 +127,7 @@ impl Link {
             propagation,
             queue_capacity_bytes,
             up: true,
+            nominal_rate_bps: rate_bps,
             tx_batch: DEFAULT_TX_BATCH,
             queue: VecDeque::new(),
             queued_bytes: 0,
@@ -286,6 +290,32 @@ impl Link {
     /// Restore the link.
     pub fn set_up(&mut self) {
         self.up = true;
+    }
+
+    /// Line rate the link was built with (the reference for degradation).
+    pub fn nominal_rate_bps(&self) -> u64 {
+        self.nominal_rate_bps
+    }
+
+    /// Degrade the line rate to `fraction` of nominal (clamped to
+    /// `(0, 1]`). The link stays up — fast failover does not trigger —
+    /// so only controller re-weighting can steer traffic away. Packets
+    /// already committed to the wire keep their departure times; the
+    /// new rate applies from the next committed batch.
+    pub fn degrade(&mut self, fraction: f64) {
+        let f = fraction.clamp(0.0, 1.0);
+        self.rate_bps = ((self.nominal_rate_bps as f64 * f).round() as u64).max(1);
+    }
+
+    /// Undo [`Link::degrade`]: return to the nominal line rate.
+    pub fn restore_rate(&mut self) {
+        self.rate_bps = self.nominal_rate_bps;
+    }
+
+    /// Current rate as a fraction of nominal — 1.0 for a healthy link.
+    /// The controller quantizes this into spanning-tree weights.
+    pub fn rate_fraction(&self) -> f64 {
+        self.rate_bps as f64 / self.nominal_rate_bps as f64
     }
 
     /// Reset counters (used between measurement phases of an experiment).
@@ -492,6 +522,26 @@ mod tests {
         assert!(!l.up);
         l.set_up();
         assert!(l.up);
+    }
+
+    #[test]
+    fn degrade_and_restore_rate() {
+        let mut l = link(1000);
+        let nominal = l.rate_bps;
+        assert_eq!(l.nominal_rate_bps(), nominal);
+        assert_eq!(l.rate_fraction(), 1.0);
+        l.degrade(0.1);
+        assert_eq!(l.rate_bps, nominal / 10);
+        assert!((l.rate_fraction() - 0.1).abs() < 1e-12);
+        assert!(l.up, "degradation must not take the link down");
+        l.restore_rate();
+        assert_eq!(l.rate_bps, nominal);
+        // Clamped: a zero fraction still leaves a crawling link, not a
+        // division by zero.
+        l.degrade(0.0);
+        assert_eq!(l.rate_bps, 1);
+        l.restore_rate();
+        assert_eq!(l.rate_bps, nominal);
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub mod json;
 pub mod report;
 
 pub use report::{
-    CounterEntry, QueueDepthSummary, QueueProfileEntry, TelemetryReport, TOP_DROP_SITES,
+    CounterEntry, FailoverStage, QueueDepthSummary, QueueProfileEntry, TelemetryReport,
+    TOP_DROP_SITES,
 };
 
 use std::cell::RefCell;
@@ -271,6 +272,20 @@ pub enum TraceEvent {
         host: u32,
         /// Retransmitted byte offset.
         seq: u64,
+    },
+    /// A scheduled fault hit the fabric (a `FaultPlan` timeline entry).
+    FaultApplied {
+        /// Index into the run's resolved fault timeline.
+        index: u32,
+        /// True for capacity-removing faults (down/degrade), false for
+        /// restoring ones (up/restore).
+        degrading: bool,
+    },
+    /// The controller learned of a fault and re-disseminated weighted
+    /// label multisets to the edge.
+    ControllerNotified {
+        /// Index into the run's resolved fault timeline.
+        index: u32,
     },
     /// Periodic sampler: one link's queue occupancy.
     LinkOccupancySample {

@@ -49,6 +49,34 @@ pub struct QueueDepthSummary {
     pub mean_util: f64,
 }
 
+/// One stage of a failure-recovery timeline (the Fig 17 decomposition):
+/// the window between two consecutive fault/notification boundaries,
+/// with its own loss and goodput accounting.
+///
+/// Stage names follow the paper's stages — `pre-failure`,
+/// `fast-failover` (hardware reroute only), `post-reweight` (controller
+/// re-weighted the label multisets), `recovering` (capacity restored,
+/// controller not yet told) and `post-recovery` — and may repeat when
+/// the fault plan flaps more than once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverStage {
+    /// Stage name (see above).
+    pub name: String,
+    /// Stage start, nanoseconds of simulated time.
+    pub start_ns: u64,
+    /// Stage end, nanoseconds of simulated time.
+    pub end_ns: u64,
+    /// Goodput over the stage: application bytes acked per second, in
+    /// gigabits, summed over all measured flows.
+    pub goodput_gbps: f64,
+    /// Fabric loss rate over the stage (dropped / offered data packets).
+    pub loss_rate: f64,
+    /// Data packets dropped inside the fabric during the stage.
+    pub drops: u64,
+    /// Data packets offered to the fabric during the stage.
+    pub tx_packets: u64,
+}
+
 /// Per-event-type profile of the simulator event queue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueueProfileEntry {
@@ -79,6 +107,9 @@ pub struct TelemetryReport {
     pub event_queue: Vec<QueueProfileEntry>,
     /// Peak pending-event count of the simulator queue.
     pub queue_high_water: u64,
+    /// Failure-recovery timeline (empty for fault-free runs), in stage
+    /// order.
+    pub failover_stages: Vec<FailoverStage>,
     /// Drained trace ring (empty unless the `telemetry` feature is on).
     pub events: Vec<TraceRecord>,
     /// Records evicted from the ring because it was full.
@@ -119,6 +150,8 @@ fn event_kind(ev: &TraceEvent) -> &'static str {
         TraceEvent::GroFlush { .. } => "GroFlush",
         TraceEvent::FlowcellEmitted { .. } => "FlowcellEmitted",
         TraceEvent::Retransmit { .. } => "Retransmit",
+        TraceEvent::FaultApplied { .. } => "FaultApplied",
+        TraceEvent::ControllerNotified { .. } => "ControllerNotified",
         TraceEvent::LinkOccupancySample { .. } => "LinkOccupancySample",
         TraceEvent::EventQueueSample { .. } => "EventQueueSample",
     }
@@ -168,6 +201,12 @@ fn write_event_fields(out: &mut String, ev: &TraceEvent) {
         TraceEvent::Retransmit { host, seq } => {
             let _ = write!(out, ",\"host\":{host},\"seq\":{seq}");
         }
+        TraceEvent::FaultApplied { index, degrading } => {
+            let _ = write!(out, ",\"index\":{index},\"degrading\":{}", degrading as u8);
+        }
+        TraceEvent::ControllerNotified { index } => {
+            let _ = write!(out, ",\"index\":{index}");
+        }
         TraceEvent::LinkOccupancySample { link, queue_bytes } => {
             let _ = write!(out, ",\"link\":{link},\"queue_bytes\":{queue_bytes}");
         }
@@ -209,6 +248,13 @@ fn parse_event(line: &str) -> Option<TraceRecord> {
         "Retransmit" => TraceEvent::Retransmit {
             host: json_u64(line, "host")? as u32,
             seq: json_u64(line, "seq")?,
+        },
+        "FaultApplied" => TraceEvent::FaultApplied {
+            index: json_u64(line, "index")? as u32,
+            degrading: json_u64(line, "degrading")? != 0,
+        },
+        "ControllerNotified" => TraceEvent::ControllerNotified {
+            index: json_u64(line, "index")? as u32,
         },
         "LinkOccupancySample" => TraceEvent::LinkOccupancySample {
             link: json_u64(line, "link")? as u32,
@@ -271,6 +317,19 @@ impl TelemetryReport {
             out.push_str("{\"type\":\"event_queue\",\"event\":");
             push_str_field(&mut out, &e.name);
             let _ = writeln!(out, ",\"count\":{},\"dwell_ns\":{}}}", e.count, e.dwell_ns);
+        }
+        for s in &self.failover_stages {
+            out.push_str("{\"type\":\"failover_stage\",\"name\":");
+            push_str_field(&mut out, &s.name);
+            let _ = write!(
+                out,
+                ",\"start_ns\":{},\"end_ns\":{},\"drops\":{},\"tx_packets\":{},\"goodput_gbps\":",
+                s.start_ns, s.end_ns, s.drops, s.tx_packets
+            );
+            push_f64(&mut out, s.goodput_gbps);
+            out.push_str(",\"loss_rate\":");
+            push_f64(&mut out, s.loss_rate);
+            out.push_str("}\n");
         }
         for rec in &self.events {
             let _ = write!(
@@ -357,6 +416,19 @@ impl TelemetryReport {
                             name,
                             count,
                             dwell_ns: json_u64(line, "dwell_ns").unwrap_or(0),
+                        });
+                    }
+                }
+                "failover_stage" => {
+                    if let Some(name) = json_str(line, "name") {
+                        rep.failover_stages.push(FailoverStage {
+                            name,
+                            start_ns: json_u64(line, "start_ns").unwrap_or(0),
+                            end_ns: json_u64(line, "end_ns").unwrap_or(0),
+                            goodput_gbps: json_f64(line, "goodput_gbps").unwrap_or(0.0),
+                            loss_rate: json_f64(line, "loss_rate").unwrap_or(0.0),
+                            drops: json_u64(line, "drops").unwrap_or(0),
+                            tx_packets: json_u64(line, "tx_packets").unwrap_or(0),
                         });
                     }
                 }
@@ -497,6 +569,27 @@ impl TelemetryReport {
             }
         }
 
+        // Failure-recovery timeline (the Fig 17 table).
+        if !self.failover_stages.is_empty() {
+            let _ = writeln!(out, "-- failure timeline --");
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>10} {:>10} {:>10} {:>9}",
+                "stage", "start", "end", "goodput", "loss"
+            );
+            for s in &self.failover_stages {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>8.2}ms {:>8.2}ms {:>6.2}Gbps {:>8.3}%",
+                    s.name,
+                    s.start_ns as f64 / 1e6,
+                    s.end_ns as f64 / 1e6,
+                    s.goodput_gbps,
+                    s.loss_rate * 100.0
+                );
+            }
+        }
+
         // Event queue profile.
         if !self.event_queue.is_empty() {
             let _ = writeln!(
@@ -567,6 +660,26 @@ mod tests {
                 dwell_ns: 1_200_000,
             }],
             queue_high_water: 321,
+            failover_stages: vec![
+                FailoverStage {
+                    name: "pre-failure".into(),
+                    start_ns: 0,
+                    end_ns: 2_000_000,
+                    goodput_gbps: 9.1,
+                    loss_rate: 0.0,
+                    drops: 0,
+                    tx_packets: 5_000,
+                },
+                FailoverStage {
+                    name: "fast-failover".into(),
+                    start_ns: 2_000_000,
+                    end_ns: 3_000_000,
+                    goodput_gbps: 5.5,
+                    loss_rate: 0.01,
+                    drops: 25,
+                    tx_packets: 2_500,
+                },
+            ],
             events: vec![
                 TraceRecord {
                     t_ns: 1_000,
@@ -574,6 +687,17 @@ mod tests {
                         site: 3,
                         reason: DropReason::QueueFull,
                     },
+                },
+                TraceRecord {
+                    t_ns: 2_000_100,
+                    ev: TraceEvent::FaultApplied {
+                        index: 0,
+                        degrading: true,
+                    },
+                },
+                TraceRecord {
+                    t_ns: 2_900_000,
+                    ev: TraceEvent::ControllerNotified { index: 0 },
                 },
                 TraceRecord {
                     t_ns: 2_500,
@@ -623,6 +747,14 @@ mod tests {
         assert!(t.contains("\"ph\":\"C\""), "counter samples present");
         assert!(t.contains("link3 queue"));
         assert!(t.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn summary_lists_failover_stages() {
+        let s = sample_report().summary();
+        assert!(s.contains("-- failure timeline --"));
+        assert!(s.contains("pre-failure"));
+        assert!(s.contains("fast-failover"));
     }
 
     #[test]

@@ -15,11 +15,12 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
-    let mut sc = Scenario::testbed16(scheme, 1);
-    sc.duration = SimDuration::from_millis(dur);
-    sc.warmup = SimDuration::from_millis(dur / 3);
-    sc.flows = stride_elephants(16, 8);
-    sc.probes = vec![(0, 8)];
+    let sc = Scenario::builder(scheme, 1)
+        .duration(SimDuration::from_millis(dur))
+        .warmup(SimDuration::from_millis(dur / 3))
+        .elephants(stride_elephants(16, 8))
+        .probes(vec![(0, 8)])
+        .build();
     let _ = SimTime::ZERO;
     let r = sc.run();
     println!("scheme            {}", r.scheme);

@@ -3,35 +3,46 @@
 //! Wires every substrate together: the fabric (`presto-netsim`), end hosts
 //! with NIC/CPU models (`presto-endhost`), GRO engines (`presto-gro`),
 //! TCP/MPTCP (`presto-transport`), the Presto controller and flowcell
-//! scheduler (`presto-core`), and the baseline policies (`presto-lb`).
+//! scheduler (`presto-core`), the baseline policies (`presto-lb`), and
+//! fault timelines (`presto-faults`).
 //!
 //! The public surface:
 //!
 //! * [`SchemeSpec`] — which load-balancing scheme a run uses (Presto,
 //!   ECMP, MPTCP, Optimal, flowlet switching, Presto+ECMP, per-packet,
 //!   and the Presto-sender/stock-GRO ablation of Fig 5);
-//! * [`Scenario`] — a complete experiment description: topology, scheme,
-//!   flows, mice, probes, shuffle, failures, measurement windows;
+//! * [`ScenarioBuilder`] — fluent construction of a complete experiment
+//!   description: topology, scheme, flows, mice, probes, shuffle, fault
+//!   plan, measurement windows;
+//! * [`FaultPlan`] — the failure-recovery timeline (link flaps, rate
+//!   degradation, spine loss, delayed/dropped controller notifications);
 //! * [`Report`] — everything the paper's figures need: throughputs, RTT
 //!   and FCT samples, loss rates, Jain fairness, CPU utilization series,
-//!   segment-size and reordering distributions.
+//!   segment-size and reordering distributions, and the per-stage
+//!   failover timeline of Fig 17.
 //!
 //! ```no_run
 //! use presto_testbed::{Scenario, SchemeSpec};
 //!
-//! let mut sc = Scenario::testbed16(SchemeSpec::presto(), 42);
-//! sc.flows = presto_testbed::stride_elephants(16, 8);
+//! let sc = Scenario::builder(SchemeSpec::presto(), 42)
+//!     .elephants(presto_testbed::stride_elephants(16, 8))
+//!     .build();
 //! let report = sc.run();
 //! println!("mean elephant tput: {:.2} Gbps", report.mean_elephant_tput());
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod builder;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod scheme;
 pub mod sim;
 
-pub use presto_telemetry::{TelemetryConfig, TelemetryReport};
+pub use builder::ScenarioBuilder;
+pub use presto_faults::{FaultEvent, FaultKind, FaultPlan, FlapProcess, Notify};
+pub use presto_telemetry::{FailoverStage, TelemetryConfig, TelemetryReport};
 pub use report::Report;
 pub use runner::ParallelRunner;
 pub use scenario::{
@@ -39,4 +50,4 @@ pub use scenario::{
     ShuffleSpec,
 };
 pub use scheme::{GroKind, PolicyKind, SchemeSpec, TransportKind};
-pub use sim::Simulation;
+pub use sim::{FaultAction, ResolvedFault, Simulation};

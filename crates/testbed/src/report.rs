@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use presto_metrics::{fairness, Samples, TimeSeries};
+use presto_telemetry::FailoverStage;
 
 /// Everything a paper figure needs from one run.
 #[derive(Debug, Default)]
@@ -46,6 +47,10 @@ pub struct Report {
     /// Completed flowlet sizes in bytes per sending host (flowlet schemes
     /// only; the Fig 1 analysis reads a single sender's sizes).
     pub flowlet_sizes: HashMap<u32, Vec<u64>>,
+    /// Failure-recovery timeline (Fig 17): one stage per interval between
+    /// fault/notification boundaries, with per-stage goodput and loss.
+    /// Empty for runs without a fault plan.
+    pub failover_stages: Vec<FailoverStage>,
     /// Wall-clock events processed (engine health).
     pub events_processed: u64,
 }
@@ -95,6 +100,7 @@ impl Report {
             gro_reorders_masked,
             gro_timeout_fires,
             flowlet_sizes,
+            failover_stages,
             events_processed,
         } = self;
         let mut h = Fnv::new();
@@ -129,6 +135,16 @@ impl Report {
             for &s in &flowlet_sizes[&k] {
                 h.u64(s);
             }
+        }
+        h.u64(failover_stages.len() as u64);
+        for s in failover_stages {
+            h.bytes(s.name.as_bytes());
+            h.u64(s.start_ns);
+            h.u64(s.end_ns);
+            h.f64(s.goodput_gbps);
+            h.f64(s.loss_rate);
+            h.u64(s.drops);
+            h.u64(s.tx_packets);
         }
         h.u64(*events_processed);
         h.finish()

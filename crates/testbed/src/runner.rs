@@ -122,11 +122,11 @@ mod tests {
     use presto_simcore::SimDuration;
 
     fn tiny(seed: u64) -> Scenario {
-        let mut sc = Scenario::testbed16(SchemeSpec::presto(), seed);
-        sc.duration = SimDuration::from_millis(6);
-        sc.warmup = SimDuration::from_millis(2);
-        sc.flows = stride_elephants(16, 8);
-        sc
+        Scenario::builder(SchemeSpec::presto(), seed)
+            .duration(SimDuration::from_millis(6))
+            .warmup(SimDuration::from_millis(2))
+            .elephants(stride_elephants(16, 8))
+            .build()
     }
 
     #[test]
@@ -157,7 +157,8 @@ mod tests {
     #[test]
     fn run_map_pairs_rows_with_scenarios() {
         let scenarios: Vec<Scenario> = (0..2).map(tiny).collect();
-        let names = ParallelRunner::new(2).run_map(&scenarios, |sc, r| (sc.seed, r.scheme.clone()));
+        let names =
+            ParallelRunner::new(2).run_map(&scenarios, |sc, r| (sc.seed(), r.scheme.clone()));
         assert_eq!(names.len(), 2);
         assert_eq!(names[0].0, 0);
         assert_eq!(names[1].0, 1);

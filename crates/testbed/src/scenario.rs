@@ -2,11 +2,19 @@
 //!
 //! A [`Scenario`] is everything one run needs: topology, scheme, flows,
 //! mice series, RTT probes, shuffle configuration, north-south remotes and
-//! the failure timeline. `run()` assembles the simulator (controller,
+//! the fault timeline. `run()` assembles the simulator (controller,
 //! per-host policies, GRO engines) and executes it to a [`Report`].
+//!
+//! Scenarios are built with the fluent [`ScenarioBuilder`] (see
+//! [`Scenario::builder`] and the preset constructors); the struct's public
+//! fields remain readable through accessor methods but direct field
+//! construction is deprecated.
+//!
+//! [`ScenarioBuilder`]: crate::ScenarioBuilder
 
 use presto_core::Controller;
 use presto_endhost::{DirectPolicy, EdgePolicy, ReceiveOffload};
+use presto_faults::{FaultEvent, FaultKind, FaultPlan, Notify};
 use presto_gro::{OfficialGro, PrestoGro, PrestoGroConfig};
 use presto_lb::{EcmpPolicy, FlowletPolicy, PerPacketPolicy};
 use presto_netsim::{ClosSpec, HostId, Mac, Topology};
@@ -18,7 +26,13 @@ use presto_workloads::FlowSpec;
 
 use crate::report::Report;
 use crate::scheme::{GroKind, PolicyKind, SchemeSpec};
-use crate::sim::{make_host, Event, MiceSeries, PendingFlow, ShuffleState, Simulation};
+use crate::sim::{
+    make_host, Event, FaultAction, MiceSeries, PendingFlow, ResolvedFault, ShuffleState, Simulation,
+};
+
+/// XOR-folded into the scenario seed to derive the fault-plan expansion
+/// stream, so flap draws never correlate with workload randomness.
+const FAULT_SEED_SALT: u64 = 0xFA17;
 
 /// A "50 KB every 100 ms" mice stream between two hosts.
 #[derive(Debug, Clone, Copy)]
@@ -43,7 +57,12 @@ pub struct ShuffleSpec {
     pub concurrency: usize,
 }
 
-/// A bidirectional link failure between a leaf and a spine.
+/// A single bidirectional link failure between a leaf and a spine — the
+/// "at most one permanent failure" model this testbed started with.
+///
+/// Kept as a convenience shorthand: it converts losslessly into a
+/// [`FaultPlan`] (`FaultPlan::from(spec)`), which is what scenarios carry
+/// now that fault timelines are first-class.
 #[derive(Debug, Clone, Copy)]
 pub struct FailureSpec {
     /// When the link dies.
@@ -59,43 +78,109 @@ pub struct FailureSpec {
     pub controller_at: Option<SimTime>,
 }
 
+impl From<FailureSpec> for FaultPlan {
+    fn from(f: FailureSpec) -> FaultPlan {
+        let notify = match f.controller_at {
+            Some(t) => Notify::After(t.saturating_since(f.at)),
+            None => Notify::Never,
+        };
+        FaultPlan::new().link_down(f.at, f.leaf, f.spine, f.link, notify)
+    }
+}
+
 /// A complete experiment description.
+///
+/// Build one with [`Scenario::builder`] (or the `testbed16` /
+/// `scalability` / `oversubscription` presets) and read it through the
+/// accessor methods. The fields are still public for backwards
+/// compatibility but deprecated: the builder is the supported way to
+/// construct and mutate a scenario.
 pub struct Scenario {
     /// Run label.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub name: String,
     /// Master seed.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub seed: u64,
     /// Scheme under test.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub scheme: SchemeSpec,
     /// Clos parameters (ignored for single-switch schemes, which reuse the
     /// host count).
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub clos: ClosSpec,
     /// Simulated duration.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub duration: SimDuration,
     /// Measurement window starts here.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub warmup: SimDuration,
     /// Flows to run (host indices; `dst` may point at a WAN remote).
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub flows: Vec<FlowSpec>,
     /// Mice series.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub mice: Vec<MiceSpec>,
     /// RTT probe pairs.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub probes: Vec<(usize, usize)>,
     /// Probe send interval.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub probe_interval: SimDuration,
     /// Shuffle workload (replaces `flows`).
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub shuffle: Option<ShuffleSpec>,
-    /// Link failure timeline.
-    pub failure: Option<FailureSpec>,
+    /// Fault timeline: typed, sim-time-scheduled link/spine events plus
+    /// probabilistic flap processes, expanded deterministically from the
+    /// scenario seed at build time.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
+    pub faults: FaultPlan,
     /// Number of WAN "remote users" attached to spines at 100 Mbps
     /// (Table 2's north-south experiment). Their host indices follow the
     /// servers'.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub wan_remotes: usize,
     /// Collect the Fig 5a flowcell-interleaving metric.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub collect_reorder: bool,
     /// CPU utilization sampling period (Fig 6).
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub cpu_sample: Option<SimDuration>,
     /// Host uplink queue (large: the sender NIC/qdisc backpressures
     /// instead of dropping).
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub host_uplink_queue: u64,
     /// Link departure batch (`Link::tx_batch`). 1 (the default) replays
     /// the classic one-event-per-packet model exactly; larger values
@@ -103,62 +188,128 @@ pub struct Scenario {
     /// times and drop decisions stay exact, but same-instant event ties
     /// across links resolve in commit order, which perturbs tightly
     /// synchronized workloads slightly. Overridable via `PRESTO_TX_BATCH`.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub tx_batch: u32,
     /// Attach the telemetry layer with this configuration (`None` = off).
     /// Enabling it never changes simulation behaviour or the report
     /// digest; it only collects counters, samples, and trace events.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
     pub telemetry: Option<TelemetryConfig>,
 }
 
+/// Read accessors — the non-deprecated way to inspect a scenario.
+#[allow(deprecated)]
+impl Scenario {
+    /// Run label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    /// Master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+    /// Scheme under test.
+    pub fn scheme(&self) -> &SchemeSpec {
+        &self.scheme
+    }
+    /// Clos parameters.
+    pub fn clos(&self) -> &ClosSpec {
+        &self.clos
+    }
+    /// Simulated duration.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+    /// Measurement-window start.
+    pub fn warmup(&self) -> SimDuration {
+        self.warmup
+    }
+    /// Flows to run.
+    pub fn flows(&self) -> &[FlowSpec] {
+        &self.flows
+    }
+    /// Mice series.
+    pub fn mice(&self) -> &[MiceSpec] {
+        &self.mice
+    }
+    /// RTT probe pairs.
+    pub fn probes(&self) -> &[(usize, usize)] {
+        &self.probes
+    }
+    /// Probe send interval.
+    pub fn probe_interval(&self) -> SimDuration {
+        self.probe_interval
+    }
+    /// Shuffle workload, if any.
+    pub fn shuffle(&self) -> Option<ShuffleSpec> {
+        self.shuffle
+    }
+    /// The fault timeline.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+    /// Number of WAN remotes.
+    pub fn wan_remotes(&self) -> usize {
+        self.wan_remotes
+    }
+    /// Is Fig 5a reorder collection on?
+    pub fn collect_reorder(&self) -> bool {
+        self.collect_reorder
+    }
+    /// CPU utilization sampling period, if any.
+    pub fn cpu_sample(&self) -> Option<SimDuration> {
+        self.cpu_sample
+    }
+    /// Host uplink queue capacity in bytes.
+    pub fn host_uplink_queue(&self) -> u64 {
+        self.host_uplink_queue
+    }
+    /// Link departure batch.
+    pub fn tx_batch(&self) -> u32 {
+        self.tx_batch
+    }
+    /// Telemetry configuration, if attached.
+    pub fn telemetry(&self) -> Option<TelemetryConfig> {
+        self.telemetry
+    }
+}
+
+#[allow(deprecated)]
 impl Scenario {
     /// The paper's 16-host, 4-spine, 4-leaf testbed (Fig 3) with default
-    /// measurement windows.
+    /// measurement windows. Thin wrapper over [`Scenario::builder`].
     pub fn testbed16(scheme: SchemeSpec, seed: u64) -> Self {
-        Scenario {
-            name: scheme.name.to_string(),
-            seed,
-            scheme,
-            clos: ClosSpec::default(),
-            duration: SimDuration::from_millis(200),
-            warmup: SimDuration::from_millis(40),
-            flows: Vec::new(),
-            mice: Vec::new(),
-            probes: Vec::new(),
-            probe_interval: SimDuration::from_micros(500),
-            shuffle: None,
-            failure: None,
-            wan_remotes: 0,
-            collect_reorder: false,
-            cpu_sample: None,
-            host_uplink_queue: 16 * 1024 * 1024,
-            tx_batch: 1,
-            telemetry: None,
-        }
+        Self::builder(scheme, seed).build()
     }
 
     /// The Fig 4a scalability topology: 2 leaves × `paths` spines, 8 hosts
-    /// per leaf.
+    /// per leaf. Thin wrapper over [`Scenario::builder`].
     pub fn scalability(scheme: SchemeSpec, paths: usize, seed: u64) -> Self {
-        let mut s = Self::testbed16(scheme, seed);
-        s.clos = ClosSpec {
-            spines: paths,
-            leaves: 2,
-            hosts_per_leaf: 8,
-            ..ClosSpec::default()
-        };
-        s
+        Self::builder(scheme, seed)
+            .topology(ClosSpec {
+                spines: paths,
+                leaves: 2,
+                hosts_per_leaf: 8,
+                ..ClosSpec::default()
+            })
+            .build()
     }
 
-    /// The Fig 4b oversubscription topology: 2 leaves × 2 spines.
+    /// The Fig 4b oversubscription topology: 2 leaves × 2 spines. Thin
+    /// wrapper over [`Scenario::builder`].
     pub fn oversubscription(scheme: SchemeSpec, seed: u64) -> Self {
-        let mut s = Self::testbed16(scheme, seed);
-        s.clos = ClosSpec {
-            spines: 2,
-            leaves: 2,
-            hosts_per_leaf: 8,
-            ..ClosSpec::default()
-        };
-        s
+        Self::builder(scheme, seed)
+            .topology(ClosSpec {
+                spines: 2,
+                leaves: 2,
+                hosts_per_leaf: 8,
+                ..ClosSpec::default()
+            })
+            .build()
     }
 
     /// Number of server hosts in the chosen topology.
@@ -357,19 +508,89 @@ impl Scenario {
                 sim.schedule(SimTime::ZERO, Event::ShuffleMore(src));
             }
         }
-        if let Some(f) = &self.failure {
-            assert!(!self.scheme.single_switch, "failure needs a fabric");
-            let leaf = sim.topo.leaves[f.leaf];
-            let spine = sim.topo.spines[f.spine];
-            let up = sim.topo.leaf_spine[&(leaf, spine)][f.link];
-            let down = sim.topo.spine_leaf[&(spine, leaf)][f.link];
-            sim.schedule(f.at, Event::LinkFail(up, down));
-            if let Some(at) = f.controller_at {
-                sim.schedule(at, Event::ControllerUpdate);
-            }
+
+        // 9. Fault timeline: expand flap processes from the scenario seed,
+        // resolve (leaf, spine, link) coordinates against the built
+        // topology, and schedule each fault with its controller
+        // notification.
+        let timeline = self.faults.schedule(self.seed ^ FAULT_SEED_SALT);
+        if !timeline.is_empty() {
+            assert!(!self.scheme.single_switch, "fault injection needs a fabric");
+        }
+        for ev in &timeline {
+            let fault = resolve_fault(&sim.topo, ev);
+            sim.schedule_fault(fault);
         }
 
         sim
+    }
+}
+
+/// Turn a fault event's structural `(leaf, spine, link)` coordinates into
+/// concrete fabric link ids. Every action covers both directions of the
+/// pair; spine-wide events expand to every leaf's links toward that spine
+/// (in leaf order, for determinism).
+fn resolve_fault(topo: &Topology, ev: &FaultEvent) -> ResolvedFault {
+    let pair = |leaf: usize, spine: usize, link: usize| {
+        let lf = topo.leaves[leaf];
+        let sp = topo.spines[spine];
+        let up = topo.leaf_spine[&(lf, sp)][link];
+        let down = topo.spine_leaf[&(sp, lf)][link];
+        (up, down, lf)
+    };
+    let spine_wide = |spine: usize, mk: fn(presto_netsim::LinkId) -> FaultAction| {
+        let sp = topo.spines[spine];
+        let mut acts = Vec::new();
+        for &lf in &topo.leaves {
+            for &l in &topo.leaf_spine[&(lf, sp)] {
+                acts.push(mk(l));
+            }
+            for &l in &topo.spine_leaf[&(sp, lf)] {
+                acts.push(mk(l));
+            }
+        }
+        acts
+    };
+    let (actions, leaf) = match ev.kind {
+        FaultKind::LinkDown { leaf, spine, link } => {
+            let (u, d, lf) = pair(leaf, spine, link);
+            (vec![FaultAction::Down(u), FaultAction::Down(d)], Some(lf))
+        }
+        FaultKind::LinkUp { leaf, spine, link } => {
+            let (u, d, lf) = pair(leaf, spine, link);
+            (vec![FaultAction::Up(u), FaultAction::Up(d)], Some(lf))
+        }
+        FaultKind::LinkDegrade {
+            leaf,
+            spine,
+            link,
+            fraction,
+        } => {
+            let (u, d, lf) = pair(leaf, spine, link);
+            (
+                vec![
+                    FaultAction::Degrade(u, fraction),
+                    FaultAction::Degrade(d, fraction),
+                ],
+                Some(lf),
+            )
+        }
+        FaultKind::LinkRestore { leaf, spine, link } => {
+            let (u, d, lf) = pair(leaf, spine, link);
+            (
+                vec![FaultAction::Restore(u), FaultAction::Restore(d)],
+                Some(lf),
+            )
+        }
+        FaultKind::SpineDown { spine } => (spine_wide(spine, FaultAction::Down), None),
+        FaultKind::SpineUp { spine } => (spine_wide(spine, FaultAction::Up), None),
+    };
+    ResolvedFault {
+        at: ev.at,
+        actions,
+        degrading: ev.kind.is_degrading(),
+        leaf,
+        notify_at: ev.notify.at(ev.at),
     }
 }
 
@@ -418,11 +639,72 @@ mod tests {
     fn testbed16_defaults() {
         let s = Scenario::testbed16(SchemeSpec::presto(), 1);
         assert_eq!(s.n_servers(), 16);
-        assert_eq!(s.clos.spines, 4);
+        assert_eq!(s.clos().spines, 4);
+        assert!(s.faults().is_empty());
         let s = Scenario::scalability(SchemeSpec::ecmp(), 6, 1);
-        assert_eq!(s.clos.spines, 6);
+        assert_eq!(s.clos().spines, 6);
         assert_eq!(s.n_servers(), 16);
         let s = Scenario::oversubscription(SchemeSpec::mptcp(), 1);
-        assert_eq!(s.clos.spines, 2);
+        assert_eq!(s.clos().spines, 2);
+    }
+
+    #[test]
+    fn failure_spec_converts_to_fault_plan() {
+        let spec = FailureSpec {
+            at: SimTime::from_millis(10),
+            leaf: 1,
+            spine: 2,
+            link: 0,
+            controller_at: Some(SimTime::from_millis(14)),
+        };
+        let plan = FaultPlan::from(spec);
+        let sched = plan.schedule(0);
+        assert_eq!(sched.len(), 1);
+        assert_eq!(sched[0].at, SimTime::from_millis(10));
+        assert_eq!(
+            sched[0].kind,
+            FaultKind::LinkDown {
+                leaf: 1,
+                spine: 2,
+                link: 0
+            }
+        );
+        assert_eq!(
+            sched[0].notify.at(sched[0].at),
+            Some(SimTime::from_millis(14))
+        );
+        // A dropped notification survives the conversion.
+        let plan = FaultPlan::from(FailureSpec {
+            controller_at: None,
+            ..spec
+        });
+        assert_eq!(plan.schedule(0)[0].notify, Notify::Never);
+    }
+
+    #[test]
+    fn fault_resolution_covers_both_directions() {
+        let s = Scenario::builder(SchemeSpec::presto(), 3)
+            .faults(FaultPlan::new().link_down(SimTime::from_millis(5), 0, 1, 0, Notify::Immediate))
+            .build();
+        let sim = s.build();
+        assert_eq!(sim.faults.len(), 1);
+        let f = &sim.faults[0];
+        assert_eq!(f.actions.len(), 2, "up- and downlink fail together");
+        assert!(f.degrading);
+        assert_eq!(f.notify_at, Some(SimTime::from_millis(5)));
+        assert!(f.leaf.is_some());
+    }
+
+    #[test]
+    fn spine_fault_resolves_to_all_leaves() {
+        let s = Scenario::builder(SchemeSpec::presto(), 3)
+            .faults(FaultPlan::new().spine_down(SimTime::from_millis(5), 1, Notify::Never))
+            .build();
+        let sim = s.build();
+        let f = &sim.faults[0];
+        // 4 leaves × (1 uplink + 1 downlink) toward the spine.
+        assert_eq!(f.actions.len(), 8);
+        assert_eq!(f.leaf, None, "spine faults touch every leaf");
+        assert_eq!(f.notify_at, None);
     }
 }

@@ -22,12 +22,13 @@ use presto_endhost::{
 };
 use presto_metrics::TimeSeries;
 use presto_netsim::{
-    FlowKey, HostId, LinkId, NetEvent, NetScheduler, Packet, PacketKind, PacketPool, Topology,
+    FlowKey, HostId, LinkId, NetEvent, NetScheduler, Packet, PacketKind, PacketPool, SwitchId,
+    Topology,
 };
 use presto_simcore::{EventQueue, SimDuration, SimTime};
 use presto_telemetry::{
-    shared_sink, CounterEntry, DropReason, QueueDepthSummary, QueueProfileEntry, SharedSink,
-    TelemetryConfig, TelemetryReport, TraceEvent,
+    shared_sink, CounterEntry, DropReason, FailoverStage, QueueDepthSummary, QueueProfileEntry,
+    SharedSink, TelemetryConfig, TelemetryReport, TraceEvent,
 };
 use presto_transport::{
     CongestionControl, Cubic, MptcpConnection, SenderOutput, TcpConfig, TcpReceiver, TcpSender,
@@ -77,10 +78,10 @@ pub enum Event {
     CpuSample,
     /// Post-warmup measurement window begins.
     WarmupMark,
-    /// Take a link pair down.
-    LinkFail(LinkId, LinkId),
-    /// Controller learned of the failure: redistribute labels.
-    ControllerUpdate,
+    /// Apply fault `i` of the resolved timeline to the fabric.
+    Fault(usize),
+    /// Controller learned of fault `i`: re-weight and redistribute labels.
+    ControllerNotify(usize),
     /// Try to start more shuffle transfers from `src`.
     ShuffleMore(usize),
     /// Host egress scheduler: move staged segments onto the uplink.
@@ -100,8 +101,8 @@ pub const EVENT_NAMES: &[&str] = &[
     "ProbeSend",
     "CpuSample",
     "WarmupMark",
-    "LinkFail",
-    "ControllerUpdate",
+    "Fault",
+    "ControllerNotify",
     "ShuffleMore",
     "EgressDrain",
 ];
@@ -119,8 +120,8 @@ pub fn classify_event(ev: &Event) -> usize {
         Event::ProbeSend(_) => 7,
         Event::CpuSample => 8,
         Event::WarmupMark => 9,
-        Event::LinkFail(..) => 10,
-        Event::ControllerUpdate => 11,
+        Event::Fault(_) => 10,
+        Event::ControllerNotify(_) => 11,
         Event::ShuffleMore(_) => 12,
         Event::EgressDrain(_) => 13,
     }
@@ -331,6 +332,141 @@ pub struct Stats {
     pub bulk_tputs: Vec<f64>,
 }
 
+/// One concrete link-level action a resolved fault applies to the fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Take the link down (hardware fast failover covers it).
+    Down(LinkId),
+    /// Bring the link back up.
+    Up(LinkId),
+    /// Run the link at a fraction of its nominal rate.
+    Degrade(LinkId, f64),
+    /// Restore the link to its nominal rate.
+    Restore(LinkId),
+}
+
+/// A fault-plan event resolved against the built topology: abstract
+/// (leaf, spine, link) coordinates turned into concrete [`LinkId`]s, plus
+/// the controller-notification time derived from the event's
+/// [`presto_faults::Notify`] policy.
+#[derive(Debug, Clone)]
+pub struct ResolvedFault {
+    /// When the fault hits the fabric.
+    pub at: SimTime,
+    /// Link actions applied atomically at `at`.
+    pub actions: Vec<FaultAction>,
+    /// Does this event remove capacity (down/degrade) rather than restore
+    /// it? Drives the failure-timeline stage names.
+    pub degrading: bool,
+    /// Leaf whose host pairs the controller re-weights on notification;
+    /// `None` means every leaf is affected (spine-wide faults).
+    pub leaf: Option<SwitchId>,
+    /// When the controller hears about it (`None`: notification dropped —
+    /// only hardware fast failover reacts).
+    pub notify_at: Option<SimTime>,
+}
+
+/// Accumulates the failure-recovery timeline (Fig 17): one
+/// [`FailoverStage`] per interval between fault/notification boundaries,
+/// each with its own goodput and loss figures. Active only when the run
+/// has a fault timeline, so fault-free runs pay nothing.
+struct StageTracker {
+    stages: Vec<FailoverStage>,
+    /// Name of the stage currently open.
+    name: &'static str,
+    /// When it opened.
+    start: SimTime,
+    // Open-stage accumulators, fed by deltas against the snapshots below
+    // (the warmup counter reset forces delta accounting rather than
+    // boundary-to-boundary subtraction).
+    acc_drops: u64,
+    acc_tx: u64,
+    acc_acked: u64,
+    snap_drops: u64,
+    snap_tx: u64,
+    snap_acked: u64,
+}
+
+impl StageTracker {
+    fn new() -> Self {
+        StageTracker {
+            stages: Vec::new(),
+            name: "pre-failure",
+            start: SimTime::ZERO,
+            acc_drops: 0,
+            acc_tx: 0,
+            acc_acked: 0,
+            snap_drops: 0,
+            snap_tx: 0,
+            snap_acked: 0,
+        }
+    }
+
+    /// Fold counter growth since the last sync into the open stage.
+    fn sync(&mut self, drops: u64, tx: u64, acked: u64) {
+        self.acc_drops += drops.saturating_sub(self.snap_drops);
+        self.acc_tx += tx.saturating_sub(self.snap_tx);
+        self.acc_acked += acked.saturating_sub(self.snap_acked);
+        self.snap_drops = drops;
+        self.snap_tx = tx;
+        self.snap_acked = acked;
+    }
+
+    /// The fabric counters are about to be reset to zero (warmup mark):
+    /// bank what has accrued, then rebase the fabric snapshots.
+    fn rebase_fabric(&mut self, drops: u64, tx: u64, acked: u64) {
+        self.sync(drops, tx, acked);
+        self.snap_drops = 0;
+        self.snap_tx = 0;
+    }
+
+    /// Close the open stage at `now` and open a new one named `next`.
+    /// Zero-length stages are dropped (e.g. an immediate controller
+    /// notification collapses "fast-failover" into nothing).
+    fn boundary(&mut self, now: SimTime, next: &'static str, drops: u64, tx: u64, acked: u64) {
+        self.sync(drops, tx, acked);
+        if now > self.start {
+            self.stages.push(self.closed(now));
+        }
+        self.name = next;
+        self.start = now;
+        self.acc_drops = 0;
+        self.acc_tx = 0;
+        self.acc_acked = 0;
+    }
+
+    /// Close the final stage at `end` and return the full timeline.
+    fn close(mut self, end: SimTime, drops: u64, tx: u64, acked: u64) -> Vec<FailoverStage> {
+        self.sync(drops, tx, acked);
+        if end > self.start {
+            let s = self.closed(end);
+            self.stages.push(s);
+        }
+        self.stages
+    }
+
+    fn closed(&self, end: SimTime) -> FailoverStage {
+        let dur = end.saturating_since(self.start).as_secs_f64();
+        FailoverStage {
+            name: self.name.to_string(),
+            start_ns: self.start.as_nanos(),
+            end_ns: end.as_nanos(),
+            goodput_gbps: if dur > 0.0 {
+                self.acc_acked as f64 * 8.0 / dur / 1e9
+            } else {
+                0.0
+            },
+            loss_rate: if self.acc_tx > 0 {
+                self.acc_drops as f64 / self.acc_tx as f64
+            } else {
+                0.0
+            },
+            drops: self.acc_drops,
+            tx_packets: self.acc_tx,
+        }
+    }
+}
+
 /// Reusable hot-path buffers.
 ///
 /// Every per-event allocation in the dispatch loop goes through one of
@@ -400,8 +536,13 @@ pub struct Simulation {
     pkt_pool: PacketPool,
     scratch: Scratch,
     events_processed: u64,
-    /// Pending failure links for the ControllerUpdate handler.
-    pub failed_pair: Option<(LinkId, LinkId)>,
+    /// Resolved fault timeline, indexed by [`Event::Fault`] /
+    /// [`Event::ControllerNotify`] payloads.
+    pub faults: Vec<ResolvedFault>,
+    /// Failure-timeline accounting; present iff `faults` is non-empty.
+    stage: Option<StageTracker>,
+    /// The closed failure timeline, populated by `finish`.
+    pub failover_stages: Vec<FailoverStage>,
     telemetry: Option<TelemetryState>,
 }
 
@@ -471,7 +612,9 @@ impl Simulation {
             pkt_pool: PacketPool::new(),
             scratch: Scratch::default(),
             events_processed: 0,
-            failed_pair: None,
+            faults: Vec::new(),
+            stage: None,
+            failover_stages: Vec::new(),
             telemetry: None,
         };
         sim.queue.push(warmup, Event::WarmupMark);
@@ -481,6 +624,27 @@ impl Simulation {
     /// Schedule an event at an absolute time.
     pub fn schedule(&mut self, at: SimTime, ev: Event) {
         self.queue.push(at, ev);
+    }
+
+    /// Append a resolved fault to the timeline and schedule its fabric
+    /// event (plus the controller notification, unless dropped). The first
+    /// call arms the failure-timeline stage tracker.
+    pub fn schedule_fault(&mut self, fault: ResolvedFault) {
+        if self.stage.is_none() {
+            self.stage = Some(StageTracker::new());
+        }
+        let i = self.faults.len();
+        self.queue.push(fault.at, Event::Fault(i));
+        if let Some(n) = fault.notify_at {
+            // The controller can't hear about a fault before it happens;
+            // a same-instant notification still runs after the fault
+            // because the queue breaks time ties by insertion order.
+            self.queue.push(
+                if n < fault.at { fault.at } else { n },
+                Event::ControllerNotify(i),
+            );
+        }
+        self.faults.push(fault);
     }
 
     /// Attach the telemetry layer: a shared trace ring wired into the
@@ -909,12 +1073,8 @@ impl Simulation {
             Event::ProbeSend(i) => self.on_probe_send(i),
             Event::CpuSample => self.on_cpu_sample(),
             Event::WarmupMark => self.on_warmup(),
-            Event::LinkFail(a, b) => {
-                self.topo.fabric.set_link_down(a);
-                self.topo.fabric.set_link_down(b);
-                self.failed_pair = Some((a, b));
-            }
-            Event::ControllerUpdate => self.on_controller_update(),
+            Event::Fault(i) => self.on_fault(i),
+            Event::ControllerNotify(i) => self.on_controller_notify(i),
             Event::ShuffleMore(src) => self.on_shuffle_more(src),
             Event::EgressDrain(h) => {
                 self.hosts[h.index()].egress.drain_at = None;
@@ -1168,6 +1328,15 @@ impl Simulation {
     }
 
     fn on_warmup(&mut self) {
+        // The counter reset below moves the fabric totals backwards; bank
+        // the open stage's deltas first and rebase its snapshots to zero.
+        if self.stage.is_some() {
+            let (d, t) = self.fabric_drops_tx();
+            let a = self.total_acked();
+            if let Some(st) = self.stage.as_mut() {
+                st.rebase_fabric(d, t, a);
+            }
+        }
         self.topo.fabric.reset_counters();
         for c in &mut self.tcp_conns {
             c.warm_acked = c.sender.acked_bytes();
@@ -1177,15 +1346,126 @@ impl Simulation {
         }
     }
 
-    fn on_controller_update(&mut self) {
+    /// Current fabric drop/tx totals for stage accounting.
+    fn fabric_drops_tx(&self) -> (u64, u64) {
+        (
+            self.topo.fabric.total_data_drops(),
+            self.topo.fabric.total_uplink_tx_packets(),
+        )
+    }
+
+    /// Total acked bytes across every connection — monotonic, never reset,
+    /// so stage goodput deltas are exact.
+    fn total_acked(&self) -> u64 {
+        let tcp: u64 = self.tcp_conns.iter().map(|c| c.sender.acked_bytes()).sum();
+        let mptcp: u64 = self.mptcp_conns.iter().map(|c| c.conn.acked_bytes()).sum();
+        tcp + mptcp
+    }
+
+    /// Close the open failure-timeline stage at `self.now` and open `next`.
+    fn stage_boundary(&mut self, next: &'static str) {
+        if self.stage.is_none() {
+            return;
+        }
+        let (d, t) = self.fabric_drops_tx();
+        let a = self.total_acked();
+        if let Some(st) = self.stage.as_mut() {
+            st.boundary(self.now, next, d, t, a);
+        }
+    }
+
+    /// Apply fault `i`'s link actions to the fabric and open the next
+    /// timeline stage ("fast-failover" while capacity is out and only the
+    /// hardware failover groups mask it; "recovering" once it returns).
+    fn on_fault(&mut self, i: usize) {
+        let (actions, degrading) = {
+            let f = &self.faults[i];
+            (f.actions.clone(), f.degrading)
+        };
+        for a in actions {
+            match a {
+                FaultAction::Down(l) => self.topo.fabric.set_link_down(l),
+                FaultAction::Up(l) => self.topo.fabric.set_link_up(l),
+                FaultAction::Degrade(l, frac) => self.topo.fabric.degrade_link(l, frac),
+                FaultAction::Restore(l) => self.topo.fabric.restore_link_rate(l),
+            }
+        }
+        if presto_telemetry::ENABLED {
+            if let Some(tel) = self.telemetry.as_ref() {
+                tel.sink.borrow_mut().record(
+                    self.now.as_nanos(),
+                    TraceEvent::FaultApplied {
+                        index: i as u32,
+                        degrading,
+                    },
+                );
+            }
+        }
+        self.stage_boundary(if degrading {
+            "fast-failover"
+        } else {
+            "recovering"
+        });
+    }
+
+    /// The controller learned of fault `i`: recompute weighted label
+    /// multisets for the affected pairs and open the next timeline stage
+    /// ("post-reweight" after a capacity loss, "post-recovery" after a
+    /// restoration).
+    fn on_controller_notify(&mut self, i: usize) {
+        let (leaf, degrading) = {
+            let f = &self.faults[i];
+            (f.leaf, f.degrading)
+        };
+        self.reweight_labels(leaf);
+        if presto_telemetry::ENABLED {
+            if let Some(tel) = self.telemetry.as_ref() {
+                tel.sink.borrow_mut().record(
+                    self.now.as_nanos(),
+                    TraceEvent::ControllerNotified { index: i as u32 },
+                );
+            }
+        }
+        self.stage_boundary(if degrading {
+            "post-reweight"
+        } else {
+            "post-recovery"
+        });
+    }
+
+    /// Recompute and redistribute the controller's weighted label
+    /// multisets (§3.1: label duplication expresses non-uniform weights).
+    /// `affected` limits the update to pairs touching that leaf; `None`
+    /// re-weights every pair. No-op without a controller, and for schemes
+    /// whose labels are real host MACs (ECMP reroutes in the fabric, the
+    /// edge schedule has nothing to re-weight).
+    pub fn reweight_labels(&mut self, affected: Option<SwitchId>) {
         let Some(ctl) = &self.controller else { return };
+        if self.scheme.policy == crate::scheme::PolicyKind::PrestoEcmp {
+            return;
+        }
         let hosts: Vec<HostId> = self.topo.hosts.clone();
         for &src in &hosts {
             for &dst in &hosts {
-                if src == dst {
+                if src == dst || self.topo.same_leaf(src, dst) {
                     continue;
                 }
-                let labels = ctl.usable_labels(&self.topo, src, dst);
+                // WAN remotes hang off a spine, not a leaf: shadow-MAC
+                // trees don't cover them, so pairs involving one keep
+                // their real-MAC labels.
+                if self.topo.spines.contains(&self.topo.host_leaf[dst.index()])
+                    || self.topo.spines.contains(&self.topo.host_leaf[src.index()])
+                {
+                    continue;
+                }
+                if let Some(lf) = affected {
+                    let touches = self.topo.host_leaf[src.index()] == lf
+                        || self.topo.host_leaf[dst.index()] == lf;
+                    if !touches {
+                        continue;
+                    }
+                }
+                let labels = ctl.weighted_labels(&self.topo, src, dst);
                 self.hosts[src.index()]
                     .vswitch
                     .policy_mut()
@@ -1210,8 +1490,14 @@ impl Simulation {
 
     /// Finalize: gather statistics into a [`Report`].
     fn finish(&mut self) -> Report {
+        if let Some(st) = self.stage.take() {
+            let (d, t) = self.fabric_drops_tx();
+            let a = self.total_acked();
+            self.failover_stages = st.close(self.end, d, t, a);
+        }
         let mut report = Report {
             scheme: self.scheme.name.to_string(),
+            failover_stages: self.failover_stages.clone(),
             ..Report::default()
         };
         let window = self.end.saturating_since(self.warmup).as_secs_f64();
@@ -1405,6 +1691,7 @@ impl Simulation {
             }
         }
         rep.queue_high_water = self.queue.high_water_mark() as u64;
+        rep.failover_stages = self.failover_stages.clone();
         rep.events_dropped = tel.sink.borrow().evicted();
         rep.events = tel.sink.borrow_mut().drain();
         Some(rep)

@@ -2,19 +2,20 @@
 
 use presto_simcore::SimDuration;
 use presto_simcore::SimTime;
-use presto_testbed::{stride_elephants, MiceSpec, Scenario, SchemeSpec};
+use presto_testbed::{stride_elephants, MiceSpec, Scenario, ScenarioBuilder, SchemeSpec};
 use presto_workloads::FlowSpec;
 
-fn short(mut sc: Scenario) -> Scenario {
-    sc.duration = SimDuration::from_millis(60);
-    sc.warmup = SimDuration::from_millis(20);
-    sc
+fn short(scheme: SchemeSpec, seed: u64) -> ScenarioBuilder {
+    Scenario::builder(scheme, seed)
+        .duration(SimDuration::from_millis(60))
+        .warmup(SimDuration::from_millis(20))
 }
 
 #[test]
 fn single_flow_optimal_reaches_line_rate() {
-    let mut sc = short(Scenario::testbed16(SchemeSpec::optimal(), 1));
-    sc.flows = vec![FlowSpec::elephant(0, 8, SimTime::ZERO)];
+    let sc = short(SchemeSpec::optimal(), 1)
+        .elephants(vec![FlowSpec::elephant(0, 8, SimTime::ZERO)])
+        .build();
     let r = sc.run();
     assert_eq!(r.elephant_tputs.len(), 1);
     let tput = r.elephant_tputs[0];
@@ -27,8 +28,9 @@ fn single_flow_optimal_reaches_line_rate() {
 
 #[test]
 fn single_flow_presto_reaches_line_rate() {
-    let mut sc = short(Scenario::testbed16(SchemeSpec::presto(), 1));
-    sc.flows = vec![FlowSpec::elephant(0, 8, SimTime::ZERO)];
+    let sc = short(SchemeSpec::presto(), 1)
+        .elephants(vec![FlowSpec::elephant(0, 8, SimTime::ZERO)])
+        .build();
     let r = sc.run();
     let tput = r.elephant_tputs[0];
     assert!(
@@ -40,11 +42,13 @@ fn single_flow_presto_reaches_line_rate() {
 
 #[test]
 fn presto_stride_tracks_optimal() {
-    let mut presto = short(Scenario::testbed16(SchemeSpec::presto(), 2));
-    presto.flows = stride_elephants(16, 8);
+    let presto = short(SchemeSpec::presto(), 2)
+        .elephants(stride_elephants(16, 8))
+        .build();
     let rp = presto.run();
-    let mut optimal = short(Scenario::testbed16(SchemeSpec::optimal(), 2));
-    optimal.flows = stride_elephants(16, 8);
+    let optimal = short(SchemeSpec::optimal(), 2)
+        .elephants(stride_elephants(16, 8))
+        .build();
     let ro = optimal.run();
     let (tp, to) = (rp.mean_elephant_tput(), ro.mean_elephant_tput());
     assert!(to > 8.5, "optimal stride should be near line rate: {to}");
@@ -56,11 +60,13 @@ fn presto_stride_tracks_optimal() {
 
 #[test]
 fn ecmp_stride_underperforms_presto() {
-    let mut ecmp = short(Scenario::testbed16(SchemeSpec::ecmp(), 3));
-    ecmp.flows = stride_elephants(16, 8);
+    let ecmp = short(SchemeSpec::ecmp(), 3)
+        .elephants(stride_elephants(16, 8))
+        .build();
     let re = ecmp.run();
-    let mut presto = short(Scenario::testbed16(SchemeSpec::presto(), 3));
-    presto.flows = stride_elephants(16, 8);
+    let presto = short(SchemeSpec::presto(), 3)
+        .elephants(stride_elephants(16, 8))
+        .build();
     let rp = presto.run();
     assert!(
         re.mean_elephant_tput() < 0.85 * rp.mean_elephant_tput(),
@@ -74,15 +80,16 @@ fn ecmp_stride_underperforms_presto() {
 
 #[test]
 fn mice_and_probes_record_samples() {
-    let mut sc = short(Scenario::testbed16(SchemeSpec::presto(), 4));
-    sc.flows = stride_elephants(16, 8);
-    sc.mice = vec![MiceSpec {
-        src: 0,
-        dst: 8,
-        bytes: 50_000,
-        interval: SimDuration::from_millis(10),
-    }];
-    sc.probes = vec![(1, 9)];
+    let sc = short(SchemeSpec::presto(), 4)
+        .elephants(stride_elephants(16, 8))
+        .mice(vec![MiceSpec {
+            src: 0,
+            dst: 8,
+            bytes: 50_000,
+            interval: SimDuration::from_millis(10),
+        }])
+        .probes(vec![(1, 9)])
+        .build();
     let r = sc.run();
     assert!(
         r.mice_fct_ms.len() >= 2,

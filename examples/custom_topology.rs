@@ -13,27 +13,28 @@
 //! 3. driving the simulator directly via `Scenario::build()` to inspect
 //!    internal state after the run.
 
-use presto_lab::netsim::ClosSpec;
-use presto_lab::simcore::{SimDuration, SimTime};
-use presto_lab::testbed::{Scenario, SchemeSpec};
+use presto_lab::prelude::*;
 use presto_lab::workloads::FlowSpec;
 
 fn main() {
     println!("Custom fabric: 2 spines x 2 parallel links, shared-buffer switches\n");
-    let mut sc = Scenario::testbed16(SchemeSpec::presto(), 5);
-    sc.clos = ClosSpec {
-        spines: 2,
-        leaves: 2,
-        hosts_per_leaf: 8,
-        links_per_pair: 2,
-        shared_buffer: Some((4 * 1024 * 1024, 1.0)),
-        ..ClosSpec::default()
-    };
-    sc.duration = SimDuration::from_millis(80);
-    sc.warmup = SimDuration::from_millis(20);
-    sc.flows = (0..4)
-        .map(|i| FlowSpec::elephant(i, 8 + i, SimTime::ZERO))
-        .collect();
+    let sc = Scenario::builder(SchemeSpec::presto(), 5)
+        .topology(ClosSpec {
+            spines: 2,
+            leaves: 2,
+            hosts_per_leaf: 8,
+            links_per_pair: 2,
+            shared_buffer: Some((4 * 1024 * 1024, 1.0)),
+            ..ClosSpec::default()
+        })
+        .duration(SimDuration::from_millis(80))
+        .warmup(SimDuration::from_millis(20))
+        .elephants(
+            (0..4)
+                .map(|i| FlowSpec::elephant(i, 8 + i, SimTime::ZERO))
+                .collect(),
+        )
+        .build();
 
     let mut sim = sc.build();
     // The controller allocated nu * gamma = 4 disjoint trees.

@@ -11,9 +11,8 @@
 //! keeps elephants from parking queues in front of mice, which is where
 //! the 99th/99.9th-percentile wins come from.
 
-use presto_lab::simcore::{SimDuration, SimTime};
+use presto_lab::prelude::*;
 use presto_lab::workloads::{FlowSpec, TraceWorkload};
-use presto_testbed::{Scenario, SchemeSpec};
 
 fn trace_flows(seed: u64, horizon: SimTime) -> Vec<FlowSpec> {
     let mut flows = Vec::new();
@@ -41,11 +40,12 @@ fn main() {
     );
     for scheme in [SchemeSpec::ecmp(), SchemeSpec::presto()] {
         let name = scheme.name;
-        let mut sc = Scenario::testbed16(scheme, 3);
-        sc.duration = duration;
-        sc.warmup = duration / 4;
-        sc.flows = trace_flows(3, SimTime::ZERO + duration);
-        let r = sc.run();
+        let r = Scenario::builder(scheme, 3)
+            .duration(duration)
+            .warmup(duration / 4)
+            .flows(trace_flows(3, SimTime::ZERO + duration))
+            .build()
+            .run();
         let mut fct = r.mice_fct_ms.clone();
         println!(
             "{:<8} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>11.2} {:>10.4}",

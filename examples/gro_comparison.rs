@@ -10,9 +10,8 @@
 //! the stack, CPU burns, and TCP sees reordering. Presto's Algorithm 2
 //! holds segments across flowcell-boundary gaps and delivers in order.
 
-use presto_lab::simcore::{SimDuration, SimTime};
+use presto_lab::prelude::*;
 use presto_lab::workloads::FlowSpec;
-use presto_testbed::{Scenario, SchemeSpec};
 
 fn main() {
     println!("GRO comparison — 2 flows sprayed over 2 paths (Fig 5)\n");
@@ -26,15 +25,22 @@ fn main() {
         } else {
             "Presto GRO"
         };
-        let mut sc = Scenario::oversubscription(scheme, 1);
-        sc.duration = SimDuration::from_millis(80);
-        sc.warmup = SimDuration::from_millis(20);
-        sc.flows = vec![
-            FlowSpec::elephant(0, 8, SimTime::ZERO),
-            FlowSpec::elephant(1, 9, SimTime::ZERO + SimDuration::from_micros(27)),
-        ];
-        sc.cpu_sample = Some(SimDuration::from_millis(2));
-        let r = sc.run();
+        let r = Scenario::builder(scheme, 1)
+            .topology(ClosSpec {
+                spines: 2,
+                leaves: 2,
+                hosts_per_leaf: 8,
+                ..ClosSpec::default()
+            })
+            .duration(SimDuration::from_millis(80))
+            .warmup(SimDuration::from_millis(20))
+            .elephants(vec![
+                FlowSpec::elephant(0, 8, SimTime::ZERO),
+                FlowSpec::elephant(1, 9, SimTime::ZERO + SimDuration::from_micros(27)),
+            ])
+            .cpu_sample(SimDuration::from_millis(2))
+            .build()
+            .run();
         let mut segs = r.segment_bytes.clone();
         println!(
             "{:<16} {:>11.2} {:>9.1} {:>12.0} {:>11} {:>10}",

@@ -9,8 +9,7 @@
 //! headline comparison of the paper: Presto's flowcell spraying tracks
 //! the optimal non-blocking switch, ECMP's per-flow hashing does not.
 
-use presto_lab::simcore::SimDuration;
-use presto_testbed::{stride_elephants, Scenario, SchemeSpec};
+use presto_lab::prelude::*;
 
 fn main() {
     println!("Presto quickstart — stride(8) on the 16-host testbed\n");
@@ -25,12 +24,13 @@ fn main() {
         SchemeSpec::optimal(),
     ] {
         let name = scheme.name;
-        let mut sc = Scenario::testbed16(scheme, 42);
-        sc.duration = SimDuration::from_millis(80);
-        sc.warmup = SimDuration::from_millis(20);
-        sc.flows = stride_elephants(16, 8);
-        sc.probes = (0..16).map(|i| (i, (i + 8) % 16)).collect();
-        let r = sc.run();
+        let r = Scenario::builder(scheme, 42)
+            .duration(SimDuration::from_millis(80))
+            .warmup(SimDuration::from_millis(20))
+            .elephants(stride_elephants(16, 8))
+            .probes((0..16).map(|i| (i, (i + 8) % 16)).collect())
+            .build()
+            .run();
         let mut rtt = r.rtt_ms.clone();
         println!(
             "{:<10} {:>12.2} {:>10.3} {:>12.3} {:>12.3}",

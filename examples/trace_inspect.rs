@@ -21,10 +21,8 @@
 //! profile. Build with `--features telemetry` to capture individual trace
 //! events as well; counters and samples are collected either way.
 
-use presto_lab::simcore::{SimDuration, SimTime};
-use presto_lab::telemetry::TelemetryReport;
+use presto_lab::prelude::*;
 use presto_lab::workloads::FlowSpec;
-use presto_testbed::{Scenario, SchemeSpec};
 
 fn usage() -> ! {
     eprintln!("usage: trace_inspect [TRACE.jsonl] [--write-jsonl PATH] [--write-chrome PATH]");
@@ -66,13 +64,20 @@ fn main() {
     // engine, telemetry attached to both.
     println!("trace_inspect demo — Fig 5 GRO comparison with telemetry attached\n");
     for scheme in [SchemeSpec::presto(), SchemeSpec::presto_official_gro()] {
-        let mut sc = Scenario::oversubscription(scheme, 1);
-        sc.duration = SimDuration::from_millis(40);
-        sc.warmup = SimDuration::from_millis(10);
-        sc.flows = vec![
-            FlowSpec::elephant(0, 8, SimTime::ZERO),
-            FlowSpec::elephant(1, 9, SimTime::ZERO + SimDuration::from_micros(27)),
-        ];
+        let sc = Scenario::builder(scheme, 1)
+            .topology(ClosSpec {
+                spines: 2,
+                leaves: 2,
+                hosts_per_leaf: 8,
+                ..ClosSpec::default()
+            })
+            .duration(SimDuration::from_millis(40))
+            .warmup(SimDuration::from_millis(10))
+            .elephants(vec![
+                FlowSpec::elephant(0, 8, SimTime::ZERO),
+                FlowSpec::elephant(1, 9, SimTime::ZERO + SimDuration::from_micros(27)),
+            ])
+            .build();
         let (report, tel) = sc.run_traced();
         println!(
             "=== {} (mean elephant tput {:.2} Gbps) ===",

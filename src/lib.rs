@@ -32,19 +32,20 @@
 //! ## Quick start
 //!
 //! ```
-//! use presto_lab::testbed::{stride_elephants, Scenario, SchemeSpec};
-//! use presto_lab::simcore::SimDuration;
+//! use presto_lab::prelude::*;
 //!
-//! let mut sc = Scenario::testbed16(SchemeSpec::presto(), 42);
-//! sc.duration = SimDuration::from_millis(30);
-//! sc.warmup = SimDuration::from_millis(10);
-//! sc.flows = stride_elephants(16, 8);
+//! let sc = Scenario::builder(SchemeSpec::presto(), 42)
+//!     .duration(SimDuration::from_millis(30))
+//!     .warmup(SimDuration::from_millis(10))
+//!     .elephants(stride_elephants(16, 8))
+//!     .build();
 //! let report = sc.run();
 //! assert!(report.mean_elephant_tput() > 8.0, "{}", report.mean_elephant_tput());
 //! ```
 
 pub use presto_core as core;
 pub use presto_endhost as endhost;
+pub use presto_faults as faults;
 pub use presto_gro as gro;
 pub use presto_lb as lb;
 pub use presto_metrics as metrics;
@@ -54,3 +55,20 @@ pub use presto_telemetry as telemetry;
 pub use presto_testbed as testbed;
 pub use presto_transport as transport;
 pub use presto_workloads as workloads;
+
+/// Everything a typical experiment driver needs, importable in one line.
+///
+/// Covers scenario construction ([`ScenarioBuilder`] and the workload
+/// helpers), scheme selection, fault timelines, simulated time, and the
+/// report types the paper's figures are read from.
+pub mod prelude {
+    pub use presto_faults::{FaultEvent, FaultKind, FaultPlan, FlapProcess, Notify};
+    pub use presto_netsim::ClosSpec;
+    pub use presto_simcore::{SimDuration, SimTime};
+    pub use presto_telemetry::{FailoverStage, TelemetryConfig, TelemetryReport, TraceEvent};
+    pub use presto_testbed::{
+        bijection_elephants, random_elephants, stride_elephants, FailureSpec, GroKind, MiceSpec,
+        ParallelRunner, PolicyKind, Report, Scenario, ScenarioBuilder, SchemeSpec, ShuffleSpec,
+        Simulation, TransportKind,
+    };
+}

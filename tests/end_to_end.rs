@@ -1,27 +1,28 @@
 //! Cross-crate integration tests: full scheme comparisons through the
 //! public API, checking the paper's headline claims hold in-simulator.
 
-use presto_lab::simcore::{SimDuration, SimTime};
-use presto_lab::testbed::{stride_elephants, MiceSpec, Scenario, SchemeSpec};
+use presto_lab::prelude::*;
 use presto_lab::workloads::FlowSpec;
 
-fn short(mut sc: Scenario) -> Scenario {
-    sc.duration = SimDuration::from_millis(50);
-    sc.warmup = SimDuration::from_millis(15);
-    sc
+fn short(scheme: SchemeSpec, seed: u64) -> ScenarioBuilder {
+    Scenario::builder(scheme, seed)
+        .duration(SimDuration::from_millis(50))
+        .warmup(SimDuration::from_millis(15))
 }
 
 /// §1: "Presto's performance closely tracks that of a single,
 /// non-blocking switch over many workloads."
 #[test]
 fn presto_tracks_optimal_on_stride() {
-    let mut presto = short(Scenario::testbed16(SchemeSpec::presto(), 11));
-    presto.flows = stride_elephants(16, 8);
-    let rp = presto.run();
+    let rp = short(SchemeSpec::presto(), 11)
+        .elephants(stride_elephants(16, 8))
+        .build()
+        .run();
 
-    let mut optimal = short(Scenario::testbed16(SchemeSpec::optimal(), 11));
-    optimal.flows = stride_elephants(16, 8);
-    let ro = optimal.run();
+    let ro = short(SchemeSpec::optimal(), 11)
+        .elephants(stride_elephants(16, 8))
+        .build()
+        .run();
 
     let (tp, to) = (rp.mean_elephant_tput(), ro.mean_elephant_tput());
     assert!(to > 9.0, "optimal should be near line rate: {to}");
@@ -32,13 +33,15 @@ fn presto_tracks_optimal_on_stride() {
 /// §1/§6: Presto beats ECMP substantially on non-shuffle workloads.
 #[test]
 fn presto_beats_ecmp_on_stride() {
-    let mut ecmp = short(Scenario::testbed16(SchemeSpec::ecmp(), 12));
-    ecmp.flows = stride_elephants(16, 8);
-    let re = ecmp.run();
+    let re = short(SchemeSpec::ecmp(), 12)
+        .elephants(stride_elephants(16, 8))
+        .build()
+        .run();
 
-    let mut presto = short(Scenario::testbed16(SchemeSpec::presto(), 12));
-    presto.flows = stride_elephants(16, 8);
-    let rp = presto.run();
+    let rp = short(SchemeSpec::presto(), 12)
+        .elephants(stride_elephants(16, 8))
+        .build()
+        .run();
 
     assert!(
         rp.mean_elephant_tput() > 1.2 * re.mean_elephant_tput(),
@@ -54,12 +57,21 @@ fn presto_beats_ecmp_on_stride() {
 #[test]
 fn stock_gro_suffers_small_segment_flooding() {
     let run = |scheme: SchemeSpec| {
-        let mut sc = short(Scenario::oversubscription(scheme, 13));
-        sc.flows = vec![
-            FlowSpec::elephant(0, 8, SimTime::ZERO),
-            FlowSpec::elephant(1, 9, SimTime::ZERO + SimDuration::from_micros(27)),
-        ];
-        sc.run()
+        Scenario::builder(scheme, 13)
+            .topology(ClosSpec {
+                spines: 2,
+                leaves: 2,
+                hosts_per_leaf: 8,
+                ..ClosSpec::default()
+            })
+            .duration(SimDuration::from_millis(50))
+            .warmup(SimDuration::from_millis(15))
+            .elephants(vec![
+                FlowSpec::elephant(0, 8, SimTime::ZERO),
+                FlowSpec::elephant(1, 9, SimTime::ZERO + SimDuration::from_micros(27)),
+            ])
+            .build()
+            .run()
     };
     let presto = run(SchemeSpec::presto());
     let stock = run(SchemeSpec::presto_official_gro());
@@ -93,19 +105,22 @@ fn stock_gro_suffers_small_segment_flooding() {
 #[test]
 fn mice_tail_fct_improves_under_presto() {
     let run = |scheme: SchemeSpec| {
-        let mut sc = Scenario::testbed16(scheme, 14);
-        sc.duration = SimDuration::from_millis(90);
-        sc.warmup = SimDuration::from_millis(20);
-        sc.flows = stride_elephants(16, 8);
-        sc.mice = (0..16)
-            .map(|i| MiceSpec {
-                src: i,
-                dst: (i + 8) % 16,
-                bytes: 50_000,
-                interval: SimDuration::from_millis(3),
-            })
-            .collect();
-        sc.run()
+        Scenario::builder(scheme, 14)
+            .duration(SimDuration::from_millis(90))
+            .warmup(SimDuration::from_millis(20))
+            .elephants(stride_elephants(16, 8))
+            .mice(
+                (0..16)
+                    .map(|i| MiceSpec {
+                        src: i,
+                        dst: (i + 8) % 16,
+                        bytes: 50_000,
+                        interval: SimDuration::from_millis(3),
+                    })
+                    .collect(),
+            )
+            .build()
+            .run()
     };
     let presto = run(SchemeSpec::presto());
     let ecmp = run(SchemeSpec::ecmp());
@@ -127,10 +142,11 @@ fn mice_tail_fct_improves_under_presto() {
 #[test]
 fn same_seed_same_result() {
     let run = || {
-        let mut sc = short(Scenario::testbed16(SchemeSpec::presto(), 99));
-        sc.flows = stride_elephants(16, 8);
-        sc.probes = vec![(0, 8), (1, 9)];
-        sc.run()
+        short(SchemeSpec::presto(), 99)
+            .elephants(stride_elephants(16, 8))
+            .probes(vec![(0, 8), (1, 9)])
+            .build()
+            .run()
     };
     let a = run();
     let b = run();
@@ -144,9 +160,11 @@ fn same_seed_same_result() {
 #[test]
 fn mptcp_sits_between_ecmp_and_presto() {
     let run = |scheme: SchemeSpec| {
-        let mut sc = short(Scenario::testbed16(scheme, 15));
-        sc.flows = stride_elephants(16, 8);
-        sc.run().mean_elephant_tput()
+        short(scheme, 15)
+            .elephants(stride_elephants(16, 8))
+            .build()
+            .run()
+            .mean_elephant_tput()
     };
     let ecmp = run(SchemeSpec::ecmp());
     let mptcp = run(SchemeSpec::mptcp());
@@ -160,18 +178,17 @@ fn mptcp_sits_between_ecmp_and_presto() {
 #[test]
 fn flowlet_100us_reorders_and_underperforms() {
     let run = |scheme: SchemeSpec| {
-        let mut sc = short(Scenario::testbed16(scheme, 16));
-        sc.flows = stride_elephants(16, 8);
-        sc.run()
+        short(scheme, 16)
+            .elephants(stride_elephants(16, 8))
+            .build()
+            .run()
     };
     let fl = run(SchemeSpec::flowlet(SimDuration::from_micros(100)));
     let presto = run(SchemeSpec::presto());
     // Normalize reordering exposure by delivered bytes: the flowlet
     // scheme's stock GRO leaks far more reordering to TCP per byte than
     // Presto's holding GRO does.
-    let ooo_rate = |r: &presto_lab::testbed::Report| {
-        r.tcp_ooo_segments as f64 / r.mean_elephant_tput().max(0.1)
-    };
+    let ooo_rate = |r: &Report| r.tcp_ooo_segments as f64 / r.mean_elephant_tput().max(0.1);
     assert!(
         ooo_rate(&fl) > 2.0 * ooo_rate(&presto),
         "flowlet-100us should reorder more per byte: {} vs {}",

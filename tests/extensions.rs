@@ -1,9 +1,7 @@
 //! Integration tests for modeling extensions: host egress fairness (TSQ/fq),
 //! shared-buffer switches, and γ > 1 parallel-link fabrics.
 
-use presto_lab::netsim::ClosSpec;
-use presto_lab::simcore::{SimDuration, SimTime};
-use presto_lab::testbed::{MiceSpec, Scenario, SchemeSpec};
+use presto_lab::prelude::*;
 use presto_lab::workloads::FlowSpec;
 
 /// A mouse sharing its *sender host* with a full-rate elephant must not
@@ -11,18 +9,19 @@ use presto_lab::workloads::FlowSpec;
 /// (TSQ + fq semantics) interleaves it within a couple of TSO quanta.
 #[test]
 fn mice_are_not_starved_by_same_host_elephants() {
-    let mut sc = Scenario::testbed16(SchemeSpec::presto(), 31);
-    sc.duration = SimDuration::from_millis(80);
-    sc.warmup = SimDuration::from_millis(15);
     // Elephant and mice share host 0 (different destinations).
-    sc.flows = vec![FlowSpec::elephant(0, 8, SimTime::ZERO)];
-    sc.mice = vec![MiceSpec {
-        src: 0,
-        dst: 9,
-        bytes: 50_000,
-        interval: SimDuration::from_millis(5),
-    }];
-    let r = sc.run();
+    let r = Scenario::builder(SchemeSpec::presto(), 31)
+        .duration(SimDuration::from_millis(80))
+        .warmup(SimDuration::from_millis(15))
+        .elephants(vec![FlowSpec::elephant(0, 8, SimTime::ZERO)])
+        .mice(vec![MiceSpec {
+            src: 0,
+            dst: 9,
+            bytes: 50_000,
+            interval: SimDuration::from_millis(5),
+        }])
+        .build()
+        .run();
     assert!(
         r.mice_fct_ms.len() >= 8,
         "mice recorded: {}",
@@ -45,12 +44,16 @@ fn mice_are_not_starved_by_same_host_elephants() {
 #[test]
 fn shared_buffer_preserves_presto_vs_ecmp() {
     let run = |scheme: SchemeSpec| {
-        let mut sc = Scenario::testbed16(scheme, 33);
-        sc.clos.shared_buffer = Some((4 * 1024 * 1024, 1.0));
-        sc.duration = SimDuration::from_millis(50);
-        sc.warmup = SimDuration::from_millis(15);
-        sc.flows = presto_lab::testbed::stride_elephants(16, 8);
-        sc.run()
+        Scenario::builder(scheme, 33)
+            .topology(ClosSpec {
+                shared_buffer: Some((4 * 1024 * 1024, 1.0)),
+                ..ClosSpec::default()
+            })
+            .duration(SimDuration::from_millis(50))
+            .warmup(SimDuration::from_millis(15))
+            .elephants(stride_elephants(16, 8))
+            .build()
+            .run()
     };
     let presto = run(SchemeSpec::presto());
     let ecmp = run(SchemeSpec::ecmp());
@@ -72,19 +75,22 @@ fn shared_buffer_preserves_presto_vs_ecmp() {
 /// all of the capacity.
 #[test]
 fn parallel_links_scale_like_extra_spines() {
-    let mut sc = Scenario::testbed16(SchemeSpec::presto(), 35);
-    sc.clos = ClosSpec {
-        spines: 2,
-        leaves: 2,
-        hosts_per_leaf: 8,
-        links_per_pair: 2,
-        ..ClosSpec::default()
-    };
-    sc.duration = SimDuration::from_millis(50);
-    sc.warmup = SimDuration::from_millis(15);
-    sc.flows = (0..4)
-        .map(|i| FlowSpec::elephant(i, 8 + i, SimTime::ZERO))
-        .collect();
+    let sc = Scenario::builder(SchemeSpec::presto(), 35)
+        .topology(ClosSpec {
+            spines: 2,
+            leaves: 2,
+            hosts_per_leaf: 8,
+            links_per_pair: 2,
+            ..ClosSpec::default()
+        })
+        .duration(SimDuration::from_millis(50))
+        .warmup(SimDuration::from_millis(15))
+        .elephants(
+            (0..4)
+                .map(|i| FlowSpec::elephant(i, 8 + i, SimTime::ZERO))
+                .collect(),
+        )
+        .build();
     let mut sim = sc.build();
     assert_eq!(sim.controller.as_ref().unwrap().tree_count(), 4);
     let r = sim.run();
@@ -101,20 +107,23 @@ fn parallel_links_scale_like_extra_spines() {
 #[test]
 fn incast_is_last_hop_bound_for_all_schemes() {
     let run = |scheme: SchemeSpec| {
-        let mut sc = Scenario::testbed16(scheme, 37);
-        sc.duration = SimDuration::from_millis(100);
-        sc.warmup = SimDuration::from_millis(5);
+        let mut flows = Vec::new();
         for wave in 0..6u64 {
             let at = SimTime::ZERO + SimDuration::from_millis(8 + wave * 12);
             for s in presto_lab::workloads::patterns::incast_senders(16, 0, 8) {
-                sc.flows.push(FlowSpec::mouse(s, 0, at, 128 * 1024));
+                flows.push(FlowSpec::mouse(s, 0, at, 128 * 1024));
             }
         }
-        sc.run()
+        Scenario::builder(scheme, 37)
+            .duration(SimDuration::from_millis(100))
+            .warmup(SimDuration::from_millis(5))
+            .flows(flows)
+            .build()
+            .run()
     };
     let presto = run(SchemeSpec::presto());
     let ecmp = run(SchemeSpec::ecmp());
-    let p99 = |r: &presto_lab::testbed::Report| r.mice_fct_ms.clone().percentile(99.0).unwrap();
+    let p99 = |r: &Report| r.mice_fct_ms.clone().percentile(99.0).unwrap();
     assert!(presto.mice_fct_ms.len() > 30);
     // 8 x 128 KB = 1 MB into a 10G downlink ~ 0.9 ms floor; allow recovery
     // slack but catch pathological collapse.

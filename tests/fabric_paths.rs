@@ -1,8 +1,7 @@
 //! Cross-crate checks that traffic physically follows the paths Presto's
 //! labels name — read from the same switch counters the paper uses.
 
-use presto_lab::simcore::{SimDuration, SimTime};
-use presto_lab::testbed::{Scenario, SchemeSpec};
+use presto_lab::prelude::*;
 use presto_lab::workloads::FlowSpec;
 
 /// One Presto elephant must spread its bytes across *all four* spine
@@ -10,10 +9,11 @@ use presto_lab::workloads::FlowSpec;
 /// fabric, not just at the scheduler.
 #[test]
 fn one_flow_spreads_evenly_over_all_spines() {
-    let mut sc = Scenario::testbed16(SchemeSpec::presto(), 41);
-    sc.duration = SimDuration::from_millis(40);
-    sc.warmup = SimDuration::from_millis(5);
-    sc.flows = vec![FlowSpec::elephant(0, 8, SimTime::ZERO)];
+    let sc = Scenario::builder(SchemeSpec::presto(), 41)
+        .duration(SimDuration::from_millis(40))
+        .warmup(SimDuration::from_millis(5))
+        .elephants(vec![FlowSpec::elephant(0, 8, SimTime::ZERO)])
+        .build();
     let mut sim = sc.build();
     let _ = sim.run();
 
@@ -37,10 +37,11 @@ fn one_flow_spreads_evenly_over_all_spines() {
 /// An ECMP flow must use exactly one spine (all-or-nothing counters).
 #[test]
 fn ecmp_flow_sticks_to_one_spine() {
-    let mut sc = Scenario::testbed16(SchemeSpec::ecmp(), 43);
-    sc.duration = SimDuration::from_millis(30);
-    sc.warmup = SimDuration::from_millis(5);
-    sc.flows = vec![FlowSpec::elephant(0, 8, SimTime::ZERO)];
+    let sc = Scenario::builder(SchemeSpec::ecmp(), 43)
+        .duration(SimDuration::from_millis(30))
+        .warmup(SimDuration::from_millis(5))
+        .elephants(vec![FlowSpec::elephant(0, 8, SimTime::ZERO)])
+        .build();
     let mut sim = sc.build();
     let _ = sim.run();
 
@@ -59,22 +60,18 @@ fn ecmp_flow_sticks_to_one_spine() {
 /// spine pair, while fast-failover alone keeps feeding the dead downlink.
 #[test]
 fn weighted_stage_avoids_the_dead_tree() {
-    use presto_lab::testbed::FailureSpec;
-    let run = |controller_at: Option<SimTime>| {
-        let mut sc = Scenario::testbed16(SchemeSpec::presto(), 47);
-        sc.duration = SimDuration::from_millis(40);
-        sc.warmup = SimDuration::from_millis(5);
+    let run = |notify: Notify| {
         // L4 -> L1 traffic crosses the dead S1->L1 downlink via tree 0.
-        sc.flows = (0..4)
-            .map(|i| FlowSpec::elephant(12 + i, i, SimTime::ZERO))
-            .collect();
-        sc.failure = Some(FailureSpec {
-            at: SimTime::ZERO,
-            leaf: 0,
-            spine: 0,
-            link: 0,
-            controller_at,
-        });
+        let sc = Scenario::builder(SchemeSpec::presto(), 47)
+            .duration(SimDuration::from_millis(40))
+            .warmup(SimDuration::from_millis(5))
+            .elephants(
+                (0..4)
+                    .map(|i| FlowSpec::elephant(12 + i, i, SimTime::ZERO))
+                    .collect(),
+            )
+            .faults(FaultPlan::new().link_down(SimTime::ZERO, 0, 0, 0, notify))
+            .build();
         let mut sim = sc.build();
         let _ = sim.run();
         // Drops attributable to the dead downlink's unusable route.
@@ -84,8 +81,8 @@ fn weighted_stage_avoids_the_dead_tree() {
             + sim.topo.fabric.link(dead_down).counters.dropped_packets;
         drops
     };
-    let failover_only = run(None);
-    let weighted = run(Some(SimTime::ZERO));
+    let failover_only = run(Notify::Never);
+    let weighted = run(Notify::Immediate);
     // Pure failover keeps sending tree-0 cells into the dead downlink
     // (the window collapse throttles the volume, but drops keep accruing);
     // the weighted stage prunes the tree so almost nothing lands there.
@@ -103,11 +100,12 @@ fn weighted_stage_avoids_the_dead_tree() {
 /// Presto a long-running prober eventually exercises several trees.
 #[test]
 fn probes_rotate_paths_under_presto() {
-    let mut sc = Scenario::testbed16(SchemeSpec::presto(), 51);
-    sc.duration = SimDuration::from_millis(60);
-    sc.warmup = SimDuration::from_millis(5);
-    sc.probes = vec![(0, 8)];
-    sc.probe_interval = SimDuration::from_micros(100);
+    let sc = Scenario::builder(SchemeSpec::presto(), 51)
+        .duration(SimDuration::from_millis(60))
+        .warmup(SimDuration::from_millis(5))
+        .probes(vec![(0, 8)])
+        .probe_interval(SimDuration::from_micros(100))
+        .build();
     let mut sim = sc.build();
     let r = sim.run();
     assert!(r.rtt_ms.len() > 300, "probes recorded {}", r.rtt_ms.len());

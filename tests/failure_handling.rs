@@ -1,16 +1,15 @@
 //! Integration tests for failure handling (§3.3, Figs 17-18).
 
-use presto_lab::simcore::{SimDuration, SimTime};
-use presto_lab::testbed::{FailureSpec, Scenario, SchemeSpec};
+use presto_lab::prelude::*;
 use presto_lab::workloads::FlowSpec;
 
-fn scenario(failure: Option<FailureSpec>, flows: Vec<FlowSpec>) -> Scenario {
-    let mut sc = Scenario::testbed16(SchemeSpec::presto(), 21);
-    sc.duration = SimDuration::from_millis(60);
-    sc.warmup = SimDuration::from_millis(20);
-    sc.flows = flows;
-    sc.failure = failure;
-    sc
+fn scenario(faults: FaultPlan, flows: Vec<FlowSpec>) -> Scenario {
+    Scenario::builder(SchemeSpec::presto(), 21)
+        .duration(SimDuration::from_millis(60))
+        .warmup(SimDuration::from_millis(20))
+        .elephants(flows)
+        .faults(faults)
+        .build()
 }
 
 fn l1_to_l4() -> Vec<FlowSpec> {
@@ -25,22 +24,16 @@ fn l4_to_l1() -> Vec<FlowSpec> {
         .collect()
 }
 
-fn fail(controller_at: Option<SimTime>) -> Option<FailureSpec> {
-    Some(FailureSpec {
-        at: SimTime::ZERO,
-        leaf: 0,
-        spine: 0,
-        link: 0,
-        controller_at,
-    })
+fn fail(notify: Notify) -> FaultPlan {
+    FaultPlan::new().link_down(SimTime::ZERO, 0, 0, 0, notify)
 }
 
 /// The uplink direction survives on pure fast failover: the leaf's
 /// failover group redirects tree-0 traffic to the next spine.
 #[test]
 fn failover_keeps_uplink_direction_alive() {
-    let healthy = scenario(None, l1_to_l4()).run();
-    let failover = scenario(fail(None), l1_to_l4()).run();
+    let healthy = scenario(FaultPlan::new(), l1_to_l4()).run();
+    let failover = scenario(fail(Notify::Never), l1_to_l4()).run();
     let (h, f) = (healthy.mean_elephant_tput(), failover.mean_elephant_tput());
     assert!(h > 8.5, "healthy baseline {h}");
     // Fluid limit: the backup uplink (to S2) now carries two trees' worth
@@ -60,8 +53,8 @@ fn failover_keeps_uplink_direction_alive() {
 /// bars).
 #[test]
 fn weighted_rerouting_recovers_downlink_direction() {
-    let failover = scenario(fail(None), l4_to_l1()).run();
-    let weighted = scenario(fail(Some(SimTime::ZERO)), l4_to_l1()).run();
+    let failover = scenario(fail(Notify::Never), l4_to_l1()).run();
+    let weighted = scenario(fail(Notify::Immediate), l4_to_l1()).run();
     let (f, w) = (failover.mean_elephant_tput(), weighted.mean_elephant_tput());
     assert!(
         w > f,
@@ -84,7 +77,7 @@ fn unaffected_pairs_keep_full_throughput() {
     let flows = (0..4)
         .map(|i| FlowSpec::elephant(4 + i, 8 + i, SimTime::ZERO)) // L2 -> L3
         .collect();
-    let r = scenario(fail(Some(SimTime::ZERO)), flows).run();
+    let r = scenario(fail(Notify::Immediate), flows).run();
     assert!(
         r.mean_elephant_tput() > 8.5,
         "L2->L3 should be oblivious to the S1-L1 failure: {}",
@@ -96,15 +89,14 @@ fn unaffected_pairs_keep_full_throughput() {
 /// controller reacts at t=20ms; measured window sees the weighted state.
 #[test]
 fn mid_run_failure_recovers() {
-    let mut sc = scenario(None, l4_to_l1());
-    sc.failure = Some(FailureSpec {
-        at: SimTime::ZERO + SimDuration::from_millis(15),
-        leaf: 0,
-        spine: 0,
-        link: 0,
-        controller_at: Some(SimTime::ZERO + SimDuration::from_millis(20)),
-    });
-    let r = sc.run();
+    let plan = FaultPlan::new().link_down(
+        SimTime::ZERO + SimDuration::from_millis(15),
+        0,
+        0,
+        0,
+        Notify::After(SimDuration::from_millis(5)),
+    );
+    let r = scenario(plan, l4_to_l1()).run();
     // The measurement window still contains TCP's recovery from the 5 ms
     // blackhole, so expect most — not all — of the 3-tree fluid limit
     // (~7.5 Gbps).
@@ -113,4 +105,23 @@ fn mid_run_failure_recovers() {
         "post-recovery window should be healthy: {}",
         r.mean_elephant_tput()
     );
+}
+
+/// The classic `FailureSpec` shorthand still drives the same machinery
+/// through its `From` conversion into a fault plan.
+#[test]
+fn failure_spec_compatibility_path() {
+    let spec = FailureSpec {
+        at: SimTime::ZERO,
+        leaf: 0,
+        spine: 0,
+        link: 0,
+        controller_at: Some(SimTime::ZERO),
+    };
+    let r = scenario(spec.into(), l4_to_l1()).run();
+    assert!(r.mean_elephant_tput() > 6.0);
+    // The report carries the failover timeline: the fault fires at t=0
+    // with an immediate notification, so the whole run is post-reweight.
+    assert_eq!(r.failover_stages.len(), 1);
+    assert_eq!(r.failover_stages[0].name, "post-reweight");
 }

@@ -21,22 +21,25 @@ fn sweep() -> Vec<Scenario> {
         SchemeSpec::optimal(),
     ] {
         for seed in [1u64, 2] {
-            let mut sc = Scenario::testbed16(scheme.clone(), seed);
-            sc.duration = SimDuration::from_millis(8);
-            sc.warmup = SimDuration::from_millis(2);
             // Seed the traffic pattern itself so every scenario in the
             // sweep is behaviourally distinct (stride flows would make
             // same-scheme runs identical regardless of seed).
-            sc.flows = bijection_elephants(16, 4, seed);
-            sc.mice = (0..4)
-                .map(|i| MiceSpec {
-                    src: i,
-                    dst: i + 8,
-                    bytes: 50_000,
-                    interval: SimDuration::from_millis(2),
-                })
-                .collect();
-            sc.probes = vec![(0, 8), (1, 9)];
+            let sc = Scenario::builder(scheme.clone(), seed)
+                .duration(SimDuration::from_millis(8))
+                .warmup(SimDuration::from_millis(2))
+                .elephants(bijection_elephants(16, 4, seed))
+                .mice(
+                    (0..4)
+                        .map(|i| MiceSpec {
+                            src: i,
+                            dst: i + 8,
+                            bytes: 50_000,
+                            interval: SimDuration::from_millis(2),
+                        })
+                        .collect(),
+                )
+                .probes(vec![(0, 8), (1, 9)])
+                .build();
             scenarios.push(sc);
         }
     }

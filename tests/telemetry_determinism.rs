@@ -12,25 +12,27 @@
 
 use presto_lab::simcore::SimDuration;
 use presto_lab::telemetry::{FlushReason, TelemetryConfig, TelemetryReport};
-use presto_lab::testbed::{stride_elephants, ParallelRunner, Scenario, SchemeSpec};
+use presto_lab::testbed::{
+    stride_elephants, ParallelRunner, Scenario, ScenarioBuilder, SchemeSpec,
+};
 
-fn tiny(scheme: SchemeSpec, seed: u64) -> Scenario {
-    let mut sc = Scenario::testbed16(scheme, seed);
-    sc.duration = SimDuration::from_millis(8);
-    sc.warmup = SimDuration::from_millis(2);
-    sc.flows = stride_elephants(16, 8);
-    sc
+fn tiny(scheme: SchemeSpec, seed: u64) -> ScenarioBuilder {
+    Scenario::builder(scheme, seed)
+        .duration(SimDuration::from_millis(8))
+        .warmup(SimDuration::from_millis(2))
+        .elephants(stride_elephants(16, 8))
 }
 
 #[test]
 fn digest_identical_with_tracing_on_and_off() {
     for scheme in [SchemeSpec::presto(), SchemeSpec::presto_official_gro()] {
-        let plain = tiny(scheme.clone(), 7);
-        let off = plain.run().digest();
+        let off = tiny(scheme.clone(), 7).build().run().digest();
 
-        let mut traced = tiny(scheme, 7);
-        traced.telemetry = Some(TelemetryConfig::default());
-        let on = traced.run().digest();
+        let on = tiny(scheme, 7)
+            .telemetry(TelemetryConfig::default())
+            .build()
+            .run()
+            .digest();
 
         assert_eq!(off, on, "telemetry changed the simulation");
     }
@@ -38,7 +40,9 @@ fn digest_identical_with_tracing_on_and_off() {
 
 #[test]
 fn traces_identical_across_worker_counts() {
-    let scenarios: Vec<Scenario> = (0..3).map(|s| tiny(SchemeSpec::presto(), s)).collect();
+    let scenarios: Vec<Scenario> = (0..3)
+        .map(|s| tiny(SchemeSpec::presto(), s).build())
+        .collect();
     let baseline: Vec<String> = ParallelRunner::new(1)
         .run_traced(&scenarios)
         .into_iter()
@@ -56,7 +60,7 @@ fn traces_identical_across_worker_counts() {
 
 #[test]
 fn jsonl_roundtrips_a_real_trace() {
-    let sc = tiny(SchemeSpec::presto(), 3);
+    let sc = tiny(SchemeSpec::presto(), 3).build();
     let (_, tel) = sc.run_traced();
     let parsed = TelemetryReport::from_jsonl(&tel.to_jsonl());
     assert_eq!(tel, parsed, "JSONL export must round-trip losslessly");
@@ -67,8 +71,10 @@ fn flush_reasons_populate_for_both_engines() {
     // The Fig 5 attribution: Presto GRO absorbs flowcell boundaries,
     // stock GRO ejects at them. Counters are always-on, so this holds
     // with or without the `telemetry` feature.
-    let (_, presto) = tiny(SchemeSpec::presto(), 5).run_traced();
-    let (_, official) = tiny(SchemeSpec::presto_official_gro(), 5).run_traced();
+    let (_, presto) = tiny(SchemeSpec::presto(), 5).build().run_traced();
+    let (_, official) = tiny(SchemeSpec::presto_official_gro(), 5)
+        .build()
+        .run_traced();
 
     let total = |t: &TelemetryReport| t.flush_reasons.iter().sum::<u64>();
     assert!(total(&presto) > 0, "presto GRO attributed no pushes");
@@ -89,7 +95,7 @@ fn flush_reasons_populate_for_both_engines() {
 
 #[test]
 fn trace_events_flow_when_feature_enabled() {
-    let (_, tel) = tiny(SchemeSpec::presto(), 9).run_traced();
+    let (_, tel) = tiny(SchemeSpec::presto(), 9).build().run_traced();
     if presto_lab::telemetry::ENABLED {
         assert!(
             !tel.events.is_empty(),
