@@ -1,18 +1,25 @@
 //! The centralized Presto controller.
 //!
-//! Responsibilities (§3.1, §3.3):
+//! Responsibilities (§3.1, §3.3, generalized to tiered fabrics per §5.3):
 //!
-//! 1. **Spanning tree allocation.** In a 2-tier Clos with ν spines and γ
-//!    parallel links per (leaf, spine) pair, the controller allocates
-//!    ν·γ disjoint spanning trees — tree (s, j) uses the j-th link between
-//!    every leaf and spine s.
+//! 1. **Spanning tree allocation.** The controller allocates link-disjoint
+//!    spanning trees over the topology graph. Trees are enumerated
+//!    uplink-position-major: tree (p, k) climbs from every leaf through
+//!    its p-th upper-tier neighbor using the k-th parallel link, and keeps
+//!    selecting the k-th continuation at higher tiers. On the paper's
+//!    2-tier Clos with ν spines and γ parallel links this reproduces the
+//!    classic ν·γ trees — tree (s, j) uses the j-th link between every
+//!    leaf and spine s. On a 3-tier Clos it yields
+//!    `aggs_per_pod · min(γ, cores_per_group)` trees.
 //! 2. **Shadow MAC assignment.** One label per (destination host, tree);
-//!    exact-match L2 entries route the label up at the source leaf, down
-//!    at the spine, and to the host port at the destination leaf.
-//! 3. **Fast failover.** Each leaf gets OpenFlow-style failover groups:
-//!    if the uplink to spine s is dead, traffic shifts to the uplink to
-//!    spine s+1 (spines carry L2 entries for *all* trees so redirected
-//!    labels still route).
+//!    exact-match L2 entries route the label up at the source leaf, along
+//!    the tree at every transit switch, and to the host port at the
+//!    destination leaf.
+//! 3. **Fast failover.** Every non-top switch with more than one uplink
+//!    neighbor gets OpenFlow-style failover groups: if the uplink toward
+//!    neighbor p is dead, traffic shifts to the uplink toward neighbor
+//!    p+1 (transit switches carry L2 entries for *all* trees so
+//!    redirected labels still route).
 //! 4. **Failure response.** When told of a link failure, the controller
 //!    recomputes, per (source host, destination host), the multiset of
 //!    usable labels — pruning trees whose path crosses a dead link — and
@@ -26,7 +33,8 @@ use presto_netsim::{HostId, LinkId, Mac, SwitchId, Topology};
 /// `WEIGHT_SCALE`, a link degraded to fraction f weighs
 /// `round(f · WEIGHT_SCALE)` (min 1 while the link is up). Coarse on
 /// purpose — weights become duplicated labels in the vSwitch sequence,
-/// so the sequence length is bounded by `WEIGHT_SCALE · ν · γ`.
+/// so the sequence length is bounded by `WEIGHT_SCALE` times the tree
+/// count.
 pub const WEIGHT_SCALE: u32 = 4;
 
 fn gcd(a: u32, b: u32) -> u32 {
@@ -37,100 +45,134 @@ fn gcd(a: u32, b: u32) -> u32 {
     }
 }
 
-/// A spanning tree's route through the fabric: spine index and parallel
-/// link index.
+/// One ascending hop of a spanning tree's per-leaf chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TreeSpec {
-    /// Which spine the tree transits.
-    pub spine: usize,
-    /// Which of the γ parallel links it uses on every (leaf, spine) pair.
+pub struct TreeHop {
+    /// The next-tier-up switch this hop climbs to.
+    pub up: SwitchId,
+    /// Parallel-link index within the pair's link group (clamped to the
+    /// group size when the group is narrower than the tree's index).
     pub link: usize,
+}
+
+/// A spanning tree's route through the fabric: an explicit ascending hop
+/// chain per leaf, all meeting at a common root region.
+///
+/// This replaces the 2-tier `TreeSpec { spine, link }`: on a 2-tier Clos
+/// every chain is the single hop to spine [`TreePath::position`] over
+/// parallel link [`TreePath::link`]; on deeper fabrics chains carry one
+/// hop per tier. The path between two leaves is recovered by walking
+/// both chains to their lowest common switch ([`Controller::tree_path`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreePath {
+    /// The leaf uplink-neighbor position this tree climbs through (the
+    /// spine index on a 2-tier Clos, the aggregation position on 3-tier).
+    pub position: usize,
+    /// The parallel-link / continuation index (γ index at the first hop).
+    pub link: usize,
+    /// Ascending hop chain per leaf, indexed by the leaf's position in
+    /// `Topology::leaves`.
+    pub chains: Vec<Vec<TreeHop>>,
+}
+
+impl TreePath {
+    /// The tree's root switch (the top-tier switch its chains meet at).
+    pub fn root(&self) -> SwitchId {
+        self.chains[0].last().expect("non-empty chain").up
+    }
 }
 
 /// The controller's view of the installed state.
 #[derive(Debug)]
 pub struct Controller {
     /// Tree id → route.
-    pub trees: Vec<TreeSpec>,
+    pub trees: Vec<TreePath>,
 }
 
 impl Controller {
     /// Compute spanning trees for `topo` and install all forwarding state:
     /// basic real-MAC routing, shadow-MAC entries for every tree, and
-    /// leaf fast-failover groups.
+    /// fast-failover groups at every tier below the top.
     ///
     /// # Panics
     /// Panics on a single-switch topology — there is nothing to
     /// load-balance and Presto should not be deployed there.
     pub fn install(topo: &mut Topology) -> Controller {
         assert!(
-            !topo.spines.is_empty(),
+            topo.tier_count() >= 2,
             "Presto controller requires a multi-path topology"
         );
         topo.install_basic_routing();
 
-        let gamma = topo.leaf_spine[&(topo.leaves[0], topo.spines[0])].len();
-        let mut trees = Vec::new();
-        for s in 0..topo.spines.len() {
-            for j in 0..gamma {
-                trees.push(TreeSpec { spine: s, link: j });
-            }
-        }
-
+        let trees = Self::allocate_trees(topo);
         let leaves = topo.leaves.clone();
-        let spines = topo.spines.clone();
         let hosts = topo.hosts.clone();
 
-        for (t, spec) in trees.iter().enumerate() {
+        // Leaf tier: destination port entries plus first-hop uplinks.
+        for (t, tree) in trees.iter().enumerate() {
             let t = t as u32;
-            let spine = spines[spec.spine];
             for &h in &hosts {
                 let mac = Mac::shadow(h, t);
                 let dst_leaf = topo.host_leaf[h.index()];
                 // Destination leaf: label → host port.
                 let down = topo.host_down[h.index()];
                 topo.fabric.switch_mut(dst_leaf).install_l2(mac, down);
-                // Source leaves: label → uplink to the tree's spine.
-                for &leaf in &leaves {
+                // Source leaves: label → first ascending hop of the chain.
+                for (li, &leaf) in leaves.iter().enumerate() {
                     if leaf != dst_leaf {
-                        let up = topo.leaf_spine[&(leaf, spine)][spec.link];
+                        let hop = tree.chains[li][0];
+                        let grp = &topo.pair_links[&(leaf, hop.up)];
+                        let up = grp[hop.link.min(grp.len() - 1)];
                         topo.fabric.switch_mut(leaf).install_l2(mac, up);
                     }
                 }
             }
         }
-        // Spines: entries for EVERY tree's labels (not just their own), so
-        // fast-failover redirected traffic still routes. The paper notes
-        // Trident II-class chips have 288k L2 entries — hosts × trees fits
-        // easily.
-        for &spine in &spines {
-            for (t, _spec) in trees.iter().enumerate() {
-                for &h in &hosts {
-                    let dst_leaf = topo.host_leaf[h.index()];
-                    // Use the same parallel-link index as the tree where
-                    // possible; redirected traffic keeps its label.
-                    let j = trees[t]
-                        .link
-                        .min(topo.spine_leaf[&(spine, dst_leaf)].len() - 1);
-                    let down = topo.spine_leaf[&(spine, dst_leaf)][j];
-                    topo.fabric
-                        .switch_mut(spine)
-                        .install_l2(Mac::shadow(h, t as u32), down);
+        // Transit tiers: entries for EVERY tree's labels (not just the
+        // trees that transit this switch), so fast-failover redirected
+        // traffic still routes. The paper notes Trident II-class chips
+        // have 288k L2 entries — hosts × trees fits easily. A switch
+        // routes a label down when the host sits below it (using the
+        // tree's parallel index) and otherwise climbs toward the tree's
+        // k-th continuation.
+        for tier in 1..topo.tier_count() {
+            let switches = topo.tiers[tier].clone();
+            for &sw in &switches {
+                for (t, tree) in trees.iter().enumerate() {
+                    for &h in &hosts {
+                        let out = if topo.host_below(sw, h) {
+                            let attach = topo.host_leaf[h.index()];
+                            topo.down_link_toward(sw, attach, tree.link)
+                        } else {
+                            let ups = topo.up_neighbors(sw);
+                            let u = ups[tree.link.min(ups.len() - 1)];
+                            let grp = &topo.pair_links[&(sw, u)];
+                            grp[tree.link.min(grp.len() - 1)]
+                        };
+                        topo.fabric
+                            .switch_mut(sw)
+                            .install_l2(Mac::shadow(h, t as u32), out);
+                    }
                 }
             }
         }
-        // Leaf fast-failover groups: uplink toward spine s backs up onto
-        // the uplink toward spine (s+1) % ν (same parallel index).
-        let n_spine = spines.len();
-        if n_spine > 1 {
-            for &leaf in &leaves {
-                for s in 0..n_spine {
-                    for j in 0..gamma {
-                        let primary = topo.leaf_spine[&(leaf, spines[s])][j];
-                        let backup = topo.leaf_spine[&(leaf, spines[(s + 1) % n_spine])][j];
-                        topo.fabric
-                            .switch_mut(leaf)
-                            .install_failover(primary, backup);
+        // Fast-failover groups at every non-top tier: the uplink toward
+        // neighbor p backs up onto the uplink toward neighbor (p+1) % n
+        // (same parallel index, clamped).
+        for tier in 0..topo.tier_count() - 1 {
+            let switches = topo.tiers[tier].clone();
+            for &sw in &switches {
+                let ups = topo.up_neighbors(sw).to_vec();
+                if ups.len() <= 1 {
+                    continue;
+                }
+                for (p, &u) in ups.iter().enumerate() {
+                    let next = ups[(p + 1) % ups.len()];
+                    let primaries = topo.pair_links[&(sw, u)].clone();
+                    let backups = topo.pair_links[&(sw, next)].clone();
+                    for (j, &primary) in primaries.iter().enumerate() {
+                        let backup = backups[j.min(backups.len() - 1)];
+                        topo.fabric.switch_mut(sw).install_failover(primary, backup);
                     }
                 }
             }
@@ -139,7 +181,88 @@ impl Controller {
         Controller { trees }
     }
 
-    /// Number of allocated spanning trees (ν·γ).
+    /// Enumerate the disjoint spanning trees of `topo`: uplink-position
+    /// major, continuation index minor, with the per-position fan-out
+    /// limited by the narrowest leaf.
+    fn allocate_trees(topo: &Topology) -> Vec<TreePath> {
+        let n_pos = topo.up_neighbors(topo.leaves[0]).len();
+        for &leaf in &topo.leaves {
+            assert_eq!(
+                topo.up_neighbors(leaf).len(),
+                n_pos,
+                "tree allocation requires a uniform uplink fan-out across leaves"
+            );
+        }
+        let mut trees = Vec::new();
+        for p in 0..n_pos {
+            let fanout = topo
+                .leaves
+                .iter()
+                .map(|&leaf| Self::position_fanout(topo, leaf, p))
+                .min()
+                .unwrap_or(0);
+            for k in 0..fanout {
+                let chains = topo
+                    .leaves
+                    .iter()
+                    .map(|&leaf| Self::build_chain(topo, leaf, p, k))
+                    .collect();
+                trees.push(TreePath {
+                    position: p,
+                    link: k,
+                    chains,
+                });
+            }
+        }
+        trees
+    }
+
+    /// How many disjoint trees can climb through `leaf`'s p-th uplink
+    /// neighbor: the parallel-link count of that pair, further limited at
+    /// each higher tier by the distinct (continuation switch, link)
+    /// choices the k-th-continuation rule can reach.
+    fn position_fanout(topo: &Topology, leaf: SwitchId, p: usize) -> usize {
+        let first = topo.up_neighbors(leaf)[p];
+        let mut cap = topo.links_between(leaf, first).len();
+        let mut cur = first;
+        while topo.tier_of(cur) + 1 < topo.tier_count() {
+            let ups = topo.up_neighbors(cur);
+            let gamma = ups
+                .iter()
+                .map(|&u| topo.links_between(cur, u).len())
+                .min()
+                .unwrap_or(0);
+            cap = cap.min(ups.len().max(gamma));
+            cur = ups[0];
+        }
+        cap
+    }
+
+    /// The ascending chain of tree (p, k) from `leaf`: first hop through
+    /// uplink-neighbor position p over parallel link k, then the k-th
+    /// continuation (neighbor and link clamped to what exists) until the
+    /// top tier.
+    fn build_chain(topo: &Topology, leaf: SwitchId, p: usize, k: usize) -> Vec<TreeHop> {
+        let mut chain = Vec::new();
+        let mut cur = leaf;
+        let mut pos = p;
+        loop {
+            let ups = topo.up_neighbors(cur);
+            let up = ups[pos.min(ups.len() - 1)];
+            let grp_len = topo.links_between(cur, up).len();
+            chain.push(TreeHop {
+                up,
+                link: k.min(grp_len - 1),
+            });
+            if topo.tier_of(up) + 1 == topo.tier_count() {
+                return chain;
+            }
+            cur = up;
+            pos = k;
+        }
+    }
+
+    /// Number of allocated spanning trees (ν·γ on the 2-tier Clos).
     pub fn tree_count(&self) -> usize {
         self.trees.len()
     }
@@ -152,7 +275,10 @@ impl Controller {
             .collect()
     }
 
-    /// The fabric links tree `t` uses between `src_leaf` and `dst_leaf`.
+    /// The fabric links tree `t` uses between `src_leaf` and `dst_leaf`:
+    /// the ascending hops of the source chain up to the lowest switch the
+    /// two chains share, then the mirrored descending hops of the
+    /// destination chain.
     pub fn tree_path(
         &self,
         topo: &Topology,
@@ -160,12 +286,31 @@ impl Controller {
         src_leaf: SwitchId,
         dst_leaf: SwitchId,
     ) -> Vec<LinkId> {
-        let spec = self.trees[t];
-        let spine = topo.spines[spec.spine];
-        vec![
-            topo.leaf_spine[&(src_leaf, spine)][spec.link],
-            topo.spine_leaf[&(spine, dst_leaf)][spec.link],
-        ]
+        let tree = &self.trees[t];
+        let src_chain = &tree.chains[topo.position_in_tier(src_leaf)];
+        let dst_chain = &tree.chains[topo.position_in_tier(dst_leaf)];
+        let meet = src_chain
+            .iter()
+            .zip(dst_chain.iter())
+            .position(|(s, d)| s.up == d.up)
+            .expect("chains of one tree meet at its root");
+        let mut links = Vec::new();
+        let mut cur = src_leaf;
+        for hop in &src_chain[..=meet] {
+            let grp = topo.links_between(cur, hop.up);
+            links.push(grp[hop.link.min(grp.len() - 1)]);
+            cur = hop.up;
+        }
+        for j in (0..=meet).rev() {
+            let below = if j == 0 {
+                dst_leaf
+            } else {
+                dst_chain[j - 1].up
+            };
+            let grp = topo.links_between(dst_chain[j].up, below);
+            links.push(grp[dst_chain[j].link.min(grp.len() - 1)]);
+        }
+        links
     }
 
     /// Recompute the usable label sequence from `src` to `dst`, pruning
@@ -258,26 +403,31 @@ impl Controller {
         out
     }
 
-    /// Verify tree disjointness: no leaf↔spine link is used by two trees.
-    /// Returns true when the allocation is disjoint (always, by
-    /// construction; exposed for tests and sanity checks).
+    /// Verify tree disjointness: no fabric link (ascending or its
+    /// descending mirror) is claimed by two different trees. Returns true
+    /// when the allocation is disjoint (always, by construction on the
+    /// shipped builders; exposed for tests and sanity checks).
     pub fn trees_are_disjoint(&self, topo: &Topology) -> bool {
         let mut used: HashMap<LinkId, usize> = HashMap::new();
-        for (t, spec) in self.trees.iter().enumerate() {
-            let spine = topo.spines[spec.spine];
-            for &leaf in &topo.leaves {
-                for &l in [
-                    topo.leaf_spine[&(leaf, spine)][spec.link],
-                    topo.spine_leaf[&(spine, leaf)][spec.link],
-                ]
-                .iter()
-                {
-                    if let Some(&other) = used.get(&l) {
-                        if other != t {
-                            return false;
+        for (t, tree) in self.trees.iter().enumerate() {
+            for (li, chain) in tree.chains.iter().enumerate() {
+                let mut cur = topo.leaves[li];
+                for hop in chain {
+                    let up_grp = topo.links_between(cur, hop.up);
+                    let down_grp = topo.links_between(hop.up, cur);
+                    let pair = [
+                        up_grp[hop.link.min(up_grp.len() - 1)],
+                        down_grp[hop.link.min(down_grp.len() - 1)],
+                    ];
+                    for &l in &pair {
+                        if let Some(&other) = used.get(&l) {
+                            if other != t {
+                                return false;
+                            }
                         }
+                        used.insert(l, t);
                     }
-                    used.insert(l, t);
+                    cur = hop.up;
                 }
             }
         }
@@ -288,10 +438,16 @@ impl Controller {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use presto_netsim::ClosSpec;
+    use presto_netsim::{ClosSpec, ThreeTierSpec};
 
     fn testbed() -> (Topology, Controller) {
         let mut topo = Topology::clos(&ClosSpec::default());
+        let ctl = Controller::install(&mut topo);
+        (topo, ctl)
+    }
+
+    fn three_tier() -> (Topology, Controller) {
+        let mut topo = Topology::three_tier(&ThreeTierSpec::default());
         let ctl = Controller::install(&mut topo);
         (topo, ctl)
     }
@@ -309,6 +465,31 @@ mod tests {
         let mut topo = Topology::clos(&spec);
         let ctl = Controller::install(&mut topo);
         assert_eq!(ctl.tree_count(), 6);
+    }
+
+    #[test]
+    fn two_tier_trees_reduce_to_spine_link_pairs() {
+        // The path representation must reproduce the old TreeSpec
+        // enumeration: spine-major, γ-minor, single-hop chains.
+        let spec = ClosSpec {
+            spines: 2,
+            links_per_pair: 2,
+            ..ClosSpec::default()
+        };
+        let mut topo = Topology::clos(&spec);
+        let ctl = Controller::install(&mut topo);
+        let expect: Vec<(usize, usize)> = vec![(0, 0), (0, 1), (1, 0), (1, 1)];
+        let got: Vec<(usize, usize)> = ctl.trees.iter().map(|t| (t.position, t.link)).collect();
+        assert_eq!(got, expect);
+        for tree in &ctl.trees {
+            assert_eq!(tree.chains.len(), topo.leaves.len());
+            for chain in &tree.chains {
+                assert_eq!(chain.len(), 1, "2-tier chains are single-hop");
+                assert_eq!(chain[0].up, topo.spines[tree.position]);
+                assert_eq!(chain[0].link, tree.link);
+            }
+            assert_eq!(tree.root(), topo.spines[tree.position]);
+        }
     }
 
     #[test]
@@ -340,7 +521,7 @@ mod tests {
                 .l2_lookup(mac)
                 .expect("leaf entry");
             // The uplink must terminate at the tree's spine.
-            let spine = topo.spines[ctl.trees[t as usize].spine];
+            let spine = ctl.trees[t as usize].root();
             assert_eq!(
                 topo.fabric.link(up).dst,
                 presto_netsim::ids::Node::Switch(spine)
@@ -362,6 +543,56 @@ mod tests {
                 .expect("dst leaf entry");
             assert_eq!(port, topo.host_down[dst.index()]);
         }
+    }
+
+    #[test]
+    fn three_tier_labels_route_cross_pod() {
+        let (topo, ctl) = three_tier();
+        assert_eq!(ctl.tree_count(), 2);
+        assert!(ctl.trees_are_disjoint(&topo));
+        // Host 0 (pod 0, ToR 0) to host 12 (pod 1, ToR 3): walk the L2
+        // tables hop by hop on every tree and land on the host port.
+        let dst = HostId(12);
+        for t in 0..ctl.tree_count() as u32 {
+            let mac = Mac::shadow(dst, t);
+            let mut sw = topo.host_leaf[0];
+            let mut hops = 0;
+            loop {
+                let out = topo
+                    .fabric
+                    .switch(sw)
+                    .l2_lookup(mac)
+                    .unwrap_or_else(|| panic!("no entry for tree {t} at {sw:?}"));
+                hops += 1;
+                assert!(hops <= 8, "label loop on tree {t}");
+                match topo.fabric.link(out).dst {
+                    presto_netsim::ids::Node::Switch(next) => sw = next,
+                    presto_netsim::ids::Node::Host(h) => {
+                        assert_eq!(h, dst);
+                        assert_eq!(out, topo.host_down[dst.index()]);
+                        break;
+                    }
+                }
+            }
+            // ToR → agg → core → agg → ToR → host: 5 L2 lookups.
+            assert_eq!(hops, 5, "cross-pod path climbs to the core");
+        }
+    }
+
+    #[test]
+    fn three_tier_tree_path_lengths() {
+        let (topo, ctl) = three_tier();
+        // Cross-pod: up 2, down 2.
+        let cross = ctl.tree_path(&topo, 0, topo.leaves[0], topo.leaves[2]);
+        assert_eq!(cross.len(), 4);
+        // Same-pod, different ToR: meet at the aggregation tier.
+        let intra = ctl.tree_path(&topo, 0, topo.leaves[0], topo.leaves[1]);
+        assert_eq!(intra.len(), 2);
+        // All path links are distinct.
+        let mut seen = cross.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 4);
     }
 
     #[test]
@@ -396,6 +627,26 @@ mod tests {
     }
 
     #[test]
+    fn three_tier_core_link_failure_prunes_cross_pod_only() {
+        let (mut topo, ctl) = three_tier();
+        // Kill tree 0's agg→core link out of pod 0: agg (pod 0, pos 0) to
+        // core (group 0, index 0).
+        let agg = topo.tiers[1][0];
+        let core = ctl.trees[0].chains[0][1].up;
+        let up = topo.pair_links[&(agg, core)][0];
+        let down = topo.pair_links[&(core, agg)][0];
+        topo.fabric.set_link_down(up);
+        topo.fabric.set_link_down(down);
+        // Cross-pod pairs from pod 0 lose tree 0.
+        let labels = ctl.usable_labels(&topo, HostId(0), HostId(12));
+        assert_eq!(labels.len(), 1);
+        assert!(!labels.contains(&Mac::shadow(HostId(12), 0)));
+        // Same-pod pairs never climb to the core: unaffected.
+        let labels = ctl.usable_labels(&topo, HostId(0), HostId(4));
+        assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
     fn total_failure_falls_back_to_full_set() {
         let (mut topo, ctl) = testbed();
         for s in 0..4 {
@@ -420,6 +671,29 @@ mod tests {
     }
 
     #[test]
+    fn three_tier_failover_covers_aggregation_uplinks() {
+        let (topo, _) = three_tier();
+        // ToR uplinks back onto the next aggregation switch.
+        let tor = topo.leaves[0];
+        let aggs = topo.up_neighbors(tor).to_vec();
+        let p = topo.pair_links[&(tor, aggs[0])][0];
+        assert_eq!(
+            topo.fabric.switch(tor).failover_backup(p),
+            Some(topo.pair_links[&(tor, aggs[1])][0])
+        );
+        // Aggregation uplinks back onto the next core of their group.
+        let agg = topo.tiers[1][0];
+        let cores = topo.up_neighbors(agg).to_vec();
+        assert_eq!(cores.len(), 2);
+        let p = topo.pair_links[&(agg, cores[0])][0];
+        assert_eq!(
+            topo.fabric.switch(agg).failover_backup(p),
+            Some(topo.pair_links[&(agg, cores[1])][0])
+        );
+        // Cores are top-tier: no failover groups above them.
+    }
+
+    #[test]
     fn spines_hold_entries_for_all_trees() {
         let (topo, ctl) = testbed();
         // Every spine can route every (host, tree) label.
@@ -440,6 +714,30 @@ mod tests {
     }
 
     #[test]
+    fn three_tier_transit_switches_hold_all_labels() {
+        let (topo, ctl) = three_tier();
+        // Every aggregation and core switch can route every (host, tree)
+        // label — redirected fast-failover traffic must never blackhole
+        // at the L2 table.
+        for tier in 1..topo.tier_count() {
+            for &sw in &topo.tiers[tier] {
+                for &h in &topo.hosts {
+                    for t in 0..ctl.tree_count() as u32 {
+                        assert!(
+                            topo.fabric
+                                .switch(sw)
+                                .l2_lookup(Mac::shadow(h, t))
+                                .is_some(),
+                            "{sw:?} (tier {tier}) missing shadow(h{},t{t})",
+                            h.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn usable_labels_same_leaf_is_full_set() {
         let (topo, ctl) = testbed();
         // Same-leaf pairs are returned the full label set (the policy
@@ -453,7 +751,7 @@ mod tests {
         let (topo, ctl) = testbed();
         let path = ctl.tree_path(&topo, 2, topo.leaves[0], topo.leaves[3]);
         assert_eq!(path.len(), 2);
-        let spine = topo.spines[ctl.trees[2].spine];
+        let spine = ctl.trees[2].root();
         assert_eq!(path[0], topo.leaf_spine[&(topo.leaves[0], spine)][0]);
         assert_eq!(path[1], topo.spine_leaf[&(spine, topo.leaves[3])][0]);
     }

@@ -4,17 +4,22 @@
 //!   chops each flow into ≤64 KB flowcells and round-robins them over
 //!   shadow-MAC labeled spanning-tree paths, with weighted sequences for
 //!   asymmetry (§3.1, §3.3);
-//! * [`Controller`]: the centralized controller that partitions a 2-tier
-//!   Clos fabric into ν·γ disjoint spanning trees, assigns one shadow MAC
-//!   per (destination vSwitch, tree), installs the L2 forwarding rules and
-//!   leaf-level fast-failover groups, and recomputes weighted label
-//!   sequences when links fail (§3.1, §3.3).
+//! * [`Controller`]: the centralized controller that partitions a tiered
+//!   Clos fabric (2-tier or deeper) into link-disjoint spanning trees,
+//!   assigns one shadow MAC per (destination vSwitch, tree), installs the
+//!   L2 forwarding rules and fast-failover groups at every non-top tier,
+//!   and recomputes weighted label sequences when links fail (§3.1, §3.3).
+//!   On the paper's 2-tier testbed the allocation is exactly the ν·γ
+//!   spine-and-link enumeration; on deeper fabrics each tree is an
+//!   explicit per-leaf chain of up-hops ([`TreePath`]).
 //!
 //! The receiver half of Presto (the modified GRO) lives in `presto-gro`;
 //! the two halves meet in the composed host of `presto-testbed`.
 
+#![warn(missing_docs)]
+
 pub mod controller;
 pub mod flowcell;
 
-pub use controller::Controller;
+pub use controller::{Controller, TreeHop, TreePath, WEIGHT_SCALE};
 pub use flowcell::{FlowcellScheduler, FLOWCELL_BYTES};

@@ -7,9 +7,35 @@
 //! implement [`ReceiveOffload`], so the composed host can swap them freely
 //! — exactly the comparison of Fig 5.
 
+use std::fmt;
+
 use presto_netsim::{FlowKey, Packet};
 use presto_simcore::SimTime;
 use presto_telemetry::{FlushReason, SharedSink};
+
+/// Why a packet could not enter the receive-offload engine.
+///
+/// GRO only merges TCP data packets; anything else that reaches the
+/// receive path — a stray ACK delivered after its flow's state was torn
+/// down, a probe, a controller frame — must be skipped, not crash the
+/// host. Engines surface that decision through this error instead of
+/// panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadError {
+    /// The packet is not a TCP data packet (ACK, probe, …) and carries
+    /// no byte-stream payload to merge.
+    NotData,
+}
+
+impl fmt::Display for OffloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffloadError::NotData => write!(f, "receive offload only handles data packets"),
+        }
+    }
+}
+
+impl std::error::Error for OffloadError {}
 
 /// A run of merged packets pushed up the stack as one unit (an `sk_buff`
 /// after GRO).
@@ -36,21 +62,32 @@ impl Segment {
         self.seq + self.len as u64
     }
 
-    /// Build the initial segment for a single raw data packet.
-    ///
-    /// # Panics
-    /// Panics if the packet is not a data packet.
-    pub fn from_packet(pkt: &Packet) -> Segment {
+    /// Build the initial segment for a single raw data packet, or report
+    /// why the packet cannot seed a segment. This is the checked entry
+    /// point engines use to skip stray non-data packets.
+    pub fn try_from_packet(pkt: &Packet) -> Result<Segment, OffloadError> {
         match pkt.kind {
-            presto_netsim::PacketKind::Data { seq, len, retx } => Segment {
+            presto_netsim::PacketKind::Data { seq, len, retx } => Ok(Segment {
                 flow: pkt.flow,
                 seq,
                 len,
                 packets: 1,
                 flowcell: pkt.flowcell,
                 retx,
-            },
-            _ => panic!("receive offload only handles data packets"),
+            }),
+            _ => Err(OffloadError::NotData),
+        }
+    }
+
+    /// Build the initial segment for a single raw data packet.
+    ///
+    /// # Panics
+    /// Panics if the packet is not a data packet — call only after an
+    /// `is_data` check, or use [`Segment::try_from_packet`].
+    pub fn from_packet(pkt: &Packet) -> Segment {
+        match Segment::try_from_packet(pkt) {
+            Ok(seg) => seg,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -85,6 +122,8 @@ impl Segment {
 ///    deadlines).
 pub trait ReceiveOffload {
     /// Account one raw packet from the NIC into the engine's merge state.
+    /// Engines must skip (not panic on) stray non-data packets — see
+    /// [`OffloadError`].
     fn on_packet(&mut self, now: SimTime, pkt: &Packet);
 
     /// End-of-poll flush: segments to push up, in delivery order.
@@ -161,8 +200,19 @@ mod tests {
     }
 
     #[test]
+    fn try_from_packet_rejects_acks() {
+        let mut p = pkt(0, 0, 0);
+        p.kind = PacketKind::Ack { ack: 0, sack_hi: 0 };
+        assert_eq!(Segment::try_from_packet(&p), Err(OffloadError::NotData));
+        assert_eq!(
+            OffloadError::NotData.to_string(),
+            "receive offload only handles data packets"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "data packets")]
-    fn from_packet_rejects_acks() {
+    fn from_packet_panics_on_acks() {
         let mut p = pkt(0, 0, 0);
         p.kind = PacketKind::Ack { ack: 0, sack_hi: 0 };
         let _ = Segment::from_packet(&p);

@@ -35,10 +35,11 @@ use presto_simcore::{SimDuration, SimTime};
 /// What a single fault event does to the fabric.
 ///
 /// Links are named structurally — `(leaf, spine, link)` indexes the
-/// `link`-th parallel link of the leaf↔spine pair — so a plan can be
-/// written before the topology is built. Every action covers *both*
-/// directions of the pair (up- and downlink fail together, as a cut
-/// cable would).
+/// `link`-th parallel link between a leaf and its `spine`-th upper-tier
+/// neighbor (on the 2-tier Clos that is the spine index; on 3-tier it is
+/// the pod-local aggregation position) — so a plan can be written before
+/// the topology is built. Every action covers *both* directions of the
+/// pair (up- and downlink fail together, as a cut cable would).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
     /// Take one leaf–spine parallel link down (both directions).
@@ -81,16 +82,23 @@ pub enum FaultKind {
         /// Parallel-link index within the pair.
         link: usize,
     },
-    /// Fail a whole spine switch: every leaf–spine link of that spine
-    /// goes down in both directions.
-    SpineDown {
-        /// Spine index.
-        spine: usize,
+    /// Fail a whole switch: every link touching it — toward its lower
+    /// *and* (on 3-tier fabrics) upper neighbors — goes down in both
+    /// directions. `tier` is the switch layer (1 = spine/aggregation,
+    /// 2 = core) and `index` the switch's position within that tier, so
+    /// the same plan works on any tiered topology.
+    SwitchDown {
+        /// Switch tier (1 = spine/aggregation, 2 = core).
+        tier: usize,
+        /// Position within the tier.
+        index: usize,
     },
-    /// Restore a whole spine switch.
-    SpineUp {
-        /// Spine index.
-        spine: usize,
+    /// Restore a whole switch.
+    SwitchUp {
+        /// Switch tier (1 = spine/aggregation, 2 = core).
+        tier: usize,
+        /// Position within the tier.
+        index: usize,
     },
 }
 
@@ -102,7 +110,7 @@ impl FaultKind {
             self,
             FaultKind::LinkDown { .. }
                 | FaultKind::LinkDegrade { .. }
-                | FaultKind::SpineDown { .. }
+                | FaultKind::SwitchDown { .. }
         )
     }
 }
@@ -287,14 +295,28 @@ impl FaultPlan {
         self.event(at, FaultKind::LinkRestore { leaf, spine, link }, notify)
     }
 
-    /// Fail a whole spine at `at`.
-    pub fn spine_down(self, at: SimTime, spine: usize, notify: Notify) -> Self {
-        self.event(at, FaultKind::SpineDown { spine }, notify)
+    /// Fail a whole switch of `tier` (1 = spine/aggregation, 2 = core)
+    /// at `at`.
+    pub fn switch_down(self, at: SimTime, tier: usize, index: usize, notify: Notify) -> Self {
+        self.event(at, FaultKind::SwitchDown { tier, index }, notify)
     }
 
-    /// Restore a whole spine at `at`.
+    /// Restore a whole switch of `tier` at `at`.
+    pub fn switch_up(self, at: SimTime, tier: usize, index: usize, notify: Notify) -> Self {
+        self.event(at, FaultKind::SwitchUp { tier, index }, notify)
+    }
+
+    /// Fail a whole spine at `at` — shorthand for
+    /// [`FaultPlan::switch_down`] on tier 1 (kept for the 2-tier Clos
+    /// vocabulary of the paper).
+    pub fn spine_down(self, at: SimTime, spine: usize, notify: Notify) -> Self {
+        self.switch_down(at, 1, spine, notify)
+    }
+
+    /// Restore a whole spine at `at` — shorthand for
+    /// [`FaultPlan::switch_up`] on tier 1.
     pub fn spine_up(self, at: SimTime, spine: usize, notify: Notify) -> Self {
-        self.event(at, FaultKind::SpineUp { spine }, notify)
+        self.switch_up(at, 1, spine, notify)
     }
 
     /// Add a probabilistic flap process (see [`FlapProcess`]).
@@ -402,7 +424,26 @@ mod tests {
             .spine_down(ms(5), 2, Notify::Immediate);
         let sched = plan.schedule(0);
         assert!(matches!(sched[0].kind, FaultKind::LinkDown { .. }));
-        assert!(matches!(sched[1].kind, FaultKind::SpineDown { .. }));
+        assert!(matches!(
+            sched[1].kind,
+            FaultKind::SwitchDown { tier: 1, index: 2 }
+        ));
+    }
+
+    #[test]
+    fn switch_fault_builders_cover_any_tier() {
+        let plan = FaultPlan::new()
+            .switch_down(ms(5), 2, 1, Notify::Immediate)
+            .switch_up(ms(9), 2, 1, Notify::Immediate);
+        let sched = plan.schedule(0);
+        assert_eq!(sched[0].kind, FaultKind::SwitchDown { tier: 2, index: 1 });
+        assert_eq!(sched[1].kind, FaultKind::SwitchUp { tier: 2, index: 1 });
+        // The spine shorthands are tier-1 switch faults.
+        let spine = FaultPlan::new().spine_down(ms(1), 3, Notify::Never);
+        assert_eq!(
+            spine.events[0].kind,
+            FaultKind::SwitchDown { tier: 1, index: 3 }
+        );
     }
 
     #[test]
@@ -491,7 +532,7 @@ mod tests {
             link: 0
         }
         .is_degrading());
-        assert!(FaultKind::SpineDown { spine: 0 }.is_degrading());
+        assert!(FaultKind::SwitchDown { tier: 1, index: 0 }.is_degrading());
         assert!(FaultKind::LinkDegrade {
             leaf: 0,
             spine: 0,
@@ -505,6 +546,6 @@ mod tests {
             link: 0
         }
         .is_degrading());
-        assert!(!FaultKind::SpineUp { spine: 0 }.is_degrading());
+        assert!(!FaultKind::SwitchUp { tier: 1, index: 0 }.is_degrading());
     }
 }

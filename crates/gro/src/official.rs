@@ -64,7 +64,11 @@ impl OfficialGro {
 
 impl ReceiveOffload for OfficialGro {
     fn on_packet(&mut self, now: SimTime, pkt: &Packet) {
-        debug_assert!(pkt.is_data());
+        // Stray non-data packets (an ACK racing a closed flow, a probe)
+        // carry no stream bytes: skip them rather than abort the host.
+        let Ok(fresh) = Segment::try_from_packet(pkt) else {
+            return;
+        };
         match self.gro_list.get_mut(&pkt.flow) {
             Some(seg) => {
                 let would_overflow = seg.len + pkt.payload_bytes() > GRO_MAX_BYTES;
@@ -86,13 +90,13 @@ impl ReceiveOffload for OfficialGro {
                 };
                 let ejected = self
                     .gro_list
-                    .insert(pkt.flow, Segment::from_packet(pkt))
+                    .insert(pkt.flow, fresh)
                     .expect("segment present");
                 self.attribute(now, &ejected, reason);
                 self.ready.push(ejected);
             }
             None => {
-                self.gro_list.insert(pkt.flow, Segment::from_packet(pkt));
+                self.gro_list.insert(pkt.flow, fresh);
             }
         }
     }
@@ -163,6 +167,21 @@ mod tests {
 
     fn seq(i: u64) -> u64 {
         i * MSS as u64
+    }
+
+    #[test]
+    fn stray_ack_is_skipped_not_fatal() {
+        // An ACK arriving on the receive path (e.g. racing a torn-down
+        // flow) must neither abort nor disturb the merge state.
+        let mut g = OfficialGro::new();
+        g.on_packet(SimTime::ZERO, &pkt(seq(0)));
+        let mut ack = pkt(seq(1));
+        ack.kind = PacketKind::Ack { ack: 0, sack_hi: 0 };
+        g.on_packet(SimTime::ZERO, &ack);
+        g.on_packet(SimTime::ZERO, &pkt(seq(1)));
+        let segs = g.flush(SimTime::ZERO);
+        assert_eq!(segs.len(), 1, "ACK must not eject the open segment");
+        assert_eq!(segs[0].packets, 2);
     }
 
     #[test]

@@ -417,7 +417,11 @@ fn insertion_sort(segs: &mut [Held]) {
 
 impl ReceiveOffload for PrestoGro {
     fn on_packet(&mut self, now: SimTime, pkt: &Packet) {
-        debug_assert!(pkt.is_data());
+        // Stray non-data packets (an ACK racing a closed flow, a probe)
+        // carry no stream bytes: skip them rather than abort the host.
+        let Ok(seg) = Segment::try_from_packet(pkt) else {
+            return;
+        };
         let f = self.flow_state(pkt.flow);
         // Try to merge into an existing segment; new segments go to the
         // head so recent (likely-mergeable) segments are found first.
@@ -428,7 +432,7 @@ impl ReceiveOffload for PrestoGro {
             }
         }
         f.segs.push(Held {
-            seg: Segment::from_packet(pkt),
+            seg,
             held_at: None,
             last_merge: now,
         });
@@ -526,6 +530,21 @@ mod tests {
 
     fn seqs(segs: &[Segment]) -> Vec<u64> {
         segs.iter().map(|s| s.seq / MSS as u64).collect()
+    }
+
+    #[test]
+    fn stray_ack_is_skipped_not_fatal() {
+        // An ACK arriving on the receive path must neither abort nor
+        // break the in-flowcell merge around it.
+        let mut g = PrestoGro::new();
+        g.on_packet(SimTime::ZERO, &pkt(0));
+        let mut ack = pkt(1);
+        ack.kind = PacketKind::Ack { ack: 0, sack_hi: 0 };
+        g.on_packet(SimTime::ZERO, &ack);
+        g.on_packet(SimTime::ZERO, &pkt(1));
+        let segs = g.flush(SimTime::ZERO);
+        assert_eq!(segs.len(), 1, "ACK must not split the flowcell");
+        assert_eq!(segs[0].packets, 2);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! surface through the [`NetScheduler`] callback, keeping this crate free
 //! of any knowledge about the end-host stack.
 
+#![warn(missing_docs)]
+
 pub mod buffer;
 pub mod fabric;
 pub mod ids;
@@ -25,9 +27,9 @@ pub mod topology;
 
 pub use buffer::SharedBuffer;
 pub use fabric::{Fabric, NetEvent, NetScheduler};
-pub use ids::{HostId, LinkId, Mac, SwitchId};
+pub use ids::{HostId, LinkId, Mac, Node, SwitchId};
 pub use link::{Link, LinkCounters};
 pub use packet::{FlowKey, Packet, PacketKind, ACK_WIRE_BYTES, MSS, WIRE_OVERHEAD};
 pub use pool::{BufferPool, PacketPool};
 pub use switch::{EcmpMode, Switch};
-pub use topology::{ClosSpec, Topology};
+pub use topology::{ClosSpec, ThreeTierSpec, Topology, TopologyBuilder};

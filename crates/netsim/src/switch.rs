@@ -91,6 +91,12 @@ impl Switch {
         self.ecmp.insert(dst, links);
     }
 
+    /// The installed ECMP group towards `dst`, if any (controller and
+    /// test verification).
+    pub fn ecmp_group(&self, dst: HostId) -> Option<&[LinkId]> {
+        self.ecmp.get(&dst).map(|v| v.as_slice())
+    }
+
     /// Install a fast-failover backup for `primary`.
     pub fn install_failover(&mut self, primary: LinkId, backup: LinkId) {
         self.failover.insert(primary, backup);

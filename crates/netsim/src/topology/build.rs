@@ -1,0 +1,205 @@
+//! Incremental assembly of a [`Topology`] graph.
+
+use std::collections::HashMap;
+
+use presto_simcore::SimDuration;
+
+use crate::buffer::SharedBuffer;
+use crate::fabric::Fabric;
+use crate::ids::{HostId, LinkId, Node, SwitchId};
+use crate::link::Link;
+
+use super::Topology;
+
+/// Builds a [`Topology`] switch by switch and link by link.
+///
+/// The builder records tier membership as switches are added and
+/// adjacency as pairs are connected; [`TopologyBuilder::finish`] derives
+/// the remaining structural metadata (tier positions, the downward
+/// closure, and the legacy 2-tier views). Construction order is
+/// significant and preserved: link ids are allocated in call order, and
+/// the order of [`TopologyBuilder::connect`] calls fixes both the
+/// parallel-link index within a pair and the neighbor order the
+/// controller's tree allocation walks.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    fabric: Fabric,
+    tiers: Vec<Vec<SwitchId>>,
+    switch_tier: Vec<usize>,
+    hosts: Vec<HostId>,
+    host_leaf: Vec<SwitchId>,
+    host_up: Vec<LinkId>,
+    host_down: Vec<LinkId>,
+    pair_links: HashMap<(SwitchId, SwitchId), Vec<LinkId>>,
+    up_adj: Vec<Vec<SwitchId>>,
+    down_adj: Vec<Vec<SwitchId>>,
+}
+
+impl TopologyBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a switch to `tier` (0 = leaf). Tiers must be introduced in
+    /// order — adding to tier `t` requires tiers `0..t` to exist.
+    pub fn add_switch(&mut self, tier: usize) -> SwitchId {
+        assert!(tier <= self.tiers.len(), "introduce tiers bottom-up");
+        if tier == self.tiers.len() {
+            self.tiers.push(Vec::new());
+        }
+        let sw = self.fabric.add_switch();
+        self.tiers[tier].push(sw);
+        self.switch_tier.push(tier);
+        self.up_adj.push(Vec::new());
+        self.down_adj.push(Vec::new());
+        sw
+    }
+
+    /// Attach the next host to leaf switch `leaf`: adds the up and down
+    /// links (in that order) and registers the host with the fabric.
+    /// Hosts receive sequential ids in call order.
+    pub fn attach_host(
+        &mut self,
+        leaf: SwitchId,
+        link_rate_bps: u64,
+        propagation: SimDuration,
+        queue_bytes: u64,
+    ) -> HostId {
+        assert_eq!(self.switch_tier[leaf.index()], 0, "hosts attach at tier 0");
+        let host = HostId(self.hosts.len() as u32);
+        let up = self.fabric.add_link(Link::new(
+            Node::Host(host),
+            Node::Switch(leaf),
+            link_rate_bps,
+            propagation,
+            queue_bytes,
+        ));
+        let down = self.fabric.add_link(Link::new(
+            Node::Switch(leaf),
+            Node::Host(host),
+            link_rate_bps,
+            propagation,
+            queue_bytes,
+        ));
+        self.fabric.attach_host(host, up);
+        self.hosts.push(host);
+        self.host_leaf.push(leaf);
+        self.host_up.push(up);
+        self.host_down.push(down);
+        host
+    }
+
+    /// Connect `lower` (tier t) and `upper` (tier t+1) with `n` parallel
+    /// bidirectional link pairs, allocated alternating up/down so both
+    /// directions interleave in link-id order. May be called repeatedly
+    /// for the same pair; each call appends to the parallel group.
+    pub fn connect(
+        &mut self,
+        lower: SwitchId,
+        upper: SwitchId,
+        n: usize,
+        link_rate_bps: u64,
+        propagation: SimDuration,
+        queue_bytes: u64,
+    ) {
+        assert!(n >= 1, "a connection needs at least one link pair");
+        assert_eq!(
+            self.switch_tier[lower.index()] + 1,
+            self.switch_tier[upper.index()],
+            "connect joins adjacent tiers bottom-up"
+        );
+        if !self.pair_links.contains_key(&(lower, upper)) {
+            self.up_adj[lower.index()].push(upper);
+            self.down_adj[upper.index()].push(lower);
+        }
+        for _ in 0..n {
+            let up = self.fabric.add_link(Link::new(
+                Node::Switch(lower),
+                Node::Switch(upper),
+                link_rate_bps,
+                propagation,
+                queue_bytes,
+            ));
+            let down = self.fabric.add_link(Link::new(
+                Node::Switch(upper),
+                Node::Switch(lower),
+                link_rate_bps,
+                propagation,
+                queue_bytes,
+            ));
+            self.pair_links.entry((lower, upper)).or_default().push(up);
+            self.pair_links
+                .entry((upper, lower))
+                .or_default()
+                .push(down);
+        }
+    }
+
+    /// Install a shared-memory buffer pool on `sw` (see
+    /// [`SharedBuffer`]).
+    pub fn set_shared_buffer(&mut self, sw: SwitchId, pool_bytes: u64, dt_alpha: f64) {
+        self.fabric
+            .set_shared_buffer(sw, SharedBuffer::new(pool_bytes, dt_alpha));
+    }
+
+    /// Derive the structural metadata and hand back the finished
+    /// [`Topology`].
+    pub fn finish(self) -> Topology {
+        assert!(
+            !self.tiers.is_empty() && !self.tiers[0].is_empty(),
+            "a topology needs at least one leaf switch"
+        );
+        let n_sw = self.switch_tier.len();
+        let mut tier_pos = vec![0usize; n_sw];
+        for tier in &self.tiers {
+            for (pos, &sw) in tier.iter().enumerate() {
+                tier_pos[sw.index()] = pos;
+            }
+        }
+        // Downward closure, computed bottom-up so lower tiers are final
+        // before their parents union them in.
+        let mut down_closure = vec![vec![false; n_sw]; n_sw];
+        for tier in 1..self.tiers.len() {
+            for &sw in &self.tiers[tier] {
+                for &d in &self.down_adj[sw.index()] {
+                    down_closure[sw.index()][d.index()] = true;
+                    let below = down_closure[d.index()].clone();
+                    for (i, b) in below.into_iter().enumerate() {
+                        if b {
+                            down_closure[sw.index()][i] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let leaves = self.tiers[0].clone();
+        let spines = self.tiers.get(1).cloned().unwrap_or_default();
+        let mut leaf_spine = HashMap::new();
+        let mut spine_leaf = HashMap::new();
+        for &leaf in &leaves {
+            for &spine in &self.up_adj[leaf.index()] {
+                leaf_spine.insert((leaf, spine), self.pair_links[&(leaf, spine)].clone());
+                spine_leaf.insert((spine, leaf), self.pair_links[&(spine, leaf)].clone());
+            }
+        }
+        Topology {
+            fabric: self.fabric,
+            hosts: self.hosts,
+            leaves,
+            spines,
+            host_leaf: self.host_leaf,
+            host_up: self.host_up,
+            host_down: self.host_down,
+            leaf_spine,
+            spine_leaf,
+            tiers: self.tiers,
+            pair_links: self.pair_links,
+            up_adj: self.up_adj,
+            down_adj: self.down_adj,
+            switch_tier: self.switch_tier,
+            tier_pos,
+            down_closure,
+        }
+    }
+}

@@ -28,7 +28,7 @@
 //! ```
 
 use presto_faults::FaultPlan;
-use presto_netsim::ClosSpec;
+use presto_netsim::{ClosSpec, ThreeTierSpec};
 use presto_simcore::SimDuration;
 use presto_telemetry::TelemetryConfig;
 use presto_workloads::FlowSpec;
@@ -63,6 +63,7 @@ impl ScenarioBuilder {
                 seed,
                 scheme,
                 clos: ClosSpec::default(),
+                three_tier: None,
                 duration: SimDuration::from_millis(200),
                 warmup: SimDuration::from_millis(40),
                 flows: Vec::new(),
@@ -103,8 +104,17 @@ impl ScenarioBuilder {
     }
 
     /// Use a different Clos topology (spines/leaves/hosts, rates, queues).
+    /// Clears any 3-tier override.
     pub fn topology(mut self, clos: ClosSpec) -> Self {
         self.inner.clos = clos;
+        self.inner.three_tier = None;
+        self
+    }
+
+    /// Run on a 3-tier Clos (hosts → ToR → aggregation → core) instead of
+    /// the 2-tier testbed.
+    pub fn three_tier(mut self, spec: ThreeTierSpec) -> Self {
+        self.inner.three_tier = Some(spec);
         self
     }
 
@@ -265,6 +275,23 @@ mod tests {
         assert_eq!(s.host_uplink_queue(), 1 << 20);
         assert_eq!(s.tx_batch(), 4);
         assert_eq!(s.faults().events.len(), 1);
+    }
+
+    #[test]
+    fn three_tier_setter_switches_the_fabric() {
+        let s = Scenario::builder(SchemeSpec::presto(), 1)
+            .three_tier(ThreeTierSpec::default())
+            .build();
+        assert!(s.three_tier().is_some());
+        assert_eq!(s.n_servers(), 16);
+        let sim = s.build();
+        assert_eq!(sim.topo.tier_count(), 3);
+        // Selecting a 2-tier topology again clears the override.
+        let s = Scenario::builder(SchemeSpec::presto(), 1)
+            .three_tier(ThreeTierSpec::default())
+            .topology(ClosSpec::default())
+            .build();
+        assert!(s.three_tier().is_none());
     }
 
     #[test]

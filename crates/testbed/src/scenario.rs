@@ -17,7 +17,7 @@ use presto_endhost::{DirectPolicy, EdgePolicy, ReceiveOffload};
 use presto_faults::{FaultEvent, FaultKind, FaultPlan, Notify};
 use presto_gro::{OfficialGro, PrestoGro, PrestoGroConfig};
 use presto_lb::{EcmpPolicy, FlowletPolicy, PerPacketPolicy};
-use presto_netsim::{ClosSpec, HostId, Mac, Topology};
+use presto_netsim::{ClosSpec, HostId, Mac, ThreeTierSpec, Topology};
 use presto_simcore::rng::DetRng;
 use presto_simcore::{SimDuration, SimTime};
 use presto_telemetry::{TelemetryConfig, TelemetryReport};
@@ -117,6 +117,12 @@ pub struct Scenario {
         note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
     )]
     pub clos: ClosSpec,
+    /// 3-tier topology override: when set, the fabric is built from this
+    /// spec instead of `clos` (hosts → ToR → aggregation → core).
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
+    pub three_tier: Option<ThreeTierSpec>,
     /// Simulated duration.
     #[deprecated(
         note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
@@ -220,6 +226,10 @@ impl Scenario {
     pub fn clos(&self) -> &ClosSpec {
         &self.clos
     }
+    /// 3-tier topology override, if any.
+    pub fn three_tier(&self) -> Option<&ThreeTierSpec> {
+        self.three_tier.as_ref()
+    }
     /// Simulated duration.
     pub fn duration(&self) -> SimDuration {
         self.duration
@@ -314,7 +324,10 @@ impl Scenario {
 
     /// Number of server hosts in the chosen topology.
     pub fn n_servers(&self) -> usize {
-        self.clos.leaves * self.clos.hosts_per_leaf
+        match &self.three_tier {
+            Some(tt) => tt.host_count(),
+            None => self.clos.leaves * self.clos.hosts_per_leaf,
+        }
     }
 
     /// Assemble and run the experiment.
@@ -348,6 +361,8 @@ impl Scenario {
                 self.clos.propagation,
                 self.clos.queue_bytes,
             )
+        } else if let Some(tt) = &self.three_tier {
+            Topology::three_tier(tt)
         } else {
             Topology::clos(&self.clos)
         };
@@ -368,12 +383,14 @@ impl Scenario {
                 .ecmp_mode = self.scheme.ecmp_mode;
         }
 
-        // 4. WAN remotes (north-south).
+        // 4. WAN remotes (north-south), attached round-robin to the
+        // fabric's top tier (the spines on 2-tier, the cores on 3-tier).
         for w in 0..self.wan_remotes {
             let attach = if self.scheme.single_switch {
                 topo.leaves[0]
             } else {
-                topo.spines[w % topo.spines.len()]
+                let top = topo.top_tier();
+                top[w % top.len()]
             };
             let wan = topo.attach_extra_host(
                 attach,
@@ -382,12 +399,14 @@ impl Scenario {
                 self.clos.queue_bytes,
             );
             if !self.scheme.single_switch {
-                // Teach every leaf the way to this remote: via the spine it
-                // hangs off.
+                // Teach the fabric the way to this remote: exact L2
+                // entries along every leaf's ascending route to the
+                // switch it hangs off.
                 let leaves = topo.leaves.clone();
                 for leaf in leaves {
-                    let up = topo.leaf_spine[&(leaf, attach)][0];
-                    topo.fabric.switch_mut(leaf).install_l2(Mac::host(wan), up);
+                    for (sw, up) in topo.up_route(leaf, attach) {
+                        topo.fabric.switch_mut(sw).install_l2(Mac::host(wan), up);
+                    }
                 }
             }
         }
@@ -527,25 +546,36 @@ impl Scenario {
 }
 
 /// Turn a fault event's structural `(leaf, spine, link)` coordinates into
-/// concrete fabric link ids. Every action covers both directions of the
-/// pair; spine-wide events expand to every leaf's links toward that spine
-/// (in leaf order, for determinism).
+/// concrete fabric link ids. `spine` indexes the leaf's upper-tier
+/// neighbor list (the spine index on a 2-tier Clos, the pod-local
+/// aggregation position on 3-tier). Every action covers both directions
+/// of the pair; switch-wide events expand to every link touching the
+/// switch (lower neighbors first, then — on 3-tier — its own uplinks, in
+/// connection order, for determinism).
 fn resolve_fault(topo: &Topology, ev: &FaultEvent) -> ResolvedFault {
     let pair = |leaf: usize, spine: usize, link: usize| {
         let lf = topo.leaves[leaf];
-        let sp = topo.spines[spine];
-        let up = topo.leaf_spine[&(lf, sp)][link];
-        let down = topo.spine_leaf[&(sp, lf)][link];
+        let up_nbr = topo.up_neighbors(lf)[spine];
+        let up = topo.pair_links[&(lf, up_nbr)][link];
+        let down = topo.pair_links[&(up_nbr, lf)][link];
         (up, down, lf)
     };
-    let spine_wide = |spine: usize, mk: fn(presto_netsim::LinkId) -> FaultAction| {
-        let sp = topo.spines[spine];
+    let switch_wide = |tier: usize, index: usize, mk: fn(presto_netsim::LinkId) -> FaultAction| {
+        let sw = topo.tiers[tier][index];
         let mut acts = Vec::new();
-        for &lf in &topo.leaves {
-            for &l in &topo.leaf_spine[&(lf, sp)] {
+        for &below in topo.down_neighbors(sw) {
+            for &l in &topo.pair_links[&(below, sw)] {
                 acts.push(mk(l));
             }
-            for &l in &topo.spine_leaf[&(sp, lf)] {
+            for &l in &topo.pair_links[&(sw, below)] {
+                acts.push(mk(l));
+            }
+        }
+        for &above in topo.up_neighbors(sw) {
+            for &l in &topo.pair_links[&(sw, above)] {
+                acts.push(mk(l));
+            }
+            for &l in &topo.pair_links[&(above, sw)] {
                 acts.push(mk(l));
             }
         }
@@ -582,8 +612,10 @@ fn resolve_fault(topo: &Topology, ev: &FaultEvent) -> ResolvedFault {
                 Some(lf),
             )
         }
-        FaultKind::SpineDown { spine } => (spine_wide(spine, FaultAction::Down), None),
-        FaultKind::SpineUp { spine } => (spine_wide(spine, FaultAction::Up), None),
+        FaultKind::SwitchDown { tier, index } => {
+            (switch_wide(tier, index, FaultAction::Down), None)
+        }
+        FaultKind::SwitchUp { tier, index } => (switch_wide(tier, index, FaultAction::Up), None),
     };
     ResolvedFault {
         at: ev.at,

@@ -1450,11 +1450,11 @@ impl Simulation {
                 if src == dst || self.topo.same_leaf(src, dst) {
                     continue;
                 }
-                // WAN remotes hang off a spine, not a leaf: shadow-MAC
-                // trees don't cover them, so pairs involving one keep
-                // their real-MAC labels.
-                if self.topo.spines.contains(&self.topo.host_leaf[dst.index()])
-                    || self.topo.spines.contains(&self.topo.host_leaf[src.index()])
+                // WAN remotes hang off an upper-tier switch, not a leaf:
+                // shadow-MAC trees don't cover them, so pairs involving
+                // one keep their real-MAC labels.
+                if !self.topo.is_leaf(self.topo.host_leaf[dst.index()])
+                    || !self.topo.is_leaf(self.topo.host_leaf[src.index()])
                 {
                     continue;
                 }

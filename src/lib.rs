@@ -58,12 +58,12 @@ pub use presto_workloads as workloads;
 
 /// Everything a typical experiment driver needs, importable in one line.
 ///
-/// Covers scenario construction ([`ScenarioBuilder`] and the workload
-/// helpers), scheme selection, fault timelines, simulated time, and the
-/// report types the paper's figures are read from.
+/// Covers scenario construction ([`ScenarioBuilder`](presto_testbed::ScenarioBuilder)
+/// and the workload helpers), scheme selection, fault timelines, simulated
+/// time, and the report types the paper's figures are read from.
 pub mod prelude {
     pub use presto_faults::{FaultEvent, FaultKind, FaultPlan, FlapProcess, Notify};
-    pub use presto_netsim::ClosSpec;
+    pub use presto_netsim::{ClosSpec, ThreeTierSpec, Topology, TopologyBuilder};
     pub use presto_simcore::{SimDuration, SimTime};
     pub use presto_telemetry::{FailoverStage, TelemetryConfig, TelemetryReport, TraceEvent};
     pub use presto_testbed::{
