@@ -4,44 +4,17 @@
 //! "web search" and VL2 "data mining" CDFs are the other two canonical
 //! datacenter workloads. This bench replays both through Presto and ECMP
 //! to show the Table 1 conclusions are not an artifact of one size mix.
+//!
+//! Since PR 5 this harness is a `presto-lab` campaign rather than a
+//! hand-rolled loop: the grid (scheme × mix) expands declaratively, runs
+//! through the campaign runner, and is cached in a content-addressed
+//! store under `target/lab-store` — re-running with the same
+//! `PRESTO_SIM_MS` / `PRESTO_SEED` answers every point from the cache.
+//! Set `PRESTO_LAB_STORE` to relocate (or wipe the directory to force
+//! re-execution).
 
-use presto_bench::{banner, base_seed, new_table, sim_duration, table::f, warmup_of};
-use presto_simcore::rng::DetRng;
-use presto_simcore::{SimDuration, SimTime};
-use presto_testbed::{Scenario, SchemeSpec};
-use presto_workloads::{data_mining, web_search, EmpiricalCdf, FlowSpec};
-
-fn mix_flows(
-    cdf: &EmpiricalCdf,
-    seed: u64,
-    horizon: SimTime,
-    load_gap: SimDuration,
-) -> Vec<FlowSpec> {
-    let mut flows = Vec::new();
-    for src in 0..16usize {
-        let mut rng = DetRng::new(seed ^ 0x317).for_stream(src as u64);
-        let mut at = SimTime::ZERO + SimDuration::from_secs_f64(rng.exp(load_gap.as_secs_f64()));
-        while at < horizon {
-            let dst = loop {
-                let d = rng.gen_range(16) as usize;
-                if d / 4 != src / 4 {
-                    break d;
-                }
-            };
-            // Truncate elephants so short runs finish a useful fraction.
-            let bytes = (cdf.sample(&mut rng) as u64).clamp(500, 20_000_000);
-            flows.push(FlowSpec {
-                src,
-                dst,
-                start: at,
-                bytes: Some(bytes),
-                measure_fct: bytes < 100_000,
-            });
-            at += SimDuration::from_secs_f64(rng.exp(load_gap.as_secs_f64()));
-        }
-    }
-    flows
-}
+use presto_bench::{banner, base_seed, new_table, sim_duration, table::f, warmup_of, workers};
+use presto_lab::{Campaign, LabRunner, ResultsStore, RunOptions, WorkloadId};
 
 fn main() {
     banner(
@@ -50,7 +23,39 @@ fn main() {
         "Presto's mice-tail and elephant wins should hold across size mixes",
     );
     let duration = sim_duration() * 4;
-    let horizon = SimTime::ZERO + duration;
+
+    // The old hand-rolled double loop, as a declarative grid. The
+    // campaign name carries the knobs that change the scenarios, so each
+    // (duration, seed) sweep caches independently.
+    let mut campaign = Campaign::new(format!(
+        "ext_workload_mix_{}ms_s{}",
+        duration.as_millis_f64() as u64,
+        base_seed()
+    ));
+    campaign.duration = duration;
+    campaign.warmup = warmup_of(duration);
+    campaign.schemes = vec!["ecmp".parse().unwrap(), "presto".parse().unwrap()];
+    campaign.workloads = vec![WorkloadId::WebSearch(3), WorkloadId::DataMining(4)];
+    campaign.seeds = vec![base_seed()];
+
+    let store_dir =
+        std::env::var("PRESTO_LAB_STORE").unwrap_or_else(|_| "target/lab-store".to_string());
+    let store = ResultsStore::open(store_dir).expect("open results store");
+    let opts = RunOptions {
+        workers: workers(),
+        ..RunOptions::default()
+    };
+    let outcome = LabRunner::new(&store, opts)
+        .run(&campaign)
+        .expect("campaign failed");
+    if outcome.cached > 0 {
+        println!(
+            "({} of {} points answered from the store)",
+            outcome.cached,
+            outcome.rows.len()
+        );
+    }
+
     let mut tbl = new_table([
         "mix",
         "scheme",
@@ -60,32 +65,27 @@ fn main() {
         "eleph(Gbps)",
         "loss(%)",
     ]);
-    for (mix_name, cdf, gap_ms) in [
-        ("web-search", web_search(), 3u64),
-        ("data-mining", data_mining(), 4),
-    ] {
-        for scheme in [SchemeSpec::ecmp(), SchemeSpec::presto()] {
-            let name = scheme.name;
-            let r = Scenario::builder(scheme, base_seed())
-                .duration(duration)
-                .warmup(warmup_of(duration))
-                .flows(mix_flows(
-                    &cdf,
-                    base_seed(),
-                    horizon,
-                    SimDuration::from_millis(gap_ms),
-                ))
-                .build()
-                .run();
-            let mut fct = r.mice_fct_ms.clone();
+    // Rows come back in grid order (scheme outermost, then workload);
+    // re-group by mix to keep the table's historical layout.
+    for workload in &campaign.workloads {
+        let mix_name = match workload {
+            WorkloadId::WebSearch(_) => "web-search",
+            WorkloadId::DataMining(_) => "data-mining",
+            other => unreachable!("unexpected workload {other}"),
+        };
+        for row in &outcome.rows {
+            if !row.label.contains(&format!("/{workload}/")) {
+                continue;
+            }
+            let scheme = row.label.split('/').next().unwrap_or("?");
             tbl.row([
                 mix_name.to_string(),
-                name.to_string(),
-                fct.len().to_string(),
-                f(fct.percentile(50.0).unwrap_or(0.0), 2),
-                f(fct.percentile(99.0).unwrap_or(0.0), 2),
-                f(r.mean_elephant_tput(), 2),
-                f(r.loss_rate * 100.0, 3),
+                scheme.to_string(),
+                row.fct_ms.count.to_string(),
+                f(row.fct_ms.p50, 2),
+                f(row.fct_ms.p99, 2),
+                f(row.goodput_gbps, 2),
+                f(row.loss_rate * 100.0, 3),
             ]);
         }
     }

@@ -1,0 +1,449 @@
+//! Typed campaign axes and their stable string forms.
+//!
+//! Every grid axis value has a canonical string spelling (`presto`,
+//! `oversub`, `stride:8`, `flap:6:9`, …) used in three places: campaign
+//! TOML files, point labels in the results store, and narration. Parsing
+//! and display round-trip exactly, so a label read back from a store row
+//! re-parses to the same grid point.
+
+use std::fmt;
+use std::str::FromStr;
+
+use presto_faults::{FaultPlan, Notify};
+use presto_netsim::{ClosSpec, ThreeTierSpec};
+use presto_simcore::{SimDuration, SimTime};
+use presto_testbed::SchemeSpec;
+
+/// Controller reaction delay applied to every declaratively specified
+/// fault: 2 ms after the fault instant, the Fig 17 default.
+pub const FAULT_NOTIFY_DELAY: SimDuration = SimDuration::from_millis(2);
+
+/// Load-balancing scheme under test — one of the paper's configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeId {
+    /// Presto: flowcell spraying + modified GRO.
+    Presto,
+    /// Per-flow ECMP.
+    Ecmp,
+    /// MPTCP with 8 subflows.
+    Mptcp,
+    /// The non-blocking single switch ("Optimal").
+    Optimal,
+    /// Flowlet switching, 100 µs inactivity gap.
+    Flowlet100,
+    /// Flowlet switching, 500 µs inactivity gap.
+    Flowlet500,
+    /// Presto + per-hop ECMP on flowcell IDs (Fig 14).
+    PrestoEcmp,
+    /// Per-packet spraying with TSO disabled.
+    PerPacket,
+    /// Presto sender with stock GRO receiver (Fig 5 ablation).
+    PrestoOfficialGro,
+}
+
+impl SchemeId {
+    /// Materialize the full scheme configuration.
+    pub fn to_spec(self) -> SchemeSpec {
+        match self {
+            SchemeId::Presto => SchemeSpec::presto(),
+            SchemeId::Ecmp => SchemeSpec::ecmp(),
+            SchemeId::Mptcp => SchemeSpec::mptcp(),
+            SchemeId::Optimal => SchemeSpec::optimal(),
+            SchemeId::Flowlet100 => SchemeSpec::flowlet(SimDuration::from_micros(100)),
+            SchemeId::Flowlet500 => SchemeSpec::flowlet(SimDuration::from_micros(500)),
+            SchemeId::PrestoEcmp => SchemeSpec::presto_ecmp(),
+            SchemeId::PerPacket => SchemeSpec::per_packet(),
+            SchemeId::PrestoOfficialGro => SchemeSpec::presto_official_gro(),
+        }
+    }
+
+    /// True for the single-switch scheme, which admits no fabric faults.
+    pub fn is_single_switch(self) -> bool {
+        self == SchemeId::Optimal
+    }
+}
+
+impl fmt::Display for SchemeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SchemeId::Presto => "presto",
+            SchemeId::Ecmp => "ecmp",
+            SchemeId::Mptcp => "mptcp",
+            SchemeId::Optimal => "optimal",
+            SchemeId::Flowlet100 => "flowlet-100us",
+            SchemeId::Flowlet500 => "flowlet-500us",
+            SchemeId::PrestoEcmp => "presto-ecmp",
+            SchemeId::PerPacket => "per-packet",
+            SchemeId::PrestoOfficialGro => "presto-official-gro",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for SchemeId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "presto" => SchemeId::Presto,
+            "ecmp" => SchemeId::Ecmp,
+            "mptcp" => SchemeId::Mptcp,
+            "optimal" => SchemeId::Optimal,
+            "flowlet-100us" => SchemeId::Flowlet100,
+            "flowlet-500us" => SchemeId::Flowlet500,
+            "presto-ecmp" => SchemeId::PrestoEcmp,
+            "per-packet" => SchemeId::PerPacket,
+            "presto-official-gro" => SchemeId::PrestoOfficialGro,
+            other => {
+                return Err(format!(
+                    "unknown scheme `{other}` (expected presto | ecmp | mptcp | optimal | \
+                     flowlet-100us | flowlet-500us | presto-ecmp | per-packet | \
+                     presto-official-gro)"
+                ))
+            }
+        })
+    }
+}
+
+/// Fabric under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoId {
+    /// The paper's Fig 3 testbed: 4 spines × 4 leaves × 4 hosts.
+    Testbed16,
+    /// The Fig 4b oversubscribed fabric: 2 spines × 2 leaves × 8 hosts.
+    Oversub,
+    /// The Fig 4a scalability fabric: `spines` spines × 2 leaves × 8 hosts.
+    Scalability(usize),
+    /// The default 3-tier Clos: 2 pods × 2 ToRs × 4 hosts, 2 aggs, 2 cores.
+    ThreeTier,
+}
+
+impl TopoId {
+    /// Number of server hosts this fabric attaches.
+    pub fn n_servers(self) -> usize {
+        match self {
+            TopoId::Testbed16 | TopoId::ThreeTier => 16,
+            TopoId::Oversub | TopoId::Scalability(_) => 16,
+        }
+    }
+
+    /// Hosts per locality domain, for inter-pod workload generators (the
+    /// leaf on 2-tier fabrics, the pod on 3-tier).
+    pub fn hosts_per_pod(self) -> usize {
+        match self {
+            TopoId::Testbed16 => 4,
+            TopoId::Oversub | TopoId::Scalability(_) => 8,
+            TopoId::ThreeTier => 8,
+        }
+    }
+
+    /// The 2-tier Clos spec, or `None` for 3-tier fabrics.
+    pub fn clos(self) -> Option<ClosSpec> {
+        match self {
+            TopoId::Testbed16 => Some(ClosSpec::default()),
+            TopoId::Oversub => Some(ClosSpec {
+                spines: 2,
+                leaves: 2,
+                hosts_per_leaf: 8,
+                ..ClosSpec::default()
+            }),
+            TopoId::Scalability(spines) => Some(ClosSpec {
+                spines,
+                leaves: 2,
+                hosts_per_leaf: 8,
+                ..ClosSpec::default()
+            }),
+            TopoId::ThreeTier => None,
+        }
+    }
+
+    /// The 3-tier spec, for [`TopoId::ThreeTier`].
+    pub fn three_tier(self) -> Option<ThreeTierSpec> {
+        match self {
+            TopoId::ThreeTier => Some(ThreeTierSpec::default()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TopoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoId::Testbed16 => f.write_str("testbed16"),
+            TopoId::Oversub => f.write_str("oversub"),
+            TopoId::Scalability(n) => write!(f, "scalability:{n}"),
+            TopoId::ThreeTier => f.write_str("three-tier"),
+        }
+    }
+}
+
+impl FromStr for TopoId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "testbed16" => Ok(TopoId::Testbed16),
+            "oversub" => Ok(TopoId::Oversub),
+            "three-tier" => Ok(TopoId::ThreeTier),
+            other => {
+                if let Some(n) = other.strip_prefix("scalability:") {
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| format!("bad spine count in `{other}`"))?;
+                    if n == 0 {
+                        return Err("scalability needs ≥ 1 spine".into());
+                    }
+                    return Ok(TopoId::Scalability(n));
+                }
+                Err(format!(
+                    "unknown topology `{other}` (expected testbed16 | oversub | \
+                     scalability:<spines> | three-tier)"
+                ))
+            }
+        }
+    }
+}
+
+/// Traffic offered to the fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadId {
+    /// `server[i] → server[(i+k) mod n]` unbounded elephants.
+    Stride(usize),
+    /// Random inter-pod elephants.
+    Random,
+    /// Random-bijection inter-pod elephants.
+    Bijection,
+    /// All-to-all shuffle: `bytes` per transfer, `concurrency` at a time.
+    Shuffle {
+        /// Bytes per transfer.
+        bytes: u64,
+        /// Concurrent transfers per sender.
+        concurrency: usize,
+    },
+    /// Poisson arrivals with the DCTCP "web search" size mix and the given
+    /// mean inter-arrival gap in milliseconds.
+    WebSearch(u64),
+    /// Poisson arrivals with the VL2 "data mining" size mix.
+    DataMining(u64),
+}
+
+/// Flow-size clamp for the Poisson mixes: truncate elephants so short
+/// campaign runs finish a useful fraction (matches the workload-mix
+/// bench).
+pub const MIX_CLAMP: (u64, u64) = (500, 20_000_000);
+
+impl fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadId::Stride(k) => write!(f, "stride:{k}"),
+            WorkloadId::Random => f.write_str("random"),
+            WorkloadId::Bijection => f.write_str("bijection"),
+            WorkloadId::Shuffle { bytes, concurrency } => {
+                write!(f, "shuffle:{bytes}:{concurrency}")
+            }
+            WorkloadId::WebSearch(gap) => write!(f, "websearch:{gap}"),
+            WorkloadId::DataMining(gap) => write!(f, "datamining:{gap}"),
+        }
+    }
+}
+
+impl FromStr for WorkloadId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or("");
+        let rest: Vec<&str> = parts.collect();
+        let want = |n: usize| -> Result<(), String> {
+            if rest.len() == n {
+                Ok(())
+            } else {
+                Err(format!("`{s}`: expected {n} `:`-argument(s)"))
+            }
+        };
+        match head {
+            "stride" => {
+                want(1)?;
+                let k: usize = rest[0]
+                    .parse()
+                    .map_err(|_| format!("bad stride in `{s}`"))?;
+                if k == 0 {
+                    return Err("stride must be ≥ 1".into());
+                }
+                Ok(WorkloadId::Stride(k))
+            }
+            "random" => {
+                want(0)?;
+                Ok(WorkloadId::Random)
+            }
+            "bijection" => {
+                want(0)?;
+                Ok(WorkloadId::Bijection)
+            }
+            "shuffle" => {
+                want(2)?;
+                let bytes: u64 = rest[0]
+                    .parse()
+                    .map_err(|_| format!("bad shuffle bytes in `{s}`"))?;
+                let concurrency: usize = rest[1]
+                    .parse()
+                    .map_err(|_| format!("bad shuffle concurrency in `{s}`"))?;
+                if bytes == 0 || concurrency == 0 {
+                    return Err("shuffle bytes/concurrency must be ≥ 1".into());
+                }
+                Ok(WorkloadId::Shuffle { bytes, concurrency })
+            }
+            "websearch" => {
+                want(1)?;
+                let gap: u64 = rest[0].parse().map_err(|_| format!("bad gap in `{s}`"))?;
+                Ok(WorkloadId::WebSearch(gap.max(1)))
+            }
+            "datamining" => {
+                want(1)?;
+                let gap: u64 = rest[0].parse().map_err(|_| format!("bad gap in `{s}`"))?;
+                Ok(WorkloadId::DataMining(gap.max(1)))
+            }
+            other => Err(format!(
+                "unknown workload `{other}` (expected stride:<k> | random | bijection | \
+                 shuffle:<bytes>:<concurrency> | websearch:<gap_ms> | datamining:<gap_ms>)"
+            )),
+        }
+    }
+}
+
+/// Fault timeline applied to the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultId {
+    /// Healthy network.
+    None,
+    /// Leaf 0 – spine 1 link down at the given millisecond, controller
+    /// notified 2 ms later.
+    LinkDown(u64),
+    /// One down→up flap of the leaf 0 – spine 1 link at the given
+    /// milliseconds, controller notified 2 ms after each edge.
+    Flap(u64, u64),
+    /// Whole spine 1 down at the given millisecond, notified 2 ms later.
+    SpineDown(u64),
+}
+
+impl FaultId {
+    /// Materialize the fault plan.
+    pub fn to_plan(self) -> FaultPlan {
+        let notify = Notify::After(FAULT_NOTIFY_DELAY);
+        match self {
+            FaultId::None => FaultPlan::new(),
+            FaultId::LinkDown(ms) => {
+                FaultPlan::new().link_down(SimTime::from_millis(ms), 0, 1, 0, notify)
+            }
+            FaultId::Flap(down_ms, up_ms) => FaultPlan::new().flap_once(
+                SimTime::from_millis(down_ms),
+                SimTime::from_millis(up_ms),
+                0,
+                1,
+                0,
+                notify,
+            ),
+            FaultId::SpineDown(ms) => {
+                FaultPlan::new().spine_down(SimTime::from_millis(ms), 1, notify)
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultId::None => f.write_str("none"),
+            FaultId::LinkDown(ms) => write!(f, "linkdown:{ms}"),
+            FaultId::Flap(d, u) => write!(f, "flap:{d}:{u}"),
+            FaultId::SpineDown(ms) => write!(f, "spinedown:{ms}"),
+        }
+    }
+}
+
+impl FromStr for FaultId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "none" {
+            return Ok(FaultId::None);
+        }
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or("");
+        let rest: Vec<&str> = parts.collect();
+        let ms = |t: &str| -> Result<u64, String> {
+            t.parse().map_err(|_| format!("bad millisecond in `{s}`"))
+        };
+        match (head, rest.as_slice()) {
+            ("linkdown", [at]) => Ok(FaultId::LinkDown(ms(at)?)),
+            ("flap", [down, up]) => {
+                let (d, u) = (ms(down)?, ms(up)?);
+                if u <= d {
+                    return Err(format!("`{s}`: flap must restore after it fails"));
+                }
+                Ok(FaultId::Flap(d, u))
+            }
+            ("spinedown", [at]) => Ok(FaultId::SpineDown(ms(at)?)),
+            _ => Err(format!(
+                "unknown fault `{s}` (expected none | linkdown:<ms> | flap:<down_ms>:<up_ms> | \
+                 spinedown:<ms>)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_strings_round_trip() {
+        let schemes = [
+            "presto",
+            "ecmp",
+            "mptcp",
+            "optimal",
+            "flowlet-100us",
+            "flowlet-500us",
+            "presto-ecmp",
+            "per-packet",
+            "presto-official-gro",
+        ];
+        for s in schemes {
+            assert_eq!(s.parse::<SchemeId>().unwrap().to_string(), s);
+        }
+        for t in ["testbed16", "oversub", "scalability:6", "three-tier"] {
+            assert_eq!(t.parse::<TopoId>().unwrap().to_string(), t);
+        }
+        for w in [
+            "stride:8",
+            "random",
+            "bijection",
+            "shuffle:1000000:2",
+            "websearch:3",
+            "datamining:4",
+        ] {
+            assert_eq!(w.parse::<WorkloadId>().unwrap().to_string(), w);
+        }
+        for f in ["none", "linkdown:5", "flap:6:9", "spinedown:7"] {
+            assert_eq!(f.parse::<FaultId>().unwrap().to_string(), f);
+        }
+    }
+
+    #[test]
+    fn bad_axis_strings_are_rejected_loudly() {
+        assert!("prestoo".parse::<SchemeId>().is_err());
+        assert!("scalability:0".parse::<TopoId>().is_err());
+        assert!("stride".parse::<WorkloadId>().is_err());
+        assert!("stride:0".parse::<WorkloadId>().is_err());
+        assert!("shuffle:5".parse::<WorkloadId>().is_err());
+        assert!("flap:9:6".parse::<FaultId>().is_err());
+        assert!("flap:6".parse::<FaultId>().is_err());
+    }
+
+    #[test]
+    fn specs_materialize() {
+        assert_eq!(SchemeId::Presto.to_spec().name, "Presto");
+        assert!(SchemeId::Optimal.is_single_switch());
+        assert_eq!(TopoId::Oversub.clos().unwrap().spines, 2);
+        assert!(TopoId::ThreeTier.three_tier().is_some());
+        assert_eq!(FaultId::Flap(6, 9).to_plan().events.len(), 2);
+        assert!(FaultId::None.to_plan().is_empty());
+    }
+}

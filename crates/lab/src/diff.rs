@@ -1,0 +1,339 @@
+//! Regression gating: compare two results tables under per-metric
+//! tolerances.
+//!
+//! `lab diff <baseline> <current>` reads two table artifacts (as written
+//! by [`ResultsStore::write_table`](crate::ResultsStore::write_table)),
+//! matches rows by grid-point label, and classifies every difference:
+//!
+//! * **regressions** — goodput drop, p99 FCT rise, loss-rate rise or
+//!   wall-time rise beyond tolerance; an `ok` point turning `failed`;
+//!   a fingerprint mismatch (the configuration itself changed, so the
+//!   baseline is stale); a point missing from the current table,
+//! * **notes** — improvements beyond tolerance, newly added points, and
+//!   digest changes at an unchanged fingerprint (expected whenever the
+//!   simulator's behavior legitimately changed; promote to a regression
+//!   with [`Tolerances::strict_digest`] to pin bit-exact behavior).
+//!
+//! Any regression makes the CLI exit nonzero, which is how CI consumes
+//! this: the committed baseline table is the contract, and loosening it
+//! requires a deliberate re-baseline commit.
+
+use crate::store::{Row, RowStatus};
+
+/// Per-metric tolerances. Relative tolerances are fractions of the
+/// baseline value (`0.05` = 5 %); the loss tolerance is absolute because
+/// loss rates hover near zero.
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// Allowed relative drop in mean elephant goodput.
+    pub goodput_drop_rel: f64,
+    /// Allowed relative rise in p99 mice FCT.
+    pub p99_fct_rise_rel: f64,
+    /// Allowed absolute rise in fabric loss rate.
+    pub loss_rise_abs: f64,
+    /// Allowed relative rise in wall-clock time. Infinite by default:
+    /// wall time is machine-dependent, so gating on it only makes sense
+    /// when baseline and current ran on comparable hardware.
+    pub wall_rise_rel: f64,
+    /// Treat a digest change at an unchanged fingerprint as a regression
+    /// instead of a note.
+    pub strict_digest: bool,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            goodput_drop_rel: 0.05,
+            p99_fct_rise_rel: 0.10,
+            loss_rise_abs: 0.002,
+            wall_rise_rel: f64::INFINITY,
+            strict_digest: false,
+        }
+    }
+}
+
+/// The outcome of a table comparison.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Failures: non-empty means the gate is closed (CLI exits nonzero).
+    pub regressions: Vec<String>,
+    /// Informational differences (improvements, additions, digest notes).
+    pub notes: Vec<String>,
+    /// Rows present in both tables.
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// True when no regression was found.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Render the human-readable verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.regressions {
+            out.push_str("REGRESSION ");
+            out.push_str(r);
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str("note ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} row(s) compared, {} regression(s), {} note(s)\n",
+            self.compared,
+            self.regressions.len(),
+            self.notes.len()
+        ));
+        out
+    }
+}
+
+/// Compare `current` against `baseline` row-by-row (matched on label).
+pub fn diff_tables(baseline: &[Row], current: &[Row], tol: &Tolerances) -> DiffReport {
+    let mut report = DiffReport::default();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|r| r.label == base.label) else {
+            report
+                .regressions
+                .push(format!("{}: missing from current table", base.label));
+            continue;
+        };
+        report.compared += 1;
+        diff_row(base, cur, tol, &mut report);
+    }
+    for cur in current {
+        if !baseline.iter().any(|r| r.label == cur.label) {
+            report
+                .notes
+                .push(format!("{}: new point (not in baseline)", cur.label));
+        }
+    }
+    report
+}
+
+fn diff_row(base: &Row, cur: &Row, tol: &Tolerances, report: &mut DiffReport) {
+    let label = &base.label;
+    if base.fp != cur.fp {
+        report.regressions.push(format!(
+            "{label}: configuration fingerprint changed ({} → {}); the baseline is stale — \
+             re-baseline deliberately",
+            base.fp, cur.fp
+        ));
+        return;
+    }
+    match (base.status, cur.status) {
+        (RowStatus::Ok, RowStatus::Failed) => {
+            report
+                .regressions
+                .push(format!("{label}: was ok, now failed ({})", cur.error));
+            return;
+        }
+        (RowStatus::Failed, RowStatus::Ok) => {
+            report.notes.push(format!("{label}: was failed, now ok"));
+            return;
+        }
+        (RowStatus::Failed, RowStatus::Failed) => return,
+        (RowStatus::Ok, RowStatus::Ok) => {}
+    }
+    if base.digest != cur.digest {
+        let msg = format!(
+            "{label}: digest changed at unchanged fingerprint \
+             ({:016x} → {:016x})",
+            base.digest, cur.digest
+        );
+        if tol.strict_digest {
+            report.regressions.push(msg);
+        } else {
+            report.notes.push(msg);
+        }
+    }
+    // Goodput: relative drop beyond tolerance fails; a comparable rise is
+    // worth a note.
+    if base.goodput_gbps > 0.0 {
+        let rel = (base.goodput_gbps - cur.goodput_gbps) / base.goodput_gbps;
+        if rel > tol.goodput_drop_rel {
+            report.regressions.push(format!(
+                "{label}: goodput {:.3} → {:.3} Gbps ({:.1} % drop > {:.1} % tolerance)",
+                base.goodput_gbps,
+                cur.goodput_gbps,
+                rel * 100.0,
+                tol.goodput_drop_rel * 100.0
+            ));
+        } else if -rel > tol.goodput_drop_rel {
+            report.notes.push(format!(
+                "{label}: goodput improved {:.3} → {:.3} Gbps",
+                base.goodput_gbps, cur.goodput_gbps
+            ));
+        }
+    }
+    // p99 mice FCT: only meaningful when both runs measured mice.
+    if base.fct_ms.count > 0 && cur.fct_ms.count > 0 && base.fct_ms.p99 > 0.0 {
+        let rel = (cur.fct_ms.p99 - base.fct_ms.p99) / base.fct_ms.p99;
+        if rel > tol.p99_fct_rise_rel {
+            report.regressions.push(format!(
+                "{label}: p99 FCT {:.3} → {:.3} ms ({:.1} % rise > {:.1} % tolerance)",
+                base.fct_ms.p99,
+                cur.fct_ms.p99,
+                rel * 100.0,
+                tol.p99_fct_rise_rel * 100.0
+            ));
+        } else if -rel > tol.p99_fct_rise_rel {
+            report.notes.push(format!(
+                "{label}: p99 FCT improved {:.3} → {:.3} ms",
+                base.fct_ms.p99, cur.fct_ms.p99
+            ));
+        }
+    }
+    if cur.loss_rate - base.loss_rate > tol.loss_rise_abs {
+        report.regressions.push(format!(
+            "{label}: loss rate {:.5} → {:.5} (rise > {:.5} tolerance)",
+            base.loss_rate, cur.loss_rate, tol.loss_rise_abs
+        ));
+    }
+    if tol.wall_rise_rel.is_finite() && base.wall_ms > 0.0 {
+        let rel = (cur.wall_ms - base.wall_ms) / base.wall_ms;
+        if rel > tol.wall_rise_rel {
+            report.regressions.push(format!(
+                "{label}: wall time {:.0} → {:.0} ms ({:.0} % rise > {:.0} % tolerance)",
+                base.wall_ms,
+                cur.wall_ms,
+                rel * 100.0,
+                tol.wall_rise_rel * 100.0
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_metrics::MetricSummary;
+
+    fn ok_row(label: &str) -> Row {
+        Row {
+            label: label.to_string(),
+            fp: format!("fp-{label}"),
+            status: RowStatus::Ok,
+            digest: 7,
+            goodput_gbps: 9.0,
+            fairness: 0.99,
+            loss_rate: 0.001,
+            fct_ms: MetricSummary {
+                count: 100,
+                mean: 2.0,
+                min: 0.5,
+                p50: 1.8,
+                p90: 3.0,
+                p99: 4.0,
+                max: 6.0,
+            },
+            rtt_ms: MetricSummary::default(),
+            retransmissions: 3,
+            events: 1000,
+            wall_ms: 100.0,
+            error: String::new(),
+        }
+    }
+
+    #[test]
+    fn identical_tables_pass() {
+        let rows = vec![ok_row("a"), ok_row("b")];
+        let report = diff_tables(&rows, &rows, &Tolerances::default());
+        assert!(report.passed());
+        assert_eq!(report.compared, 2);
+        assert!(report.notes.is_empty());
+    }
+
+    #[test]
+    fn goodput_drop_beyond_tolerance_fails() {
+        let base = vec![ok_row("a")];
+        let mut cur = vec![ok_row("a")];
+        cur[0].goodput_gbps = 8.0; // ~11 % drop
+        let report = diff_tables(&base, &cur, &Tolerances::default());
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("goodput"), "{report:?}");
+        // Within tolerance passes.
+        cur[0].goodput_gbps = 8.8; // ~2 % drop
+        assert!(diff_tables(&base, &cur, &Tolerances::default()).passed());
+    }
+
+    #[test]
+    fn p99_fct_and_loss_gates_fire() {
+        let base = vec![ok_row("a")];
+        let mut cur = vec![ok_row("a")];
+        cur[0].fct_ms.p99 = 5.0; // 25 % rise
+        cur[0].loss_rate = 0.01; // +0.009 absolute
+        let report = diff_tables(&base, &cur, &Tolerances::default());
+        assert_eq!(report.regressions.len(), 2, "{report:?}");
+        assert!(report.regressions[0].contains("p99 FCT"));
+        assert!(report.regressions[1].contains("loss rate"));
+    }
+
+    #[test]
+    fn wall_time_gate_is_opt_in() {
+        let base = vec![ok_row("a")];
+        let mut cur = vec![ok_row("a")];
+        cur[0].wall_ms = 1000.0;
+        assert!(diff_tables(&base, &cur, &Tolerances::default()).passed());
+        let tol = Tolerances {
+            wall_rise_rel: 2.0,
+            ..Tolerances::default()
+        };
+        assert!(!diff_tables(&base, &cur, &tol).passed());
+    }
+
+    #[test]
+    fn fingerprint_change_and_missing_rows_are_regressions() {
+        let base = vec![ok_row("a"), ok_row("gone")];
+        let mut cur = vec![ok_row("a"), ok_row("new")];
+        cur[0].fp = "different".into();
+        let report = diff_tables(&base, &cur, &Tolerances::default());
+        assert_eq!(report.regressions.len(), 2, "{report:?}");
+        assert!(report.regressions[0].contains("fingerprint changed"));
+        assert!(report.regressions[1].contains("missing from current"));
+        assert!(report.notes.iter().any(|n| n.contains("new point")));
+    }
+
+    #[test]
+    fn digest_change_is_a_note_unless_strict() {
+        let base = vec![ok_row("a")];
+        let mut cur = vec![ok_row("a")];
+        cur[0].digest = 8;
+        let report = diff_tables(&base, &cur, &Tolerances::default());
+        assert!(report.passed());
+        assert!(report.notes[0].contains("digest changed"), "{report:?}");
+        let strict = Tolerances {
+            strict_digest: true,
+            ..Tolerances::default()
+        };
+        assert!(!diff_tables(&base, &cur, &strict).passed());
+    }
+
+    #[test]
+    fn status_transitions_gate_correctly() {
+        let base = vec![ok_row("a")];
+        let mut cur = vec![ok_row("a")];
+        cur[0].status = RowStatus::Failed;
+        cur[0].error = "boom".into();
+        let report = diff_tables(&base, &cur, &Tolerances::default());
+        assert!(report.regressions[0].contains("now failed"), "{report:?}");
+        // The reverse direction is an improvement.
+        let report = diff_tables(&cur, &base, &Tolerances::default());
+        assert!(report.passed());
+        assert!(report.notes[0].contains("now ok"));
+    }
+
+    #[test]
+    fn render_summarizes() {
+        let base = vec![ok_row("a")];
+        let mut cur = vec![ok_row("a")];
+        cur[0].goodput_gbps = 1.0;
+        let text = diff_tables(&base, &cur, &Tolerances::default()).render();
+        assert!(text.contains("REGRESSION"));
+        assert!(text.contains("1 row(s) compared, 1 regression(s)"));
+    }
+}

@@ -1,0 +1,482 @@
+//! The persistent, content-addressed results store.
+//!
+//! Layout on disk, one subdirectory per campaign under the store root:
+//!
+//! ```text
+//! store/
+//!   paper_grid/
+//!     results.jsonl   append-only cache: one flat-JSON row per finished point
+//!     table.json      deterministic artifact: rows in grid order
+//!     table.csv       the same table for spreadsheet tooling
+//!     traces/         telemetry traces for [[trace]]-flagged points
+//! ```
+//!
+//! `results.jsonl` is the resume log: every completed grid point appends
+//! one [`Row`] keyed by the point's scenario fingerprint, immediately and
+//! under a lock, so an interrupted campaign loses at most the points still
+//! in flight. On load, unparseable lines (a half-written tail after a
+//! `kill -9`) are skipped and later duplicates win, so the store tolerates
+//! truncation and re-runs without manual repair.
+//!
+//! Rows serialize through the deterministic flat-JSON writer of
+//! `presto_telemetry::json`: floats round-trip through shortest-display
+//! form, so decoding a cached row and re-encoding it reproduces the
+//! original bytes — the property behind the "cached re-run emits an
+//! identical results table" guarantee.
+
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use presto_metrics::MetricSummary;
+use presto_telemetry::json::{json_f64, json_str, json_u64, push_f64, push_str_field};
+use presto_testbed::Report;
+
+/// Terminal state of one grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowStatus {
+    /// The scenario ran to completion.
+    Ok,
+    /// The scenario panicked; the row carries the panic message.
+    Failed,
+}
+
+/// One results-table row: the summary a paper table or the regression
+/// gate reads for a single grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Grid-point label (`presto/testbed16/stride:8/none/cell64k/s1`).
+    pub label: String,
+    /// Scenario fingerprint — the content address of the configuration.
+    pub fp: String,
+    /// Terminal state.
+    pub status: RowStatus,
+    /// `Report::digest()` of the run (zero for failed rows).
+    pub digest: u64,
+    /// Mean elephant goodput, Gbps.
+    pub goodput_gbps: f64,
+    /// Jain's fairness index over elephant goodputs.
+    pub fairness: f64,
+    /// Fabric loss rate over the measurement window.
+    pub loss_rate: f64,
+    /// Mice flow-completion-time summary, milliseconds.
+    pub fct_ms: MetricSummary,
+    /// Probe RTT summary, milliseconds.
+    pub rtt_ms: MetricSummary,
+    /// Total TCP retransmissions.
+    pub retransmissions: u64,
+    /// Engine events processed (health/size indicator).
+    pub events: u64,
+    /// Wall-clock execution time, milliseconds. Cached re-runs keep the
+    /// stored value, so tables stay byte-identical across machines.
+    pub wall_ms: f64,
+    /// Panic message for failed rows; empty otherwise.
+    pub error: String,
+}
+
+impl Row {
+    /// Summarize a completed run.
+    pub fn from_report(label: &str, fp: &str, report: &Report, wall_ms: f64) -> Self {
+        Row {
+            label: label.to_string(),
+            fp: fp.to_string(),
+            status: RowStatus::Ok,
+            digest: report.digest(),
+            goodput_gbps: report.mean_elephant_tput(),
+            fairness: report.fairness(),
+            loss_rate: report.loss_rate,
+            fct_ms: MetricSummary::of(&report.mice_fct_ms),
+            rtt_ms: MetricSummary::of(&report.rtt_ms),
+            retransmissions: report.retransmissions,
+            events: report.events_processed,
+            wall_ms,
+            error: String::new(),
+        }
+    }
+
+    /// Record a panicking configuration.
+    pub fn failed(label: &str, fp: &str, error: &str, wall_ms: f64) -> Self {
+        Row {
+            label: label.to_string(),
+            fp: fp.to_string(),
+            status: RowStatus::Failed,
+            digest: 0,
+            goodput_gbps: 0.0,
+            fairness: 0.0,
+            loss_rate: 0.0,
+            fct_ms: MetricSummary::default(),
+            rtt_ms: MetricSummary::default(),
+            retransmissions: 0,
+            events: 0,
+            wall_ms,
+            error: error.to_string(),
+        }
+    }
+
+    /// Encode as one flat-JSON line (no trailing newline). Field order is
+    /// fixed, floats are shortest-roundtrip: identical rows encode to
+    /// identical bytes.
+    pub fn encode(&self) -> String {
+        let mut s = String::with_capacity(384);
+        s.push_str("{\"label\":");
+        push_str_field(&mut s, &self.label);
+        s.push_str(",\"fp\":");
+        push_str_field(&mut s, &self.fp);
+        s.push_str(",\"status\":");
+        push_str_field(
+            &mut s,
+            match self.status {
+                RowStatus::Ok => "ok",
+                RowStatus::Failed => "failed",
+            },
+        );
+        s.push_str(&format!(",\"digest\":\"{:016x}\"", self.digest));
+        for (key, v) in [
+            ("goodput_gbps", self.goodput_gbps),
+            ("fairness", self.fairness),
+            ("loss_rate", self.loss_rate),
+        ] {
+            s.push_str(&format!(",\"{key}\":"));
+            push_f64(&mut s, v);
+        }
+        encode_summary(&mut s, "fct", &self.fct_ms);
+        encode_summary(&mut s, "rtt", &self.rtt_ms);
+        s.push_str(&format!(",\"retrans\":{}", self.retransmissions));
+        s.push_str(&format!(",\"events\":{}", self.events));
+        s.push_str(",\"wall_ms\":");
+        push_f64(&mut s, self.wall_ms);
+        s.push_str(",\"error\":");
+        push_str_field(&mut s, &self.error);
+        s.push('}');
+        s
+    }
+
+    /// Decode one line; `None` for malformed or truncated lines.
+    pub fn decode(line: &str) -> Option<Row> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None;
+        }
+        let status = match json_str(line, "status")?.as_str() {
+            "ok" => RowStatus::Ok,
+            "failed" => RowStatus::Failed,
+            _ => return None,
+        };
+        Some(Row {
+            label: json_str(line, "label")?,
+            fp: json_str(line, "fp")?,
+            status,
+            digest: u64::from_str_radix(&json_str(line, "digest")?, 16).ok()?,
+            goodput_gbps: json_f64(line, "goodput_gbps")?,
+            fairness: json_f64(line, "fairness")?,
+            loss_rate: json_f64(line, "loss_rate")?,
+            fct_ms: decode_summary(line, "fct")?,
+            rtt_ms: decode_summary(line, "rtt")?,
+            retransmissions: json_u64(line, "retrans")?,
+            events: json_u64(line, "events")?,
+            wall_ms: json_f64(line, "wall_ms")?,
+            error: json_str(line, "error")?,
+        })
+    }
+}
+
+fn encode_summary(out: &mut String, prefix: &str, s: &MetricSummary) {
+    out.push_str(&format!(",\"{prefix}_count\":{}", s.count));
+    for (key, v) in [
+        ("mean", s.mean),
+        ("min", s.min),
+        ("p50", s.p50),
+        ("p90", s.p90),
+        ("p99", s.p99),
+        ("max", s.max),
+    ] {
+        out.push_str(&format!(",\"{prefix}_{key}\":"));
+        push_f64(out, v);
+    }
+}
+
+fn decode_summary(line: &str, prefix: &str) -> Option<MetricSummary> {
+    Some(MetricSummary {
+        count: json_u64(line, &format!("{prefix}_count"))?,
+        mean: json_f64(line, &format!("{prefix}_mean"))?,
+        min: json_f64(line, &format!("{prefix}_min"))?,
+        p50: json_f64(line, &format!("{prefix}_p50"))?,
+        p90: json_f64(line, &format!("{prefix}_p90"))?,
+        p99: json_f64(line, &format!("{prefix}_p99"))?,
+        max: json_f64(line, &format!("{prefix}_max"))?,
+    })
+}
+
+/// A directory of per-campaign result caches. Appends are serialized by
+/// an internal lock, so runner workers can record rows as they finish.
+pub struct ResultsStore {
+    root: PathBuf,
+    append_lock: Mutex<()>,
+}
+
+impl ResultsStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, String> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| format!("create {}: {e}", root.display()))?;
+        Ok(ResultsStore {
+            root,
+            append_lock: Mutex::new(()),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The campaign's subdirectory.
+    pub fn campaign_dir(&self, campaign: &str) -> PathBuf {
+        self.root.join(campaign)
+    }
+
+    fn results_path(&self, campaign: &str) -> PathBuf {
+        self.campaign_dir(campaign).join("results.jsonl")
+    }
+
+    /// Load the cached rows of a campaign, keyed by fingerprint. Missing
+    /// file means an empty cache; malformed lines (truncated tail) are
+    /// skipped; later duplicates win.
+    pub fn load(&self, campaign: &str) -> Result<BTreeMap<String, Row>, String> {
+        let path = self.results_path(campaign);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+            Err(e) => return Err(format!("read {}: {e}", path.display())),
+        };
+        let mut rows = BTreeMap::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(row) = Row::decode(line) {
+                rows.insert(row.fp.clone(), row);
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Append one finished row to the campaign's cache, durably (the line
+    /// is flushed before returning). Thread-safe.
+    pub fn append(&self, campaign: &str, row: &Row) -> Result<(), String> {
+        let _guard = self.append_lock.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = self.campaign_dir(campaign);
+        fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let path = self.results_path(campaign);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        // Self-heal a truncated tail (crash mid-append): if the file does
+        // not end in a newline, start a fresh line so the new row is not
+        // glued onto the partial one and lost with it.
+        let needs_newline = (|| -> std::io::Result<bool> {
+            use std::io::{Read as _, Seek as _, SeekFrom};
+            if file.seek(SeekFrom::End(0))? == 0 {
+                return Ok(false);
+            }
+            file.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last)?;
+            Ok(last[0] != b'\n')
+        })()
+        .map_err(|e| format!("inspect {}: {e}", path.display()))?;
+        let mut line = String::new();
+        if needs_newline {
+            line.push('\n');
+        }
+        line.push_str(&row.encode());
+        line.push('\n');
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| format!("append {}: {e}", path.display()))
+    }
+
+    /// Write the deterministic table artifacts (`table.json`, `table.csv`)
+    /// for rows in the given (grid) order. Returns the JSON path.
+    pub fn write_table(&self, campaign: &str, rows: &[&Row]) -> Result<PathBuf, String> {
+        let dir = self.campaign_dir(campaign);
+        fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let json_path = dir.join("table.json");
+        let mut json = String::new();
+        for row in rows {
+            json.push_str(&row.encode());
+            json.push('\n');
+        }
+        fs::write(&json_path, json).map_err(|e| format!("write {}: {e}", json_path.display()))?;
+        let csv_path = dir.join("table.csv");
+        fs::write(&csv_path, rows_to_csv(rows))
+            .map_err(|e| format!("write {}: {e}", csv_path.display()))?;
+        Ok(json_path)
+    }
+
+    /// Directory for telemetry-trace artifacts of `[[trace]]`-flagged
+    /// points (created on demand).
+    pub fn traces_dir(&self, campaign: &str) -> Result<PathBuf, String> {
+        let dir = self.campaign_dir(campaign).join("traces");
+        fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        Ok(dir)
+    }
+}
+
+/// Render rows as CSV (header + one line per row). Labels contain no
+/// commas by construction; the error column is quoted.
+pub fn rows_to_csv(rows: &[&Row]) -> String {
+    let mut out = String::from(
+        "label,fp,status,digest,goodput_gbps,fairness,loss_rate,\
+         fct_count,fct_mean_ms,fct_p50_ms,fct_p99_ms,rtt_p50_ms,rtt_p99_ms,\
+         retrans,events,wall_ms,error\n",
+    );
+    for r in rows {
+        let status = match r.status {
+            RowStatus::Ok => "ok",
+            RowStatus::Failed => "failed",
+        };
+        out.push_str(&format!(
+            "{},{},{status},{:016x},{},{},{},{},{},{},{},{},{},{},{},{},\"{}\"\n",
+            r.label,
+            r.fp,
+            r.digest,
+            r.goodput_gbps,
+            r.fairness,
+            r.loss_rate,
+            r.fct_ms.count,
+            r.fct_ms.mean,
+            r.fct_ms.p50,
+            r.fct_ms.p99,
+            r.rtt_ms.p50,
+            r.rtt_ms.p99,
+            r.retransmissions,
+            r.events,
+            r.wall_ms,
+            r.error.replace('"', "'"),
+        ));
+    }
+    out
+}
+
+/// Read a table artifact (`table.json` — one row per line) back into rows
+/// in file order.
+pub fn read_table(path: &Path) -> Result<Vec<Row>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = Row::decode(line)
+            .ok_or_else(|| format!("{}: malformed row on line {}", path.display(), i + 1))?;
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> Row {
+        let mut report = Report {
+            scheme: "Presto".into(),
+            elephant_tputs: vec![9.1, 9.3, 8.7],
+            loss_rate: 0.0015,
+            retransmissions: 12,
+            events_processed: 123_456,
+            ..Report::default()
+        };
+        report.mice_fct_ms = [1.25, 3.5, 0.75].into_iter().collect();
+        report.rtt_ms = [0.11, 0.13].into_iter().collect();
+        Row::from_report(
+            "presto/testbed16/stride:8/none/cell64k/s1",
+            "ab12",
+            &report,
+            84.25,
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trips_byte_identically() {
+        let row = sample_row();
+        let line = row.encode();
+        let back = Row::decode(&line).expect("decodes");
+        assert_eq!(back, row);
+        assert_eq!(back.encode(), line, "re-encoding must reproduce the bytes");
+    }
+
+    #[test]
+    fn failed_rows_round_trip_with_their_message() {
+        let row = Row::failed(
+            "p/t/w/f/cell64k/s1",
+            "cd34",
+            "index out of bounds: \"7\"",
+            3.5,
+        );
+        let back = Row::decode(&row.encode()).unwrap();
+        assert_eq!(back.status, RowStatus::Failed);
+        assert_eq!(back.error, "index out of bounds: \"7\"");
+        assert_eq!(back.encode(), row.encode());
+    }
+
+    #[test]
+    fn store_appends_loads_and_survives_truncation() {
+        let dir = std::env::temp_dir().join(format!("presto-lab-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ResultsStore::open(&dir).unwrap();
+        let mut row = sample_row();
+        store.append("demo", &row).unwrap();
+        row.fp = "ef56".into();
+        row.goodput_gbps = 7.5;
+        store.append("demo", &row).unwrap();
+        // Simulate a crash mid-append: a truncated trailing line.
+        let path = store.results_path("demo");
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"label\":\"half-writ").unwrap();
+        drop(file);
+        let rows = store.load("demo").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows["ef56"].goodput_gbps, 7.5);
+        // A re-run appends an updated duplicate: later wins.
+        row.goodput_gbps = 9.9;
+        store.append("demo", &row).unwrap();
+        assert_eq!(store.load("demo").unwrap()["ef56"].goodput_gbps, 9.9);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_campaign_loads_empty() {
+        let dir = std::env::temp_dir().join(format!("presto-lab-empty-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ResultsStore::open(&dir).unwrap();
+        assert!(store.load("nope").unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn table_artifacts_round_trip_and_order_deterministically() {
+        let dir = std::env::temp_dir().join(format!("presto-lab-table-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ResultsStore::open(&dir).unwrap();
+        let a = sample_row();
+        let mut b = sample_row();
+        b.fp = "zz99".into();
+        b.label = "ecmp/testbed16/stride:8/none/cell64k/s1".into();
+        let path = store.write_table("demo", &[&a, &b]).unwrap();
+        let rows = read_table(&path).unwrap();
+        assert_eq!(rows, vec![a.clone(), b.clone()]);
+        let again = store.write_table("demo", &[&a, &b]).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), fs::read(&again).unwrap());
+        let csv = fs::read_to_string(dir.join("demo/table.csv")).unwrap();
+        assert!(csv.starts_with("label,"));
+        assert_eq!(csv.lines().count(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,304 @@
+//! A minimal TOML-subset reader for campaign files.
+//!
+//! The workspace builds with no network access and vendors no TOML crate,
+//! so campaign definitions use a small, strictly-defined subset of TOML:
+//!
+//! * `[section]` tables and `[[section]]` arrays-of-tables,
+//! * `key = value` pairs where a value is a string (`"..."`), integer,
+//!   float, boolean, or a flat array of those,
+//! * `#` comments and blank lines,
+//! * keys may contain dots (`match.workload = "..."`) — they are kept as
+//!   literal key names, *not* expanded into nested tables.
+//!
+//! Anything outside the subset (multi-line strings, inline tables, dates,
+//! nested arrays) is a parse error, loudly, with a line number — a
+//! campaign file that silently half-parses would corrupt a sweep.
+
+use std::collections::BTreeMap;
+
+/// A parsed scalar or flat array value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A `"quoted"` string.
+    Str(String),
+    /// An integer literal (no underscores).
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A flat array of scalars.
+    Arr(Vec<Value>),
+}
+
+impl Value {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a non-negative int.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One `[section]` or `[[section]]` occurrence: its keys in file order.
+pub type Table = BTreeMap<String, Value>;
+
+/// A parsed document: `(section name, table)` in file order. `[[x]]`
+/// contributes one entry per occurrence; keys before any section header
+/// land in a table named `""`.
+#[derive(Debug, Clone, Default)]
+pub struct Doc {
+    /// Sections in file order.
+    pub sections: Vec<(String, Table)>,
+}
+
+impl Doc {
+    /// The first table with this section name, if any.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    /// Every table with this section name, in file order (for `[[x]]`).
+    pub fn tables<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Table> {
+        self.sections
+            .iter()
+            .filter(move |(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+}
+
+/// Parse a campaign document. Errors carry the 1-based line number.
+pub fn parse(text: &str) -> Result<Doc, String> {
+    let mut doc = Doc::default();
+    let mut current: (String, Table) = (String::new(), Table::new());
+    let mut started = false;
+    let push_current = |doc: &mut Doc, cur: &mut (String, Table), started: bool| {
+        if started || !cur.1.is_empty() {
+            doc.sections
+                .push((cur.0.clone(), std::mem::take(&mut cur.1)));
+        }
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            push_current(&mut doc, &mut current, started);
+            current = (validate_name(name, lineno)?, Table::new());
+            started = true;
+        } else if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            push_current(&mut doc, &mut current, started);
+            current = (validate_name(name, lineno)?, Table::new());
+            started = true;
+        } else if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim();
+            if key.is_empty() {
+                return Err(format!("line {lineno}: empty key"));
+            }
+            let value = parse_value(value.trim(), lineno)?;
+            if current.1.insert(key.to_string(), value).is_some() {
+                return Err(format!("line {lineno}: duplicate key `{key}`"));
+            }
+        } else {
+            return Err(format!(
+                "line {lineno}: expected `[section]` or `key = value`"
+            ));
+        }
+    }
+    push_current(&mut doc, &mut current, started);
+    Ok(doc)
+}
+
+fn validate_name(name: &str, lineno: usize) -> Result<String, String> {
+    let name = name.trim();
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+    {
+        return Err(format!("line {lineno}: invalid section name `{name}`"));
+    }
+    Ok(name.to_string())
+}
+
+/// Drop a trailing `#` comment, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, String> {
+    if text.is_empty() {
+        return Err(format!("line {lineno}: missing value"));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| format!("line {lineno}: unterminated array"))?;
+        let mut items = Vec::new();
+        for part in split_array(body, lineno)? {
+            let item = parse_value(part.trim(), lineno)?;
+            if matches!(item, Value::Arr(_)) {
+                return Err(format!("line {lineno}: nested arrays are not supported"));
+            }
+            items.push(item);
+        }
+        return Ok(Value::Arr(items));
+    }
+    if let Some(body) = text.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| format!("line {lineno}: unterminated string"))?;
+        if body.contains('"') || body.contains('\\') {
+            return Err(format!(
+                "line {lineno}: escapes and embedded quotes are not supported"
+            ));
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(format!("line {lineno}: cannot parse value `{text}`"))
+}
+
+/// Split a (single-line) array body on top-level commas, respecting
+/// string literals. Trailing commas are tolerated.
+fn split_array(body: &str, lineno: usize) -> Result<Vec<&str>, String> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            '[' | ']' if !in_str => {
+                return Err(format!("line {lineno}: nested arrays are not supported"));
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err(format!("line {lineno}: unterminated string in array"));
+    }
+    let tail = &body[start..];
+    if !tail.trim().is_empty() {
+        parts.push(tail);
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_scalars() {
+        let doc = parse(
+            r#"
+# campaign file
+[campaign]
+name = "demo"        # trailing comment
+duration_ms = 12
+loss = 0.5
+on = true
+seeds = [1, 2, 3]
+
+[axes]
+scheme = ["presto", "ecmp"]
+
+[[drop]]
+scheme = "ecmp"
+
+[[drop]]
+fault = "none"
+"#,
+        )
+        .unwrap();
+        let c = doc.table("campaign").unwrap();
+        assert_eq!(c["name"], Value::Str("demo".into()));
+        assert_eq!(c["duration_ms"], Value::Int(12));
+        assert_eq!(c["loss"], Value::Float(0.5));
+        assert_eq!(c["on"], Value::Bool(true));
+        assert_eq!(
+            c["seeds"],
+            Value::Arr(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(
+            doc.table("axes").unwrap()["scheme"],
+            Value::Arr(vec![Value::Str("presto".into()), Value::Str("ecmp".into())])
+        );
+        assert_eq!(doc.tables("drop").count(), 2);
+    }
+
+    #[test]
+    fn dotted_keys_stay_literal() {
+        let doc =
+            parse("[[override]]\nmatch.workload = \"random\"\nset.duration_ms = 9\n").unwrap();
+        let o = doc.tables("override").next().unwrap();
+        assert_eq!(o["match.workload"], Value::Str("random".into()));
+        assert_eq!(o["set.duration_ms"], Value::Int(9));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, needle) in [
+            ("[campaign]\nname = ", "line 2"),
+            ("key", "line 1"),
+            ("a = [1, [2]]", "nested arrays"),
+            ("a = \"unterminated", "unterminated string"),
+            ("[bad name]\n", "invalid section"),
+            ("a = 1\na = 2", "duplicate key"),
+        ] {
+            let err = parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn root_keys_land_in_the_unnamed_table() {
+        let doc = parse("x = 1\n[s]\ny = 2\n").unwrap();
+        assert_eq!(doc.table("").unwrap()["x"], Value::Int(1));
+        assert_eq!(doc.table("s").unwrap()["y"], Value::Int(2));
+    }
+}

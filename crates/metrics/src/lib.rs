@@ -10,16 +10,21 @@
 //! * [`TimeSeries`] — timestamped samples (e.g. the CPU usage of Fig 6),
 //! * [`LogHistogram`] — compact log₂-bucketed histograms for huge sample
 //!   populations,
+//! * [`MetricSummary`] — six-number percentile summaries, the row format
+//!   of campaign results tables (`presto-lab`),
 //! * [`reorder`] — RFC 4737-style packet reordering metrics (§5 reports
 //!   reordered-packet fractions for the flowlet comparison),
 //! * [`table`] — plain-text table rendering for the benchmark harnesses,
 //! * [`units`] — Gbps/size conversions shared by every experiment.
+
+#![warn(missing_docs)]
 
 pub mod cdf;
 pub mod fairness;
 pub mod histogram;
 pub mod reorder;
 pub mod samples;
+pub mod summary;
 pub mod table;
 pub mod timeseries;
 pub mod units;
@@ -28,4 +33,5 @@ pub use cdf::Cdf;
 pub use histogram::LogHistogram;
 pub use reorder::{reorder_stats, ReorderStats};
 pub use samples::Samples;
+pub use summary::MetricSummary;
 pub use timeseries::TimeSeries;

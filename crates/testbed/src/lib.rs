@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod canon;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -41,6 +42,7 @@ pub mod scheme;
 pub mod sim;
 
 pub use builder::ScenarioBuilder;
+pub use canon::Fnv128;
 pub use presto_faults::{FaultEvent, FaultKind, FaultPlan, FlapProcess, Notify};
 pub use presto_telemetry::{FailoverStage, TelemetryConfig, TelemetryReport};
 pub use report::Report;

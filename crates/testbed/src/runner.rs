@@ -19,6 +19,7 @@
 //! * results land in a per-index slot and are returned in index order,
 //!   so completion order (which is timing-dependent) is unobservable.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -51,9 +52,38 @@ impl ParallelRunner {
     }
 
     /// Run every scenario through `job`; results come back in scenario
-    /// order. This is the single fan-out primitive: `run` and
-    /// `run_traced` are `run_with` over different jobs.
+    /// order. This is the single fan-out primitive: `run`, `run_traced`
+    /// and `run_isolated` are `run_with`/`try_run_with` over different
+    /// jobs.
+    ///
+    /// A panicking job propagates the panic to the caller (after every
+    /// in-flight sibling has finished) — use
+    /// [`ParallelRunner::run_isolated`] when one bad configuration must
+    /// not sink the rest of the sweep.
     pub fn run_with<R: Send>(
+        &self,
+        scenarios: &[Scenario],
+        job: impl Fn(&Scenario) -> R + Sync,
+    ) -> Vec<R> {
+        let results = self.try_run_with(scenarios, |sc| catch_unwind(AssertUnwindSafe(|| job(sc))));
+        results
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                // Re-panic on the calling thread with the original payload
+                // once collection finishes.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    }
+
+    /// The fan-out engine: run a fallible-by-panic `job` over every
+    /// scenario. `job` itself decides how failures are represented (the
+    /// public wrappers pass `catch_unwind` results through), so a worker
+    /// thread never unwinds — one panicking scenario cannot poison the
+    /// `std::thread::scope` and take its siblings' finished results down
+    /// with it.
+    fn try_run_with<R: Send>(
         &self,
         scenarios: &[Scenario],
         job: impl Fn(&Scenario) -> R + Sync,
@@ -85,6 +115,26 @@ impl ParallelRunner {
             .collect()
     }
 
+    /// Run every scenario through `job` with per-scenario panic isolation:
+    /// a panicking configuration yields `Err(message)` in its slot while
+    /// every sibling still returns its result. This is the primitive the
+    /// campaign runner (`presto-lab`) builds on — one degenerate grid
+    /// point becomes a `Failed` row instead of aborting the sweep.
+    ///
+    /// Under `panic = "abort"` (the release *binary* profile; cargo always
+    /// compiles tests and benches with unwinding) isolation is impossible
+    /// and the process still aborts — run sweeps that need isolation in a
+    /// profile that unwinds.
+    pub fn run_isolated<R: Send>(
+        &self,
+        scenarios: &[Scenario],
+        job: impl Fn(&Scenario) -> R + Sync,
+    ) -> Vec<Result<R, String>> {
+        self.try_run_with(scenarios, |sc| {
+            catch_unwind(AssertUnwindSafe(|| job(sc))).map_err(panic_message)
+        })
+    }
+
     /// Run every scenario; reports come back in scenario order.
     pub fn run(&self, scenarios: &[Scenario]) -> Vec<Report> {
         self.run_with(scenarios, Scenario::run)
@@ -111,6 +161,18 @@ impl ParallelRunner {
             .zip(reports)
             .map(|(s, r)| f(s, r))
             .collect()
+    }
+}
+
+/// Best-effort rendering of a panic payload (`&str` and `String` payloads
+/// cover `panic!`/`assert!`; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -162,6 +224,51 @@ mod tests {
         assert_eq!(names.len(), 2);
         assert_eq!(names[0].0, 0);
         assert_eq!(names[1].0, 1);
+    }
+
+    /// Satellite regression test: one panicking scenario must not poison
+    /// the scope — its siblings' results survive and come back `Ok`.
+    #[test]
+    fn one_bad_scenario_does_not_kill_its_siblings() {
+        let scenarios: Vec<Scenario> = (0..4).map(tiny).collect();
+        let expected: Vec<u64> = scenarios.iter().map(|s| s.run().digest()).collect();
+        for workers in [1, 4] {
+            let results = ParallelRunner::new(workers).run_isolated(&scenarios, |sc| {
+                if sc.seed() == 2 {
+                    panic!("injected failure for seed {}", sc.seed());
+                }
+                sc.run().digest()
+            });
+            assert_eq!(results.len(), 4);
+            for (i, r) in results.iter().enumerate() {
+                if scenarios[i].seed() == 2 {
+                    let err = r.as_ref().expect_err("seed 2 must fail");
+                    assert!(err.contains("injected failure"), "got: {err}");
+                } else {
+                    assert_eq!(
+                        *r.as_ref().expect("sibling survived"),
+                        expected[i],
+                        "sibling {i} result changed under isolation ({workers} workers)"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `run_with` still propagates a panic to the caller, after letting
+    /// in-flight siblings finish.
+    #[test]
+    fn run_with_still_propagates_panics() {
+        let scenarios: Vec<Scenario> = (0..2).map(tiny).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            ParallelRunner::new(2).run_with(&scenarios, |sc| {
+                if sc.seed() == 1 {
+                    panic!("boom");
+                }
+                sc.seed()
+            })
+        }));
+        assert!(caught.is_err(), "panic must reach the caller");
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! IMC'09-shaped mixture in [`crate::trace`].
 
 use presto_simcore::rng::DetRng;
+use presto_simcore::{SimDuration, SimTime};
+
+use crate::spec::{FlowSpec, MICE_THRESHOLD_BYTES};
 
 /// An empirical CDF given as `(value, cumulative_probability)` knots,
 /// sampled by inverse transform with log-linear interpolation between
@@ -114,6 +117,56 @@ pub fn data_mining() -> EmpiricalCdf {
     ])
 }
 
+/// Open-loop Poisson flow arrivals with sizes drawn from an empirical CDF
+/// — the trace-replay shape of Table 1 generalized to any size mix.
+///
+/// Every host is an independent source: inter-arrival gaps are exponential
+/// with mean `mean_gap`, destinations are drawn uniformly among hosts in
+/// *other* pods (`hosts_per_pod` consecutive indices form a pod), and flow
+/// sizes come from `cdf` clamped to `[clamp.0, clamp.1]` bytes so short
+/// simulations finish a useful fraction of the tail. Flows under the
+/// mice threshold are marked for FCT measurement.
+///
+/// Per-source RNG sub-streams (`DetRng::for_stream`) make the pattern
+/// deterministic in `seed` and insensitive to host iteration order.
+pub fn poisson_flows(
+    cdf: &EmpiricalCdf,
+    n_hosts: usize,
+    hosts_per_pod: usize,
+    seed: u64,
+    horizon: SimTime,
+    mean_gap: SimDuration,
+    clamp: (u64, u64),
+) -> Vec<FlowSpec> {
+    assert!(
+        hosts_per_pod >= 1 && n_hosts > hosts_per_pod,
+        "need ≥ 2 pods"
+    );
+    let mut flows = Vec::new();
+    for src in 0..n_hosts {
+        let mut rng = DetRng::new(seed ^ 0x317).for_stream(src as u64);
+        let mut at = SimTime::ZERO + SimDuration::from_secs_f64(rng.exp(mean_gap.as_secs_f64()));
+        while at < horizon {
+            let dst = loop {
+                let d = rng.gen_range(n_hosts as u64) as usize;
+                if d / hosts_per_pod != src / hosts_per_pod {
+                    break d;
+                }
+            };
+            let bytes = (cdf.sample(&mut rng) as u64).clamp(clamp.0, clamp.1);
+            flows.push(FlowSpec {
+                src,
+                dst,
+                start: at,
+                bytes: Some(bytes),
+                measure_fct: bytes < MICE_THRESHOLD_BYTES,
+            });
+            at += SimDuration::from_secs_f64(rng.exp(mean_gap.as_secs_f64()));
+        }
+    }
+    flows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +244,38 @@ mod tests {
         let cdf = data_mining();
         assert_eq!(samples(&cdf, 100, 7), samples(&cdf, 100, 7));
         assert_ne!(samples(&cdf, 100, 7), samples(&cdf, 100, 8));
+    }
+
+    #[test]
+    fn poisson_flows_respect_pods_horizon_and_clamp() {
+        let horizon = SimTime::from_millis(50);
+        let flows = poisson_flows(
+            &web_search(),
+            16,
+            4,
+            9,
+            horizon,
+            SimDuration::from_millis(2),
+            (500, 20_000_000),
+        );
+        assert!(!flows.is_empty());
+        for f in &flows {
+            assert_ne!(f.src / 4, f.dst / 4, "destinations are inter-pod");
+            assert!(f.start < horizon);
+            let b = f.bytes.unwrap();
+            assert!((500..=20_000_000).contains(&b));
+            assert_eq!(f.measure_fct, b < MICE_THRESHOLD_BYTES);
+        }
+        // Deterministic in the seed.
+        let again = poisson_flows(
+            &web_search(),
+            16,
+            4,
+            9,
+            horizon,
+            SimDuration::from_millis(2),
+            (500, 20_000_000),
+        );
+        assert_eq!(flows, again);
     }
 }

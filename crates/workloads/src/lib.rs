@@ -18,12 +18,14 @@
 //! Hosts are plain indices here; the testbed maps them onto fabric
 //! attachment points.
 
+#![warn(missing_docs)]
+
 pub mod dists;
 pub mod northsouth;
 pub mod patterns;
 pub mod spec;
 pub mod trace;
 
-pub use dists::{data_mining, web_search, EmpiricalCdf};
+pub use dists::{data_mining, poisson_flows, web_search, EmpiricalCdf};
 pub use spec::{FlowSpec, MICE_FLOW_BYTES, MICE_INTERVAL_MS};
 pub use trace::TraceWorkload;

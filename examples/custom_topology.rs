@@ -13,8 +13,8 @@
 //! 3. driving the simulator directly via `Scenario::build()` to inspect
 //!    internal state after the run.
 
-use presto_lab::prelude::*;
-use presto_lab::workloads::FlowSpec;
+use presto::prelude::*;
+use presto::workloads::FlowSpec;
 
 fn main() {
     println!("Custom fabric: 2 spines x 2 parallel links, shared-buffer switches\n");

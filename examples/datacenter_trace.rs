@@ -11,8 +11,8 @@
 //! keeps elephants from parking queues in front of mice, which is where
 //! the 99th/99.9th-percentile wins come from.
 
-use presto_lab::prelude::*;
-use presto_lab::workloads::{FlowSpec, TraceWorkload};
+use presto::prelude::*;
+use presto::workloads::{FlowSpec, TraceWorkload};
 
 fn trace_flows(seed: u64, horizon: SimTime) -> Vec<FlowSpec> {
     let mut flows = Vec::new();

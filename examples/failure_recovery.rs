@@ -14,7 +14,7 @@
 //! (down, then back up mid-run) and prints the per-stage failover
 //! timeline from the report.
 
-use presto_lab::prelude::*;
+use presto::prelude::*;
 
 fn scenario(faults: FaultPlan) -> Scenario {
     let flows = bijection_elephants(16, 4, 7);

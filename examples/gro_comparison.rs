@@ -10,8 +10,8 @@
 //! the stack, CPU burns, and TCP sees reordering. Presto's Algorithm 2
 //! holds segments across flowcell-boundary gaps and delivers in order.
 
-use presto_lab::prelude::*;
-use presto_lab::workloads::FlowSpec;
+use presto::prelude::*;
+use presto::workloads::FlowSpec;
 
 fn main() {
     println!("GRO comparison — 2 flows sprayed over 2 paths (Fig 5)\n");

@@ -9,7 +9,7 @@
 //! headline comparison of the paper: Presto's flowcell spraying tracks
 //! the optimal non-blocking switch, ECMP's per-flow hashing does not.
 
-use presto_lab::prelude::*;
+use presto::prelude::*;
 
 fn main() {
     println!("Presto quickstart — stride(8) on the 16-host testbed\n");

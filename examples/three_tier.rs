@@ -22,7 +22,7 @@
 //! 4. **post-recovery** — the switch returns, weights are restored, and
 //!    goodput climbs back to the symmetric level.
 
-use presto_lab::prelude::*;
+use presto::prelude::*;
 
 fn main() {
     let spec = ThreeTierSpec {
@@ -49,10 +49,10 @@ fn main() {
         .duration(SimDuration::from_millis(60))
         .warmup(SimDuration::from_millis(10))
         .elephants(vec![
-            presto_lab::workloads::FlowSpec::elephant(0, 8, SimTime::ZERO),
-            presto_lab::workloads::FlowSpec::elephant(4, 12, SimTime::ZERO),
-            presto_lab::workloads::FlowSpec::elephant(9, 1, SimTime::ZERO),
-            presto_lab::workloads::FlowSpec::elephant(13, 5, SimTime::ZERO),
+            presto::workloads::FlowSpec::elephant(0, 8, SimTime::ZERO),
+            presto::workloads::FlowSpec::elephant(4, 12, SimTime::ZERO),
+            presto::workloads::FlowSpec::elephant(9, 1, SimTime::ZERO),
+            presto::workloads::FlowSpec::elephant(13, 5, SimTime::ZERO),
         ])
         .faults(
             FaultPlan::new()

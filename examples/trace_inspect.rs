@@ -21,8 +21,8 @@
 //! profile. Build with `--features telemetry` to capture individual trace
 //! events as well; counters and samples are collected either way.
 
-use presto_lab::prelude::*;
-use presto_lab::workloads::FlowSpec;
+use presto::prelude::*;
+use presto::workloads::FlowSpec;
 
 fn usage() -> ! {
     eprintln!("usage: trace_inspect [TRACE.jsonl] [--write-jsonl PATH] [--write-chrome PATH]");

@@ -32,7 +32,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use presto_lab::prelude::*;
+//! use presto::prelude::*;
 //!
 //! let sc = Scenario::builder(SchemeSpec::presto(), 42)
 //!     .duration(SimDuration::from_millis(30))

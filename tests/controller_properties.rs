@@ -8,8 +8,8 @@ use std::collections::{HashMap, HashSet};
 
 use proptest::prelude::*;
 
-use presto_lab::core::Controller;
-use presto_lab::netsim::{ClosSpec, LinkId, Mac, Node, ThreeTierSpec, Topology};
+use presto::core::Controller;
+use presto::netsim::{ClosSpec, LinkId, Mac, Node, ThreeTierSpec, Topology};
 
 /// Every chain of every tree must terminate at that tree's root (one
 /// switch spans all leaves), and the per-tree link sets — ascending hops

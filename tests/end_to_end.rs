@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: full scheme comparisons through the
 //! public API, checking the paper's headline claims hold in-simulator.
 
-use presto_lab::prelude::*;
-use presto_lab::workloads::FlowSpec;
+use presto::prelude::*;
+use presto::workloads::FlowSpec;
 
 fn short(scheme: SchemeSpec, seed: u64) -> ScenarioBuilder {
     Scenario::builder(scheme, seed)

@@ -1,8 +1,8 @@
 //! Integration tests for modeling extensions: host egress fairness (TSQ/fq),
 //! shared-buffer switches, and γ > 1 parallel-link fabrics.
 
-use presto_lab::prelude::*;
-use presto_lab::workloads::FlowSpec;
+use presto::prelude::*;
+use presto::workloads::FlowSpec;
 
 /// A mouse sharing its *sender host* with a full-rate elephant must not
 /// wait behind the elephant's staged window: per-flow egress scheduling
@@ -110,7 +110,7 @@ fn incast_is_last_hop_bound_for_all_schemes() {
         let mut flows = Vec::new();
         for wave in 0..6u64 {
             let at = SimTime::ZERO + SimDuration::from_millis(8 + wave * 12);
-            for s in presto_lab::workloads::patterns::incast_senders(16, 0, 8) {
+            for s in presto::workloads::patterns::incast_senders(16, 0, 8) {
                 flows.push(FlowSpec::mouse(s, 0, at, 128 * 1024));
             }
         }

@@ -1,8 +1,8 @@
 //! Cross-crate checks that traffic physically follows the paths Presto's
 //! labels name — read from the same switch counters the paper uses.
 
-use presto_lab::prelude::*;
-use presto_lab::workloads::FlowSpec;
+use presto::prelude::*;
+use presto::workloads::FlowSpec;
 
 /// One Presto elephant must spread its bytes across *all four* spine
 /// uplinks nearly equally — the round-robin invariant observed at the

@@ -1,7 +1,7 @@
 //! Integration tests for failure handling (§3.3, Figs 17-18).
 
-use presto_lab::prelude::*;
-use presto_lab::workloads::FlowSpec;
+use presto::prelude::*;
+use presto::workloads::FlowSpec;
 
 fn scenario(faults: FaultPlan, flows: Vec<FlowSpec>) -> Scenario {
     Scenario::builder(SchemeSpec::presto(), 21)

@@ -2,9 +2,9 @@
 //! timelines, the per-stage failover report, and determinism of faulted
 //! runs (ISSUE 3's acceptance criteria).
 
-use presto_lab::netsim::{HostId, Mac};
-use presto_lab::prelude::*;
-use presto_lab::workloads::FlowSpec;
+use presto::netsim::{HostId, Mac};
+use presto::prelude::*;
+use presto::workloads::FlowSpec;
 
 fn l4_to_l1() -> Vec<FlowSpec> {
     (0..4)

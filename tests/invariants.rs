@@ -2,12 +2,12 @@
 
 use proptest::prelude::*;
 
-use presto_lab::core::FlowcellScheduler;
-use presto_lab::endhost::{EdgePolicy, ReceiveOffload};
-use presto_lab::gro::PrestoGro;
-use presto_lab::netsim::{FlowKey, HostId, Mac, Packet, PacketKind, MSS};
-use presto_lab::simcore::{SimDuration, SimTime};
-use presto_lab::transport::TcpReceiver;
+use presto::core::FlowcellScheduler;
+use presto::endhost::{EdgePolicy, ReceiveOffload};
+use presto::gro::PrestoGro;
+use presto::netsim::{FlowKey, HostId, Mac, Packet, PacketKind, MSS};
+use presto::simcore::{SimDuration, SimTime};
+use presto::transport::TcpReceiver;
 
 fn flow() -> FlowKey {
     FlowKey::new(HostId(0), HostId(1), 1, 2)

@@ -10,11 +10,9 @@
 //!    scenario *i* is byte-identical whether the sweep ran on 1, 2, or 8
 //!    `ParallelRunner` workers.
 
-use presto_lab::simcore::SimDuration;
-use presto_lab::telemetry::{FlushReason, TelemetryConfig, TelemetryReport};
-use presto_lab::testbed::{
-    stride_elephants, ParallelRunner, Scenario, ScenarioBuilder, SchemeSpec,
-};
+use presto::simcore::SimDuration;
+use presto::telemetry::{FlushReason, TelemetryConfig, TelemetryReport};
+use presto::testbed::{stride_elephants, ParallelRunner, Scenario, ScenarioBuilder, SchemeSpec};
 
 fn tiny(scheme: SchemeSpec, seed: u64) -> ScenarioBuilder {
     Scenario::builder(scheme, seed)
@@ -96,7 +94,7 @@ fn flush_reasons_populate_for_both_engines() {
 #[test]
 fn trace_events_flow_when_feature_enabled() {
     let (_, tel) = tiny(SchemeSpec::presto(), 9).build().run_traced();
-    if presto_lab::telemetry::ENABLED {
+    if presto::telemetry::ENABLED {
         assert!(
             !tel.events.is_empty(),
             "telemetry feature on: the ring must capture events"

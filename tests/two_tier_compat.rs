@@ -6,8 +6,8 @@
 //! change here means the refactor altered packet-level behaviour, not
 //! just structure.
 
-use presto_lab::prelude::*;
-use presto_lab::workloads::FlowSpec;
+use presto::prelude::*;
+use presto::workloads::FlowSpec;
 use presto_telemetry::TelemetryConfig;
 use presto_testbed::MiceSpec;
 
