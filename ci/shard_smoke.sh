@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Sharded-engine smoke test: byte-identical digests at every shard count.
+#
+# The conservative sharded engine (DESIGN.md §12) promises that the
+# report digest is *byte-identical* to the serial engine at any shard
+# count. This script enforces that end to end, in release mode, on a
+# reduced paper-grid point (presto / 3-tier / stride elephants):
+#
+#   1. run the point serially (--shards 1) and record the digest,
+#   2. run it at --shards 8 and diff — any divergence fails,
+#   3. run a sharded multi-pod point with more shards than pods (empty
+#      domains must be harmless).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build shard_check (release)"
+cargo build --quiet --release --bin shard_check
+CHECK=target/release/shard_check
+
+run_digest() {
+    out=$("$CHECK" "$@")
+    echo "    $out" >&2
+    echo "$out" | sed -n 's/.*digest=\(0x[0-9a-f]*\).*/\1/p'
+}
+
+echo "==> reduced paper-grid point, serial vs 8 shards"
+SERIAL=$(run_digest --shards 1)
+SHARDED=$(run_digest --shards 8)
+if [ -z "$SERIAL" ] || [ "$SERIAL" != "$SHARDED" ]; then
+    echo "FAIL: shards=8 digest $SHARDED != serial digest $SERIAL" >&2
+    exit 1
+fi
+echo "    digests identical: $SERIAL"
+
+echo "==> more shards than pods (empty domains)"
+WIDE=$(run_digest --pods 4 --shards 16)
+NARROW=$(run_digest --pods 4 --shards 1)
+if [ -z "$NARROW" ] || [ "$WIDE" != "$NARROW" ]; then
+    echo "FAIL: shards=16 digest $WIDE != serial digest $NARROW" >&2
+    exit 1
+fi
+echo "    digests identical: $NARROW"
+
+echo "shard smoke: OK"

@@ -98,11 +98,25 @@ impl Controller {
     /// Panics on a single-switch topology — there is nothing to
     /// load-balance and Presto should not be deployed there.
     pub fn install(topo: &mut Topology) -> Controller {
+        Self::install_for(topo, None)
+    }
+
+    /// [`Controller::install`] restricted to an active-host subset:
+    /// shadow-MAC entries (and the underlying basic routing) are
+    /// installed only for destinations whose `active[h.index()]` is true
+    /// (`None` means every host). Tree allocation and failover groups are
+    /// host-independent and always complete. Installed state for an
+    /// active host is identical to the unrestricted install, so a
+    /// workload touching only active hosts behaves byte-identically —
+    /// the point is that a k=32 fat-tree (8192 hosts) with a sparse
+    /// workload skips the ~10⁸ L2 entries it would never look up.
+    pub fn install_for(topo: &mut Topology, active: Option<&[bool]>) -> Controller {
         assert!(
             topo.tier_count() >= 2,
             "Presto controller requires a multi-path topology"
         );
-        topo.install_basic_routing();
+        let live = |h: HostId| active.is_none_or(|a| a.get(h.index()).copied().unwrap_or(false));
+        topo.install_basic_routing_for(active);
 
         let trees = Self::allocate_trees(topo);
         let leaves = topo.leaves.clone();
@@ -112,6 +126,9 @@ impl Controller {
         for (t, tree) in trees.iter().enumerate() {
             let t = t as u32;
             for &h in &hosts {
+                if !live(h) {
+                    continue;
+                }
                 let mac = Mac::shadow(h, t);
                 let dst_leaf = topo.host_leaf[h.index()];
                 // Destination leaf: label → host port.
@@ -140,6 +157,9 @@ impl Controller {
             for &sw in &switches {
                 for (t, tree) in trees.iter().enumerate() {
                     for &h in &hosts {
+                        if !live(h) {
+                            continue;
+                        }
                         let out = if topo.host_below(sw, h) {
                             let attach = topo.host_leaf[h.index()];
                             topo.down_link_toward(sw, attach, tree.link)

@@ -42,6 +42,10 @@ pub struct PointSpec {
     pub flowcell_kb: u64,
     /// Master seed.
     pub seed: u64,
+    /// Event-queue shard count (1 = serial engine). A performance axis:
+    /// the report digest is identical at every value, but wall-clock and
+    /// events/s differ, so each shard count gets its own store row.
+    pub shards: usize,
     /// Simulated duration.
     pub duration: SimDuration,
     /// Measurement-window start.
@@ -57,10 +61,16 @@ impl PointSpec {
     /// a campaign and stable across runs. Also used as the scenario's run
     /// label.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}/{}/{}/{}/cell{}k/s{}",
             self.scheme, self.topo, self.workload, self.fault, self.flowcell_kb, self.seed
-        )
+        );
+        // Serial points keep their historical labels; only sharded points
+        // carry the engine suffix.
+        if self.shards != 1 {
+            label.push_str(&format!("/sh{}", self.shards));
+        }
+        label
     }
 
     /// Reject configurations the testbed cannot execute meaningfully.
@@ -91,6 +101,9 @@ impl PointSpec {
         }
         if self.flowcell_kb == 0 {
             return whine("flowcell size must be \u{2265} 1 KiB");
+        }
+        if self.shards == 0 {
+            return whine("shard count must be \u{2265} 1");
         }
         if self.warmup.as_nanos() >= self.duration.as_nanos() {
             return whine("warmup must end before the run does");
@@ -139,7 +152,7 @@ impl PointSpec {
                 MIX_CLAMP,
             )),
         };
-        b.name(self.label()).build()
+        b.shards(self.shards).name(self.label()).build()
     }
 
     /// The content address of this point: the fingerprint of its scenario.
@@ -206,6 +219,8 @@ pub struct PointMatch {
     pub flowcell_kb: Option<u64>,
     /// Exact seed.
     pub seed: Option<u64>,
+    /// Exact shard count.
+    pub shards: Option<u64>,
 }
 
 impl PointMatch {
@@ -218,6 +233,7 @@ impl PointMatch {
             && s(&self.fault, p.fault.to_string())
             && self.flowcell_kb.is_none_or(|v| v == p.flowcell_kb)
             && self.seed.is_none_or(|v| v == p.seed)
+            && self.shards.is_none_or(|v| v as usize == p.shards)
     }
 }
 
@@ -255,6 +271,8 @@ pub struct Campaign {
     pub flowcells_kb: Vec<u64>,
     /// Seed axis.
     pub seeds: Vec<u64>,
+    /// Shard-count axis (event-queue domains per run; 1 = serial).
+    pub shards: Vec<usize>,
     /// `[[drop]]` combinators, applied before overrides.
     pub drops: Vec<PointMatch>,
     /// `[[override]]` combinators, applied in file order.
@@ -279,6 +297,7 @@ impl Campaign {
             faults: vec![FaultId::None],
             flowcells_kb: vec![64],
             seeds: vec![1],
+            shards: vec![1],
             drops: Vec::new(),
             overrides: Vec::new(),
             traces: Vec::new(),
@@ -301,6 +320,7 @@ impl Campaign {
             ("fault", self.faults.len()),
             ("flowcell_kb", self.flowcells_kb.len()),
             ("seed", self.seeds.len()),
+            ("shards", self.shards.len()),
         ] {
             if n == 0 {
                 return Err(format!("campaign `{}`: empty `{axis}` axis", self.name));
@@ -313,42 +333,45 @@ impl Campaign {
                     for &fault in &self.faults {
                         for &flowcell_kb in &self.flowcells_kb {
                             for &seed in &self.seeds {
-                                let mut p = PointSpec {
-                                    scheme,
-                                    topo,
-                                    workload,
-                                    fault,
-                                    flowcell_kb,
-                                    seed,
-                                    duration: self.duration,
-                                    warmup: self.warmup,
-                                    traced: false,
-                                };
-                                if self.drops.iter().any(|d| d.matches(&p)) {
-                                    continue;
-                                }
-                                for o in &self.overrides {
-                                    if o.matcher.matches(&p) {
-                                        if let Some(d) = o.duration {
-                                            p.duration = d;
-                                        }
-                                        if let Some(w) = o.warmup {
-                                            p.warmup = w;
-                                        }
-                                        if let Some(f) = o.flowcell_kb {
-                                            p.flowcell_kb = f;
+                                for &shards in &self.shards {
+                                    let mut p = PointSpec {
+                                        scheme,
+                                        topo,
+                                        workload,
+                                        fault,
+                                        flowcell_kb,
+                                        seed,
+                                        shards,
+                                        duration: self.duration,
+                                        warmup: self.warmup,
+                                        traced: false,
+                                    };
+                                    if self.drops.iter().any(|d| d.matches(&p)) {
+                                        continue;
+                                    }
+                                    for o in &self.overrides {
+                                        if o.matcher.matches(&p) {
+                                            if let Some(d) = o.duration {
+                                                p.duration = d;
+                                            }
+                                            if let Some(w) = o.warmup {
+                                                p.warmup = w;
+                                            }
+                                            if let Some(f) = o.flowcell_kb {
+                                                p.flowcell_kb = f;
+                                            }
                                         }
                                     }
+                                    p.traced = self.traces.iter().any(|t| t.matches(&p));
+                                    p.validate().map_err(|e| {
+                                        format!(
+                                            "campaign `{}`: invalid grid point {e} \
+                                             (add a [[drop]] to exclude it)",
+                                            self.name
+                                        )
+                                    })?;
+                                    points.push(p);
                                 }
-                                p.traced = self.traces.iter().any(|t| t.matches(&p));
-                                p.validate().map_err(|e| {
-                                    format!(
-                                        "campaign `{}`: invalid grid point {e} \
-                                         (add a [[drop]] to exclude it)",
-                                        self.name
-                                    )
-                                })?;
-                                points.push(p);
                             }
                         }
                     }
@@ -415,7 +438,15 @@ impl Campaign {
             reject_unknown(
                 axes,
                 "axes",
-                &["scheme", "topo", "workload", "fault", "flowcell_kb", "seed"],
+                &[
+                    "scheme",
+                    "topo",
+                    "workload",
+                    "fault",
+                    "flowcell_kb",
+                    "seed",
+                    "shards",
+                ],
             )?;
             if let Some(v) = axes.get("scheme") {
                 campaign.schemes = parse_axis(v, "scheme")?;
@@ -434,6 +465,12 @@ impl Campaign {
             }
             if let Some(v) = axes.get("seed") {
                 campaign.seeds = parse_u64_axis(v, "seed")?;
+            }
+            if let Some(v) = axes.get("shards") {
+                campaign.shards = parse_u64_axis(v, "shards")?
+                    .into_iter()
+                    .map(|n| n as usize)
+                    .collect();
             }
         }
         for t in doc.tables("drop") {
@@ -515,7 +552,15 @@ fn parse_u64_axis(value: &Value, axis: &str) -> Result<Vec<u64>, String> {
 /// Parse the match half of a combinator table. `extra` lists additional
 /// allowed keys (the `set.*` keys of overrides).
 fn parse_match(table: &Table, section: &str, extra: &[&str]) -> Result<PointMatch, String> {
-    let mut allowed = vec!["scheme", "topo", "workload", "fault", "flowcell_kb", "seed"];
+    let mut allowed = vec![
+        "scheme",
+        "topo",
+        "workload",
+        "fault",
+        "flowcell_kb",
+        "seed",
+        "shards",
+    ];
     allowed.extend_from_slice(extra);
     reject_unknown(table, section, &allowed)?;
     let pat =
@@ -548,6 +593,7 @@ fn parse_match(table: &Table, section: &str, extra: &[&str]) -> Result<PointMatc
         fault: pat("fault", &|s| s.parse::<FaultId>().map(|_| ()))?,
         flowcell_kb: int("flowcell_kb")?,
         seed: int("seed")?,
+        shards: int("shards")?,
     };
     if m == PointMatch::default() && extra.is_empty() {
         return Err(format!("[[{section}]] matches every point (no axis keys)"));
@@ -696,6 +742,7 @@ seed = 1
                 fault: FaultId::None,
                 flowcell_kb: 64,
                 seed: 3,
+                shards: 1,
                 duration: SimDuration::from_millis(50),
                 warmup: SimDuration::from_millis(10),
                 traced: false,
@@ -719,6 +766,42 @@ seed = 1
                 p.flowcell_kb * 1024
             );
         }
+    }
+
+    #[test]
+    fn shards_axis_expands_labels_and_scenarios() {
+        let mut c = Campaign::new("sharded");
+        c.shards = vec![1, 8];
+        let points = c.expand().unwrap();
+        assert_eq!(points.len(), 2);
+        // Serial points keep the historical label; sharded points get the
+        // /shN suffix and a distinct fingerprint.
+        assert_eq!(
+            points[0].label(),
+            "presto/testbed16/stride:8/none/cell64k/s1"
+        );
+        assert_eq!(
+            points[1].label(),
+            "presto/testbed16/stride:8/none/cell64k/s1/sh8"
+        );
+        assert_ne!(points[0].fingerprint(), points[1].fingerprint());
+        assert_eq!(points[1].to_scenario().shards(), 8);
+        // The shards key works in combinators.
+        let text = r#"
+[campaign]
+name = "sharded"
+
+[axes]
+shards = [1, 8]
+
+[[drop]]
+shards = 8
+"#;
+        let c = Campaign::from_toml(text).unwrap();
+        assert_eq!(c.shards, vec![1, 8]);
+        let points = c.expand().unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].shards, 1);
     }
 
     #[test]

@@ -235,6 +235,7 @@ mod tests {
             retransmissions: 3,
             events: 1000,
             wall_ms: 100.0,
+            events_per_sec: 10_000.0,
             error: String::new(),
         }
     }

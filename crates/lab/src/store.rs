@@ -72,8 +72,21 @@ pub struct Row {
     /// Wall-clock execution time, milliseconds. Cached re-runs keep the
     /// stored value, so tables stay byte-identical across machines.
     pub wall_ms: f64,
+    /// Engine throughput: events processed per wall-clock second (zero
+    /// for failed rows). Derived from `events` and `wall_ms` at record
+    /// time and stored, so cached tables stay byte-identical.
+    pub events_per_sec: f64,
     /// Panic message for failed rows; empty otherwise.
     pub error: String,
+}
+
+/// Events per wall-clock second; zero when no time was measured.
+fn events_rate(events: u64, wall_ms: f64) -> f64 {
+    if wall_ms > 0.0 {
+        events as f64 * 1e3 / wall_ms
+    } else {
+        0.0
+    }
 }
 
 impl Row {
@@ -92,6 +105,7 @@ impl Row {
             retransmissions: report.retransmissions,
             events: report.events_processed,
             wall_ms,
+            events_per_sec: events_rate(report.events_processed, wall_ms),
             error: String::new(),
         }
     }
@@ -111,6 +125,7 @@ impl Row {
             retransmissions: 0,
             events: 0,
             wall_ms,
+            events_per_sec: 0.0,
             error: error.to_string(),
         }
     }
@@ -147,6 +162,8 @@ impl Row {
         s.push_str(&format!(",\"events\":{}", self.events));
         s.push_str(",\"wall_ms\":");
         push_f64(&mut s, self.wall_ms);
+        s.push_str(",\"events_per_sec\":");
+        push_f64(&mut s, self.events_per_sec);
         s.push_str(",\"error\":");
         push_str_field(&mut s, &self.error);
         s.push('}');
@@ -164,6 +181,8 @@ impl Row {
             "failed" => RowStatus::Failed,
             _ => return None,
         };
+        let events = json_u64(line, "events")?;
+        let wall_ms = json_f64(line, "wall_ms")?;
         Some(Row {
             label: json_str(line, "label")?,
             fp: json_str(line, "fp")?,
@@ -175,8 +194,11 @@ impl Row {
             fct_ms: decode_summary(line, "fct")?,
             rtt_ms: decode_summary(line, "rtt")?,
             retransmissions: json_u64(line, "retrans")?,
-            events: json_u64(line, "events")?,
-            wall_ms: json_f64(line, "wall_ms")?,
+            events,
+            wall_ms,
+            // Rows written before the field existed derive it on load.
+            events_per_sec: json_f64(line, "events_per_sec")
+                .unwrap_or_else(|| events_rate(events, wall_ms)),
             error: json_str(line, "error")?,
         })
     }
@@ -334,7 +356,7 @@ pub fn rows_to_csv(rows: &[&Row]) -> String {
     let mut out = String::from(
         "label,fp,status,digest,goodput_gbps,fairness,loss_rate,\
          fct_count,fct_mean_ms,fct_p50_ms,fct_p99_ms,rtt_p50_ms,rtt_p99_ms,\
-         retrans,events,wall_ms,error\n",
+         retrans,events,wall_ms,events_per_sec,error\n",
     );
     for r in rows {
         let status = match r.status {
@@ -342,7 +364,7 @@ pub fn rows_to_csv(rows: &[&Row]) -> String {
             RowStatus::Failed => "failed",
         };
         out.push_str(&format!(
-            "{},{},{status},{:016x},{},{},{},{},{},{},{},{},{},{},{},{},\"{}\"\n",
+            "{},{},{status},{:016x},{},{},{},{},{},{},{},{},{},{},{},{},{},\"{}\"\n",
             r.label,
             r.fp,
             r.digest,
@@ -358,6 +380,7 @@ pub fn rows_to_csv(rows: &[&Row]) -> String {
             r.retransmissions,
             r.events,
             r.wall_ms,
+            r.events_per_sec,
             r.error.replace('"', "'"),
         ));
     }
@@ -410,6 +433,24 @@ mod tests {
         let back = Row::decode(&line).expect("decodes");
         assert_eq!(back, row);
         assert_eq!(back.encode(), line, "re-encoding must reproduce the bytes");
+    }
+
+    #[test]
+    fn events_per_sec_is_derived_and_survives_legacy_rows() {
+        let row = sample_row();
+        assert!((row.events_per_sec - 123_456.0 * 1e3 / 84.25).abs() < 1e-6);
+        // A pre-field store line still decodes, deriving the rate.
+        let legacy = row.encode().replace(
+            &format!(",\"events_per_sec\":{}", {
+                let mut s = String::new();
+                push_f64(&mut s, row.events_per_sec);
+                s
+            }),
+            "",
+        );
+        assert!(!legacy.contains("events_per_sec"));
+        let back = Row::decode(&legacy).expect("legacy rows decode");
+        assert!((back.events_per_sec - row.events_per_sec).abs() < 1e-6);
     }
 
     #[test]

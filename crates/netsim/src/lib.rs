@@ -32,4 +32,4 @@ pub use link::{Link, LinkCounters};
 pub use packet::{FlowKey, Packet, PacketKind, ACK_WIRE_BYTES, MSS, WIRE_OVERHEAD};
 pub use pool::{BufferPool, PacketPool};
 pub use switch::{EcmpMode, Switch};
-pub use topology::{ClosSpec, ThreeTierSpec, Topology, TopologyBuilder};
+pub use topology::{ClosSpec, DomainPartition, ThreeTierSpec, Topology, TopologyBuilder};

@@ -24,11 +24,13 @@
 //! tier.
 
 mod build;
+mod partition;
 mod single;
 mod three_tier;
 mod two_tier;
 
 pub use build::TopologyBuilder;
+pub use partition::DomainPartition;
 pub use three_tier::ThreeTierSpec;
 pub use two_tier::ClosSpec;
 
@@ -318,9 +320,24 @@ impl Topology {
     /// Shadow-MAC spanning trees are installed separately by the Presto
     /// controller (`presto-core`).
     pub fn install_basic_routing(&mut self) {
+        self.install_basic_routing_for(None);
+    }
+
+    /// [`Topology::install_basic_routing`] restricted to an active-host
+    /// subset: entries are installed only for hosts whose
+    /// `active[h.index()]` is true (`None` means every host). State for
+    /// an active host is identical to the unrestricted install, so a
+    /// workload touching only active hosts behaves byte-identically —
+    /// but an 8192-host fabric with a sparse workload no longer pays for
+    /// tens of millions of ECMP groups it will never look up.
+    pub fn install_basic_routing_for(&mut self, active: Option<&[bool]>) {
+        let live = |h: HostId| active.is_none_or(|a| a.get(h.index()).copied().unwrap_or(false));
         if self.tiers.len() < 2 {
             let sw = self.leaves[0];
             for &h in &self.hosts {
+                if !live(h) {
+                    continue;
+                }
                 let down = self.host_down[h.index()];
                 self.fabric.switch_mut(sw).install_l2(Mac::host(h), down);
             }
@@ -331,6 +348,9 @@ impl Topology {
         for &leaf in &leaves {
             // Local hosts: exact match to the downlink.
             for &h in &hosts {
+                if !live(h) {
+                    continue;
+                }
                 if self.host_leaf[h.index()] == leaf {
                     let down = self.host_down[h.index()];
                     self.fabric.switch_mut(leaf).install_l2(Mac::host(h), down);
@@ -348,6 +368,9 @@ impl Topology {
             let switches = self.tiers[tier].clone();
             for &sw in &switches {
                 for &h in &hosts {
+                    if !live(h) {
+                        continue;
+                    }
                     if self.host_below(sw, h) {
                         let attach = self.host_leaf[h.index()];
                         let mut downs = Vec::new();

@@ -32,6 +32,90 @@ struct Scheduled<E> {
     event: E,
 }
 
+/// A heap entry for the arena-backed queues: the `(time, seq)` sort key
+/// plus an index into an [`Arena`] holding the payload. Keeping heap
+/// entries at 24 bytes (instead of the full event, ~80 for the
+/// simulator's `Event`) means sift operations move keys, not payloads —
+/// the "SoA" half of the arena/SoA layout.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Key {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) idx: u32,
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Slab storage for pending event payloads, addressed by the `idx` of a
+/// [`Key`]. Freed slots are recycled through a free list, so steady-state
+/// simulation reuses a compact block of memory instead of churning the
+/// allocator with one box per event.
+pub(crate) struct Arena<E> {
+    slots: Vec<Option<E>>,
+    free: Vec<u32>,
+}
+
+impl<E> Default for Arena<E> {
+    fn default() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<E> Arena<E> {
+    #[inline]
+    pub(crate) fn insert(&mut self, event: E) -> u32 {
+        match self.free.pop() {
+            Some(idx) => {
+                debug_assert!(self.slots[idx as usize].is_none());
+                self.slots[idx as usize] = Some(event);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("arena capacity");
+                self.slots.push(Some(event));
+                idx
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn take(&mut self, idx: u32) -> E {
+        let e = self.slots[idx as usize].take().expect("live arena slot");
+        self.free.push(idx);
+        e
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+}
+
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
@@ -88,7 +172,7 @@ pub struct QueueProfile {
 }
 
 impl QueueProfile {
-    fn new(names: &'static [&'static str]) -> Self {
+    pub(crate) fn new(names: &'static [&'static str]) -> Self {
         QueueProfile {
             names,
             counts: vec![0; names.len()],
@@ -113,7 +197,7 @@ impl QueueProfile {
     }
 
     #[inline]
-    fn record(&mut self, class: usize, dwell_ns: u64) {
+    pub(crate) fn record(&mut self, class: usize, dwell_ns: u64) {
         // Out-of-range classes clamp to the last entry so a buggy
         // classifier skews one row instead of panicking mid-run.
         let i = class.min(self.counts.len().saturating_sub(1));
@@ -138,13 +222,16 @@ impl QueueProfile {
 ///   minimum — `pop` only ever needs the first occupied slot at or after
 ///   the cursor.
 pub struct EventQueue<E> {
-    /// Per-slot pending events, min-ordered by `(time, seq)`. A slot heap
-    /// is tiny (one bucket's worth), so push/pop are effectively O(1).
-    slots: Vec<BinaryHeap<Scheduled<E>>>,
+    /// Per-slot pending event keys, min-ordered by `(time, seq)`. A slot
+    /// heap is tiny (one bucket's worth), so push/pop are effectively
+    /// O(1). Heaps hold 24-byte [`Key`]s; payloads live in `arena`.
+    slots: Vec<BinaryHeap<Key>>,
     /// One bit per slot: set iff the slot heap is non-empty.
     occupied: [u64; WORDS],
     /// Events beyond the wheel horizon, min-ordered by `(time, seq)`.
-    overflow: BinaryHeap<Scheduled<E>>,
+    overflow: BinaryHeap<Key>,
+    /// Payload storage for every pending event, wheel and overflow alike.
+    arena: Arena<E>,
     /// Bucket index the wheel window starts at; never decreases while
     /// events are pending.
     cur_bucket: u64,
@@ -176,6 +263,7 @@ impl<E> EventQueue<E> {
             slots,
             occupied: [0; WORDS],
             overflow: BinaryHeap::new(),
+            arena: Arena::default(),
             cur_bucket: 0,
             len: 0,
             high_water: 0,
@@ -214,15 +302,17 @@ impl<E> EventQueue<E> {
         // In release builds a past push (already a logic error) clamps into
         // the cursor bucket instead of corrupting the window invariant.
         let bucket = bucket_of(time).max(self.cur_bucket);
+        let idx = self.arena.insert(event);
+        let key = Key { time, seq, idx };
         if bucket < self.cur_bucket + SLOTS as u64 {
-            self.insert_wheel(bucket, Scheduled { time, seq, event });
+            self.insert_wheel(bucket, key);
         } else {
-            self.overflow.push(Scheduled { time, seq, event });
+            self.overflow.push(key);
         }
     }
 
     #[inline]
-    fn insert_wheel(&mut self, bucket: u64, s: Scheduled<E>) {
+    fn insert_wheel(&mut self, bucket: u64, s: Key) {
         let slot = (bucket & SLOT_MASK) as usize;
         self.slots[slot].push(s);
         self.occupied[slot / 64] |= 1u64 << (slot % 64);
@@ -296,7 +386,7 @@ impl<E> EventQueue<E> {
         }
         self.len -= 1;
         self.watermark = s.time;
-        Some((s.time, s.event))
+        Some((s.time, self.arena.take(s.idx)))
     }
 
     /// The timestamp of the earliest pending event, if any.
@@ -370,6 +460,7 @@ impl<E> EventQueue<E> {
             self.occupied[w] = 0;
         }
         self.overflow.clear();
+        self.arena.clear();
         self.cur_bucket = 0;
         self.len = 0;
         self.high_water = 0;

@@ -1,0 +1,435 @@
+//! Sharded conservative event queue: per-domain calendar wheels with
+//! lookahead-windowed cross-domain mailboxes.
+//!
+//! [`ShardedQueue`] partitions pending events across *domains* (fabric
+//! partitions chosen by the topology graph — per pod, or per ToR group)
+//! plus one *global* lane for scenario-wide bookkeeping (warmup marks,
+//! faults, controller notifications). Each domain owns an independent
+//! wheel; events an executing domain schedules for **another** domain are
+//! not pushed into the destination wheel directly but through a
+//! per-`(src domain, dst domain)` mailbox, and only become visible when
+//! the mailboxes are drained at a synchronization epoch.
+//!
+//! # The conservative protocol
+//!
+//! The classic Chandy–Misra–Bryant argument: a domain may safely run
+//! ahead of its neighbors as long as no neighbor can send it an event
+//! earlier than the *lookahead* — here the minimum propagation delay over
+//! the boundary links between domains. The queue tracks a window
+//! `[window_start, window_end)` with `window_end = min pending time +
+//! lookahead` fixed at the epoch boundary. While executing inside the
+//! window, every cross-domain handoff must carry a fire time `>=
+//! window_end` (asserted in debug builds); it therefore cannot be the
+//! global minimum before the next epoch drains it, so leaving it parked
+//! in a mailbox never changes the execution order. When the earliest
+//! pending event reaches `window_end`, all mailboxes drain in
+//! `(time, seq)` order into their destination wheels and a new window
+//! opens.
+//!
+//! # Determinism
+//!
+//! Dispatch order is the exact global `(time, seq)` order — the pop path
+//! k-way-merges the wheel heads — so a simulation driven by this queue
+//! processes events in byte-for-byte the same order at any domain count,
+//! including 1. Mailboxes only defer *visibility* of events that the
+//! lookahead proves cannot fire yet. `seq` comes from one shared counter,
+//! so `(time, seq)` keys are identical to the serial [`EventQueue`]'s.
+//!
+//! Storage is the same arena/SoA layout as [`EventQueue`]: wheels and
+//! mailboxes hold 24-byte keys, payloads live in one shared [`Arena`].
+//!
+//! [`EventQueue`]: crate::events::EventQueue
+
+use std::collections::BinaryHeap;
+
+use crate::events::{Arena, Key, QueueProfile};
+use crate::time::{SimDuration, SimTime};
+
+/// Where a pushed event should land, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardTarget {
+    /// Scenario-wide bookkeeping: always visible to the merge.
+    Global,
+    /// A specific fabric domain (host, switch, or link owner).
+    Domain(usize),
+    /// Whatever domain is currently executing (context-bound timers such
+    /// as RTOs and application continuations).
+    Current,
+}
+
+/// Counters describing how much cross-domain traffic the run generated;
+/// used by benches and docs, not by any digest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Synchronization epochs (mailbox drains).
+    pub epochs: u64,
+    /// Events that crossed a domain boundary through a mailbox.
+    pub handoffs: u64,
+}
+
+/// A deterministic sharded event queue. Same external contract as
+/// [`EventQueue`](crate::events::EventQueue) — `(time, seq)` FIFO pops —
+/// plus domain routing on push.
+pub struct ShardedQueue<E> {
+    /// Per-domain wheels, `wheels[domains]` being the global lane.
+    wheels: Vec<BinaryHeap<Key>>,
+    /// Payloads for every pending event (wheels and mailboxes).
+    arena: Arena<E>,
+    /// Flattened `(src, dst)` mailboxes: `mailboxes[src * domains + dst]`.
+    mailboxes: Vec<Vec<Key>>,
+    /// Total keys parked in mailboxes.
+    parked: usize,
+    domains: usize,
+    /// Wheel index currently executing (set by `pop`); starts at the
+    /// global lane so setup-time pushes are direct.
+    current: usize,
+    lookahead: SimDuration,
+    /// Epoch boundary: cross-domain handoffs must fire at or after this.
+    window_end: SimTime,
+    len: usize,
+    high_water: usize,
+    next_seq: u64,
+    watermark: SimTime,
+    profiler: Option<ShardProfiler<E>>,
+    stats: ShardStats,
+}
+
+/// Optional event-name profiler: classification function plus the
+/// per-name counters it feeds.
+type ShardProfiler<E> = (fn(&E) -> usize, QueueProfile);
+
+impl<E> ShardedQueue<E> {
+    /// An empty queue over `domains` fabric domains with the given
+    /// conservative lookahead (minimum boundary-link propagation delay).
+    pub fn new(domains: usize, lookahead: SimDuration) -> Self {
+        assert!(domains >= 1, "need at least one domain");
+        ShardedQueue {
+            wheels: (0..=domains).map(|_| BinaryHeap::new()).collect(),
+            arena: Arena::default(),
+            mailboxes: (0..domains * domains).map(|_| Vec::new()).collect(),
+            parked: 0,
+            domains,
+            current: domains,
+            lookahead,
+            window_end: SimTime::ZERO,
+            len: 0,
+            high_water: 0,
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+            profiler: None,
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Number of fabric domains (excluding the global lane).
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// Cross-domain traffic counters.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// Schedule `event` at `time` for `target`.
+    ///
+    /// Routing: global events and events for the executing domain go
+    /// straight into a wheel. An event for *another* domain is parked in
+    /// the `(current, target)` mailbox until the next epoch; the
+    /// conservative contract — `time >= window_end` — is asserted in
+    /// debug builds. Pushes from the global lane are always direct (the
+    /// global lane runs at the merge frontier, so there is nothing to
+    /// defer).
+    #[inline]
+    pub fn push(&mut self, time: SimTime, target: ShardTarget, event: E) {
+        debug_assert!(
+            time >= self.watermark,
+            "scheduled event at {time:?} before current time {:?}",
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        if self.len > self.high_water {
+            self.high_water = self.len;
+        }
+        if let Some((classify, profile)) = &mut self.profiler {
+            profile.record(
+                classify(&event),
+                time.saturating_since(self.watermark).as_nanos(),
+            );
+        }
+        let idx = self.arena.insert(event);
+        let key = Key { time, seq, idx };
+        let wheel = match target {
+            ShardTarget::Global => self.domains,
+            ShardTarget::Current => self.current,
+            ShardTarget::Domain(d) => {
+                debug_assert!(d < self.domains, "domain {d} out of range");
+                if self.current == self.domains || self.current == d {
+                    d
+                } else {
+                    // Cross-domain handoff: park in the mailbox. The
+                    // lookahead guarantees it cannot fire inside the
+                    // current window.
+                    debug_assert!(
+                        time >= self.window_end,
+                        "cross-domain handoff at {time:?} inside window ending {:?} \
+                         (lookahead {:?} too large for this boundary)",
+                        self.window_end,
+                        self.lookahead
+                    );
+                    self.mailboxes[self.current * self.domains + d].push(key);
+                    self.parked += 1;
+                    self.stats.handoffs += 1;
+                    return;
+                }
+            }
+        };
+        self.wheels[wheel].push(key);
+    }
+
+    /// The `(wheel, key)` of the earliest visible event, merging all
+    /// wheel heads in `(time, seq)` order.
+    #[inline]
+    fn min_head(&self) -> Option<(usize, Key)> {
+        let mut best: Option<(usize, Key)> = None;
+        for (i, w) in self.wheels.iter().enumerate() {
+            if let Some(&k) = w.peek() {
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => (k.time, k.seq) < (b.time, b.seq),
+                };
+                if better {
+                    best = Some((i, k));
+                }
+            }
+        }
+        best
+    }
+
+    /// Synchronization epoch: drain every mailbox into its destination
+    /// wheel in `(time, seq)` order.
+    fn drain_mailboxes(&mut self) {
+        if self.parked == 0 {
+            return;
+        }
+        self.stats.epochs += 1;
+        for src in 0..self.domains {
+            for dst in 0..self.domains {
+                let boxed = &mut self.mailboxes[src * self.domains + dst];
+                if boxed.is_empty() {
+                    continue;
+                }
+                // Deterministic drain order within one mailbox: (time,
+                // seq) ascending. The destination heap would order them
+                // anyway; sorting keeps the handoff sequence itself
+                // deterministic and cheap to reason about.
+                boxed.sort_unstable_by_key(|k| (k.time, k.seq));
+                for k in boxed.drain(..) {
+                    self.wheels[dst].push(k);
+                }
+            }
+        }
+        self.parked = 0;
+    }
+
+    /// Remove and return the earliest event — exact global `(time, seq)`
+    /// order — advancing the watermark and the executing-domain context.
+    /// Opens a new lookahead window (draining mailboxes) whenever the
+    /// frontier reaches the current window's end.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        let (wheel, key) = match self.min_head() {
+            Some((w, k)) if k.time < self.window_end => (w, k),
+            _ => {
+                // Epoch boundary (or all wheels empty with parked
+                // events): drain, then open a new window at the frontier.
+                self.drain_mailboxes();
+                let (w, k) = self.min_head().expect("len > 0 after drain");
+                self.window_end = k.time + self.lookahead;
+                (w, k)
+            }
+        };
+        let popped = self.wheels[wheel].pop().expect("peeked head exists");
+        debug_assert!(popped == key);
+        self.len -= 1;
+        self.watermark = key.time;
+        self.current = wheel;
+        Some((key.time, self.arena.take(key.idx)))
+    }
+
+    /// The timestamp of the earliest pending event, if any. Considers
+    /// parked mailbox events too (they can never be earlier than the
+    /// visible minimum while a window is open, but an all-wheels-empty
+    /// queue with parked events is still non-empty).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.min_head().is_none() {
+            self.drain_mailboxes();
+        }
+        self.min_head().map(|(_, k)| k.time)
+    }
+
+    /// Number of pending events, parked mailbox events included.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events ever scheduled.
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Peak number of simultaneously pending events.
+    #[inline]
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
+    }
+
+    /// Start classifying pushed events into a [`QueueProfile`]; same
+    /// contract as [`EventQueue::enable_profiler`].
+    ///
+    /// [`EventQueue::enable_profiler`]: crate::events::EventQueue::enable_profiler
+    pub fn enable_profiler(&mut self, names: &'static [&'static str], classify: fn(&E) -> usize) {
+        assert!(!names.is_empty(), "profiler needs at least one class");
+        self.profiler = Some((classify, QueueProfile::new(names)));
+    }
+
+    /// The accumulated profile, if profiling was enabled.
+    pub fn profile(&self) -> Option<&QueueProfile> {
+        self.profiler.as_ref().map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventQueue;
+
+    /// Drive a ShardedQueue and a serial EventQueue with the same
+    /// deterministic pseudo-random schedule (including cross-domain
+    /// pushes honoring the lookahead contract) and assert identical pop
+    /// traces.
+    fn assert_matches_serial(domains: usize, lookahead_ns: u64, ops: u64, seed: u64) {
+        let lookahead = SimDuration::from_nanos(lookahead_ns);
+        let mut sharded: ShardedQueue<u64> = ShardedQueue::new(domains, lookahead);
+        let mut serial: EventQueue<u64> = EventQueue::new();
+        let mut x = seed | 1;
+        let mut rng = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        let mut next_id = 0u64;
+        let mut now_ns = 0u64;
+        for _ in 0..ops {
+            let r = rng();
+            if r % 3 == 0 && !sharded.is_empty() {
+                let a = sharded.pop();
+                let b = serial.pop();
+                assert_eq!(a, b, "pop divergence before event {next_id}");
+                now_ns = a.unwrap().0.as_nanos();
+            } else {
+                let target = match r % 5 {
+                    0 => ShardTarget::Global,
+                    1 => ShardTarget::Current,
+                    _ => ShardTarget::Domain((rng() as usize) % domains),
+                };
+                // In-window pushes stay local (Current/Global are always
+                // legal); a Domain push may cross domains, so honor the
+                // conservative contract by scheduling >= lookahead out.
+                let delta = match target {
+                    ShardTarget::Domain(_) => lookahead_ns + rng() % 10_000,
+                    _ => rng() % 5_000,
+                };
+                let t = SimTime::from_nanos(now_ns + delta);
+                sharded.push(t, target, next_id);
+                serial.push(t, next_id);
+                next_id += 1;
+            }
+            assert_eq!(sharded.len(), serial.len());
+        }
+        loop {
+            let a = sharded.pop();
+            let b = serial.pop();
+            assert_eq!(a, b, "drain divergence");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_across_domain_counts() {
+        for domains in [1, 2, 3, 8] {
+            assert_matches_serial(domains, 500, 30_000, 0xD0_17 + domains as u64);
+        }
+    }
+
+    #[test]
+    fn matches_serial_with_zero_lookahead() {
+        // Degenerate lookahead: every pop is an epoch. Still exact order.
+        assert_matches_serial(4, 0, 10_000, 42);
+    }
+
+    #[test]
+    fn cross_domain_handoffs_use_mailboxes() {
+        let mut q: ShardedQueue<&'static str> = ShardedQueue::new(2, SimDuration::from_nanos(100));
+        // Setup (global context): direct pushes.
+        q.push(SimTime::from_nanos(10), ShardTarget::Domain(0), "a0");
+        q.push(SimTime::from_nanos(20), ShardTarget::Domain(1), "b0");
+        assert_eq!(q.stats().handoffs, 0);
+        // Execute domain 0, then hand off to domain 1 beyond lookahead.
+        assert_eq!(q.pop().unwrap().1, "a0");
+        q.push(SimTime::from_nanos(150), ShardTarget::Domain(1), "b1");
+        assert_eq!(q.stats().handoffs, 1, "a0 -> domain 1 goes via mailbox");
+        // The parked event is still counted and still pops in order.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, "b0");
+        assert_eq!(q.pop().unwrap().1, "b1");
+        assert!(q.is_empty());
+        assert!(q.stats().epochs >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-domain handoff")]
+    #[cfg(debug_assertions)]
+    fn handoff_inside_window_panics() {
+        let mut q: ShardedQueue<u8> = ShardedQueue::new(2, SimDuration::from_micros(10));
+        q.push(SimTime::from_nanos(10), ShardTarget::Domain(0), 0);
+        q.push(SimTime::from_micros(100), ShardTarget::Domain(1), 1);
+        let _ = q.pop(); // window = [10ns, 10ns + 10us)
+                         // A handoff due *inside* the window violates the lookahead.
+        q.push(SimTime::from_nanos(20), ShardTarget::Domain(1), 2);
+    }
+
+    #[test]
+    fn profiler_and_high_water_match_contract() {
+        const NAMES: &[&str] = &["even", "odd"];
+        let mut q: ShardedQueue<u64> = ShardedQueue::new(2, SimDuration::from_nanos(50));
+        q.enable_profiler(NAMES, |e| (*e % 2) as usize);
+        q.push(SimTime::from_nanos(100), ShardTarget::Domain(0), 0);
+        q.push(SimTime::from_nanos(40), ShardTarget::Domain(1), 1);
+        assert_eq!(q.high_water_mark(), 2);
+        q.pop();
+        let p = q.profile().expect("profiler enabled");
+        assert_eq!(p.counts(), &[1, 1]);
+        assert_eq!(p.dwell_ns(), &[100, 40]);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

@@ -193,11 +193,21 @@ pub struct Scenario {
     /// coalesce `TxDone` bookkeeping for a lower event rate — arrival
     /// times and drop decisions stay exact, but same-instant event ties
     /// across links resolve in commit order, which perturbs tightly
-    /// synchronized workloads slightly. Overridable via `PRESTO_TX_BATCH`.
+    /// synchronized workloads slightly. Set with
+    /// `ScenarioBuilder::tx_batch` (the `PRESTO_TX_BATCH` env var is a
+    /// deprecated fallback resolved at build time).
     #[deprecated(
         note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
     )]
     pub tx_batch: u32,
+    /// Event-queue shard count (1 = the serial engine). Higher counts
+    /// split the fabric into per-pod domains with conservatively
+    /// synchronized calendar wheels (DESIGN.md §12); report digests are
+    /// byte-identical at any shard count.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
+    pub shards: usize,
     /// Attach the telemetry layer with this configuration (`None` = off).
     /// Enabling it never changes simulation behaviour or the report
     /// digest; it only collects counters, samples, and trace events.
@@ -282,6 +292,10 @@ impl Scenario {
     pub fn tx_batch(&self) -> u32 {
         self.tx_batch
     }
+    /// Event-queue shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
     /// Telemetry configuration, if attached.
     pub fn telemetry(&self) -> Option<TelemetryConfig> {
         self.telemetry
@@ -349,10 +363,48 @@ impl Scenario {
         (report, telemetry)
     }
 
+    /// Server hosts that send or receive anything in this scenario, or
+    /// `None` when every server does (including shuffles, which are
+    /// all-to-all). Drives the scoped forwarding-state installs: on an
+    /// 8192-host fabric with a sparse workload, routing and label state
+    /// is only materialized for the hosts that will ever see a packet.
+    fn active_servers(&self) -> Option<Vec<bool>> {
+        let n_servers = self.n_servers();
+        if self.shuffle.is_some() {
+            return None;
+        }
+        let mut active = vec![false; n_servers];
+        let mut mark = |h: usize| {
+            // WAN-remote indices sit past the servers; their routing is
+            // installed by the attach step, not the basic install.
+            if h < n_servers {
+                active[h] = true;
+            }
+        };
+        for f in &self.flows {
+            mark(f.src);
+            mark(f.dst);
+        }
+        for m in &self.mice {
+            mark(m.src);
+            mark(m.dst);
+        }
+        for &(src, dst) in &self.probes {
+            mark(src);
+            mark(dst);
+        }
+        if active.iter().all(|&a| a) {
+            None
+        } else {
+            Some(active)
+        }
+    }
+
     /// Assemble the simulator without running it — useful for inspection
     /// and custom drivers.
     pub fn build(&self) -> Simulation {
         let n_servers = self.n_servers();
+        let active = self.active_servers();
         // 1. Topology.
         let mut topo = if self.scheme.single_switch {
             Topology::single_switch(
@@ -367,11 +419,13 @@ impl Scenario {
             Topology::clos(&self.clos)
         };
 
-        // 2. Forwarding state + controller.
+        // 2. Forwarding state + controller, scoped to active hosts (a
+        // `None` filter installs for everyone — identical to the legacy
+        // unscoped path).
         let controller = if self.scheme.needs_controller() {
-            Some(Controller::install(&mut topo))
+            Some(Controller::install_for(&mut topo, active.as_deref()))
         } else {
-            topo.install_basic_routing();
+            topo.install_basic_routing_for(active.as_deref());
             None
         };
 
@@ -417,7 +471,30 @@ impl Scenario {
         }
 
         // 6. Per-destination label sequences (server destinations only;
-        // same-leaf pairs stay direct — no spine crossing needed).
+        // same-leaf pairs stay direct — no spine crossing needed). With
+        // an active-host filter, labels are materialized only for
+        // communicating pairs — both directions, since ACKs ride the
+        // reverse path — instead of all n² of them.
+        let peers: Option<Vec<Vec<usize>>> = active.as_ref().map(|_| {
+            let mut sets: Vec<std::collections::BTreeSet<usize>> =
+                vec![Default::default(); topo.host_count()];
+            let mut link = |a: usize, b: usize| {
+                if a < sets.len() && b < sets.len() && a != b {
+                    sets[a].insert(b);
+                    sets[b].insert(a);
+                }
+            };
+            for f in &self.flows {
+                link(f.src, f.dst);
+            }
+            for m in &self.mice {
+                link(m.src, m.dst);
+            }
+            for &(src, dst) in &self.probes {
+                link(src, dst);
+            }
+            sets.into_iter().map(|s| s.into_iter().collect()).collect()
+        });
         let label_sets: Vec<Vec<(HostId, Vec<Mac>)>> = topo
             .hosts
             .iter()
@@ -426,17 +503,32 @@ impl Scenario {
                 if self.scheme.single_switch {
                     return v;
                 }
-                for dst in 0..n_servers {
+                let push_dst = |dst: usize, v: &mut Vec<(HostId, Vec<Mac>)>| {
+                    if dst >= n_servers {
+                        return;
+                    }
                     let dst = HostId(dst as u32);
                     if dst == src || topo.same_leaf(src, dst) {
-                        continue;
+                        return;
                     }
                     let labels = match (&controller, self.scheme.policy) {
                         (_, PolicyKind::PrestoEcmp) => vec![Mac::host(dst)],
                         (Some(ctl), _) => ctl.labels_for(dst),
-                        (None, _) => continue,
+                        (None, _) => return,
                     };
                     v.push((dst, labels));
+                };
+                match &peers {
+                    Some(p) => {
+                        for &dst in &p[src.index()] {
+                            push_dst(dst, &mut v);
+                        }
+                    }
+                    None => {
+                        for dst in 0..n_servers {
+                            push_dst(dst, &mut v);
+                        }
+                    }
                 }
                 v
             })
@@ -473,13 +565,14 @@ impl Scenario {
 
         let end = SimTime::ZERO + self.duration;
         let warm = SimTime::ZERO + self.warmup;
-        let mut sim = Simulation::new(topo, self.scheme.clone(), mk_host, end, warm);
-        let tx_batch = std::env::var("PRESTO_TX_BATCH")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(self.tx_batch);
-        sim.topo.fabric.set_tx_batch(tx_batch);
+        let mut sim =
+            Simulation::with_shards(topo, self.scheme.clone(), mk_host, end, warm, self.shards);
+        sim.topo.fabric.set_tx_batch(self.tx_batch);
         sim.controller = controller;
+        sim.label_pairs = label_sets
+            .iter()
+            .map(|v| v.iter().map(|(dst, _)| *dst).collect())
+            .collect();
         sim.collect_reorder = self.collect_reorder;
         sim.cpu_sample_every = self.cpu_sample;
         if let Some(cfg) = self.telemetry {
@@ -518,6 +611,7 @@ impl Scenario {
             let orders = patterns::shuffle_orders(n_servers, &mut rng);
             sim.shuffle = Some(ShuffleState {
                 orders,
+                pos: vec![0; n_servers],
                 active: vec![0; n_servers],
                 concurrency: sh.concurrency,
                 bytes: sh.bytes,

@@ -22,10 +22,13 @@ use presto_endhost::{
 };
 use presto_metrics::TimeSeries;
 use presto_netsim::{
-    FlowKey, HostId, LinkId, NetEvent, NetScheduler, Packet, PacketKind, PacketPool, SwitchId,
-    Topology,
+    DomainPartition, FlowKey, HostId, LinkId, NetEvent, NetScheduler, Packet, PacketKind,
+    PacketPool, SwitchId, Topology,
 };
-use presto_simcore::{EventQueue, SimDuration, SimTime};
+use presto_simcore::{
+    EventQueue, FxHashMap, QueueProfile, ShardStats, ShardTarget, ShardedQueue, SimDuration,
+    SimTime,
+};
 use presto_telemetry::{
     shared_sink, CounterEntry, DropReason, FailoverStage, QueueDepthSummary, QueueProfileEntry,
     SharedSink, TelemetryConfig, TelemetryReport, TraceEvent,
@@ -127,6 +130,125 @@ pub fn classify_event(ev: &Event) -> usize {
     }
 }
 
+/// Flattened domain lookup tables for the sharded engine, derived from a
+/// [`DomainPartition`] (DESIGN.md §12).
+struct DomainMap {
+    host: Vec<usize>,
+    link_src: Vec<usize>,
+    link_dst: Vec<usize>,
+}
+
+impl From<&DomainPartition> for DomainMap {
+    fn from(p: &DomainPartition) -> Self {
+        DomainMap {
+            host: p.host_domain.clone(),
+            link_src: p.link_src_domain.clone(),
+            link_dst: p.link_dst_domain.clone(),
+        }
+    }
+}
+
+/// Which shard wheel an event executes on.
+///
+/// Fabric events pin to the domain of the node doing the work: a `TxDone`
+/// runs at the link's source, an `Arrive` at its destination. Host-local
+/// events pin to the host's domain. Timer-like events (`Rto`,
+/// `ShuffleMore`, …) follow the context that armed them — they only ever
+/// touch state of the host whose handler armed them, so `Current` keeps
+/// them on that host's wheel (or the global lane during setup). Purely
+/// global bookkeeping (warmup, faults, the controller) stays on the
+/// global lane, whose events every domain observes.
+fn classify_domain(ev: &Event, m: &DomainMap) -> ShardTarget {
+    match ev {
+        Event::Net(NetEvent::TxDone { link }) => ShardTarget::Domain(m.link_src[link.index()]),
+        Event::Net(NetEvent::Arrive { link, .. }) => ShardTarget::Domain(m.link_dst[link.index()]),
+        Event::NicPoll(h) | Event::GroTimer(h) | Event::CpuDone(h, _) | Event::EgressDrain(h) => {
+            ShardTarget::Domain(m.host[h.index()])
+        }
+        Event::Rto(..)
+        | Event::FlowStart(_)
+        | Event::MiceNext(_)
+        | Event::ProbeSend(_)
+        | Event::ShuffleMore(_) => ShardTarget::Current,
+        Event::CpuSample | Event::WarmupMark | Event::Fault(_) | Event::ControllerNotify(_) => {
+            ShardTarget::Global
+        }
+    }
+}
+
+/// The simulation's event queue: the untouched serial calendar wheel at
+/// `shards == 1`, or the conservatively synchronized sharded engine.
+/// Either way the contract is identical — global (time, seq) pop order —
+/// so digests are byte-identical across engines by construction.
+enum EngineQueue {
+    Serial(EventQueue<Event>),
+    Sharded {
+        queue: ShardedQueue<Event>,
+        map: DomainMap,
+    },
+}
+
+impl EngineQueue {
+    fn push(&mut self, time: SimTime, ev: Event) {
+        match self {
+            EngineQueue::Serial(q) => q.push(time, ev),
+            EngineQueue::Sharded { queue, map } => {
+                let target = classify_domain(&ev, map);
+                queue.push(time, target, ev);
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Event)> {
+        match self {
+            EngineQueue::Serial(q) => q.pop(),
+            EngineQueue::Sharded { queue, .. } => queue.pop(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EngineQueue::Serial(q) => q.len(),
+            EngineQueue::Sharded { queue, .. } => queue.len(),
+        }
+    }
+
+    fn high_water_mark(&self) -> usize {
+        match self {
+            EngineQueue::Serial(q) => q.high_water_mark(),
+            EngineQueue::Sharded { queue, .. } => queue.high_water_mark(),
+        }
+    }
+
+    fn enable_profiler(&mut self, names: &'static [&'static str], classify: fn(&Event) -> usize) {
+        match self {
+            EngineQueue::Serial(q) => q.enable_profiler(names, classify),
+            EngineQueue::Sharded { queue, .. } => queue.enable_profiler(names, classify),
+        }
+    }
+
+    fn profile(&self) -> Option<&QueueProfile> {
+        match self {
+            EngineQueue::Serial(q) => q.profile(),
+            EngineQueue::Sharded { queue, .. } => queue.profile(),
+        }
+    }
+
+    fn shard_stats(&self) -> Option<ShardStats> {
+        match self {
+            EngineQueue::Serial(_) => None,
+            EngineQueue::Sharded { queue, .. } => Some(queue.stats()),
+        }
+    }
+
+    fn shards(&self) -> usize {
+        match self {
+            EngineQueue::Serial(_) => 1,
+            EngineQueue::Sharded { queue, .. } => queue.domains(),
+        }
+    }
+}
+
 /// Telemetry plumbing attached to a running simulation by
 /// [`Simulation::enable_telemetry`].
 ///
@@ -148,7 +270,7 @@ pub struct TelemetryState {
     util_sum: Vec<f64>,
     /// Last flowcell tag seen per flow, to emit `FlowcellEmitted` once per
     /// cell rather than once per segment.
-    last_cell: HashMap<FlowKey, u64>,
+    last_cell: FxHashMap<FlowKey, u64>,
 }
 
 /// One host's soft edge.
@@ -178,7 +300,7 @@ pub struct HostNode {
 #[derive(Default)]
 pub struct HostEgress {
     order: std::collections::VecDeque<FlowKey>,
-    queues: HashMap<FlowKey, std::collections::VecDeque<TxSegment>>,
+    queues: FxHashMap<FlowKey, std::collections::VecDeque<TxSegment>>,
     drain_at: Option<SimTime>,
     /// Segments staged over the host's lifetime (instrumentation).
     pub staged_total: u64,
@@ -192,7 +314,11 @@ impl HostEgress {
     fn stage(&mut self, seg: TxSegment) {
         self.staged_total += 1;
         let q = self.queues.entry(seg.flow).or_default();
-        if q.is_empty() && !self.order.contains(&seg.flow) {
+        // A flow sits in `order` iff its queue is non-empty (`pop` removes
+        // drained queues), so the emptiness check alone decides membership
+        // — no O(n) scan of `order` per staged segment.
+        if q.is_empty() {
+            debug_assert!(!self.order.contains(&seg.flow));
             self.order.push_back(seg.flow);
         }
         q.push_back(seg);
@@ -265,7 +391,7 @@ pub struct Pinger {
     /// Probe flow (dport 7).
     pub flow: FlowKey,
     interval: SimDuration,
-    outstanding: HashMap<u64, SimTime>,
+    outstanding: FxHashMap<u64, SimTime>,
     next_id: u64,
 }
 
@@ -297,8 +423,11 @@ pub struct PendingFlow {
 
 /// Shuffle workload state: per-source destination queues.
 pub struct ShuffleState {
-    /// Remaining destinations per source.
+    /// Destination order per source; consumed via [`ShuffleState::pos`]
+    /// rather than `remove(0)` so starting a transfer is O(1).
     pub orders: Vec<Vec<usize>>,
+    /// Next unstarted index into `orders[src]`, per source.
+    pub pos: Vec<usize>,
     /// Transfers in flight per source.
     pub active: Vec<usize>,
     /// Max concurrent transfers per source (paper: 2).
@@ -495,7 +624,7 @@ struct Scratch {
 pub struct Simulation {
     /// Current simulated time.
     pub now: SimTime,
-    queue: EventQueue<Event>,
+    queue: EngineQueue,
     /// The network.
     pub topo: Topology,
     /// Per-host soft edges, indexed by host id.
@@ -504,22 +633,27 @@ pub struct Simulation {
     pub tcp_conns: Vec<TcpConnState>,
     /// MPTCP connections.
     pub mptcp_conns: Vec<MptcpConnState>,
-    flow_senders: HashMap<FlowKey, SenderRef>,
-    receivers: HashMap<FlowKey, TcpReceiver>,
+    flow_senders: FxHashMap<FlowKey, SenderRef>,
+    receivers: FxHashMap<FlowKey, TcpReceiver>,
     /// RTT probers.
     pub pingers: Vec<Pinger>,
-    probe_flows: HashMap<FlowKey, usize>,
+    probe_flows: FxHashMap<FlowKey, usize>,
     /// Flows awaiting their start event.
     pub pending_flows: Vec<PendingFlow>,
     /// Mice series.
     pub mice_series: Vec<MiceSeries>,
     /// Shuffle state, if the workload is a shuffle.
     pub shuffle: Option<ShuffleState>,
-    sports: HashMap<(u32, u32), u16>,
+    sports: FxHashMap<(u32, u32), u16>,
     /// Scheme in force.
     pub scheme: SchemeSpec,
     /// Controller, for Presto-style schemes.
     pub controller: Option<Controller>,
+    /// Per-source destinations whose label sequences were installed
+    /// (ascending host id), set when scenario construction scopes label
+    /// state to communicating pairs. Empty means "every pair" — the
+    /// legacy behavior for simulations assembled by hand.
+    pub label_pairs: Vec<Vec<HostId>>,
     /// TCP configuration applied to new connections.
     pub tcp_cfg: TcpConfig,
     /// End of simulated time.
@@ -550,7 +684,7 @@ pub struct Simulation {
 /// host deliveries into a drain buffer processed after each fabric call.
 struct Sched<'a> {
     now: SimTime,
-    queue: &'a mut EventQueue<Event>,
+    queue: &'a mut EngineQueue,
     delivered: &'a mut Vec<(HostId, Packet)>,
 }
 
@@ -573,36 +707,62 @@ pub fn default_cc() -> Box<dyn CongestionControl> {
 }
 
 impl Simulation {
-    /// A simulator over `topo` with per-host edges supplied by `mk_host`.
+    /// A simulator over `topo` with per-host edges supplied by `mk_host`,
+    /// on the serial engine.
     pub fn new(
+        topo: Topology,
+        scheme: SchemeSpec,
+        mk_host: impl FnMut(HostId) -> HostNode,
+        end: SimTime,
+        warmup: SimTime,
+    ) -> Self {
+        Self::with_shards(topo, scheme, mk_host, end, warmup, 1)
+    }
+
+    /// [`Simulation::new`] on `shards` event-queue domains. `shards == 1`
+    /// keeps the serial engine; more split the fabric into per-pod
+    /// domains with conservatively synchronized wheels (DESIGN.md §12).
+    /// Digests are byte-identical at any shard count.
+    pub fn with_shards(
         topo: Topology,
         scheme: SchemeSpec,
         mut mk_host: impl FnMut(HostId) -> HostNode,
         end: SimTime,
         warmup: SimTime,
+        shards: usize,
     ) -> Self {
         let hosts: Vec<HostNode> = topo.hosts.iter().map(|&h| mk_host(h)).collect();
         let tcp_cfg = TcpConfig {
             max_tso: scheme.max_tso,
             ..TcpConfig::default()
         };
+        let queue = if shards <= 1 {
+            EngineQueue::Serial(EventQueue::new())
+        } else {
+            let part = topo.partition(shards);
+            EngineQueue::Sharded {
+                queue: ShardedQueue::new(shards, part.lookahead),
+                map: DomainMap::from(&part),
+            }
+        };
         let mut sim = Simulation {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue,
             topo,
             hosts,
             tcp_conns: Vec::new(),
             mptcp_conns: Vec::new(),
-            flow_senders: HashMap::new(),
-            receivers: HashMap::new(),
+            flow_senders: FxHashMap::default(),
+            receivers: FxHashMap::default(),
             pingers: Vec::new(),
-            probe_flows: HashMap::new(),
+            probe_flows: FxHashMap::default(),
             pending_flows: Vec::new(),
             mice_series: Vec::new(),
             shuffle: None,
-            sports: HashMap::new(),
+            sports: FxHashMap::default(),
             scheme,
             controller: None,
+            label_pairs: Vec::new(),
             tcp_cfg,
             end,
             warmup,
@@ -668,7 +828,7 @@ impl Simulation {
             depth_samples: vec![Vec::new(); nlinks],
             last_tx_bytes: vec![0; nlinks],
             util_sum: vec![0.0; nlinks],
-            last_cell: HashMap::new(),
+            last_cell: FxHashMap::default(),
             sink,
             cfg,
         });
@@ -677,6 +837,17 @@ impl Simulation {
     /// Is the telemetry layer attached?
     pub fn telemetry_enabled(&self) -> bool {
         self.telemetry.is_some()
+    }
+
+    /// Number of event-queue domains (1 = serial engine).
+    pub fn shards(&self) -> usize {
+        self.queue.shards()
+    }
+
+    /// Sharded-engine synchronization counters (epochs, cross-domain
+    /// handoffs); `None` on the serial engine.
+    pub fn shard_stats(&self) -> Option<ShardStats> {
+        self.queue.shard_stats()
     }
 
     /// Advance the sampling grid up to (and including) `t`, taking one
@@ -809,7 +980,7 @@ impl Simulation {
         self.pingers.push(Pinger {
             flow,
             interval,
-            outstanding: HashMap::new(),
+            outstanding: FxHashMap::default(),
             next_id: 0,
         });
         self.probe_flows.insert(flow, idx);
@@ -1445,8 +1616,17 @@ impl Simulation {
             return;
         }
         let hosts: Vec<HostId> = self.topo.hosts.clone();
-        for &src in &hosts {
-            for &dst in &hosts {
+        let pairs: Vec<(HostId, Vec<HostId>)> = if self.label_pairs.is_empty() {
+            hosts.iter().map(|&src| (src, hosts.clone())).collect()
+        } else {
+            self.label_pairs
+                .iter()
+                .enumerate()
+                .map(|(s, dsts)| (HostId(s as u32), dsts.clone()))
+                .collect()
+        };
+        for (src, dsts) in pairs {
+            for dst in dsts {
                 if src == dst || self.topo.same_leaf(src, dst) {
                     continue;
                 }
@@ -1478,11 +1658,13 @@ impl Simulation {
         loop {
             let (dst, bytes) = {
                 let Some(sh) = &mut self.shuffle else { return };
-                if sh.active[src] >= sh.concurrency || sh.orders[src].is_empty() {
+                if sh.active[src] >= sh.concurrency || sh.pos[src] >= sh.orders[src].len() {
                     return;
                 }
                 sh.active[src] += 1;
-                (sh.orders[src].remove(0), sh.bytes)
+                let dst = sh.orders[src][sh.pos[src]];
+                sh.pos[src] += 1;
+                (dst, sh.bytes)
             };
             self.start_flow(src, dst, Some(bytes), false, Some(src));
         }

@@ -168,10 +168,19 @@ fn cmd_ls(rest: &[String]) -> Result<ExitCode, String> {
             .values()
             .filter(|r| r.status == presto_lab::RowStatus::Failed)
             .count();
+        let wall_ms: f64 = rows.values().map(|r| r.wall_ms).sum();
+        let events: u64 = rows.values().map(|r| r.events).sum();
+        let rate = if wall_ms > 0.0 {
+            events as f64 * 1e3 / wall_ms
+        } else {
+            0.0
+        };
         let table = store.campaign_dir(&name).join("table.json");
         println!(
-            "{name}: {} cached point(s), {failed} failed{}",
+            "{name}: {} cached point(s), {failed} failed, {:.1} s wall, {:.0} events/s{}",
             rows.len(),
+            wall_ms / 1e3,
+            rate,
             if table.exists() {
                 format!(", table {}", table.display())
             } else {

@@ -1,0 +1,119 @@
+//! Sharded-engine smoke checker: one scenario, any shard count.
+//!
+//! Runs a paper-grid-style stride workload on a 3-tier fabric with the
+//! requested event-queue shard count and prints a single machine-readable
+//! line:
+//!
+//! ```text
+//! digest=0x… events=… wall_ms=… events_per_sec=…
+//! ```
+//!
+//! `ci/shard_smoke.sh` runs this at `--shards 1` and `--shards 8` and
+//! diffs the digests — any divergence fails CI, enforcing the sharded
+//! engine's byte-identical-replay contract end to end. The fabric shape
+//! flags also let it drive the large-scale completion check (32 pods ×
+//! 16 ToRs × 16 hosts = 8192 servers).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use presto::prelude::*;
+use presto_testbed::stride_elephants;
+
+const USAGE: &str = "usage: shard_check [--shards N] [--pods P] [--tors T] [--hosts H] \
+     [--aggs A] [--flows F] [--stride K] [--duration-ms D] [--warmup-ms W] [--seed S]";
+
+struct Opts {
+    shards: usize,
+    pods: usize,
+    tors: usize,
+    hosts: usize,
+    aggs: usize,
+    flows: usize,
+    stride: usize,
+    duration_ms: u64,
+    warmup_ms: u64,
+    seed: u64,
+}
+
+fn parse(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        shards: 1,
+        pods: 8,
+        tors: 2,
+        hosts: 4,
+        aggs: 2,
+        flows: 16,
+        stride: 8,
+        duration_ms: 20,
+        warmup_ms: 5,
+        seed: 1,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let val = |v: Option<&String>| -> Result<u64, String> {
+            v.ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{flag}: {e}\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--shards" => o.shards = val(it.next())? as usize,
+            "--pods" => o.pods = val(it.next())? as usize,
+            "--tors" => o.tors = val(it.next())? as usize,
+            "--hosts" => o.hosts = val(it.next())? as usize,
+            "--aggs" => o.aggs = val(it.next())? as usize,
+            "--flows" => o.flows = val(it.next())? as usize,
+            "--stride" => o.stride = val(it.next())? as usize,
+            "--duration-ms" => o.duration_ms = val(it.next())?,
+            "--warmup-ms" => o.warmup_ms = val(it.next())?,
+            "--seed" => o.seed = val(it.next())?,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let n = o.pods * o.tors * o.hosts;
+    let mut flows = stride_elephants(n, o.stride);
+    flows.truncate(o.flows);
+    let scenario = Scenario::builder(SchemeSpec::presto(), o.seed)
+        .three_tier(ThreeTierSpec {
+            pods: o.pods,
+            tors_per_pod: o.tors,
+            hosts_per_tor: o.hosts,
+            aggs_per_pod: o.aggs,
+            ..Default::default()
+        })
+        .duration(SimDuration::from_millis(o.duration_ms))
+        .warmup(SimDuration::from_millis(o.warmup_ms))
+        .elephants(flows)
+        .shards(o.shards)
+        .name(format!("shard_check/sh{}", o.shards))
+        .build();
+    let start = Instant::now();
+    let report = scenario.run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let rate = if wall_ms > 0.0 {
+        report.events_processed as f64 * 1e3 / wall_ms
+    } else {
+        0.0
+    };
+    println!(
+        "digest={:#018x} events={} wall_ms={:.1} events_per_sec={:.0}",
+        report.digest(),
+        report.events_processed,
+        wall_ms,
+        rate
+    );
+    ExitCode::SUCCESS
+}

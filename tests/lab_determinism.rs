@@ -57,6 +57,7 @@ fn cached_rows_match_fresh_digests_across_workers_and_telemetry() {
                     fault: None,
                     flowcell_kb: None,
                     seed: None,
+                    shards: None,
                 });
                 // An unconstrained matcher is rejected by the TOML layer
                 // but fine programmatically.
@@ -88,6 +89,54 @@ fn cached_rows_match_fresh_digests_across_workers_and_telemetry() {
     }
 }
 
+/// Sharded grid points carry the serial engine's digests, and their
+/// cached rows are bit-exact against fresh sharded executions.
+#[test]
+fn sharded_points_share_serial_digests_and_cache_bit_exactly() {
+    let mut campaign = grid();
+    campaign.name = "det-sharded".into();
+    campaign.shards = vec![1, 2, 8];
+    let points = campaign.expand().unwrap();
+    assert_eq!(points.len(), 12, "2 schemes × 2 seeds × 3 shard counts");
+
+    let (dir, store) = temp_store("sharded");
+    let fresh = LabRunner::new(&store, RunOptions::default())
+        .run(&campaign)
+        .unwrap();
+    assert!(fresh.rows.iter().all(|r| r.status == RowStatus::Ok));
+
+    // Every shard count of a (scheme, seed) cell reports the serial
+    // digest: group rows by label minus the /shN suffix.
+    for (p, row) in points.iter().zip(&fresh.rows) {
+        let serial = fresh
+            .rows
+            .iter()
+            .zip(&points)
+            .find(|(_, q)| q.shards == 1 && (q.scheme, q.seed) == (p.scheme, p.seed))
+            .map(|(r, _)| r.digest)
+            .unwrap();
+        assert_eq!(
+            row.digest, serial,
+            "{}: sharded digest diverged from the serial engine",
+            row.label
+        );
+        assert!(row.events_per_sec > 0.0, "{}: rate recorded", row.label);
+    }
+
+    // Cached re-run: zero executions, rows (including wall/events-per-sec,
+    // which cache hits preserve verbatim) and table bytes identical.
+    let cached = LabRunner::new(&store, RunOptions::default())
+        .run(&campaign)
+        .unwrap();
+    assert_eq!(cached.executed, 0);
+    assert_eq!(cached.rows, fresh.rows);
+    assert_eq!(
+        fs::read(&cached.table_json).unwrap(),
+        fs::read(&fresh.table_json).unwrap()
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// An interrupted campaign resumes: points finished before the
 /// interruption are cache hits, only the remainder executes, and the
 /// final table equals an uninterrupted run's.
@@ -115,12 +164,14 @@ fn interrupted_campaign_resumes_from_the_store() {
         .unwrap();
     assert_eq!(resumed.cached, 2, "the finished half is not re-executed");
     assert_eq!(resumed.executed, 2, "only the remainder runs");
-    // Wall-clock time is the one legitimately non-deterministic field.
+    // Wall-clock time (and the events/s rate derived from it) is the one
+    // legitimately non-deterministic part of a row.
     let strip_wall = |rows: &[presto_lab::Row]| {
         rows.iter()
             .cloned()
             .map(|mut r| {
                 r.wall_ms = 0.0;
+                r.events_per_sec = 0.0;
                 r
             })
             .collect::<Vec<_>>()
