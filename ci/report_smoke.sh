@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the presto-report figure subsystem.
+#
+# The observability contract from DESIGN.md §13:
+#   1. Run the committed paper grid into a scratch store (traces on).
+#   2. `lab report` it against the committed baseline table — the report,
+#      figures and trace viewer must render, and the diff must pass.
+#   3. Every figure artifact (canonical .txt AND rendered .svg) must be
+#      byte-identical to the committed goldens under
+#      baselines/figures/paper_grid/ — figures are regression-gated
+#      exactly like report digests. Re-bless intentional changes with:
+#        lab run campaigns/paper_grid.toml --store S && \
+#        lab report paper_grid --store S && \
+#        cp S/paper_grid/report/figures/* baselines/figures/paper_grid/
+#   4. The report and viewer must be single self-contained files (no
+#      external fetches), so they can be passed around as CI artifacts.
+#
+# The rendered report is left in $REPORT_OUT (default: a scratch dir)
+# for the CI workflow to upload as an artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CAMPAIGN=campaigns/paper_grid.toml
+BASELINE=baselines/paper_grid.json
+GOLDENS=baselines/figures/paper_grid
+STORE=$(mktemp -d)
+REPORT_OUT="${REPORT_OUT:-$STORE/report}"
+trap 'rm -rf "$STORE"' EXIT
+
+echo "==> build the lab CLI (profile lab: release + unwind)"
+cargo build --quiet --profile lab --bin lab
+LAB=target/lab/lab
+
+echo "==> run the committed paper grid (fresh store, traces on)"
+"$LAB" run "$CAMPAIGN" --store "$STORE/run" --quiet
+
+echo "==> render the report (diff vs committed baseline must pass)"
+"$LAB" report paper_grid --store "$STORE/run" --out "$REPORT_OUT" \
+    --baseline "$BASELINE" --viewer
+
+echo "==> figure artifacts must match the committed goldens byte-for-byte"
+if ! diff -r "$GOLDENS" "$REPORT_OUT/figures"; then
+    echo "FAIL: figure artifacts drifted from $GOLDENS" >&2
+    echo "      (if the change is intended, re-bless per the header of $0)" >&2
+    exit 1
+fi
+count=$(ls "$GOLDENS" | wc -l)
+echo "    $count golden artifact(s) identical"
+
+echo "==> report and viewer are single self-contained files"
+for page in "$REPORT_OUT/index.html" "$REPORT_OUT/viewer.html"; do
+    [ -s "$page" ] || { echo "FAIL: $page missing or empty" >&2; exit 1; }
+    if grep -Eq 'src="http|href="http|<script src|<link rel="stylesheet" href' "$page"; then
+        echo "FAIL: $page references external resources" >&2
+        exit 1
+    fi
+done
+echo "    no external references"
+
+echo "report smoke: OK (report at $REPORT_OUT)"

@@ -114,6 +114,16 @@ impl PointSpec {
     /// Build the scenario for this point. The run label is the point
     /// label, so results and narration self-identify.
     pub fn to_scenario(&self) -> Scenario {
+        self.to_scenario_with(|b| b)
+    }
+
+    /// [`Self::to_scenario`] with a final hook over the builder, for
+    /// callers that need to attach settings outside the grid axes (e.g.
+    /// a custom [`presto_telemetry::TelemetryConfig`]).
+    pub fn to_scenario_with(
+        &self,
+        customize: impl FnOnce(presto_testbed::ScenarioBuilder) -> presto_testbed::ScenarioBuilder,
+    ) -> Scenario {
         let mut spec = self.scheme.to_spec();
         spec.flowcell_bytes = self.flowcell_kb * 1024;
         let n = self.topo.n_servers();
@@ -152,7 +162,7 @@ impl PointSpec {
                 MIX_CLAMP,
             )),
         };
-        b.shards(self.shards).name(self.label()).build()
+        customize(b.shards(self.shards).name(self.label())).build()
     }
 
     /// The content address of this point: the fingerprint of its scenario.

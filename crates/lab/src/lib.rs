@@ -37,4 +37,4 @@ pub use axes::{FaultId, SchemeId, TopoId, WorkloadId};
 pub use campaign::{Campaign, PointMatch, PointOverride, PointSpec};
 pub use diff::{diff_tables, DiffReport, Tolerances};
 pub use runner::{CampaignOutcome, LabRunner, RunOptions};
-pub use store::{read_table, ResultsStore, Row, RowStatus};
+pub use store::{read_table, sort_rows_for_ls, LsSort, ResultsStore, Row, RowStatus};

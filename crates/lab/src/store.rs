@@ -387,6 +387,48 @@ pub fn rows_to_csv(rows: &[&Row]) -> String {
     out
 }
 
+/// Sort order of `lab ls <campaign>` row listings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LsSort {
+    /// Label ascending (the default; matches grid order lexically).
+    Label,
+    /// Wall-clock time descending — slowest points first.
+    Wall,
+    /// Engine events/s descending — fastest points first.
+    Rate,
+}
+
+impl LsSort {
+    /// Parse a `--sort` value.
+    pub fn parse(raw: &str) -> Option<LsSort> {
+        match raw {
+            "label" => Some(LsSort::Label),
+            "wall" => Some(LsSort::Wall),
+            "rate" => Some(LsSort::Rate),
+            _ => None,
+        }
+    }
+}
+
+/// Sort rows for listing. Numeric orders are descending (the interesting
+/// rows — slowest or fastest — surface first) with label as tiebreaker,
+/// so the output is total and deterministic.
+pub fn sort_rows_for_ls(rows: &mut [Row], sort: LsSort) {
+    match sort {
+        LsSort::Label => rows.sort_by(|a, b| a.label.cmp(&b.label)),
+        LsSort::Wall => rows.sort_by(|a, b| {
+            b.wall_ms
+                .total_cmp(&a.wall_ms)
+                .then_with(|| a.label.cmp(&b.label))
+        }),
+        LsSort::Rate => rows.sort_by(|a, b| {
+            b.events_per_sec
+                .total_cmp(&a.events_per_sec)
+                .then_with(|| a.label.cmp(&b.label))
+        }),
+    }
+}
+
 /// Read a table artifact (`table.json` — one row per line) back into rows
 /// in file order.
 pub fn read_table(path: &Path) -> Result<Vec<Row>, String> {
@@ -490,6 +532,37 @@ mod tests {
         store.append("demo", &row).unwrap();
         assert_eq!(store.load("demo").unwrap()["ef56"].goodput_gbps, 9.9);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ls_sorts_are_total_and_deterministic() {
+        let mut a = sample_row();
+        a.label = "a".into();
+        a.wall_ms = 10.0;
+        a.events_per_sec = 100.0;
+        let mut b = sample_row();
+        b.label = "b".into();
+        b.wall_ms = 30.0;
+        b.events_per_sec = 300.0;
+        let mut c = sample_row();
+        c.label = "c".into();
+        c.wall_ms = 30.0; // ties with b → label breaks the tie
+        c.events_per_sec = 200.0;
+        let mut rows = vec![c.clone(), a.clone(), b.clone()];
+        sort_rows_for_ls(&mut rows, LsSort::Label);
+        assert_eq!(labels(&rows), ["a", "b", "c"]);
+        sort_rows_for_ls(&mut rows, LsSort::Wall);
+        assert_eq!(labels(&rows), ["b", "c", "a"]);
+        sort_rows_for_ls(&mut rows, LsSort::Rate);
+        assert_eq!(labels(&rows), ["b", "c", "a"]);
+        assert_eq!(LsSort::parse("wall"), Some(LsSort::Wall));
+        assert_eq!(LsSort::parse("rate"), Some(LsSort::Rate));
+        assert_eq!(LsSort::parse("label"), Some(LsSort::Label));
+        assert_eq!(LsSort::parse("speed"), None);
+    }
+
+    fn labels(rows: &[Row]) -> Vec<&str> {
+        rows.iter().map(|r| r.label.as_str()).collect()
     }
 
     #[test]

@@ -56,6 +56,30 @@ impl MetricSummary {
     pub fn of_slice(values: &[f64]) -> Self {
         Self::of(&values.iter().copied().collect())
     }
+
+    /// The summary as `(quantile, value)` points — the staircase a CDF
+    /// figure can plot when only the compact summary survives (campaign
+    /// result rows persist summaries, not raw samples). Empty when the
+    /// summary covers no samples.
+    ///
+    /// The destructure is exhaustive on purpose: adding a field to
+    /// `MetricSummary` without deciding whether figures plot it is a
+    /// compile error here, not a silently poorer figure.
+    pub fn quantile_points(&self) -> Vec<(f64, f64)> {
+        let MetricSummary {
+            count,
+            mean: _, // not a quantile; figures carry it separately
+            min,
+            p50,
+            p90,
+            p99,
+            max,
+        } = *self;
+        if count == 0 {
+            return Vec::new();
+        }
+        vec![(0.0, min), (0.5, p50), (0.9, p90), (0.99, p99), (1.0, max)]
+    }
 }
 
 impl std::fmt::Display for MetricSummary {
@@ -89,6 +113,21 @@ mod tests {
         assert_eq!(s.p50, 50.5, "linear interpolation over n-1 ranks");
         assert!((s.p99 - 99.01).abs() < 1e-9);
         assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_points_follow_the_summary() {
+        let values: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let s = MetricSummary::of_slice(&values);
+        let pts = s.quantile_points();
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], (0.0, s.min));
+        assert_eq!(pts[2], (0.9, s.p90));
+        assert_eq!(pts[4], (1.0, s.max));
+        for w in pts.windows(2) {
+            assert!(w[1].0 > w[0].0 && w[1].1 >= w[0].1, "monotone staircase");
+        }
+        assert!(MetricSummary::default().quantile_points().is_empty());
     }
 
     #[test]

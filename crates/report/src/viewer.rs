@@ -1,0 +1,229 @@
+//! The self-contained HTML trace viewer.
+//!
+//! `lab report --viewer` grows the Chrome-trace export into a one-file
+//! timeline: the raw telemetry JSONL of every traced point is embedded
+//! in the document as a JavaScript string, and a small inline script
+//! renders it on a canvas — one lane per event type, wheel zoom around
+//! the cursor, drag to pan, drop/flush events colored by their reason.
+//! No external assets, no network: the file works from `file://` and as
+//! a CI artifact, unlike the Chrome-trace export which needs Perfetto.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escape a string into a double-quoted JavaScript string literal body.
+/// `<` becomes `\u003c` so embedded JSONL can never terminate the
+/// surrounding `<script>` element (the `</script` sequence is the only
+/// thing the HTML parser looks for inside script data).
+pub fn js_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 16);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '<' => out.push_str("\\u003c"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the viewer document. `traces` maps point label → raw telemetry
+/// JSONL (exactly the bytes of the store's trace artifact).
+pub fn render_viewer(traces: &BTreeMap<String, String>) -> String {
+    let mut out =
+        String::with_capacity(16 * 1024 + traces.values().map(String::len).sum::<usize>());
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    out.push_str("<title>Presto trace viewer</title>\n<style>\n");
+    out.push_str(CSS);
+    out.push_str("</style>\n</head>\n<body>\n<h1>Presto trace viewer</h1>\n");
+    out.push_str(
+        "<div id=\"bar\"><select id=\"trace\"></select> \
+         <button id=\"reset\">reset zoom</button> \
+         <span id=\"status\">wheel: zoom · drag: pan</span></div>\n",
+    );
+    out.push_str("<canvas id=\"tl\" width=\"1200\" height=\"520\"></canvas>\n");
+    out.push_str("<div id=\"legend\"></div>\n");
+    out.push_str("<script>\nconst TRACES = {\n");
+    for (label, jsonl) in traces {
+        let _ = writeln!(out, "\"{}\": \"{}\",", js_escape(label), js_escape(jsonl));
+    }
+    out.push_str("};\n");
+    out.push_str(JS);
+    out.push_str("</script>\n</body>\n</html>\n");
+    out
+}
+
+const CSS: &str = "\
+body{font-family:sans-serif;margin:16px;color:#222}
+h1{font-size:18px}
+#bar{margin-bottom:8px;font-size:13px}
+#status{color:#666;margin-left:12px}
+canvas{border:1px solid #ccc;width:100%;max-width:1200px}
+#legend{font-size:12px;margin-top:6px;max-width:1200px}
+#legend span{margin-right:14px;white-space:nowrap}
+#legend i{display:inline-block;width:10px;height:10px;margin-right:4px;border-radius:2px}
+";
+
+// The timeline script. Pure canvas drawing over parsed JSONL; everything
+// below must stay dependency-free and inline.
+const JS: &str = r##"
+const LANE_COLORS = {
+  PacketEnqueued: "#9bbbdc", PacketDropped: "#c0392b", GroHold: "#b8860b",
+  GroFlush: "#3d9142", FlowcellEmitted: "#3572b0", Retransmit: "#8e5bb5",
+  FaultApplied: "#222222", ControllerNotified: "#1a9e8f",
+  LinkOccupancySample: "#cccccc", EventQueueSample: "#dddddd",
+};
+// Reason palettes: loss-indicating causes in reds, boundary/reordering
+// causes in oranges, benign causes in greens/greys (the FlushReason and
+// DropReason taxonomies of the telemetry crate).
+const REASON_COLORS = {
+  QueueFull: "#c0392b", Admission: "#e74c3c", NoRoute: "#7b241c", RingOverflow: "#8e5bb5",
+  InFlowcellGap: "#c0392b", OutOfOrderEject: "#e74c3c",
+  BoundaryGapFilled: "#dd7e2c", BoundaryTimeout: "#e79a3c", BoundaryEject: "#b8641b",
+  InOrder: "#3d9142", CrossCellRetx: "#b8860b", Retransmit: "#8e5bb5",
+  StaleFlowcell: "#6b6b6b", SizeCapEject: "#1a9e8f", EndOfPoll: "#9aa5ad",
+};
+const canvas = document.getElementById("tl");
+const ctx2d = canvas.getContext("2d");
+const sel = document.getElementById("trace");
+const status = document.getElementById("status");
+let events = [], lanes = [], t0 = 0, t1 = 1, view0 = 0, view1 = 1;
+
+function parseTrace(text) {
+  const evs = [];
+  for (const line of text.split("\n")) {
+    if (!line.includes('"type":"event"')) continue;
+    let o; try { o = JSON.parse(line); } catch { continue; }
+    if (o.t_ns === undefined || !o.kind) continue;
+    evs.push(o);
+  }
+  return evs;
+}
+function loadTrace(name) {
+  events = parseTrace(TRACES[name] || "");
+  lanes = [...new Set(events.map(e => e.kind))];
+  t0 = events.length ? Math.min(...events.map(e => e.t_ns)) : 0;
+  t1 = events.length ? Math.max(...events.map(e => e.t_ns)) + 1 : 1;
+  view0 = t0; view1 = t1;
+  legend(); draw();
+}
+function legend() {
+  const el = document.getElementById("legend");
+  el.innerHTML = lanes.map(k =>
+    `<span><i style="background:${LANE_COLORS[k] || "#888"}"></i>${k}</span>`).join("") +
+    Object.entries(REASON_COLORS).map(([r, c]) =>
+      `<span><i style="background:${c}"></i>${r}</span>`).join("");
+}
+function xOf(t) { return 80 + (t - view0) / (view1 - view0) * (canvas.width - 100); }
+function draw() {
+  ctx2d.fillStyle = "#fff";
+  ctx2d.fillRect(0, 0, canvas.width, canvas.height);
+  const lh = Math.max(24, (canvas.height - 40) / Math.max(1, lanes.length));
+  ctx2d.font = "11px sans-serif";
+  lanes.forEach((k, i) => {
+    const y = 20 + i * lh;
+    ctx2d.fillStyle = i % 2 ? "#fafafa" : "#f2f2f2";
+    ctx2d.fillRect(80, y, canvas.width - 100, lh - 2);
+    ctx2d.fillStyle = "#333";
+    ctx2d.fillText(k, 4, y + lh / 2 + 3);
+  });
+  // Time ticks (ms).
+  ctx2d.fillStyle = "#666";
+  const span = view1 - view0;
+  const step = Math.pow(10, Math.floor(Math.log10(span / 6)));
+  for (let t = Math.ceil(view0 / step) * step; t <= view1; t += step) {
+    const x = xOf(t);
+    ctx2d.fillRect(x, 10, 1, canvas.height - 30);
+    ctx2d.fillText((t / 1e6).toPrecision(4) + " ms", x + 2, 10);
+  }
+  for (const e of events) {
+    if (e.t_ns < view0 || e.t_ns > view1) continue;
+    const i = lanes.indexOf(e.kind);
+    const color = (e.reason && REASON_COLORS[e.reason]) || LANE_COLORS[e.kind] || "#888";
+    ctx2d.fillStyle = color;
+    ctx2d.fillRect(xOf(e.t_ns), 22 + i * lh, 2, lh - 6);
+  }
+}
+canvas.addEventListener("wheel", ev => {
+  ev.preventDefault();
+  const frac = (ev.offsetX * canvas.width / canvas.clientWidth - 80) / (canvas.width - 100);
+  const pivot = view0 + frac * (view1 - view0);
+  const scale = ev.deltaY > 0 ? 1.25 : 0.8;
+  view0 = Math.max(t0, pivot - (pivot - view0) * scale);
+  view1 = Math.min(t1, pivot + (view1 - pivot) * scale);
+  draw();
+}, { passive: false });
+let dragX = null;
+canvas.addEventListener("mousedown", ev => { dragX = ev.offsetX; });
+window.addEventListener("mouseup", () => { dragX = null; });
+canvas.addEventListener("mousemove", ev => {
+  if (dragX !== null) {
+    const dt = (dragX - ev.offsetX) * (canvas.width / canvas.clientWidth)
+      * (view1 - view0) / (canvas.width - 100);
+    if (view0 + dt >= t0 && view1 + dt <= t1) { view0 += dt; view1 += dt; draw(); }
+    dragX = ev.offsetX;
+    return;
+  }
+  // Nearest event readout.
+  const px = ev.offsetX * canvas.width / canvas.clientWidth;
+  let best = null, bestD = 8;
+  for (const e of events) {
+    const d = Math.abs(xOf(e.t_ns) - px);
+    if (d < bestD) { bestD = d; best = e; }
+  }
+  status.textContent = best
+    ? `${(best.t_ns / 1e6).toFixed(3)} ms ${best.kind} ${JSON.stringify(best)}`
+    : "wheel: zoom · drag: pan";
+});
+document.getElementById("reset").addEventListener("click", () => {
+  view0 = t0; view1 = t1; draw();
+});
+for (const name of Object.keys(TRACES)) {
+  const opt = document.createElement("option");
+  opt.value = opt.textContent = name;
+  sel.appendChild(opt);
+}
+sel.addEventListener("change", () => loadTrace(sel.value));
+if (sel.options.length) loadTrace(sel.value);
+"##;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn js_escape_neutralizes_script_breakouts() {
+        let hostile = "{\"a\":\"</script><script>alert(1)\"}\nline2\\";
+        let escaped = js_escape(hostile);
+        assert!(!escaped.contains('<'), "{escaped}");
+        assert!(!escaped.contains('\n'));
+        assert!(escaped.contains("\\u003c/script"));
+        assert!(escaped.ends_with("\\\\"));
+    }
+
+    #[test]
+    fn viewer_embeds_every_trace_in_one_file() {
+        let mut traces = BTreeMap::new();
+        traces.insert(
+            "presto/testbed16/stride:8/none/cell64k/s1".into(),
+            "{\"type\":\"event\",\"t_ns\":5,\"kind\":\"GroFlush\",\"reason\":\"InOrder\"}\n"
+                .to_string(),
+        );
+        let html = render_viewer(&traces);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("presto/testbed16/stride:8/none/cell64k/s1"));
+        assert!(html.contains("GroFlush"));
+        assert!(
+            !html.contains("</script><"),
+            "embedded data cannot close the script element early"
+        );
+        assert!(!html.contains("src="), "self-contained");
+        assert_eq!(html, render_viewer(&traces), "deterministic bytes");
+    }
+}

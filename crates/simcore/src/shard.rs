@@ -36,7 +36,7 @@
 //! so `(time, seq)` keys are identical to the serial [`EventQueue`]'s.
 //!
 //! Storage is the same arena/SoA layout as [`EventQueue`]: wheels and
-//! mailboxes hold 24-byte keys, payloads live in one shared [`Arena`].
+//! mailboxes hold 24-byte keys, payloads live in one shared `Arena`.
 //!
 //! [`EventQueue`]: crate::events::EventQueue
 

@@ -37,7 +37,7 @@ pub mod json;
 pub mod report;
 
 pub use report::{
-    CounterEntry, FailoverStage, QueueDepthSummary, QueueProfileEntry, TelemetryReport,
+    CounterEntry, FailoverStage, FlushSplit, QueueDepthSummary, QueueProfileEntry, TelemetryReport,
     TOP_DROP_SITES,
 };
 

@@ -77,6 +77,29 @@ pub struct FailoverStage {
     pub tx_packets: u64,
 }
 
+/// GRO flush pushes bucketed by what they reveal — the Fig 5 split.
+///
+/// `loss` counts pushes caused by an in-flowcell sequence gap (a real
+/// drop), `reordering` counts pushes at flowcell boundaries (spraying
+/// artifacts Presto's GRO is designed to absorb), `other` is everything
+/// else (in-order merges, timeouts, capacity flushes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushSplit {
+    /// Pushes indicating genuine loss (in-flowcell gap).
+    pub loss: u64,
+    /// Pushes indicating spray-induced reordering (flowcell boundary).
+    pub reordering: u64,
+    /// All remaining pushes.
+    pub other: u64,
+}
+
+impl FlushSplit {
+    /// Total pushes across the three buckets.
+    pub fn total(&self) -> u64 {
+        self.loss + self.reordering + self.other
+    }
+}
+
 /// Per-event-type profile of the simulator event queue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueueProfileEntry {
@@ -270,6 +293,38 @@ fn parse_event(line: &str) -> Option<TraceRecord> {
 }
 
 impl TelemetryReport {
+    /// Bucket the flush-reason taxonomy into the loss / reordering /
+    /// other split the paper's Fig 5 plots. Figure extraction reads this
+    /// instead of re-deriving the taxonomy per call site.
+    pub fn flush_split(&self) -> FlushSplit {
+        let mut split = FlushSplit::default();
+        for r in FlushReason::ALL {
+            let n = self.flush_reasons[r.index()];
+            if r.indicates_loss() {
+                split.loss += n;
+            } else if r.indicates_reordering() {
+                split.reordering += n;
+            } else {
+                split.other += n;
+            }
+        }
+        split
+    }
+
+    /// Per-path share of sprayed flowcells (`spray_counts` normalized to
+    /// sum 1). Empty when nothing was sprayed — callers can skip the
+    /// figure instead of plotting a zero row.
+    pub fn spray_shares(&self) -> Vec<f64> {
+        let total: u64 = self.spray_counts.iter().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.spray_counts
+            .iter()
+            .map(|&n| n as f64 / total as f64)
+            .collect()
+    }
+
     /// Serialize to JSONL: one flat JSON object per line, fixed field and
     /// line order, byte-identical for identical reports.
     pub fn to_jsonl(&self) -> String {
@@ -766,6 +821,26 @@ mod tests {
         assert!(s.contains("[reordering: flowcell boundary]"));
         assert!(s.contains("link:3"), "top drop site listed");
         assert!(s.contains("path 1"), "spray histogram listed");
+    }
+
+    #[test]
+    fn flush_split_buckets_the_taxonomy() {
+        let rep = sample_report();
+        let split = rep.flush_split();
+        assert_eq!(split.loss, 3, "InFlowcellGap pushes");
+        assert_eq!(split.reordering, 17, "BoundaryGapFilled pushes");
+        assert_eq!(split.other, 100, "InOrder pushes");
+        assert_eq!(split.total(), rep.flush_reasons.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn spray_shares_normalize_or_vanish() {
+        let rep = sample_report();
+        let shares = rep.spray_shares();
+        assert_eq!(shares.len(), 4);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(shares[1], 12.0 / 42.0);
+        assert!(TelemetryReport::default().spray_shares().is_empty());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use presto_metrics::{fairness, Samples, TimeSeries};
+use presto_metrics::{fairness, MetricSummary, Samples, TimeSeries};
 use presto_telemetry::FailoverStage;
 
 /// Everything a paper figure needs from one run.
@@ -150,6 +150,16 @@ impl Report {
         h.finish()
     }
 
+    /// Mice-FCT quantile staircase for the figure layer, in milliseconds:
+    /// the exact `(quantile, value)` points `lab report` plots for this
+    /// run's CDF line. Computed through [`MetricSummary::of`] +
+    /// [`MetricSummary::quantile_points`] so live runs and cached store
+    /// rows (which persist only the summary) produce byte-identical
+    /// figures. Empty when the run had no mice.
+    pub fn fct_percentiles(&self) -> Vec<(f64, f64)> {
+        MetricSummary::of(&self.mice_fct_ms).quantile_points()
+    }
+
     /// Mean receiver CPU utilization (percent) across hosts that did any
     /// work.
     pub fn mean_cpu_util(&self) -> f64 {
@@ -281,6 +291,40 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         b.elephant_tputs[1] = 9.200000001;
         assert_ne!(a.digest(), b.digest(), "digest must see tiny changes");
+    }
+
+    /// Mirrors the `digest` exhaustive-destructure pattern for the figure
+    /// layer: every `MetricSummary` field must be either plotted by
+    /// `fct_percentiles` or explicitly excluded. Adding a percentile
+    /// field to `MetricSummary` without deciding how figures consume it
+    /// fails to compile here, so new metrics cannot silently skip the
+    /// report layer.
+    #[test]
+    fn fct_percentiles_consume_every_summary_field() {
+        let r = Report {
+            mice_fct_ms: (1..=100).map(|v| v as f64).collect(),
+            ..Report::default()
+        };
+        let MetricSummary {
+            count,
+            mean: _excluded_not_a_quantile,
+            min,
+            p50,
+            p90,
+            p99,
+            max,
+        } = MetricSummary::of(&r.mice_fct_ms);
+        assert_eq!(count, 100);
+        let pts = r.fct_percentiles();
+        assert_eq!(
+            pts,
+            vec![(0.0, min), (0.5, p50), (0.9, p90), (0.99, p99), (1.0, max)],
+            "the staircase must expose exactly the persisted quantiles"
+        );
+        assert!(
+            Report::default().fct_percentiles().is_empty(),
+            "mice-free runs plot no line"
+        );
     }
 
     #[test]

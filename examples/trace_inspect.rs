@@ -1,104 +1,24 @@
-//! Inspect a telemetry trace, or generate one live.
-//!
-//! ```text
-//! # Demo mode: run the Fig 5 GRO comparison with telemetry attached and
-//! # summarize both traces (Presto GRO vs stock GRO under spraying).
-//! cargo run --release --example trace_inspect
-//!
-//! # Inspect a previously exported JSONL trace.
-//! cargo run --release --example trace_inspect -- trace.jsonl
-//!
-//! # Demo mode, also exporting the Presto-side trace for later runs or
-//! # for chrome://tracing / Perfetto.
-//! cargo run --release --example trace_inspect -- \
-//!     --write-jsonl trace.jsonl --write-chrome trace.json
-//! ```
-//!
-//! The summary shows the top-N drop sites, the GRO flush-reason breakdown
-//! (in-flowcell gaps = loss vs flowcell-boundary gaps = reordering — the
-//! discrimination at the heart of Algorithm 2), the per-path spray
-//! histogram, queue-depth percentiles per link, and the event-queue
-//! profile. Build with `--features telemetry` to capture individual trace
-//! events as well; counters and samples are collected either way.
+//! Thin wrapper over the first-class trace tool (`src/bin/trace.rs`),
+//! kept so existing `cargo run --example trace_inspect` invocations and
+//! docs stay valid. All behavior — file summaries, `--json` output, the
+//! Fig 5 demo with `--write-jsonl` / `--write-chrome` exports — lives in
+//! [`presto::trace_tool`].
 
-use presto::prelude::*;
-use presto::workloads::FlowSpec;
+use std::process::ExitCode;
 
-fn usage() -> ! {
-    eprintln!("usage: trace_inspect [TRACE.jsonl] [--write-jsonl PATH] [--write-chrome PATH]");
-    std::process::exit(2);
-}
-
-fn main() {
-    let mut trace_file: Option<String> = None;
-    let mut write_jsonl: Option<String> = None;
-    let mut write_chrome: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--write-jsonl" => write_jsonl = Some(args.next().unwrap_or_else(|| usage())),
-            "--write-chrome" => write_chrome = Some(args.next().unwrap_or_else(|| usage())),
-            "--help" | "-h" => usage(),
-            _ if a.starts_with('-') => usage(),
-            _ if trace_file.is_none() => trace_file = Some(a),
-            _ => usage(),
+fn main() -> ExitCode {
+    let args = match presto::trace_tool::TraceArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match presto::trace_tool::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("trace_inspect: {msg}");
+            ExitCode::from(1)
         }
     }
-
-    if let Some(path) = trace_file {
-        // File mode: summarize an exported trace.
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("trace_inspect: cannot read {path}: {e}");
-                std::process::exit(1);
-            }
-        };
-        let rep = TelemetryReport::from_jsonl(&text);
-        println!("{}", rep.summary());
-        return;
-    }
-
-    // Demo mode: the Fig 5 microbenchmark — two flows sprayed over two
-    // spine paths — once with Presto's GRO and once with the stock Linux
-    // engine, telemetry attached to both.
-    println!("trace_inspect demo — Fig 5 GRO comparison with telemetry attached\n");
-    for scheme in [SchemeSpec::presto(), SchemeSpec::presto_official_gro()] {
-        let sc = Scenario::builder(scheme, 1)
-            .topology(ClosSpec {
-                spines: 2,
-                leaves: 2,
-                hosts_per_leaf: 8,
-                ..ClosSpec::default()
-            })
-            .duration(SimDuration::from_millis(40))
-            .warmup(SimDuration::from_millis(10))
-            .elephants(vec![
-                FlowSpec::elephant(0, 8, SimTime::ZERO),
-                FlowSpec::elephant(1, 9, SimTime::ZERO + SimDuration::from_micros(27)),
-            ])
-            .build();
-        let (report, tel) = sc.run_traced();
-        println!(
-            "=== {} (mean elephant tput {:.2} Gbps) ===",
-            report.scheme,
-            report.mean_elephant_tput()
-        );
-        println!("{}", tel.summary());
-        if report.scheme == SchemeSpec::presto().name {
-            if let Some(path) = &write_jsonl {
-                std::fs::write(path, tel.to_jsonl()).expect("write jsonl");
-                println!("wrote JSONL trace to {path}");
-            }
-            if let Some(path) = &write_chrome {
-                std::fs::write(path, tel.to_chrome_trace()).expect("write chrome trace");
-                println!("wrote chrome://tracing file to {path}");
-            }
-        }
-        println!();
-    }
-    println!("Reading the flush-reason tables: under spraying, stock GRO ejects at");
-    println!("every flowcell boundary (BoundaryEject — reordering), while Presto GRO");
-    println!("absorbs those boundaries (BoundaryGapFilled) and reserves immediate");
-    println!("pushes for in-flowcell gaps (InFlowcellGap — genuine loss).");
 }

@@ -1,13 +1,15 @@
-//! `lab` — run experiment campaigns and gate on regressions.
+//! `lab` — run experiment campaigns, gate on regressions, render reports.
 //!
 //! ```text
 //! lab run <campaign.toml> [--store DIR] [--workers N] [--no-traces]
 //!         [--retry-failed] [--require-cached] [--quiet]
 //!         [--inject-goodput-scale F]
-//! lab ls  [--store DIR]
+//! lab ls  [CAMPAIGN] [--store DIR] [--sort label|wall|rate]
 //! lab diff <baseline.json> <current.json>
 //!         [--goodput-tol F] [--p99-fct-tol F] [--loss-tol F]
 //!         [--wall-tol F] [--strict-digest]
+//! lab report <campaign> [--store DIR] [--out DIR] [--baseline FILE]
+//!         [--viewer] [--quiet]
 //! ```
 //!
 //! `run` is resumable: every finished grid point is appended to the store
@@ -16,6 +18,12 @@
 //! a completed campaign executes nothing and rewrites the identical
 //! table. `diff` exits 1 when the current table regresses beyond the
 //! tolerances, 2 on usage errors.
+//!
+//! `report` renders the committed store into the paper's figures
+//! (`figures/*.svg` + canonical `figures/*.txt`, both byte-deterministic)
+//! and a single-file `index.html`; `--viewer` adds a self-contained trace
+//! timeline. With `--baseline`, the report embeds the diff verdict and
+//! the command exits 1 on regressions, so CI can gate on it directly.
 //!
 //! Build with `cargo build --profile lab` (or any unwinding profile):
 //! panic isolation — a crashing grid point becoming a `Failed` row
@@ -26,8 +34,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use presto_lab::{
-    diff_tables, read_table, Campaign, LabRunner, ResultsStore, RunOptions, Tolerances,
+    diff_tables, read_table, sort_rows_for_ls, Campaign, LabRunner, LsSort, ResultsStore,
+    RunOptions, Tolerances,
 };
+use presto_report::{write_report, ReportOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +45,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("ls") => cmd_ls(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::from(if args.is_empty() { 2 } else { 0 });
@@ -55,10 +66,12 @@ usage:
   lab run <campaign.toml> [--store DIR] [--workers N] [--no-traces]
           [--retry-failed] [--require-cached] [--quiet]
           [--inject-goodput-scale F]
-  lab ls  [--store DIR]
+  lab ls  [CAMPAIGN] [--store DIR] [--sort label|wall|rate]
   lab diff <baseline.json> <current.json>
           [--goodput-tol F] [--p99-fct-tol F] [--loss-tol F]
           [--wall-tol F] [--strict-digest]
+  lab report <campaign> [--store DIR] [--out DIR] [--baseline FILE]
+          [--viewer] [--quiet]
 ";
 
 /// Pull the value of `--flag VALUE` out of `args`, removing both tokens.
@@ -147,8 +160,37 @@ fn cmd_run(rest: &[String]) -> Result<ExitCode, String> {
 fn cmd_ls(rest: &[String]) -> Result<ExitCode, String> {
     let mut args = rest.to_vec();
     let store_dir = take_value(&mut args, "--store")?.unwrap_or_else(|| "lab-store".into());
-    positionals(args, 0, "no positional arguments")?;
+    let sort = match take_value(&mut args, "--sort")? {
+        None => LsSort::Label,
+        Some(raw) => {
+            LsSort::parse(&raw).ok_or_else(|| format!("--sort: `{raw}` (want label|wall|rate)"))?
+        }
+    };
+    let mut args = positionals_up_to(args, 1, "at most one campaign name")?;
     let store = ResultsStore::open(&store_dir)?;
+
+    // `lab ls <campaign>`: per-row listing with the stored events/s —
+    // cached rows keep the rate they recorded when they actually ran.
+    if let Some(name) = args.pop() {
+        let mut rows: Vec<_> = store.load(&name)?.into_values().collect();
+        if rows.is_empty() {
+            println!("(no cached rows for {name})");
+            return Ok(ExitCode::SUCCESS);
+        }
+        sort_rows_for_ls(&mut rows, sort);
+        for r in &rows {
+            let status = match r.status {
+                presto_lab::RowStatus::Ok => "ok",
+                presto_lab::RowStatus::Failed => "FAILED",
+            };
+            println!(
+                "{:<52} {status:<6} {:>9.1} ms {:>10.0} events/s",
+                r.label, r.wall_ms, r.events_per_sec
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let mut campaigns: Vec<String> = std::fs::read_dir(store.root())
         .map_err(|e| format!("read {}: {e}", store.root().display()))?
         .filter_map(|entry| {
@@ -189,6 +231,49 @@ fn cmd_ls(rest: &[String]) -> Result<ExitCode, String> {
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_report(rest: &[String]) -> Result<ExitCode, String> {
+    let mut args = rest.to_vec();
+    let store_dir = take_value(&mut args, "--store")?.unwrap_or_else(|| "lab-store".into());
+    let opts = ReportOptions {
+        out_dir: take_value(&mut args, "--out")?.map(PathBuf::from),
+        baseline: take_value(&mut args, "--baseline")?.map(PathBuf::from),
+        viewer: take_flag(&mut args, "--viewer"),
+    };
+    let quiet = take_flag(&mut args, "--quiet");
+    let campaign = positionals(args, 1, "one campaign name")?.remove(0);
+    let store = ResultsStore::open(&store_dir)?;
+    let out = write_report(&store, &campaign, &opts)?;
+    if !quiet {
+        for (slug, path) in &out.figures {
+            println!("{slug}: {}", path.display());
+        }
+        println!("report: {}", out.index.display());
+        if let Some(viewer) = &out.viewer {
+            println!("viewer: {}", viewer.display());
+        }
+    }
+    if let Some(diff) = &out.diff {
+        if !quiet {
+            print!("{}", diff.render());
+        }
+        if !diff.passed() {
+            return Ok(ExitCode::from(1));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Up to `max` positional arguments, after all flags were consumed.
+fn positionals_up_to(args: Vec<String>, max: usize, what: &str) -> Result<Vec<String>, String> {
+    if let Some(stray) = args.iter().find(|a| a.starts_with('-')) {
+        return Err(format!("unknown flag `{stray}`\n{USAGE}"));
+    }
+    if args.len() > max {
+        return Err(format!("expected {what}\n{USAGE}"));
+    }
+    Ok(args)
 }
 
 fn cmd_diff(rest: &[String]) -> Result<ExitCode, String> {

@@ -56,6 +56,8 @@ pub use presto_testbed as testbed;
 pub use presto_transport as transport;
 pub use presto_workloads as workloads;
 
+pub mod trace_tool;
+
 /// Everything a typical experiment driver needs, importable in one line.
 ///
 /// Covers scenario construction ([`ScenarioBuilder`](presto_testbed::ScenarioBuilder)
