@@ -23,7 +23,10 @@ fn main() {
          Official GRO: heavy OOO, MTU-ish segments, 4.6 Gbps @ 86% CPU",
     );
     let mut tbl = new_table(["gro", "tput(Gbps)", "rx cpu(%)", "ooo=0(%)", "seg p50(B)"]);
-    for scheme in [SchemeSpec::presto(), SchemeSpec::presto_official_gro()] {
+    for scheme in [
+        SchemeSpec::presto(),
+        SchemeSpec::from_token("presto-official-gro").unwrap(),
+    ] {
         let label = if scheme.name.contains("Official") {
             "Official GRO"
         } else {

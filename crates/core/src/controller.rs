@@ -333,6 +333,22 @@ impl Controller {
         links
     }
 
+    /// The first ascending link of tree `t` out of `leaf` — the hop every
+    /// path of that tree from `leaf` shares, whatever the destination.
+    /// This is the link edge feedback samples: its queue and rate tell a
+    /// host at `leaf` how tree `t` is doing where it matters most (§3.1's
+    /// edge-based view; congestion deeper in is visible through drops).
+    /// `None` when `leaf` is not a leaf-tier switch.
+    pub fn tree_uplink(&self, topo: &Topology, t: usize, leaf: SwitchId) -> Option<LinkId> {
+        if !topo.is_leaf(leaf) {
+            return None;
+        }
+        let tree = self.trees.get(t)?;
+        let hop = tree.chains[topo.position_in_tier(leaf)].first()?;
+        let grp = topo.links_between(leaf, hop.up);
+        Some(grp[hop.link.min(grp.len() - 1)])
+    }
+
     /// Recompute the usable label sequence from `src` to `dst`, pruning
     /// trees whose path crosses a down link. Called after the controller
     /// *learns* of a failure (the paper's "weighted" stage — the learning
@@ -774,6 +790,25 @@ mod tests {
         let spine = ctl.trees[2].root();
         assert_eq!(path[0], topo.leaf_spine[&(topo.leaves[0], spine)][0]);
         assert_eq!(path[1], topo.spine_leaf[&(spine, topo.leaves[3])][0]);
+    }
+
+    #[test]
+    fn tree_uplink_is_the_first_path_hop() {
+        let (topo, ctl) = testbed();
+        for t in 0..ctl.tree_count() {
+            for &leaf in &topo.leaves {
+                let up = ctl.tree_uplink(&topo, t, leaf).expect("leaf uplink");
+                // Must agree with the first link of any path from `leaf`.
+                let other = if leaf == topo.leaves[0] {
+                    topo.leaves[1]
+                } else {
+                    topo.leaves[0]
+                };
+                assert_eq!(up, ctl.tree_path(&topo, t, leaf, other)[0]);
+            }
+        }
+        // Non-leaf switches have no tree uplink.
+        assert!(ctl.tree_uplink(&topo, 0, topo.spines[0]).is_none());
     }
 
     #[test]

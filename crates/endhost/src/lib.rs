@@ -24,4 +24,4 @@ pub mod vswitch;
 pub use cpu::{CpuCosts, CpuModel};
 pub use nic::{make_ack, tso_split, tso_split_into, RxAction, RxRing, TxSegment, TSO_MAX_BYTES};
 pub use offload::{OffloadError, ReceiveOffload, Segment};
-pub use vswitch::{DirectPolicy, EdgePolicy, PathTag, VSwitch};
+pub use vswitch::{DirectPolicy, EdgePolicy, LabelTable, PathSignal, PathTag, VSwitch};

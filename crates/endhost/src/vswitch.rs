@@ -9,8 +9,10 @@
 //! inside the policies, which are per-flow stateful) and per-host transmit
 //! statistics.
 
+use std::collections::HashMap;
+
 use presto_netsim::{FlowKey, HostId, Mac};
-use presto_simcore::SimTime;
+use presto_simcore::{SimDuration, SimTime};
 
 /// The path-selection decision for one skb.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +21,63 @@ pub struct PathTag {
     pub dst_mac: Mac,
     /// Flowcell ID to stamp (replicated by TSO).
     pub flowcell: u64,
+}
+
+/// A per-path congestion observation delivered to feedback-driven policies.
+///
+/// One signal per spanning tree reachable from the host's leaf, sampled on
+/// the fault-notify plumbing's cadence (see [`EdgePolicy::feedback_interval`]).
+/// The signal is derived from the first-hop uplink the tree rides, which is
+/// the only queue the edge can observe without in-network support — the
+/// same restriction CAFT and Prequal-style schemes operate under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathSignal {
+    /// Spanning-tree id the signal describes (matches `Mac::tree()`).
+    pub tree: u32,
+    /// Bytes queued on the tree's first-hop uplink at sample time.
+    pub queue_bytes: u64,
+    /// Fraction of the uplink's nominal rate currently available
+    /// (1.0 = healthy, 0.0 = down), from the fault subsystem.
+    pub rate_fraction: f64,
+}
+
+/// Shared per-destination label store for label-driven policies.
+///
+/// Every scheme that follows the controller's disseminated label sets
+/// (ECMP, flowlet, per-packet, and the new arena schemes) needs the same
+/// three operations: replace the set for a destination, look it up, and
+/// report it back for tests. This helper hoists that boilerplate so a
+/// policy holds a `LabelTable` instead of re-implementing the map.
+#[derive(Debug, Default, Clone)]
+pub struct LabelTable {
+    labels: HashMap<HostId, Vec<Mac>>,
+}
+
+impl LabelTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the label sequence toward `dst`. Label sets are never empty:
+    /// the controller always disseminates at least one path.
+    pub fn set(&mut self, dst: HostId, labels: Vec<Mac>) {
+        assert!(
+            !labels.is_empty(),
+            "label set for {dst:?} must be non-empty"
+        );
+        self.labels.insert(dst, labels);
+    }
+
+    /// The label sequence toward `dst`, if the controller installed one.
+    pub fn get(&self, dst: HostId) -> Option<&[Mac]> {
+        self.labels.get(&dst).map(Vec::as_slice)
+    }
+
+    /// The label sequence toward `dst` in schedule order, or empty.
+    pub fn current(&self, dst: HostId) -> Vec<Mac> {
+        self.labels.get(&dst).cloned().unwrap_or_default()
+    }
 }
 
 /// An edge load-balancing policy: maps each outgoing skb to a path tag.
@@ -66,6 +125,41 @@ pub trait EdgePolicy {
     /// report nothing.
     fn path_spray_counts(&self) -> Vec<u64> {
         Vec::new()
+    }
+
+    /// Lifecycle hook: the controller finished (re)installing labels on
+    /// this policy — e.g. after a fault reweight or recovery. Policies
+    /// with per-path state keyed by schedule position (congestion EWMAs,
+    /// round-robin cursors) use this to resynchronize; everyone else
+    /// keeps the no-op.
+    fn labels_updated(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// Advisory flow-size hint from the application layer: `bytes` is the
+    /// flow's total intended size when known (`None` for open-ended
+    /// streams). Size-aware schemes (DiffFlow) use it to classify
+    /// elephants before the byte counters catch up; everyone else keeps
+    /// the no-op.
+    fn flow_hint(&mut self, flow: FlowKey, bytes: Option<u64>) {
+        let _ = (flow, bytes);
+    }
+
+    /// Periodic per-path congestion/fault feedback (one [`PathSignal`]
+    /// per tree), delivered on the cadence requested by
+    /// [`feedback_interval`](EdgePolicy::feedback_interval). Reuses the
+    /// fault-notify plumbing; congestion-aware schemes (CAFT) fold these
+    /// into path weights.
+    fn path_feedback(&mut self, now: SimTime, signals: &[PathSignal]) {
+        let _ = (now, signals);
+    }
+
+    /// How often this policy wants [`path_feedback`](EdgePolicy::path_feedback)
+    /// sampled, or `None` to opt out (the default). When every policy in a
+    /// simulation opts out, no feedback events are scheduled at all, so
+    /// feedback-free schemes keep byte-identical event streams.
+    fn feedback_interval(&self) -> Option<SimDuration> {
+        None
     }
 }
 

@@ -18,89 +18,56 @@ use presto_testbed::SchemeSpec;
 /// fault: 2 ms after the fault instant, the Fig 17 default.
 pub const FAULT_NOTIFY_DELAY: SimDuration = SimDuration::from_millis(2);
 
-/// Load-balancing scheme under test — one of the paper's configurations.
+/// Load-balancing scheme under test — a token of the testbed's scheme
+/// registry ([`presto_testbed::SCHEMES`]).
+///
+/// The lab does not enumerate schemes itself: any token the registry
+/// knows is a valid `scheme` axis value, so a scheme added in
+/// `crates/lb` plus one registry entry is immediately campaign-able
+/// with zero lab changes. Construction goes through [`FromStr`], which
+/// validates against the registry — a held `SchemeId` always resolves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SchemeId {
-    /// Presto: flowcell spraying + modified GRO.
-    Presto,
-    /// Per-flow ECMP.
-    Ecmp,
-    /// MPTCP with 8 subflows.
-    Mptcp,
-    /// The non-blocking single switch ("Optimal").
-    Optimal,
-    /// Flowlet switching, 100 µs inactivity gap.
-    Flowlet100,
-    /// Flowlet switching, 500 µs inactivity gap.
-    Flowlet500,
-    /// Presto + per-hop ECMP on flowcell IDs (Fig 14).
-    PrestoEcmp,
-    /// Per-packet spraying with TSO disabled.
-    PerPacket,
-    /// Presto sender with stock GRO receiver (Fig 5 ablation).
-    PrestoOfficialGro,
-}
+pub struct SchemeId(&'static str);
 
 impl SchemeId {
-    /// Materialize the full scheme configuration.
-    pub fn to_spec(self) -> SchemeSpec {
-        match self {
-            SchemeId::Presto => SchemeSpec::presto(),
-            SchemeId::Ecmp => SchemeSpec::ecmp(),
-            SchemeId::Mptcp => SchemeSpec::mptcp(),
-            SchemeId::Optimal => SchemeSpec::optimal(),
-            SchemeId::Flowlet100 => SchemeSpec::flowlet(SimDuration::from_micros(100)),
-            SchemeId::Flowlet500 => SchemeSpec::flowlet(SimDuration::from_micros(500)),
-            SchemeId::PrestoEcmp => SchemeSpec::presto_ecmp(),
-            SchemeId::PerPacket => SchemeSpec::per_packet(),
-            SchemeId::PrestoOfficialGro => SchemeSpec::presto_official_gro(),
-        }
+    /// The paper's system — the default where a campaign doesn't say.
+    pub const PRESTO: SchemeId = SchemeId("presto");
+
+    /// The registry token (also the `Display` form).
+    pub fn token(self) -> &'static str {
+        self.0
     }
 
-    /// True for the single-switch scheme, which admits no fabric faults.
+    /// Materialize the full scheme configuration.
+    pub fn to_spec(self) -> SchemeSpec {
+        presto_testbed::registry::spec(self.0)
+            .expect("SchemeId tokens are validated against the registry at parse time")
+    }
+
+    /// True for single-switch schemes, which admit no fabric faults.
     pub fn is_single_switch(self) -> bool {
-        self == SchemeId::Optimal
+        self.to_spec().single_switch
     }
 }
 
 impl fmt::Display for SchemeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            SchemeId::Presto => "presto",
-            SchemeId::Ecmp => "ecmp",
-            SchemeId::Mptcp => "mptcp",
-            SchemeId::Optimal => "optimal",
-            SchemeId::Flowlet100 => "flowlet-100us",
-            SchemeId::Flowlet500 => "flowlet-500us",
-            SchemeId::PrestoEcmp => "presto-ecmp",
-            SchemeId::PerPacket => "per-packet",
-            SchemeId::PrestoOfficialGro => "presto-official-gro",
-        };
-        f.write_str(s)
+        f.write_str(self.0)
     }
 }
 
 impl FromStr for SchemeId {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Ok(match s {
-            "presto" => SchemeId::Presto,
-            "ecmp" => SchemeId::Ecmp,
-            "mptcp" => SchemeId::Mptcp,
-            "optimal" => SchemeId::Optimal,
-            "flowlet-100us" => SchemeId::Flowlet100,
-            "flowlet-500us" => SchemeId::Flowlet500,
-            "presto-ecmp" => SchemeId::PrestoEcmp,
-            "per-packet" => SchemeId::PerPacket,
-            "presto-official-gro" => SchemeId::PrestoOfficialGro,
-            other => {
-                return Err(format!(
-                    "unknown scheme `{other}` (expected presto | ecmp | mptcp | optimal | \
-                     flowlet-100us | flowlet-500us | presto-ecmp | per-packet | \
-                     presto-official-gro)"
-                ))
-            }
-        })
+        match presto_testbed::registry::find(s) {
+            Some(e) => Ok(SchemeId(e.token)),
+            None => Err(format!(
+                "unknown scheme `{s}` (expected {})",
+                presto_testbed::registry::tokens()
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            )),
+        }
     }
 }
 
@@ -394,18 +361,9 @@ mod tests {
 
     #[test]
     fn axis_strings_round_trip() {
-        let schemes = [
-            "presto",
-            "ecmp",
-            "mptcp",
-            "optimal",
-            "flowlet-100us",
-            "flowlet-500us",
-            "presto-ecmp",
-            "per-packet",
-            "presto-official-gro",
-        ];
-        for s in schemes {
+        // Every registered scheme token is a valid axis value and
+        // round-trips — the lab follows the registry automatically.
+        for s in presto_testbed::registry::tokens() {
             assert_eq!(s.parse::<SchemeId>().unwrap().to_string(), s);
         }
         for t in ["testbed16", "oversub", "scalability:6", "three-tier"] {
@@ -439,8 +397,13 @@ mod tests {
 
     #[test]
     fn specs_materialize() {
-        assert_eq!(SchemeId::Presto.to_spec().name, "Presto");
-        assert!(SchemeId::Optimal.is_single_switch());
+        assert_eq!(SchemeId::PRESTO.to_spec().name, "Presto");
+        assert!("optimal".parse::<SchemeId>().unwrap().is_single_switch());
+        assert!(!SchemeId::PRESTO.is_single_switch());
+        for s in ["flowdyn", "diffflow", "sprinklers", "caft"] {
+            let spec = s.parse::<SchemeId>().unwrap().to_spec();
+            assert!(!spec.single_switch, "arena schemes run on the fabric");
+        }
         assert_eq!(TopoId::Oversub.clos().unwrap().spines, 2);
         assert!(TopoId::ThreeTier.three_tier().is_some());
         assert_eq!(FaultId::Flap(6, 9).to_plan().events.len(), 2);

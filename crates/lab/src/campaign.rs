@@ -301,7 +301,7 @@ impl Campaign {
             name: name.into(),
             duration: SimDuration::from_millis(100),
             warmup: SimDuration::from_millis(20),
-            schemes: vec![SchemeId::Presto],
+            schemes: vec![SchemeId::PRESTO],
             topos: vec![TopoId::Testbed16],
             workloads: vec![WorkloadId::Stride(8)],
             faults: vec![FaultId::None],
@@ -746,7 +746,7 @@ seed = 1
             "datamining:2",
         ] {
             let p = PointSpec {
-                scheme: SchemeId::Presto,
+                scheme: SchemeId::PRESTO,
                 topo: TopoId::Testbed16,
                 workload: w.parse().unwrap(),
                 fault: FaultId::None,

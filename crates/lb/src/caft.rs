@@ -1,0 +1,338 @@
+//! CAFT: congestion- and fault-aware flowcell placement.
+//!
+//! Presto's weighted round-robin is *static* between controller updates:
+//! it reacts to faults (via reweighted labels) but not to congestion.
+//! CAFT (PAPERS.md, arXiv 2010.00720) closes that loop at the edge: the
+//! policy consumes the periodic per-path signals delivered through
+//! [`EdgePolicy::path_feedback`] — first-hop queue depth and the fault
+//! subsystem's rate fraction per spanning tree — keeps a per-tree
+//! congestion score (EWMA), and steers each *new* flowcell onto the
+//! least-congested label, breaking ties round-robin so a quiet fabric
+//! degenerates to Presto-style spraying. Faulted trees (rate 0) score
+//! infinitely bad and are avoided entirely until the controller's
+//! reweighted labels arrive, giving fault reaction at feedback cadence
+//! rather than controller cadence.
+
+use std::collections::HashMap;
+
+use presto_endhost::{EdgePolicy, LabelTable, PathSignal, PathTag};
+use presto_netsim::{FlowKey, HostId, Mac};
+use presto_simcore::rng::hash_mix;
+use presto_simcore::{SimDuration, SimTime};
+
+/// EWMA weight of the newest congestion sample (α = 1/4).
+const EWMA_INV_ALPHA: f64 = 4.0;
+/// Hash salt for each flow's round-robin tie-break cursor.
+const START_SALT: u64 = 0xCAF7;
+
+#[derive(Debug)]
+struct CaftFlowState {
+    /// Bytes accumulated toward the current flowcell.
+    cell_bytes: u64,
+    /// Flowcell counter (the tag).
+    cell_id: u64,
+    /// Label index the current flowcell rides.
+    path_idx: usize,
+    /// Round-robin cursor for tie-breaks among equally scored labels.
+    cursor: usize,
+}
+
+/// Congestion/fault-aware weighting over controller-installed labels.
+#[derive(Debug)]
+pub struct CaftPolicy {
+    labels: LabelTable,
+    flows: HashMap<FlowKey, CaftFlowState>,
+    /// Congestion score per spanning tree id: EWMA of queue bytes scaled
+    /// by path health. `f64::INFINITY` marks a dead tree.
+    scores: HashMap<u32, f64>,
+    /// Feedback sampling period requested from the harness.
+    pub feedback_period: SimDuration,
+    /// Flowcell size threshold (bytes), as in Algorithm 1.
+    pub cell_bytes: u64,
+    /// Flowcells created.
+    pub flowcells: u64,
+    /// Flowcells assigned per spanning tree, indexed by tree id.
+    spray_counts: Vec<u64>,
+    /// Feedback rounds folded in (observability).
+    pub feedback_rounds: u64,
+}
+
+impl CaftPolicy {
+    /// A policy sampling path feedback every `feedback_period`, cutting
+    /// flowcells of `cell_bytes`.
+    pub fn new(feedback_period: SimDuration, cell_bytes: u64) -> Self {
+        assert!(cell_bytes > 0, "flowcell size must be positive");
+        CaftPolicy {
+            labels: LabelTable::new(),
+            flows: HashMap::new(),
+            scores: HashMap::new(),
+            feedback_period,
+            cell_bytes,
+            flowcells: 0,
+            spray_counts: Vec::new(),
+            feedback_rounds: 0,
+        }
+    }
+
+    /// The congestion score of `mac`'s tree (0 when never sampled).
+    fn score(&self, mac: Mac) -> f64 {
+        self.scores.get(&mac.tree()).copied().unwrap_or(0.0)
+    }
+
+    /// Pick the best label index: minimum score, ties broken by scanning
+    /// round-robin from `cursor` — deterministic, and uniform when the
+    /// fabric is quiet.
+    fn pick(&self, labels: &[Mac], cursor: usize) -> usize {
+        let n = labels.len();
+        let mut best = cursor % n;
+        let mut best_score = self.score(labels[best]);
+        for off in 1..n {
+            let idx = (cursor + off) % n;
+            let s = self.score(labels[idx]);
+            if s < best_score {
+                best = idx;
+                best_score = s;
+            }
+        }
+        best
+    }
+}
+
+impl EdgePolicy for CaftPolicy {
+    fn set_labels(&mut self, dst: HostId, labels: Vec<Mac>) {
+        self.labels.set(dst, labels);
+    }
+
+    fn current_labels(&self, dst: HostId) -> Vec<Mac> {
+        self.labels.current(dst)
+    }
+
+    fn flowcells_created(&self) -> u64 {
+        self.flowcells
+    }
+
+    fn path_spray_counts(&self) -> Vec<u64> {
+        self.spray_counts.clone()
+    }
+
+    fn feedback_interval(&self) -> Option<SimDuration> {
+        Some(self.feedback_period)
+    }
+
+    fn path_feedback(&mut self, _now: SimTime, signals: &[PathSignal]) {
+        self.feedback_rounds += 1;
+        for sig in signals {
+            // A dead path is infinitely congested; a degraded one has its
+            // queue magnified by the lost headroom.
+            let sample = if sig.rate_fraction <= 0.0 {
+                f64::INFINITY
+            } else {
+                sig.queue_bytes as f64 / sig.rate_fraction
+            };
+            let slot = self.scores.entry(sig.tree).or_insert(sample);
+            *slot = if slot.is_finite() && sample.is_finite() {
+                (*slot * (EWMA_INV_ALPHA - 1.0) + sample) / EWMA_INV_ALPHA
+            } else {
+                // Entering or leaving the dead state snaps immediately:
+                // averaging with infinity is meaningless.
+                sample
+            };
+        }
+    }
+
+    fn labels_updated(&mut self, _now: SimTime) {
+        // The controller just reweighted the label schedule (fault or
+        // recovery). Positional per-flow state is stale: restart every
+        // open flowcell's placement decision at its next boundary and
+        // drop scores for trees the controller may have pruned — they
+        // re-learn from the next feedback round.
+        for state in self.flows.values_mut() {
+            state.cursor = state.path_idx;
+        }
+        self.scores.clear();
+    }
+
+    fn assign(&mut self, _now: SimTime, flow: FlowKey, len: u32, _retx: bool) -> PathTag {
+        let labels = match self.labels.get(flow.dst) {
+            Some(l) => l.to_vec(),
+            None => {
+                return PathTag {
+                    dst_mac: Mac::host(flow.dst),
+                    flowcell: 0,
+                }
+            }
+        };
+        let n = labels.len();
+        if !self.flows.contains_key(&flow) {
+            let cursor = (hash_mix(flow.digest(), START_SALT) % n as u64) as usize;
+            let path_idx = self.pick(&labels, cursor);
+            self.flows.insert(
+                flow,
+                CaftFlowState {
+                    cell_bytes: 0,
+                    cell_id: 0,
+                    path_idx,
+                    cursor,
+                },
+            );
+            self.flowcells += 1;
+            let tree = labels[path_idx % n].tree() as usize;
+            if self.spray_counts.len() <= tree {
+                self.spray_counts.resize(tree + 1, 0);
+            }
+            self.spray_counts[tree] += 1;
+        } else {
+            let state = &self.flows[&flow];
+            if state.cell_bytes >= self.cell_bytes {
+                // Flowcell boundary: re-consult the congestion scores.
+                let cursor = (state.cursor + 1) % n;
+                let path_idx = self.pick(&labels, cursor);
+                let state = self.flows.get_mut(&flow).unwrap();
+                state.cursor = cursor;
+                state.path_idx = path_idx;
+                state.cell_bytes = 0;
+                state.cell_id += 1;
+                self.flowcells += 1;
+                let tree = labels[path_idx % n].tree() as usize;
+                if self.spray_counts.len() <= tree {
+                    self.spray_counts.resize(tree + 1, 0);
+                }
+                self.spray_counts[tree] += 1;
+            }
+        }
+        let state = self.flows.get_mut(&flow).unwrap();
+        state.cell_bytes += len as u64;
+        PathTag {
+            dst_mac: labels[state.path_idx % n],
+            flowcell: state.cell_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(sport: u16) -> FlowKey {
+        FlowKey::new(HostId(0), HostId(9), sport, 80)
+    }
+
+    fn labels() -> Vec<Mac> {
+        (0..4).map(|t| Mac::shadow(HostId(9), t)).collect()
+    }
+
+    fn policy() -> CaftPolicy {
+        let mut p = CaftPolicy::new(SimDuration::from_micros(100), 64 * 1024);
+        p.set_labels(HostId(9), labels());
+        p
+    }
+
+    fn sig(tree: u32, queue: u64, rate: f64) -> PathSignal {
+        PathSignal {
+            tree,
+            queue_bytes: queue,
+            rate_fraction: rate,
+        }
+    }
+
+    #[test]
+    fn quiet_fabric_sprays_round_robin() {
+        let mut p = policy();
+        let macs: std::collections::HashSet<_> = (0..4 * 16)
+            .map(|_| p.assign(SimTime::ZERO, flow(1), 64 * 1024, false).dst_mac)
+            .collect();
+        assert_eq!(macs.len(), 4, "no feedback → uniform spraying");
+    }
+
+    #[test]
+    fn congested_path_is_avoided() {
+        let mut p = policy();
+        // Tree 2 is heavily queued; others idle.
+        p.path_feedback(
+            SimTime::ZERO,
+            &[
+                sig(0, 0, 1.0),
+                sig(1, 0, 1.0),
+                sig(2, 1_000_000, 1.0),
+                sig(3, 0, 1.0),
+            ],
+        );
+        let hot = Mac::shadow(HostId(9), 2);
+        for _ in 0..32 {
+            let tag = p.assign(SimTime::ZERO, flow(1), 64 * 1024, false);
+            assert_ne!(tag.dst_mac, hot, "congested tree must be skipped");
+        }
+    }
+
+    #[test]
+    fn dead_path_is_excluded_immediately() {
+        let mut p = policy();
+        p.path_feedback(SimTime::ZERO, &[sig(1, 0, 0.0)]);
+        let dead = Mac::shadow(HostId(9), 1);
+        for s in 0..8 {
+            for _ in 0..8 {
+                assert_ne!(
+                    p.assign(SimTime::ZERO, flow(s), 64 * 1024, false).dst_mac,
+                    dead
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_rejoins_after_labels_updated() {
+        let mut p = policy();
+        p.path_feedback(SimTime::ZERO, &[sig(1, 0, 0.0)]);
+        // Controller reinstalls (recovery): scores reset, tree 1 usable.
+        p.set_labels(HostId(9), labels());
+        p.labels_updated(SimTime::ZERO);
+        let macs: std::collections::HashSet<_> = (0..64)
+            .map(|_| p.assign(SimTime::ZERO, flow(9), 64 * 1024, false).dst_mac)
+            .collect();
+        assert_eq!(macs.len(), 4, "recovered tree back in rotation");
+    }
+
+    #[test]
+    fn ewma_smooths_transient_spikes() {
+        let mut p = policy();
+        // One round of spike on tree 0, then three idle rounds.
+        p.path_feedback(SimTime::ZERO, &[sig(0, 800_000, 1.0)]);
+        for _ in 0..3 {
+            p.path_feedback(SimTime::ZERO, &[sig(0, 0, 1.0)]);
+        }
+        let residual = p.score(Mac::shadow(HostId(9), 0));
+        assert!(residual > 0.0, "EWMA remembers the spike");
+        assert!(residual < 800_000.0 / 2.0, "but it decays");
+    }
+
+    #[test]
+    fn feedback_interval_is_advertised() {
+        let p = policy();
+        assert_eq!(
+            EdgePolicy::feedback_interval(&p),
+            Some(SimDuration::from_micros(100))
+        );
+        assert_eq!(
+            EdgePolicy::feedback_interval(&crate::EcmpPolicy::new(0)),
+            None
+        );
+    }
+
+    #[test]
+    fn flowcells_and_spray_counts_agree() {
+        let mut p = policy();
+        for _ in 0..40 {
+            p.assign(SimTime::ZERO, flow(3), 64 * 1024, false);
+        }
+        let total: u64 = p.path_spray_counts().iter().sum();
+        assert_eq!(total, p.flowcells_created());
+        assert!(p.flowcells_created() >= 20);
+    }
+
+    #[test]
+    fn fallback_without_labels() {
+        let mut p = CaftPolicy::new(SimDuration::from_micros(100), 64 * 1024);
+        let tag = p.assign(SimTime::ZERO, flow(1), 1460, false);
+        assert_eq!(tag.dst_mac, Mac::host(HostId(9)));
+    }
+}

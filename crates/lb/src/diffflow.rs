@@ -1,0 +1,215 @@
+//! DiffFlow: spray the mice, pin the elephants.
+//!
+//! Presto sprays *every* flow; per-flow ECMP pins every flow. DiffFlow
+//! (PAPERS.md, arXiv 1604.05107) differentiates: short flows — the
+//! latency-sensitive majority — are sprayed across all paths for instant
+//! load balancing, while a flow that crosses a byte threshold is an
+//! elephant and gets pinned to a single hashed path so its (large)
+//! remaining bytes stop churning headers and GRO can merge at full
+//! efficiency. The scheme consumes the [`EdgePolicy::flow_hint`] API:
+//! when the application announces a flow's size up front, a known
+//! elephant is pinned from its very first segment.
+
+use std::collections::{HashMap, HashSet};
+
+use presto_endhost::{EdgePolicy, LabelTable, PathTag};
+use presto_netsim::{FlowKey, HostId, Mac};
+use presto_simcore::rng::hash_mix;
+use presto_simcore::SimTime;
+
+/// Hash salt for an elephant's pinned path.
+const PIN_SALT: u64 = 0xD1FF;
+/// Hash salt for a mouse's spray-start offset.
+const SPRAY_SALT: u64 = 0x5B0A;
+
+#[derive(Debug)]
+struct DiffFlowState {
+    bytes_sent: u64,
+    /// Spray rotation counter while the flow is still a mouse.
+    counter: u64,
+    /// Set once the flow is classified as an elephant.
+    pinned: Option<usize>,
+}
+
+/// Size-differentiated spraying: rotate paths per skb below the elephant
+/// threshold, pin to one hashed path above it.
+#[derive(Debug)]
+pub struct DiffFlowPolicy {
+    labels: LabelTable,
+    flows: HashMap<FlowKey, DiffFlowState>,
+    /// Flows the application pre-announced as elephants via `flow_hint`.
+    hinted_elephants: HashSet<FlowKey>,
+    /// Bytes after which a flow is an elephant and gets pinned.
+    pub elephant_bytes: u64,
+    /// Skbs sprayed per spanning tree (mouse traffic), indexed by tree id.
+    spray_counts: Vec<u64>,
+}
+
+impl DiffFlowPolicy {
+    /// A policy pinning flows once they exceed `elephant_bytes`.
+    pub fn new(elephant_bytes: u64) -> Self {
+        DiffFlowPolicy {
+            labels: LabelTable::new(),
+            flows: HashMap::new(),
+            hinted_elephants: HashSet::new(),
+            elephant_bytes,
+            spray_counts: Vec::new(),
+        }
+    }
+
+    fn bump_spray(&mut self, mac: Mac) {
+        let tree = mac.tree() as usize;
+        if self.spray_counts.len() <= tree {
+            self.spray_counts.resize(tree + 1, 0);
+        }
+        self.spray_counts[tree] += 1;
+    }
+}
+
+impl EdgePolicy for DiffFlowPolicy {
+    fn set_labels(&mut self, dst: HostId, labels: Vec<Mac>) {
+        self.labels.set(dst, labels);
+    }
+
+    fn current_labels(&self, dst: HostId) -> Vec<Mac> {
+        self.labels.current(dst)
+    }
+
+    fn flow_hint(&mut self, flow: FlowKey, bytes: Option<u64>) {
+        match bytes {
+            Some(b) if b >= self.elephant_bytes => {
+                self.hinted_elephants.insert(flow);
+            }
+            _ => {}
+        }
+    }
+
+    fn path_spray_counts(&self) -> Vec<u64> {
+        self.spray_counts.clone()
+    }
+
+    fn assign(&mut self, _now: SimTime, flow: FlowKey, len: u32, _retx: bool) -> PathTag {
+        let labels = match self.labels.get(flow.dst) {
+            Some(l) => l.to_vec(),
+            None => {
+                return PathTag {
+                    dst_mac: Mac::host(flow.dst),
+                    flowcell: 0,
+                }
+            }
+        };
+        let n = labels.len() as u64;
+        let hinted = self.hinted_elephants.contains(&flow);
+        let elephant_bytes = self.elephant_bytes;
+        let state = self.flows.entry(flow).or_insert_with(|| DiffFlowState {
+            bytes_sent: 0,
+            counter: hash_mix(flow.digest(), SPRAY_SALT) % n,
+            pinned: None,
+        });
+        if state.pinned.is_none() && (hinted || state.bytes_sent >= elephant_bytes) {
+            state.pinned = Some((hash_mix(flow.digest(), PIN_SALT) % n) as usize);
+        }
+        state.bytes_sent += len as u64;
+        match state.pinned {
+            Some(idx) => PathTag {
+                dst_mac: labels[idx % n as usize],
+                // One stable "cell" for the whole pinned phase: headers
+                // stop changing, GRO merges freely.
+                flowcell: u64::MAX,
+            },
+            None => {
+                state.counter += 1;
+                let counter = state.counter;
+                let mac = labels[(counter % n) as usize];
+                self.bump_spray(mac);
+                PathTag {
+                    dst_mac: mac,
+                    // Every sprayed skb is its own cell, like per-packet.
+                    flowcell: counter,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowKey {
+        FlowKey::new(HostId(0), HostId(9), 5, 80)
+    }
+
+    fn policy(threshold: u64) -> DiffFlowPolicy {
+        let mut p = DiffFlowPolicy::new(threshold);
+        p.set_labels(
+            HostId(9),
+            (0..4).map(|t| Mac::shadow(HostId(9), t)).collect(),
+        );
+        p
+    }
+
+    #[test]
+    fn mice_spray_across_all_paths() {
+        let mut p = policy(1_000_000);
+        let macs: std::collections::HashSet<_> = (0..8)
+            .map(|_| p.assign(SimTime::ZERO, flow(), 1460, false).dst_mac)
+            .collect();
+        assert_eq!(macs.len(), 4, "mouse traffic uses every path");
+    }
+
+    #[test]
+    fn elephants_pin_after_threshold() {
+        let mut p = policy(100_000);
+        // Push past the threshold in 64KB skbs.
+        for _ in 0..3 {
+            p.assign(SimTime::ZERO, flow(), 64 * 1024, false);
+        }
+        let pinned = p.assign(SimTime::ZERO, flow(), 64 * 1024, false);
+        for _ in 0..10 {
+            let tag = p.assign(SimTime::ZERO, flow(), 64 * 1024, false);
+            assert_eq!(tag.dst_mac, pinned.dst_mac, "elephant stays pinned");
+            assert_eq!(tag.flowcell, pinned.flowcell, "headers stop churning");
+        }
+    }
+
+    #[test]
+    fn hint_pins_from_first_segment() {
+        let mut p = policy(100_000);
+        p.flow_hint(flow(), Some(10_000_000));
+        let first = p.assign(SimTime::ZERO, flow(), 1460, false);
+        let second = p.assign(SimTime::ZERO, flow(), 1460, false);
+        assert_eq!(
+            first.dst_mac, second.dst_mac,
+            "hinted elephant never sprays"
+        );
+        assert_eq!(first.flowcell, u64::MAX);
+    }
+
+    #[test]
+    fn small_hint_does_not_pin() {
+        let mut p = policy(100_000);
+        p.flow_hint(flow(), Some(5_000));
+        let macs: std::collections::HashSet<_> = (0..8)
+            .map(|_| p.assign(SimTime::ZERO, flow(), 500, false).dst_mac)
+            .collect();
+        assert_eq!(macs.len(), 4, "a hinted mouse still sprays");
+    }
+
+    #[test]
+    fn spray_counts_only_cover_mouse_phase() {
+        let mut p = policy(4 * 1460);
+        for _ in 0..20 {
+            p.assign(SimTime::ZERO, flow(), 1460, false);
+        }
+        let sprayed: u64 = p.path_spray_counts().iter().sum();
+        assert_eq!(sprayed, 4, "only pre-pin skbs count as sprayed");
+    }
+
+    #[test]
+    fn fallback_without_labels() {
+        let mut p = DiffFlowPolicy::new(1000);
+        let tag = p.assign(SimTime::ZERO, flow(), 1460, false);
+        assert_eq!(tag.dst_mac, Mac::host(HostId(9)));
+    }
+}

@@ -1,8 +1,6 @@
 //! Per-flow ECMP path selection.
 
-use std::collections::HashMap;
-
-use presto_endhost::{EdgePolicy, PathTag};
+use presto_endhost::{EdgePolicy, LabelTable, PathTag};
 use presto_netsim::{FlowKey, HostId, Mac};
 use presto_simcore::rng::hash_mix;
 use presto_simcore::SimTime;
@@ -13,7 +11,7 @@ use presto_simcore::SimTime;
 /// the failure mode every Presto experiment exhibits.
 #[derive(Debug, Default)]
 pub struct EcmpPolicy {
-    labels: HashMap<HostId, Vec<Mac>>,
+    labels: LabelTable,
     /// Hash salt; vary per run for statistical independence across
     /// repetitions.
     pub salt: u64,
@@ -23,25 +21,28 @@ impl EcmpPolicy {
     /// A policy with the given per-run salt.
     pub fn new(salt: u64) -> Self {
         EcmpPolicy {
-            labels: HashMap::new(),
+            labels: LabelTable::new(),
             salt,
         }
     }
 
     /// Install the path labels toward `dst`.
     pub fn set_labels(&mut self, dst: HostId, labels: Vec<Mac>) {
-        assert!(!labels.is_empty());
-        self.labels.insert(dst, labels);
+        self.labels.set(dst, labels);
     }
 }
 
 impl EdgePolicy for EcmpPolicy {
     fn set_labels(&mut self, dst: HostId, labels: Vec<Mac>) {
-        EcmpPolicy::set_labels(self, dst, labels);
+        self.labels.set(dst, labels);
+    }
+
+    fn current_labels(&self, dst: HostId) -> Vec<Mac> {
+        self.labels.current(dst)
     }
 
     fn assign(&mut self, _now: SimTime, flow: FlowKey, _len: u32, _retx: bool) -> PathTag {
-        match self.labels.get(&flow.dst) {
+        match self.labels.get(flow.dst) {
             Some(labels) => {
                 let idx = (hash_mix(flow.digest(), self.salt) % labels.len() as u64) as usize;
                 PathTag {

@@ -1,0 +1,269 @@
+//! FlowDyn: flowlet switching with a *dynamic* gap threshold.
+//!
+//! Fixed flowlet timers face an impossible trade-off (§2.1, Fig 13): a
+//! small timer (100 µs) chops bursts into reordering-prone fragments,
+//! while a large one (500 µs) barely ever switches paths. FlowDyn
+//! (PAPERS.md, arXiv 1910.03324) sidesteps the fixed choice by learning
+//! each flow's burst cadence: the switching threshold tracks a multiple
+//! of the flow's observed inter-arrival EWMA, clamped to a sane range.
+//! Dense flows earn a tight threshold (they can afford to switch at
+//! every real pause); sparse flows get a loose one (their natural gaps
+//! should not trigger path churn).
+
+use std::collections::HashMap;
+
+use presto_endhost::{EdgePolicy, LabelTable, PathTag};
+use presto_netsim::{FlowKey, HostId, Mac};
+use presto_simcore::rng::hash_mix;
+use presto_simcore::{SimDuration, SimTime};
+
+/// Threshold multiple over the inter-arrival EWMA: a gap has to exceed
+/// `BETA ×` the typical spacing before it counts as a flowlet boundary.
+const BETA: u64 = 4;
+/// EWMA weight of the newest sample, as a reciprocal (α = 1/8).
+const EWMA_INV_ALPHA: u64 = 8;
+/// Hash salt for each flow's starting path.
+const START_SALT: u64 = 0xD117;
+
+#[derive(Debug)]
+struct FlowDynState {
+    last_seen: SimTime,
+    /// EWMA of inter-arrival gaps in nanoseconds; 0 until the second
+    /// arrival seeds it.
+    ewma_gap_ns: u64,
+    path_idx: usize,
+    flowlet_id: u64,
+    bytes_in_flowlet: u64,
+}
+
+/// Flowlet switching whose inactivity threshold adapts per flow.
+#[derive(Debug)]
+pub struct FlowDynPolicy {
+    labels: LabelTable,
+    flows: HashMap<FlowKey, FlowDynState>,
+    /// Floor for the adaptive threshold (also the cold-start threshold
+    /// before a flow has any gap history).
+    pub min_gap: SimDuration,
+    /// Ceiling for the adaptive threshold.
+    pub max_gap: SimDuration,
+    /// Completed flowlet sizes in bytes, for the Fig 1-style analysis.
+    pub flowlet_sizes: Vec<u64>,
+}
+
+impl FlowDynPolicy {
+    /// A policy clamping its adaptive threshold to `[min_gap, 5×min_gap]`.
+    pub fn new(min_gap: SimDuration) -> Self {
+        FlowDynPolicy {
+            labels: LabelTable::new(),
+            flows: HashMap::new(),
+            min_gap,
+            max_gap: min_gap.saturating_mul(5),
+            flowlet_sizes: Vec::new(),
+        }
+    }
+
+    /// The switching threshold implied by an inter-arrival EWMA of
+    /// `ewma_gap_ns`: `BETA ×` the EWMA, clamped to `[min_gap, max_gap]`.
+    pub fn threshold(&self, ewma_gap_ns: u64) -> SimDuration {
+        if ewma_gap_ns == 0 {
+            // No history yet: behave like a fixed-gap flowlet policy.
+            return self.min_gap;
+        }
+        let dynamic = SimDuration::from_nanos(ewma_gap_ns.saturating_mul(BETA));
+        dynamic.clamp(self.min_gap, self.max_gap)
+    }
+
+    /// Flowlet sizes including the still-open trailing flowlets. Open
+    /// flowlets are appended in flow-key order — `flows` is a hash map,
+    /// and its iteration order must never leak into the report digest.
+    pub fn all_flowlet_sizes(&self) -> Vec<u64> {
+        let mut out = self.flowlet_sizes.clone();
+        let mut open: Vec<(u32, u32, u16, u16, u64)> = self
+            .flows
+            .iter()
+            .filter(|(_, s)| s.bytes_in_flowlet > 0)
+            .map(|(k, s)| (k.src.0, k.dst.0, k.sport, k.dport, s.bytes_in_flowlet))
+            .collect();
+        open.sort_unstable();
+        out.extend(open.into_iter().map(|(.., bytes)| bytes));
+        out
+    }
+}
+
+impl EdgePolicy for FlowDynPolicy {
+    fn set_labels(&mut self, dst: HostId, labels: Vec<Mac>) {
+        self.labels.set(dst, labels);
+    }
+
+    fn current_labels(&self, dst: HostId) -> Vec<Mac> {
+        self.labels.current(dst)
+    }
+
+    fn flowlet_sizes(&self) -> Vec<u64> {
+        self.all_flowlet_sizes()
+    }
+
+    fn assign(&mut self, now: SimTime, flow: FlowKey, len: u32, _retx: bool) -> PathTag {
+        let labels = match self.labels.get(flow.dst) {
+            Some(l) => l,
+            None => {
+                return PathTag {
+                    dst_mac: Mac::host(flow.dst),
+                    flowcell: 0,
+                }
+            }
+        };
+        let n = labels.len();
+        let Some(state) = self.flows.get_mut(&flow) else {
+            self.flows.insert(
+                flow,
+                FlowDynState {
+                    last_seen: now,
+                    ewma_gap_ns: 0,
+                    path_idx: (hash_mix(flow.digest(), START_SALT) % n as u64) as usize,
+                    flowlet_id: 1,
+                    bytes_in_flowlet: len as u64,
+                },
+            );
+            let state = &self.flows[&flow];
+            return PathTag {
+                dst_mac: labels[state.path_idx % n],
+                flowcell: state.flowlet_id,
+            };
+        };
+        let gap = now.saturating_since(state.last_seen);
+        let ewma = state.ewma_gap_ns;
+        let threshold = if ewma == 0 {
+            self.min_gap
+        } else {
+            SimDuration::from_nanos(ewma.saturating_mul(BETA)).clamp(self.min_gap, self.max_gap)
+        };
+        if gap > threshold && state.bytes_in_flowlet > 0 {
+            // A genuine pause for *this* flow: close the flowlet and
+            // rotate the path.
+            self.flowlet_sizes.push(state.bytes_in_flowlet);
+            state.bytes_in_flowlet = 0;
+            state.path_idx = (state.path_idx + 1) % n;
+            state.flowlet_id += 1;
+        }
+        // Fold every observed gap into the cadence estimate — including
+        // boundary gaps, so a sparse flow learns its natural spacing and
+        // stops splitting on it. The `max_gap` clamp keeps one long pause
+        // from inflating the threshold without bound.
+        state.ewma_gap_ns = if ewma == 0 {
+            gap.as_nanos()
+        } else {
+            (ewma * (EWMA_INV_ALPHA - 1) + gap.as_nanos()) / EWMA_INV_ALPHA
+        };
+        state.last_seen = now;
+        state.bytes_in_flowlet += len as u64;
+        PathTag {
+            dst_mac: labels[state.path_idx % n],
+            flowcell: state.flowlet_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowKey {
+        FlowKey::new(HostId(0), HostId(9), 5, 80)
+    }
+
+    fn policy(min_gap_us: u64) -> FlowDynPolicy {
+        let mut p = FlowDynPolicy::new(SimDuration::from_micros(min_gap_us));
+        p.set_labels(
+            HostId(9),
+            (0..4).map(|t| Mac::shadow(HostId(9), t)).collect(),
+        );
+        p
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn cold_start_uses_min_gap() {
+        let mut p = policy(100);
+        let a = p.assign(t(0), flow(), 1460, false);
+        // Second arrival after 90us < 100us min gap: same flowlet.
+        let b = p.assign(t(90), flow(), 1460, false);
+        assert_eq!(a.dst_mac, b.dst_mac);
+        assert_eq!(a.flowcell, b.flowcell);
+    }
+
+    #[test]
+    fn dense_flow_learns_tight_threshold() {
+        // 10us cadence → EWMA ≈ 10us → threshold = max(4×10us, 100us)
+        // = 100us (the floor). A 150us pause then switches.
+        let mut p = policy(100);
+        let mut now = 0;
+        for _ in 0..50 {
+            p.assign(t(now), flow(), 1460, false);
+            now += 10;
+        }
+        let before = p.assign(t(now), flow(), 1460, false);
+        let after = p.assign(t(now + 150), flow(), 1460, false);
+        assert_ne!(before.flowcell, after.flowcell, "pause opened a flowlet");
+        assert_ne!(before.dst_mac, after.dst_mac, "path rotated");
+    }
+
+    #[test]
+    fn sparse_flow_tolerates_its_natural_gaps() {
+        // 150us cadence with a 100us min gap: a fixed-gap policy would
+        // switch on every arrival, FlowDyn learns threshold = 4×150us
+        // (clamped to 500us max) and keeps the flowlet open.
+        let mut p = policy(100);
+        let mut tags = Vec::new();
+        for i in 0..20 {
+            tags.push(p.assign(t(i * 150), flow(), 1460, false));
+        }
+        // The first gap (before any EWMA) may still split; after that the
+        // learned threshold holds the path steady.
+        let settled: std::collections::HashSet<_> =
+            tags[2..].iter().map(|tag| tag.flowcell).collect();
+        assert_eq!(settled.len(), 1, "learned threshold stops path churn");
+    }
+
+    #[test]
+    fn fixed_gap_beats_flowdyn_on_churn() {
+        // The headline property: same sparse arrivals, FlowDyn makes
+        // fewer flowlets than a fixed min-gap policy would.
+        let arrivals: Vec<u64> = (0..30).map(|i| i * 150).collect();
+        let mut dyn_p = policy(100);
+        for &at in &arrivals {
+            dyn_p.assign(t(at), flow(), 1460, false);
+        }
+        let mut fixed = crate::FlowletPolicy::new(SimDuration::from_micros(100));
+        fixed.set_labels(
+            HostId(9),
+            (0..4).map(|tr| Mac::shadow(HostId(9), tr)).collect(),
+        );
+        for &at in &arrivals {
+            fixed.assign(t(at), flow(), 1460, false);
+        }
+        assert!(
+            dyn_p.all_flowlet_sizes().len() < fixed.all_flowlet_sizes().len(),
+            "dynamic threshold should out-coalesce the fixed timer"
+        );
+    }
+
+    #[test]
+    fn threshold_clamps_to_range() {
+        let p = policy(100);
+        assert_eq!(p.threshold(0), SimDuration::from_micros(100));
+        assert_eq!(p.threshold(1_000), SimDuration::from_micros(100)); // 4us → floor
+        assert_eq!(p.threshold(50_000), SimDuration::from_micros(200)); // 4×50us
+        assert_eq!(p.threshold(1_000_000), SimDuration::from_micros(500)); // ceiling
+    }
+
+    #[test]
+    fn fallback_without_labels() {
+        let mut p = FlowDynPolicy::new(SimDuration::from_micros(100));
+        let tag = p.assign(t(0), flow(), 1460, false);
+        assert_eq!(tag.dst_mac, Mac::host(HostId(9)));
+    }
+}

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use presto_endhost::{EdgePolicy, PathTag};
+use presto_endhost::{EdgePolicy, LabelTable, PathTag};
 use presto_netsim::{FlowKey, HostId, Mac};
 use presto_simcore::rng::hash_mix;
 use presto_simcore::{SimDuration, SimTime};
@@ -26,7 +26,7 @@ struct FlowletState {
 /// Inactivity-gap flowlet switching over pre-configured paths.
 #[derive(Debug)]
 pub struct FlowletPolicy {
-    labels: HashMap<HostId, Vec<Mac>>,
+    labels: LabelTable,
     flows: HashMap<FlowKey, FlowletState>,
     /// Inactivity threshold that opens a new flowlet.
     pub gap: SimDuration,
@@ -38,7 +38,7 @@ impl FlowletPolicy {
     /// A policy with the given inactivity timer (100–500 µs in practice).
     pub fn new(gap: SimDuration) -> Self {
         FlowletPolicy {
-            labels: HashMap::new(),
+            labels: LabelTable::new(),
             flows: HashMap::new(),
             gap,
             flowlet_sizes: Vec::new(),
@@ -47,27 +47,34 @@ impl FlowletPolicy {
 
     /// Install the path labels toward `dst`.
     pub fn set_labels(&mut self, dst: HostId, labels: Vec<Mac>) {
-        assert!(!labels.is_empty());
-        self.labels.insert(dst, labels);
+        self.labels.set(dst, labels);
     }
 
     /// Flowlet sizes including the still-open flowlets (call at the end of
-    /// a run to account the trailing flowlet of each flow).
+    /// a run to account the trailing flowlet of each flow). Open flowlets
+    /// are appended in flow-key order — `flows` is a hash map, and its
+    /// iteration order must never leak into the report digest.
     pub fn all_flowlet_sizes(&self) -> Vec<u64> {
         let mut out = self.flowlet_sizes.clone();
-        out.extend(
-            self.flows
-                .values()
-                .filter(|s| s.bytes_in_flowlet > 0)
-                .map(|s| s.bytes_in_flowlet),
-        );
+        let mut open: Vec<(u32, u32, u16, u16, u64)> = self
+            .flows
+            .iter()
+            .filter(|(_, s)| s.bytes_in_flowlet > 0)
+            .map(|(k, s)| (k.src.0, k.dst.0, k.sport, k.dport, s.bytes_in_flowlet))
+            .collect();
+        open.sort_unstable();
+        out.extend(open.into_iter().map(|(.., bytes)| bytes));
         out
     }
 }
 
 impl EdgePolicy for FlowletPolicy {
     fn set_labels(&mut self, dst: HostId, labels: Vec<Mac>) {
-        FlowletPolicy::set_labels(self, dst, labels);
+        self.labels.set(dst, labels);
+    }
+
+    fn current_labels(&self, dst: HostId) -> Vec<Mac> {
+        self.labels.current(dst)
     }
 
     fn flowlet_sizes(&self) -> Vec<u64> {
@@ -75,7 +82,7 @@ impl EdgePolicy for FlowletPolicy {
     }
 
     fn assign(&mut self, now: SimTime, flow: FlowKey, len: u32, _retx: bool) -> PathTag {
-        let labels = match self.labels.get(&flow.dst) {
+        let labels = match self.labels.get(flow.dst) {
             Some(l) => l,
             None => {
                 return PathTag {

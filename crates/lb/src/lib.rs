@@ -15,14 +15,33 @@
 //!   every skb; combined with TSO disabled it reproduces the per-packet
 //!   schemes (RPS/DRB) whose CPU feasibility §2.1 questions.
 //!
+//! The related-work arena (ROADMAP's flowlet family) extends the set:
+//!
+//! * **FlowDyn** — [`FlowDynPolicy`] adapts the flowlet gap per flow from
+//!   an inter-arrival EWMA instead of a fixed timer.
+//! * **DiffFlow** — [`DiffFlowPolicy`] sprays mice per-skb but pins
+//!   elephants past a byte threshold (consuming `flow_hint` size hints).
+//! * **Sprinklers** — [`SprinklersPolicy`] stripes each flow at a
+//!   randomized variable grain onto randomized paths.
+//! * **CAFT** — [`CaftPolicy`] weights flowcell placement by per-path
+//!   congestion/fault feedback (consuming `path_feedback` signals).
+//!
 //! Path changes rewrite the destination MAC, and real GRO only merges
 //! packets with identical headers — so each policy reports a `flowcell`
 //! tag that changes exactly when the wire headers would change.
 
+pub mod caft;
+pub mod diffflow;
 pub mod ecmp;
+pub mod flowdyn;
 pub mod flowlet;
 pub mod perpacket;
+pub mod sprinklers;
 
+pub use caft::CaftPolicy;
+pub use diffflow::DiffFlowPolicy;
 pub use ecmp::EcmpPolicy;
+pub use flowdyn::FlowDynPolicy;
 pub use flowlet::FlowletPolicy;
 pub use perpacket::PerPacketPolicy;
+pub use sprinklers::SprinklersPolicy;

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use presto_endhost::{EdgePolicy, PathTag};
+use presto_endhost::{EdgePolicy, LabelTable, PathTag};
 use presto_netsim::{FlowKey, HostId, Mac};
 use presto_simcore::rng::hash_mix;
 use presto_simcore::SimTime;
@@ -17,7 +17,7 @@ use presto_simcore::SimTime;
 /// Rotate the path on every single skb.
 #[derive(Debug, Default)]
 pub struct PerPacketPolicy {
-    labels: HashMap<HostId, Vec<Mac>>,
+    labels: LabelTable,
     counters: HashMap<FlowKey, u64>,
 }
 
@@ -29,18 +29,21 @@ impl PerPacketPolicy {
 
     /// Install the path labels toward `dst`.
     pub fn set_labels(&mut self, dst: HostId, labels: Vec<Mac>) {
-        assert!(!labels.is_empty());
-        self.labels.insert(dst, labels);
+        self.labels.set(dst, labels);
     }
 }
 
 impl EdgePolicy for PerPacketPolicy {
     fn set_labels(&mut self, dst: HostId, labels: Vec<Mac>) {
-        PerPacketPolicy::set_labels(self, dst, labels);
+        self.labels.set(dst, labels);
+    }
+
+    fn current_labels(&self, dst: HostId) -> Vec<Mac> {
+        self.labels.current(dst)
     }
 
     fn assign(&mut self, _now: SimTime, flow: FlowKey, _len: u32, _retx: bool) -> PathTag {
-        let labels = match self.labels.get(&flow.dst) {
+        let labels = match self.labels.get(flow.dst) {
             Some(l) => l,
             None => {
                 return PathTag {

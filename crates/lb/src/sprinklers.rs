@@ -1,0 +1,228 @@
+//! Sprinklers: randomized variable-size striping.
+//!
+//! Between per-packet spraying (perfect balance, heavy reordering) and
+//! flow hashing (no reordering, hash collisions) sits striping at a
+//! coarser, *randomized* grain (PAPERS.md, arXiv 1407.0006): each flow
+//! is cut into stripes whose sizes are drawn independently around a mean,
+//! and each stripe is thrown onto an independently drawn path. Randomized
+//! sizes prevent the lock-step synchronization that fixed-size striping
+//! (Presto's 64 KB cells) can exhibit when many flows start together;
+//! randomized paths approximate weighted spraying without any per-path
+//! state. Both draws are pure hashes of `(flow, stripe index)`, so the
+//! schedule is deterministic and reproducible.
+
+use std::collections::HashMap;
+
+use presto_endhost::{EdgePolicy, LabelTable, PathTag};
+use presto_netsim::{FlowKey, HostId, Mac};
+use presto_simcore::rng::hash_mix;
+use presto_simcore::SimTime;
+
+/// Hash salt separating the path draw from the size draw.
+const PATH_SALT: u64 = 0x59A1;
+/// Hash salt for stripe-size draws.
+const SIZE_SALT: u64 = 0x512E;
+
+#[derive(Debug)]
+struct SprinklerState {
+    /// Bytes remaining in the current stripe.
+    stripe_left: u64,
+    /// Index of the current stripe (also the flowcell tag).
+    stripe_idx: u64,
+    /// Label index of the current stripe's path.
+    path_idx: usize,
+}
+
+/// Variable-size randomized striping over the installed labels.
+#[derive(Debug)]
+pub struct SprinklersPolicy {
+    labels: LabelTable,
+    flows: HashMap<FlowKey, SprinklerState>,
+    /// Mean stripe size in bytes; actual sizes are uniform in
+    /// `[mean/2, 3·mean/2)`.
+    pub mean_stripe_bytes: u64,
+    /// Stripes created (the flowcell analog for telemetry).
+    pub stripes_created: u64,
+    /// Stripes assigned per spanning tree, indexed by tree id.
+    spray_counts: Vec<u64>,
+}
+
+impl SprinklersPolicy {
+    /// A policy striping at the given mean grain.
+    pub fn new(mean_stripe_bytes: u64) -> Self {
+        assert!(mean_stripe_bytes >= 2, "stripe mean too small");
+        SprinklersPolicy {
+            labels: LabelTable::new(),
+            flows: HashMap::new(),
+            mean_stripe_bytes,
+            stripes_created: 0,
+            spray_counts: Vec::new(),
+        }
+    }
+
+    /// Deterministic size of stripe `idx` of `flow`: uniform in
+    /// `[mean/2, 3·mean/2)`.
+    fn stripe_size(&self, flow: FlowKey, idx: u64) -> u64 {
+        let half = self.mean_stripe_bytes / 2;
+        half + hash_mix(flow.digest() ^ idx, SIZE_SALT) % self.mean_stripe_bytes
+    }
+
+    /// Deterministic path of stripe `idx` of `flow` over `n` labels.
+    fn stripe_path(flow: FlowKey, idx: u64, n: usize) -> usize {
+        (hash_mix(flow.digest() ^ idx, PATH_SALT) % n as u64) as usize
+    }
+}
+
+impl EdgePolicy for SprinklersPolicy {
+    fn set_labels(&mut self, dst: HostId, labels: Vec<Mac>) {
+        self.labels.set(dst, labels);
+    }
+
+    fn current_labels(&self, dst: HostId) -> Vec<Mac> {
+        self.labels.current(dst)
+    }
+
+    fn flowcells_created(&self) -> u64 {
+        self.stripes_created
+    }
+
+    fn path_spray_counts(&self) -> Vec<u64> {
+        self.spray_counts.clone()
+    }
+
+    fn assign(&mut self, _now: SimTime, flow: FlowKey, len: u32, _retx: bool) -> PathTag {
+        let labels = match self.labels.get(flow.dst) {
+            Some(l) => l.to_vec(),
+            None => {
+                return PathTag {
+                    dst_mac: Mac::host(flow.dst),
+                    flowcell: 0,
+                }
+            }
+        };
+        let n = labels.len();
+        if !self.flows.contains_key(&flow) {
+            let size = self.stripe_size(flow, 0);
+            self.flows.insert(
+                flow,
+                SprinklerState {
+                    stripe_left: size,
+                    stripe_idx: 0,
+                    path_idx: Self::stripe_path(flow, 0, n),
+                },
+            );
+            self.stripes_created += 1;
+            let mac = labels[self.flows[&flow].path_idx % n];
+            let tree = mac.tree() as usize;
+            if self.spray_counts.len() <= tree {
+                self.spray_counts.resize(tree + 1, 0);
+            }
+            self.spray_counts[tree] += 1;
+        }
+        // Pre-compute the (deterministic) next draw before borrowing the
+        // state mutably, in case this skb exhausts the current stripe.
+        let state = self.flows.get_mut(&flow).unwrap();
+        if state.stripe_left == 0 {
+            state.stripe_idx += 1;
+            state.path_idx = Self::stripe_path(flow, state.stripe_idx, n);
+            let idx = state.stripe_idx;
+            let half = self.mean_stripe_bytes / 2;
+            state.stripe_left =
+                half + hash_mix(flow.digest() ^ idx, SIZE_SALT) % self.mean_stripe_bytes;
+            self.stripes_created += 1;
+            let mac = labels[state.path_idx % n];
+            let tree = mac.tree() as usize;
+            if self.spray_counts.len() <= tree {
+                self.spray_counts.resize(tree + 1, 0);
+            }
+            self.spray_counts[tree] += 1;
+        }
+        let state = self.flows.get_mut(&flow).unwrap();
+        // Like Algorithm 1, an skb larger than the stripe remainder still
+        // ships whole on the current path; the deficit closes the stripe.
+        state.stripe_left = state.stripe_left.saturating_sub(len as u64);
+        PathTag {
+            dst_mac: labels[state.path_idx % n],
+            flowcell: state.stripe_idx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(sport: u16) -> FlowKey {
+        FlowKey::new(HostId(0), HostId(9), sport, 80)
+    }
+
+    fn policy(mean: u64) -> SprinklersPolicy {
+        let mut p = SprinklersPolicy::new(mean);
+        p.set_labels(
+            HostId(9),
+            (0..4).map(|t| Mac::shadow(HostId(9), t)).collect(),
+        );
+        p
+    }
+
+    #[test]
+    fn stripes_have_variable_sizes() {
+        let p = policy(64 * 1024);
+        let sizes: Vec<u64> = (0..16).map(|i| p.stripe_size(flow(1), i)).collect();
+        let distinct: std::collections::HashSet<_> = sizes.iter().collect();
+        assert!(distinct.len() > 8, "sizes should vary: {sizes:?}");
+        for &s in &sizes {
+            assert!((32 * 1024..96 * 1024).contains(&s), "size {s} out of range");
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let run = || {
+            let mut p = policy(8_000);
+            (0..100)
+                .map(|_| p.assign(SimTime::ZERO, flow(1), 1460, false))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn long_flow_visits_many_paths() {
+        let mut p = policy(8_000);
+        let macs: std::collections::HashSet<_> = (0..200)
+            .map(|_| p.assign(SimTime::ZERO, flow(1), 1460, false).dst_mac)
+            .collect();
+        assert!(macs.len() >= 3, "striping should spread: {macs:?}");
+    }
+
+    #[test]
+    fn flowcell_tag_tracks_stripes() {
+        let mut p = policy(4_000);
+        let mut last = 0;
+        for _ in 0..50 {
+            let tag = p.assign(SimTime::ZERO, flow(1), 1460, false);
+            assert!(tag.flowcell >= last, "stripe ids are monotone");
+            last = tag.flowcell;
+        }
+        assert!(last > 5, "1460B skbs over ~4KB stripes should advance");
+        assert_eq!(p.flowcells_created(), last + 1);
+    }
+
+    #[test]
+    fn spray_counts_sum_to_stripes() {
+        let mut p = policy(4_000);
+        for _ in 0..100 {
+            p.assign(SimTime::ZERO, flow(1), 1460, false);
+        }
+        let total: u64 = p.path_spray_counts().iter().sum();
+        assert_eq!(total, p.stripes_created);
+    }
+
+    #[test]
+    fn fallback_without_labels() {
+        let mut p = SprinklersPolicy::new(1000);
+        let tag = p.assign(SimTime::ZERO, flow(1), 1460, false);
+        assert_eq!(tag.dst_mac, Mac::host(HostId(9)));
+    }
+}

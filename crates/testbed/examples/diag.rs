@@ -8,7 +8,7 @@ fn main() {
         Some("ecmp") => SchemeSpec::ecmp(),
         Some("optimal") => SchemeSpec::optimal(),
         Some("mptcp") => SchemeSpec::mptcp(),
-        Some("pog") => SchemeSpec::presto_official_gro(),
+        Some("pog") => SchemeSpec::from_token("presto-official-gro").unwrap(),
         _ => SchemeSpec::presto(),
     };
     let dur: u64 = std::env::args()

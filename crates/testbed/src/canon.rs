@@ -32,7 +32,7 @@ use presto_netsim::EcmpMode;
 use presto_simcore::SimDuration;
 
 use crate::scenario::Scenario;
-use crate::scheme::{GroKind, PolicyKind, TransportKind};
+use crate::scheme::{GroKind, TransportKind};
 
 /// Canonical-format schema version. Bump on any semantic change to the
 /// rendering below.
@@ -147,15 +147,9 @@ impl Scenario {
         // Scheme.
         let s = self.scheme();
         c.field("scheme.name", s.name);
-        let policy = match s.policy {
-            PolicyKind::Direct => "direct".into(),
-            PolicyKind::Presto => "presto".into(),
-            PolicyKind::Ecmp => "ecmp".into(),
-            PolicyKind::Flowlet(gap) => format!("flowlet:{}", gap.as_nanos()),
-            PolicyKind::PerPacket => "perpacket".into(),
-            PolicyKind::PrestoEcmp => "presto-ecmp".into(),
-        };
-        c.field("scheme.policy", policy);
+        // `PolicyKind::name` owns the canonical policy text (pinned by
+        // the `policy_names_are_pinned` test in `scheme.rs`).
+        c.field("scheme.policy", s.policy.name());
         let gro = match s.gro {
             GroKind::Official => "official".into(),
             GroKind::Presto => "presto".into(),

@@ -35,6 +35,7 @@
 
 pub mod builder;
 pub mod canon;
+pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -45,6 +46,7 @@ pub use builder::ScenarioBuilder;
 pub use canon::Fnv128;
 pub use presto_faults::{FaultEvent, FaultKind, FaultPlan, FlapProcess, Notify};
 pub use presto_telemetry::{FailoverStage, TelemetryConfig, TelemetryReport};
+pub use registry::{build_policy, SchemeEntry, SCHEMES};
 pub use report::Report;
 pub use runner::ParallelRunner;
 pub use scenario::{

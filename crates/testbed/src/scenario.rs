@@ -13,10 +13,9 @@
 //! [`ScenarioBuilder`]: crate::ScenarioBuilder
 
 use presto_core::Controller;
-use presto_endhost::{DirectPolicy, EdgePolicy, ReceiveOffload};
+use presto_endhost::ReceiveOffload;
 use presto_faults::{FaultEvent, FaultKind, FaultPlan, Notify};
 use presto_gro::{OfficialGro, PrestoGro, PrestoGroConfig};
-use presto_lb::{EcmpPolicy, FlowletPolicy, PerPacketPolicy};
 use presto_netsim::{ClosSpec, HostId, Mac, ThreeTierSpec, Topology};
 use presto_simcore::rng::DetRng;
 use presto_simcore::{SimDuration, SimTime};
@@ -538,19 +537,14 @@ impl Scenario {
         let scheme = self.scheme.clone();
         let seed = self.seed;
         let mk_host = |h: HostId| {
-            let mut policy: Box<dyn EdgePolicy> = match scheme.policy {
-                PolicyKind::Direct => Box::new(DirectPolicy),
-                PolicyKind::Presto | PolicyKind::PrestoEcmp => {
-                    let mut f = presto_core::FlowcellScheduler::new();
-                    f.threshold = scheme.flowcell_bytes;
-                    Box::new(f)
-                }
-                PolicyKind::Ecmp => Box::new(EcmpPolicy::new(seed ^ 0xECC)),
-                PolicyKind::Flowlet(gap) => Box::new(FlowletPolicy::new(gap)),
-                PolicyKind::PerPacket => Box::new(PerPacketPolicy::new()),
-            };
+            // The registry is the single place policies are instantiated;
+            // adding a scheme never touches this file.
+            let mut policy = crate::registry::build_policy(&scheme, seed);
             for (dst, labels) in &label_sets[h.index()] {
                 policy.set_labels(*dst, labels.clone());
+            }
+            if !label_sets[h.index()].is_empty() {
+                policy.labels_updated(SimTime::ZERO);
             }
             let gro: Box<dyn ReceiveOffload> = match scheme.gro {
                 GroKind::Official => Box::new(OfficialGro::new()),

@@ -9,7 +9,14 @@ use presto_netsim::EcmpMode;
 use presto_simcore::SimDuration;
 
 /// Edge path-selection policy.
+///
+/// Marked `#[non_exhaustive]`: the arena grows (see `registry`), so
+/// downstream matches must carry a wildcard arm. The canonical text form
+/// of every variant lives in [`PolicyKind::name`] with [`PolicyKind::parse`]
+/// as its inverse — `canon.rs` and the TOML axis parser both delegate
+/// here, making this pair the single source of truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PolicyKind {
     /// Real destination MAC, no multipathing (the Optimal single switch).
     Direct,
@@ -25,6 +32,61 @@ pub enum PolicyKind {
     /// Presto's flowcell counter with a single real-MAC label: path choice
     /// is delegated to per-hop ECMP hashing on the flowcell ID (Fig 14).
     PrestoEcmp,
+    /// Flowlet switching with a per-flow *dynamic* gap learned from the
+    /// inter-arrival EWMA; the parameter is the threshold floor.
+    FlowDyn(SimDuration),
+    /// Spray mice per-skb, pin flows past the given byte threshold to one
+    /// hashed path (DiffFlow).
+    DiffFlow(u64),
+    /// Randomized variable-size striping around the given mean stripe
+    /// size in bytes (Sprinklers).
+    Sprinklers(u64),
+    /// Congestion/fault-aware flowcell weighting, sampling per-path
+    /// feedback at the given period (CAFT).
+    Caft(SimDuration),
+}
+
+impl PolicyKind {
+    /// The canonical text form, stable across releases: this exact string
+    /// is embedded in scenario fingerprints (`canon.rs`), so it must never
+    /// change for an existing variant.
+    pub fn name(&self) -> String {
+        match self {
+            PolicyKind::Direct => "direct".into(),
+            PolicyKind::Presto => "presto".into(),
+            PolicyKind::Ecmp => "ecmp".into(),
+            PolicyKind::Flowlet(gap) => format!("flowlet:{}", gap.as_nanos()),
+            PolicyKind::PerPacket => "perpacket".into(),
+            PolicyKind::PrestoEcmp => "presto-ecmp".into(),
+            PolicyKind::FlowDyn(gap) => format!("flowdyn:{}", gap.as_nanos()),
+            PolicyKind::DiffFlow(bytes) => format!("diffflow:{bytes}"),
+            PolicyKind::Sprinklers(bytes) => format!("sprinklers:{bytes}"),
+            PolicyKind::Caft(period) => format!("caft:{}", period.as_nanos()),
+        }
+    }
+
+    /// Parse the canonical text form back into a policy — the exact
+    /// inverse of [`PolicyKind::name`].
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        let (head, arg) = match s.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (s, None),
+        };
+        let num = |a: Option<&str>| a.and_then(|a| a.parse::<u64>().ok());
+        match (head, arg) {
+            ("direct", None) => Some(PolicyKind::Direct),
+            ("presto", None) => Some(PolicyKind::Presto),
+            ("ecmp", None) => Some(PolicyKind::Ecmp),
+            ("perpacket", None) => Some(PolicyKind::PerPacket),
+            ("presto-ecmp", None) => Some(PolicyKind::PrestoEcmp),
+            ("flowlet", a) => Some(PolicyKind::Flowlet(SimDuration::from_nanos(num(a)?))),
+            ("flowdyn", a) => Some(PolicyKind::FlowDyn(SimDuration::from_nanos(num(a)?))),
+            ("diffflow", a) => Some(PolicyKind::DiffFlow(num(a)?)),
+            ("sprinklers", a) => Some(PolicyKind::Sprinklers(num(a)?)),
+            ("caft", a) => Some(PolicyKind::Caft(SimDuration::from_nanos(num(a)?))),
+            _ => None,
+        }
+    }
 }
 
 /// Receive-offload engine at every host.
@@ -76,122 +138,160 @@ pub struct SchemeSpec {
 }
 
 impl SchemeSpec {
-    /// Presto: flowcell spraying + modified GRO (the paper's system).
-    pub fn presto() -> Self {
+    /// The neutral starting point every preset refines: stock GRO, TCP,
+    /// flow-hash fabric, Clos topology, 64 KB TSO and flowcells.
+    pub fn base(name: &'static str, policy: PolicyKind) -> Self {
         SchemeSpec {
-            name: "Presto",
-            policy: PolicyKind::Presto,
-            gro: GroKind::Presto,
+            name,
+            policy,
+            gro: GroKind::Official,
             transport: TransportKind::Tcp,
             ecmp_mode: EcmpMode::FlowHash,
             single_switch: false,
             max_tso: 64 * 1024,
             flowcell_bytes: 64 * 1024,
         }
+    }
+
+    /// Replace the display name.
+    pub fn with_name(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// Replace the edge policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the receive-offload engine.
+    pub fn with_gro(mut self, gro: GroKind) -> Self {
+        self.gro = gro;
+        self
+    }
+
+    /// Replace the transport.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Replace the fabric ECMP hash mode.
+    pub fn with_ecmp_mode(mut self, mode: EcmpMode) -> Self {
+        self.ecmp_mode = mode;
+        self
+    }
+
+    /// Run on the non-blocking single switch instead of the Clos fabric.
+    pub fn with_single_switch(mut self, single: bool) -> Self {
+        self.single_switch = single;
+        self
+    }
+
+    /// Clamp the TSO segment size.
+    pub fn with_max_tso(mut self, max_tso: u32) -> Self {
+        self.max_tso = max_tso;
+        self
+    }
+
+    /// Replace the flowcell threshold for Algorithm 1-style policies.
+    pub fn with_flowcell_bytes(mut self, bytes: u64) -> Self {
+        self.flowcell_bytes = bytes;
+        self
+    }
+
+    /// Look a scheme up by its registry token (e.g. `"presto"`,
+    /// `"flowdyn"`) — the same names the `scheme` campaign axis accepts.
+    pub fn from_token(token: &str) -> Option<Self> {
+        crate::registry::spec(token)
+    }
+
+    /// Presto: flowcell spraying + modified GRO (the paper's system).
+    pub fn presto() -> Self {
+        Self::base("Presto", PolicyKind::Presto).with_gro(GroKind::Presto)
     }
 
     /// ECMP: per-flow random path over the same label fabric, stock GRO.
     pub fn ecmp() -> Self {
-        SchemeSpec {
-            name: "ECMP",
-            policy: PolicyKind::Ecmp,
-            gro: GroKind::Official,
-            transport: TransportKind::Tcp,
-            ecmp_mode: EcmpMode::FlowHash,
-            single_switch: false,
-            max_tso: 64 * 1024,
-            flowcell_bytes: 64 * 1024,
-        }
+        Self::base("ECMP", PolicyKind::Ecmp)
     }
 
     /// MPTCP: 8 ECMP-hashed subflows, coupled congestion control.
     pub fn mptcp() -> Self {
-        SchemeSpec {
-            name: "MPTCP",
-            policy: PolicyKind::Ecmp,
-            gro: GroKind::Official,
-            transport: TransportKind::Mptcp { subflows: 8 },
-            ecmp_mode: EcmpMode::FlowHash,
-            single_switch: false,
-            max_tso: 64 * 1024,
-            flowcell_bytes: 64 * 1024,
-        }
+        Self::base("MPTCP", PolicyKind::Ecmp).with_transport(TransportKind::Mptcp { subflows: 8 })
     }
 
     /// Optimal: every host on one non-blocking switch.
     pub fn optimal() -> Self {
-        SchemeSpec {
-            name: "Optimal",
-            policy: PolicyKind::Direct,
-            gro: GroKind::Official,
-            transport: TransportKind::Tcp,
-            ecmp_mode: EcmpMode::FlowHash,
-            single_switch: true,
-            max_tso: 64 * 1024,
-            flowcell_bytes: 64 * 1024,
-        }
+        Self::base("Optimal", PolicyKind::Direct).with_single_switch(true)
     }
 
     /// Flowlet switching with the given inactivity timer, stock GRO
     /// (the paper's comparison implementation, Fig 13).
     pub fn flowlet(gap: SimDuration) -> Self {
-        SchemeSpec {
-            name: if gap >= SimDuration::from_micros(500) {
-                "Flowlet-500us"
-            } else {
-                "Flowlet-100us"
-            },
-            policy: PolicyKind::Flowlet(gap),
-            gro: GroKind::Official,
-            transport: TransportKind::Tcp,
-            ecmp_mode: EcmpMode::FlowHash,
-            single_switch: false,
-            max_tso: 64 * 1024,
-            flowcell_bytes: 64 * 1024,
-        }
+        let name = if gap >= SimDuration::from_micros(500) {
+            "Flowlet-500us"
+        } else {
+            "Flowlet-100us"
+        };
+        Self::base(name, PolicyKind::Flowlet(gap))
     }
 
     /// Presto + per-hop ECMP on flowcell IDs (Fig 14's alternative).
     pub fn presto_ecmp() -> Self {
-        SchemeSpec {
-            name: "Presto+ECMP",
-            policy: PolicyKind::PrestoEcmp,
-            gro: GroKind::Presto,
-            transport: TransportKind::Tcp,
-            ecmp_mode: EcmpMode::FlowcellHash,
-            single_switch: false,
-            max_tso: 64 * 1024,
-            flowcell_bytes: 64 * 1024,
-        }
+        Self::base("Presto+ECMP", PolicyKind::PrestoEcmp)
+            .with_gro(GroKind::Presto)
+            .with_ecmp_mode(EcmpMode::FlowcellHash)
     }
 
     /// Presto sender with the *stock* GRO receiver — the "Official GRO"
     /// half of Fig 5.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct via the registry instead: \
+                `SchemeSpec::from_token(\"presto-official-gro\")` or \
+                `SchemeSpec::presto().with_gro(GroKind::Official)\
+                 .with_name(\"Presto+OfficialGRO\")`"
+    )]
     pub fn presto_official_gro() -> Self {
-        SchemeSpec {
-            name: "Presto+OfficialGRO",
-            policy: PolicyKind::Presto,
-            gro: GroKind::Official,
-            transport: TransportKind::Tcp,
-            ecmp_mode: EcmpMode::FlowHash,
-            single_switch: false,
-            max_tso: 64 * 1024,
-            flowcell_bytes: 64 * 1024,
-        }
+        Self::presto()
+            .with_gro(GroKind::Official)
+            .with_name("Presto+OfficialGRO")
     }
 
     /// Per-packet spraying with TSO disabled (RPS/DRB-style).
     pub fn per_packet() -> Self {
-        SchemeSpec {
-            name: "PerPacket",
-            policy: PolicyKind::PerPacket,
-            gro: GroKind::Official,
-            transport: TransportKind::Tcp,
-            ecmp_mode: EcmpMode::FlowHash,
-            single_switch: false,
-            max_tso: 1460,
-            flowcell_bytes: 64 * 1024,
-        }
+        Self::base("PerPacket", PolicyKind::PerPacket).with_max_tso(1460)
+    }
+
+    /// FlowDyn: flowlet switching whose gap threshold adapts per flow from
+    /// the inter-arrival EWMA (floor 100 µs, ceiling 5×).
+    pub fn flowdyn() -> Self {
+        Self::base(
+            "FlowDyn",
+            PolicyKind::FlowDyn(SimDuration::from_micros(100)),
+        )
+    }
+
+    /// DiffFlow: spray mice per-skb, pin elephants past 1 MiB. Pinned
+    /// elephants stop churning headers, so the modified GRO pairs well
+    /// with the sprayed (64 KB-grain) mouse phase.
+    pub fn diffflow() -> Self {
+        Self::base("DiffFlow", PolicyKind::DiffFlow(1024 * 1024)).with_gro(GroKind::Presto)
+    }
+
+    /// Sprinklers: randomized variable-size striping, mean 64 KB — the
+    /// same grain as Presto's flowcells but jittered to avoid lock-step.
+    pub fn sprinklers() -> Self {
+        Self::base("Sprinklers", PolicyKind::Sprinklers(64 * 1024)).with_gro(GroKind::Presto)
+    }
+
+    /// CAFT: congestion/fault-aware flowcell weighting with 100 µs
+    /// feedback sampling over the multi-tier controller's labels.
+    pub fn caft() -> Self {
+        Self::base("CAFT", PolicyKind::Caft(SimDuration::from_micros(100)))
+            .with_gro(GroKind::Presto)
     }
 
     /// Whether this scheme needs the Presto controller's shadow-MAC trees.
@@ -217,8 +317,32 @@ mod tests {
         assert_eq!(SchemeSpec::presto_ecmp().ecmp_mode, EcmpMode::FlowcellHash);
         assert!(!SchemeSpec::presto_ecmp().needs_controller());
         assert_eq!(SchemeSpec::per_packet().max_tso, 1460);
-        assert_eq!(SchemeSpec::presto_official_gro().gro, GroKind::Official);
-        assert_eq!(SchemeSpec::presto_official_gro().policy, PolicyKind::Presto);
+        assert_eq!(SchemeSpec::flowdyn().gro, GroKind::Official);
+        assert_eq!(
+            SchemeSpec::diffflow().policy,
+            PolicyKind::DiffFlow(1024 * 1024)
+        );
+        assert_eq!(SchemeSpec::sprinklers().gro, GroKind::Presto);
+        assert!(SchemeSpec::caft().needs_controller());
+    }
+
+    /// The deprecated ad hoc constructor must stay behaviourally identical
+    /// to its fluent replacement until it is removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_official_gro_matches_fluent_form() {
+        let old = SchemeSpec::presto_official_gro();
+        let new = SchemeSpec::presto()
+            .with_gro(GroKind::Official)
+            .with_name("Presto+OfficialGRO");
+        assert_eq!(old.name, new.name);
+        assert_eq!(old.policy, new.policy);
+        assert_eq!(old.gro, new.gro);
+        assert_eq!(old.transport, new.transport);
+        assert_eq!(old.ecmp_mode, new.ecmp_mode);
+        assert_eq!(old.single_switch, new.single_switch);
+        assert_eq!(old.max_tso, new.max_tso);
+        assert_eq!(old.flowcell_bytes, new.flowcell_bytes);
     }
 
     #[test]
@@ -231,5 +355,58 @@ mod tests {
             SchemeSpec::flowlet(SimDuration::from_micros(500)).name,
             "Flowlet-500us"
         );
+    }
+
+    #[test]
+    fn policy_name_parse_round_trips() {
+        let kinds = [
+            PolicyKind::Direct,
+            PolicyKind::Presto,
+            PolicyKind::Ecmp,
+            PolicyKind::Flowlet(SimDuration::from_micros(500)),
+            PolicyKind::PerPacket,
+            PolicyKind::PrestoEcmp,
+            PolicyKind::FlowDyn(SimDuration::from_micros(100)),
+            PolicyKind::DiffFlow(1024 * 1024),
+            PolicyKind::Sprinklers(64 * 1024),
+            PolicyKind::Caft(SimDuration::from_micros(100)),
+        ];
+        for k in kinds {
+            assert_eq!(PolicyKind::parse(&k.name()), Some(k), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn policy_names_are_pinned() {
+        // These exact strings are baked into scenario fingerprints: any
+        // change invalidates every cached result and committed baseline.
+        assert_eq!(PolicyKind::Direct.name(), "direct");
+        assert_eq!(PolicyKind::Presto.name(), "presto");
+        assert_eq!(PolicyKind::Ecmp.name(), "ecmp");
+        assert_eq!(
+            PolicyKind::Flowlet(SimDuration::from_micros(500)).name(),
+            "flowlet:500000"
+        );
+        assert_eq!(PolicyKind::PerPacket.name(), "perpacket");
+        assert_eq!(PolicyKind::PrestoEcmp.name(), "presto-ecmp");
+        assert_eq!(
+            PolicyKind::FlowDyn(SimDuration::from_micros(100)).name(),
+            "flowdyn:100000"
+        );
+        assert_eq!(PolicyKind::DiffFlow(1048576).name(), "diffflow:1048576");
+        assert_eq!(PolicyKind::Sprinklers(65536).name(), "sprinklers:65536");
+        assert_eq!(
+            PolicyKind::Caft(SimDuration::from_micros(100)).name(),
+            "caft:100000"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(PolicyKind::parse(""), None);
+        assert_eq!(PolicyKind::parse("presto:1"), None);
+        assert_eq!(PolicyKind::parse("flowlet"), None);
+        assert_eq!(PolicyKind::parse("flowlet:abc"), None);
+        assert_eq!(PolicyKind::parse("warp-drive"), None);
     }
 }

@@ -17,8 +17,8 @@ use std::collections::HashMap;
 
 use presto_core::Controller;
 use presto_endhost::{
-    make_ack, tso_split_into, CpuCosts, CpuModel, EdgePolicy, ReceiveOffload, RxAction, RxRing,
-    Segment, TxSegment, VSwitch,
+    make_ack, tso_split_into, CpuCosts, CpuModel, EdgePolicy, PathSignal, ReceiveOffload, RxAction,
+    RxRing, Segment, TxSegment, VSwitch,
 };
 use presto_metrics::TimeSeries;
 use presto_netsim::{
@@ -89,6 +89,11 @@ pub enum Event {
     ShuffleMore(usize),
     /// Host egress scheduler: move staged segments onto the uplink.
     EgressDrain(HostId),
+    /// Sample per-tree path signals and deliver them to feedback-driven
+    /// edge policies. Only ever scheduled when the scheme's policy
+    /// advertises an [`EdgePolicy::feedback_interval`], so schemes that
+    /// don't opt in see an unchanged event stream (and digest).
+    PathFeedback,
 }
 
 /// Event-class names for the queue profiler, index-aligned with
@@ -108,6 +113,7 @@ pub const EVENT_NAMES: &[&str] = &[
     "ControllerNotify",
     "ShuffleMore",
     "EgressDrain",
+    "PathFeedback",
 ];
 
 /// Map an [`Event`] to its [`EVENT_NAMES`] row for the queue profiler.
@@ -127,6 +133,7 @@ pub fn classify_event(ev: &Event) -> usize {
         Event::ControllerNotify(_) => 11,
         Event::ShuffleMore(_) => 12,
         Event::EgressDrain(_) => 13,
+        Event::PathFeedback => 14,
     }
 }
 
@@ -170,9 +177,13 @@ fn classify_domain(ev: &Event, m: &DomainMap) -> ShardTarget {
         | Event::MiceNext(_)
         | Event::ProbeSend(_)
         | Event::ShuffleMore(_) => ShardTarget::Current,
-        Event::CpuSample | Event::WarmupMark | Event::Fault(_) | Event::ControllerNotify(_) => {
-            ShardTarget::Global
-        }
+        // Path feedback reads fabric-wide link state and touches every
+        // host's policy: global, like the controller it complements.
+        Event::CpuSample
+        | Event::WarmupMark
+        | Event::Fault(_)
+        | Event::ControllerNotify(_)
+        | Event::PathFeedback => ShardTarget::Global,
     }
 }
 
@@ -664,6 +675,10 @@ pub struct Simulation {
     pub collect_reorder: bool,
     /// CPU utilization sampling interval (None = off).
     pub cpu_sample_every: Option<SimDuration>,
+    /// Path-feedback cadence, captured from the scheme's policy at
+    /// construction ([`EdgePolicy::feedback_interval`]). `None` — the
+    /// common case — schedules no feedback events at all.
+    feedback_every: Option<SimDuration>,
     /// Live statistics.
     pub stats: Stats,
     /// Pool of packet buffers reused by TSO splits on the egress path.
@@ -732,6 +747,9 @@ impl Simulation {
         shards: usize,
     ) -> Self {
         let hosts: Vec<HostNode> = topo.hosts.iter().map(|&h| mk_host(h)).collect();
+        let feedback_every = hosts
+            .iter()
+            .find_map(|h| h.vswitch.policy().feedback_interval());
         let tcp_cfg = TcpConfig {
             max_tso: scheme.max_tso,
             ..TcpConfig::default()
@@ -768,6 +786,7 @@ impl Simulation {
             warmup,
             collect_reorder: false,
             cpu_sample_every: None,
+            feedback_every,
             stats: Stats::default(),
             pkt_pool: PacketPool::new(),
             scratch: Scratch::default(),
@@ -917,6 +936,9 @@ impl Simulation {
             TransportKind::Tcp => {
                 let sport = self.alloc_sport(src as u32, dst as u32, 1);
                 let flow = FlowKey::new(HostId(src as u32), HostId(dst as u32), sport, 80);
+                // Size hint before the first segment, so size-aware
+                // policies classify the flow from byte zero.
+                self.hosts[src].vswitch.policy_mut().flow_hint(flow, bytes);
                 let mut sender = TcpSender::new(self.tcp_cfg.clone(), default_cc());
                 let now = self.now;
                 let out = match bytes {
@@ -948,6 +970,9 @@ impl Simulation {
                         FlowKey::new(HostId(src as u32), HostId(dst as u32), sport + i as u16, 80)
                     })
                     .collect();
+                for &f in &flows {
+                    self.hosts[src].vswitch.policy_mut().flow_hint(f, bytes);
+                }
                 let outs = conn.start(self.now);
                 let idx = self.mptcp_conns.len();
                 for (i, &f) in flows.iter().enumerate() {
@@ -1170,6 +1195,9 @@ impl Simulation {
         if let Some(every) = self.cpu_sample_every {
             self.queue.push(SimTime::ZERO + every, Event::CpuSample);
         }
+        if let Some(every) = self.feedback_every {
+            self.queue.push(SimTime::ZERO + every, Event::PathFeedback);
+        }
         let sampling = self.telemetry.is_some();
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.end {
@@ -1251,6 +1279,69 @@ impl Simulation {
                 self.hosts[h.index()].egress.drain_at = None;
                 self.drain_egress(h);
             }
+            Event::PathFeedback => self.on_path_feedback(),
+        }
+    }
+
+    /// Sample every tree's first-hop uplink at each leaf and hand the
+    /// signals to the edge policies that opted in. Hosts on the same leaf
+    /// share a signal vector (the first ascending hop is a property of the
+    /// leaf, not the host); hosts hanging off upper tiers (WAN remotes)
+    /// are skipped — shadow-MAC trees don't cover them.
+    fn on_path_feedback(&mut self) {
+        let Some(every) = self.feedback_every else {
+            return;
+        };
+        let now = self.now;
+        let per_host: Vec<Option<Vec<PathSignal>>> = {
+            let Some(ctl) = &self.controller else { return };
+            let mut by_leaf: FxHashMap<SwitchId, Vec<PathSignal>> = FxHashMap::default();
+            self.topo
+                .hosts
+                .iter()
+                .map(|&h| {
+                    let leaf = self.topo.host_leaf[h.index()];
+                    if !self.topo.is_leaf(leaf) {
+                        return None;
+                    }
+                    let sigs = by_leaf.entry(leaf).or_insert_with(|| {
+                        (0..ctl.tree_count())
+                            .map(|t| match ctl.tree_uplink(&self.topo, t, leaf) {
+                                Some(l) => {
+                                    let link = self.topo.fabric.link(l);
+                                    PathSignal {
+                                        tree: t as u32,
+                                        queue_bytes: link.occupancy(now),
+                                        rate_fraction: if link.up {
+                                            link.rate_fraction()
+                                        } else {
+                                            0.0
+                                        },
+                                    }
+                                }
+                                None => PathSignal {
+                                    tree: t as u32,
+                                    queue_bytes: 0,
+                                    rate_fraction: 1.0,
+                                },
+                            })
+                            .collect()
+                    });
+                    Some(sigs.clone())
+                })
+                .collect()
+        };
+        for (&h, sigs) in self.topo.hosts.iter().zip(per_host) {
+            if let Some(s) = sigs {
+                self.hosts[h.index()]
+                    .vswitch
+                    .policy_mut()
+                    .path_feedback(now, &s);
+            }
+        }
+        let next = now + every;
+        if next <= self.end {
+            self.queue.push(next, Event::PathFeedback);
         }
     }
 
@@ -1625,7 +1716,9 @@ impl Simulation {
                 .map(|(s, dsts)| (HostId(s as u32), dsts.clone()))
                 .collect()
         };
+        let mut updated: Vec<HostId> = Vec::new();
         for (src, dsts) in pairs {
+            let mut touched = false;
             for dst in dsts {
                 if src == dst || self.topo.same_leaf(src, dst) {
                     continue;
@@ -1650,7 +1743,20 @@ impl Simulation {
                     .vswitch
                     .policy_mut()
                     .set_labels(dst, labels);
+                touched = true;
             }
+            if touched {
+                updated.push(src);
+            }
+        }
+        // One lifecycle notification per source whose table changed, after
+        // its whole batch of sequences is installed.
+        let now = self.now;
+        for src in updated {
+            self.hosts[src.index()]
+                .vswitch
+                .policy_mut()
+                .labels_updated(now);
         }
     }
 

@@ -19,7 +19,10 @@ fn main() {
         "{:<16} {:>11} {:>9} {:>12} {:>11} {:>10}",
         "receiver GRO", "tput(Gbps)", "cpu(%)", "seg p50(B)", "ooo segs", "retx"
     );
-    for scheme in [SchemeSpec::presto(), SchemeSpec::presto_official_gro()] {
+    for scheme in [
+        SchemeSpec::presto(),
+        SchemeSpec::from_token("presto-official-gro").unwrap(),
+    ] {
         let label = if scheme.name.contains("Official") {
             "Official GRO"
         } else {

@@ -134,7 +134,10 @@ fn demo(args: &TraceArgs) {
     if !args.json {
         println!("trace demo — Fig 5 GRO comparison with telemetry attached\n");
     }
-    for scheme in [SchemeSpec::presto(), SchemeSpec::presto_official_gro()] {
+    for scheme in [
+        SchemeSpec::presto(),
+        SchemeSpec::from_token("presto-official-gro").unwrap(),
+    ] {
         let sc = Scenario::builder(scheme, 1)
             .topology(ClosSpec {
                 spines: 2,

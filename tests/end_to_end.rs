@@ -74,7 +74,7 @@ fn stock_gro_suffers_small_segment_flooding() {
             .run()
     };
     let presto = run(SchemeSpec::presto());
-    let stock = run(SchemeSpec::presto_official_gro());
+    let stock = run(SchemeSpec::from_token("presto-official-gro").unwrap());
 
     let presto_seg = presto.segment_bytes.clone().percentile(50.0).unwrap();
     let stock_seg = stock.segment_bytes.clone().percentile(50.0).unwrap();

@@ -23,7 +23,10 @@ fn tiny(scheme: SchemeSpec, seed: u64) -> ScenarioBuilder {
 
 #[test]
 fn digest_identical_with_tracing_on_and_off() {
-    for scheme in [SchemeSpec::presto(), SchemeSpec::presto_official_gro()] {
+    for scheme in [
+        SchemeSpec::presto(),
+        SchemeSpec::from_token("presto-official-gro").unwrap(),
+    ] {
         let off = tiny(scheme.clone(), 7).build().run().digest();
 
         let on = tiny(scheme, 7)
@@ -70,7 +73,7 @@ fn flush_reasons_populate_for_both_engines() {
     // stock GRO ejects at them. Counters are always-on, so this holds
     // with or without the `telemetry` feature.
     let (_, presto) = tiny(SchemeSpec::presto(), 5).build().run_traced();
-    let (_, official) = tiny(SchemeSpec::presto_official_gro(), 5)
+    let (_, official) = tiny(SchemeSpec::from_token("presto-official-gro").unwrap(), 5)
         .build()
         .run_traced();
 
