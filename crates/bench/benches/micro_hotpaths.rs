@@ -26,6 +26,7 @@ fn data_packet(i: u64) -> Packet {
         dst_host: HostId(1),
         dst_mac: Mac::host(HostId(1)),
         flowcell: i / 45,
+        ce: false,
         kind: PacketKind::Data {
             seq: i * MSS as u64,
             len: MSS,

@@ -190,6 +190,7 @@ mod tests {
             packets,
             flowcell: 0,
             retx: false,
+            ce: false,
         }
     }
 

@@ -53,6 +53,7 @@ pub fn tso_split_into(seg: TxSegment, out: &mut Vec<Packet>) {
             dst_host: seg.flow.dst,
             dst_mac: seg.tag.dst_mac,
             flowcell: seg.tag.flowcell,
+            ce: false,
             kind: PacketKind::Data {
                 seq: seg.seq + off as u64,
                 len: chunk,
@@ -70,14 +71,18 @@ pub fn tso_split(seg: TxSegment) -> Vec<Packet> {
     out
 }
 
-/// Build a pure ACK packet carrying the reverse-path tag.
-pub fn make_ack(flow: FlowKey, ack: u64, sack_hi: u64, tag: PathTag) -> Packet {
+/// Build a pure ACK packet carrying the reverse-path tag. `ece` is the
+/// ECN-Echo: true when the segment being acknowledged arrived CE-marked,
+/// carried back to the sender on the ACK's `ce` bit (switches never mark
+/// ACKs, so the bit is free on the reverse path).
+pub fn make_ack(flow: FlowKey, ack: u64, sack_hi: u64, tag: PathTag, ece: bool) -> Packet {
     Packet {
         flow,
         src_host: flow.src,
         dst_host: flow.dst,
         dst_mac: tag.dst_mac,
         flowcell: tag.flowcell,
+        ce: ece,
         kind: PacketKind::Ack { ack, sack_hi },
     }
 }
@@ -258,6 +263,7 @@ mod tests {
             dst_host: HostId(1),
             dst_mac: Mac::host(HostId(1)),
             flowcell: 0,
+            ce: false,
             kind: PacketKind::Data {
                 seq: 0,
                 len: 1460,
@@ -312,7 +318,7 @@ mod tests {
     #[test]
     fn make_ack_carries_tag() {
         let f = FlowKey::new(HostId(1), HostId(0), 6, 5);
-        let a = make_ack(f, 5000, 8000, tag());
+        let a = make_ack(f, 5000, 8000, tag(), false);
         assert_eq!(a.dst_mac, tag().dst_mac);
         assert!(matches!(
             a.kind,
@@ -323,5 +329,19 @@ mod tests {
         ));
         assert_eq!(a.src_host, HostId(1));
         assert_eq!(a.dst_host, HostId(0));
+        assert!(!a.ce);
+    }
+
+    #[test]
+    fn make_ack_carries_ece_on_ce_bit() {
+        let f = FlowKey::new(HostId(1), HostId(0), 6, 5);
+        assert!(make_ack(f, 1460, 1460, tag(), true).ce);
+    }
+
+    #[test]
+    fn tso_packets_start_unmarked() {
+        // CE is a fabric signal: freshly segmented sender packets never
+        // carry it.
+        assert!(tso_split(seg(10_000)).iter().all(|p| !p.ce));
     }
 }

@@ -54,6 +54,10 @@ pub struct Segment {
     pub flowcell: u64,
     /// Whether any merged packet was a TCP retransmission.
     pub retx: bool,
+    /// ECN congestion-experienced: the OR of the merged packets' CE bits.
+    /// GRO must not launder congestion signals — if any member packet was
+    /// marked, the whole merged segment (and its ACK's ECE) is.
+    pub ce: bool,
 }
 
 impl Segment {
@@ -74,6 +78,7 @@ impl Segment {
                 packets: 1,
                 flowcell: pkt.flowcell,
                 retx,
+                ce: pkt.ce,
             }),
             _ => Err(OffloadError::NotData),
         }
@@ -99,6 +104,7 @@ impl Segment {
                 self.len += len;
                 self.packets += 1;
                 self.retx |= retx;
+                self.ce |= pkt.ce;
                 return true;
             }
         }
@@ -166,6 +172,13 @@ pub trait ReceiveOffload {
     fn set_telemetry(&mut self, host: u32, sink: SharedSink) {
         let _ = (host, sink);
     }
+
+    /// Number of merges that folded a CE-marked packet into an existing
+    /// segment — how often this engine coalesced (and thus amplified the
+    /// reach of) a congestion signal. Engines that merge override this.
+    fn ce_merge_count(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +193,7 @@ mod tests {
             dst_host: HostId(1),
             dst_mac: Mac::host(HostId(1)),
             flowcell,
+            ce: false,
             kind: PacketKind::Data {
                 seq,
                 len,
@@ -260,5 +274,24 @@ mod tests {
         };
         assert!(s.try_merge_tail(&r));
         assert!(s.retx);
+    }
+
+    #[test]
+    fn merge_ors_ce_mark() {
+        // CE from the seed packet sticks …
+        let mut marked = pkt(0, 1460, 0);
+        marked.ce = true;
+        let mut s = Segment::from_packet(&marked);
+        assert!(s.ce);
+        assert!(s.try_merge_tail(&pkt(1460, 1460, 0)));
+        assert!(s.ce, "unmarked tail must not clear CE");
+
+        // … and CE from a merged tail sets it.
+        let mut s = Segment::from_packet(&pkt(0, 1460, 0));
+        assert!(!s.ce);
+        let mut m = pkt(1460, 1460, 0);
+        m.ce = true;
+        assert!(s.try_merge_tail(&m));
+        assert!(s.ce, "marked tail must set CE on the merged segment");
     }
 }

@@ -34,6 +34,9 @@ pub struct OfficialGro {
     /// end-of-batch drain — so Fig 5 comparisons can attribute per cause
     /// on the baseline side too.
     flush_reasons: [u64; FlushReason::COUNT],
+    /// Merges that folded a CE-marked packet into an open segment — each
+    /// one widens the stretch of bytes a single ECN-Echo will cover.
+    ce_merges: u64,
     /// Host index stamped into trace events.
     host: u32,
     /// Optional trace sink for `GroFlush` events.
@@ -73,6 +76,9 @@ impl ReceiveOffload for OfficialGro {
             Some(seg) => {
                 let would_overflow = seg.len + pkt.payload_bytes() > GRO_MAX_BYTES;
                 if !would_overflow && seg.try_merge_tail(pkt) {
+                    if pkt.ce {
+                        self.ce_merges += 1;
+                    }
                     return;
                 }
                 // Cannot merge (reordered, new flowcell, or size cap):
@@ -139,6 +145,10 @@ impl ReceiveOffload for OfficialGro {
         self.host = host;
         self.sink = Some(sink);
     }
+
+    fn ce_merge_count(&self) -> u64 {
+        self.ce_merges
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +163,7 @@ mod tests {
             dst_host: HostId(1),
             dst_mac: Mac::host(HostId(1)),
             flowcell,
+            ce: false,
             kind: PacketKind::Data {
                 seq,
                 len: MSS,
@@ -301,6 +312,29 @@ mod tests {
         // side of the Fig 5 split, like Presto GRO's boundary reasons.
         assert!(FlushReason::BoundaryEject.indicates_reordering());
         assert!(FlushReason::OutOfOrderEject.indicates_loss());
+    }
+
+    #[test]
+    fn ce_survives_merge_and_is_counted() {
+        // P0 unmarked, P1 CE-marked, P2 unmarked: one segment whose CE is
+        // the OR of its members, with two merges of which one carried CE.
+        let mut g = OfficialGro::new();
+        g.on_packet(SimTime::ZERO, &pkt(seq(0)));
+        let mut marked = pkt(seq(1));
+        marked.ce = true;
+        g.on_packet(SimTime::ZERO, &marked);
+        g.on_packet(SimTime::ZERO, &pkt(seq(2)));
+        let segs = g.flush(SimTime::ZERO);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].ce, "merged segment must keep the CE mark");
+        assert_eq!(g.ce_merge_count(), 1);
+
+        // Unmarked traffic counts nothing.
+        g.on_packet(SimTime::ZERO, &pkt(seq(10)));
+        g.on_packet(SimTime::ZERO, &pkt(seq(11)));
+        let segs = g.flush(SimTime::ZERO);
+        assert!(!segs[0].ce);
+        assert_eq!(g.ce_merge_count(), 1);
     }
 
     #[test]

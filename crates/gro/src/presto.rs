@@ -134,7 +134,7 @@ struct FlowState {
 /// let flow = FlowKey::new(HostId(0), HostId(1), 1, 2);
 /// let pkt = |i: u64, cell: u64| Packet {
 ///     flow, src_host: HostId(0), dst_host: HostId(1),
-///     dst_mac: Mac::host(HostId(1)), flowcell: cell,
+///     dst_mac: Mac::host(HostId(1)), flowcell: cell, ce: false,
 ///     kind: PacketKind::Data { seq: i * MSS as u64, len: MSS, retx: false },
 /// };
 /// let mut gro = PrestoGro::new();
@@ -162,6 +162,9 @@ pub struct PrestoGro {
     /// Pushes attributed per flush cause (always counted; see
     /// [`FlushReason`] for the taxonomy).
     flush_reasons: [u64; FlushReason::COUNT],
+    /// Merges that folded a CE-marked packet into a held segment — how
+    /// often the hold machinery coalesced congestion signals.
+    ce_merges: u64,
     /// Host index stamped into trace events.
     host: u32,
     /// Optional trace sink for `GroHold`/`GroFlush` events.
@@ -184,6 +187,7 @@ impl PrestoGro {
             timeout_fires: 0,
             reorders_masked: 0,
             flush_reasons: [0; FlushReason::COUNT],
+            ce_merges: 0,
             host: 0,
             sink: None,
         }
@@ -428,6 +432,9 @@ impl ReceiveOffload for PrestoGro {
         for h in f.segs.iter_mut().rev() {
             if h.seg.try_merge_tail(pkt) {
                 h.last_merge = now;
+                if pkt.ce {
+                    self.ce_merges += 1;
+                }
                 return;
             }
         }
@@ -488,6 +495,10 @@ impl ReceiveOffload for PrestoGro {
         self.host = host;
         self.sink = Some(sink);
     }
+
+    fn ce_merge_count(&self) -> u64 {
+        self.ce_merges
+    }
 }
 
 #[cfg(test)]
@@ -513,6 +524,7 @@ mod tests {
             dst_host: HostId(1),
             dst_mac: Mac::host(HostId(1)),
             flowcell: i / CELL,
+            ce: false,
             kind: PacketKind::Data {
                 seq: i * MSS as u64,
                 len: MSS,
@@ -545,6 +557,42 @@ mod tests {
         let segs = g.flush(SimTime::ZERO);
         assert_eq!(segs.len(), 1, "ACK must not split the flowcell");
         assert_eq!(segs[0].packets, 2);
+    }
+
+    #[test]
+    fn ce_survives_merge_and_hold() {
+        // A CE mark in the middle of a flowcell must survive both the
+        // merge and the boundary hold, and be counted once.
+        let mut g = PrestoGro::new();
+        let t = SimTime::from_micros(5);
+        g.on_packet(t, &pkt(0));
+        let mut marked = pkt(1);
+        marked.ce = true;
+        g.on_packet(t, &marked);
+        g.on_packet(t, &pkt(2));
+        g.on_packet(t, &pkt(3));
+        let segs = g.flush(t);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].ce, "CE must survive Presto GRO's merge");
+        assert_eq!(g.ce_merge_count(), 1);
+
+        // Held-across-polls case: cell 2 arrives early with a mark while
+        // cell 1's tail is missing; the mark must still be on the segment
+        // when the hold resolves.
+        let mut held = pkt(8); // cell 2 head
+        held.ce = true;
+        g.on_packet(t, &pkt(4));
+        g.on_packet(t, &pkt(5));
+        g.on_packet(t, &pkt(6));
+        g.on_packet(t, &held);
+        let first = g.flush(t);
+        assert!(first.iter().all(|s| !s.ce), "cell-1 prefix is unmarked");
+        g.on_packet(t, &pkt(7)); // fill the gap
+        let rest = g.flush(t);
+        assert!(
+            rest.iter().any(|s| s.ce),
+            "mark must survive the boundary hold: {rest:?}"
+        );
     }
 
     #[test]

@@ -12,7 +12,9 @@ use std::str::FromStr;
 use presto_faults::{FaultPlan, Notify};
 use presto_netsim::{ClosSpec, ThreeTierSpec};
 use presto_simcore::{SimDuration, SimTime};
-use presto_testbed::SchemeSpec;
+use presto_testbed::{SchemeSpec, DEFAULT_ECN_THRESHOLD};
+
+pub use presto_transport::CcKind;
 
 /// Controller reaction delay applied to every declaratively specified
 /// fault: 2 ms after the fault instant, the Fig 17 default.
@@ -169,6 +171,61 @@ impl FromStr for TopoId {
     }
 }
 
+/// ECN marking axis: whether (and at what switch-queue depth) the fabric
+/// marks CE. `cc = dctcp` only bites when this is on; every pre-ECN
+/// campaign label stays unchanged because the default is `off`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcnId {
+    /// No marking — the historical default.
+    Off,
+    /// Mark CE once a switch egress queue holds this many bytes.
+    On(u64),
+}
+
+impl EcnId {
+    /// The marking threshold to install, `None` when off.
+    pub fn threshold(self) -> Option<u64> {
+        match self {
+            EcnId::Off => None,
+            EcnId::On(k) => Some(k),
+        }
+    }
+}
+
+impl fmt::Display for EcnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcnId::Off => f.write_str("off"),
+            EcnId::On(k) if *k == DEFAULT_ECN_THRESHOLD => f.write_str("on"),
+            EcnId::On(k) => write!(f, "on:{k}"),
+        }
+    }
+}
+
+impl FromStr for EcnId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(EcnId::Off),
+            "on" => Ok(EcnId::On(DEFAULT_ECN_THRESHOLD)),
+            other => {
+                if let Some(k) = other.strip_prefix("on:") {
+                    let k: u64 = k
+                        .parse()
+                        .map_err(|_| format!("bad ECN threshold in `{other}`"))?;
+                    if k == 0 {
+                        return Err("ECN threshold must be ≥ 1 byte".into());
+                    }
+                    return Ok(EcnId::On(k));
+                }
+                Err(format!(
+                    "unknown ecn `{other}` (expected off | on | on:<bytes>)"
+                ))
+            }
+        }
+    }
+}
+
 /// Traffic offered to the fabric.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WorkloadId {
@@ -190,6 +247,28 @@ pub enum WorkloadId {
     WebSearch(u64),
     /// Poisson arrivals with the VL2 "data mining" size mix.
     DataMining(u64),
+    /// Partition-aggregate incast: every `interval_us` µs, `fanout`
+    /// workers each send `kb` KiB to the aggregator (host 0), and the
+    /// request misses if the last response lands after `deadline_us` µs.
+    Incast {
+        /// Number of concurrent workers per request.
+        fanout: usize,
+        /// Response size per worker, KiB.
+        kb: u64,
+        /// Request inter-arrival gap, microseconds.
+        interval_us: u64,
+        /// Per-request completion deadline, microseconds.
+        deadline_us: u64,
+    },
+    /// Ring all-reduce: `participants` hosts in a ring, each sending `kb`
+    /// KiB per synchronized round, next round starting when the slowest
+    /// transfer of the current one finishes.
+    Allreduce {
+        /// Ring size (first `participants` hosts).
+        participants: usize,
+        /// Bytes per ring transfer per round, KiB.
+        kb: u64,
+    },
 }
 
 /// Flow-size clamp for the Poisson mixes: truncate elephants so short
@@ -208,6 +287,15 @@ impl fmt::Display for WorkloadId {
             }
             WorkloadId::WebSearch(gap) => write!(f, "websearch:{gap}"),
             WorkloadId::DataMining(gap) => write!(f, "datamining:{gap}"),
+            WorkloadId::Incast {
+                fanout,
+                kb,
+                interval_us,
+                deadline_us,
+            } => write!(f, "incast:{fanout}:{kb}:{interval_us}:{deadline_us}"),
+            WorkloadId::Allreduce { participants, kb } => {
+                write!(f, "allreduce:{participants}:{kb}")
+            }
         }
     }
 }
@@ -267,9 +355,48 @@ impl FromStr for WorkloadId {
                 let gap: u64 = rest[0].parse().map_err(|_| format!("bad gap in `{s}`"))?;
                 Ok(WorkloadId::DataMining(gap.max(1)))
             }
+            "incast" => {
+                want(4)?;
+                let num = |i: usize, what: &str| -> Result<u64, String> {
+                    rest[i]
+                        .parse()
+                        .map_err(|_| format!("bad incast {what} in `{s}`"))
+                };
+                let fanout = num(0, "fanout")? as usize;
+                let kb = num(1, "KiB")?;
+                let interval_us = num(2, "interval")?;
+                let deadline_us = num(3, "deadline")?;
+                if fanout == 0 || kb == 0 || interval_us == 0 || deadline_us == 0 {
+                    return Err("incast parameters must all be ≥ 1".into());
+                }
+                Ok(WorkloadId::Incast {
+                    fanout,
+                    kb,
+                    interval_us,
+                    deadline_us,
+                })
+            }
+            "allreduce" => {
+                want(2)?;
+                let participants: usize = rest[0]
+                    .parse()
+                    .map_err(|_| format!("bad allreduce participants in `{s}`"))?;
+                let kb: u64 = rest[1]
+                    .parse()
+                    .map_err(|_| format!("bad allreduce KiB in `{s}`"))?;
+                if participants < 2 {
+                    return Err("a ring all-reduce needs ≥ 2 participants".into());
+                }
+                if kb == 0 {
+                    return Err("allreduce KiB must be ≥ 1".into());
+                }
+                Ok(WorkloadId::Allreduce { participants, kb })
+            }
             other => Err(format!(
                 "unknown workload `{other}` (expected stride:<k> | random | bijection | \
-                 shuffle:<bytes>:<concurrency> | websearch:<gap_ms> | datamining:<gap_ms>)"
+                 shuffle:<bytes>:<concurrency> | websearch:<gap_ms> | datamining:<gap_ms> | \
+                 incast:<fanout>:<kb>:<interval_us>:<deadline_us> | \
+                 allreduce:<participants>:<kb>)"
             )),
         }
     }
@@ -376,12 +503,27 @@ mod tests {
             "shuffle:1000000:2",
             "websearch:3",
             "datamining:4",
+            "incast:8:32:1000:900",
+            "allreduce:8:512",
         ] {
             assert_eq!(w.parse::<WorkloadId>().unwrap().to_string(), w);
         }
         for f in ["none", "linkdown:5", "flap:6:9", "spinedown:7"] {
             assert_eq!(f.parse::<FaultId>().unwrap().to_string(), f);
         }
+        // The cc axis follows the transport registry; ecn round-trips its
+        // canonical spellings, with `on` denoting the DCTCP-guideline
+        // threshold.
+        for c in presto_transport::cc_tokens() {
+            assert_eq!(c.parse::<CcKind>().unwrap().to_string(), c);
+        }
+        for e in ["off", "on", "on:30000"] {
+            assert_eq!(e.parse::<EcnId>().unwrap().to_string(), e);
+        }
+        assert_eq!(
+            "on".parse::<EcnId>().unwrap(),
+            EcnId::On(DEFAULT_ECN_THRESHOLD)
+        );
     }
 
     #[test]
@@ -391,8 +533,14 @@ mod tests {
         assert!("stride".parse::<WorkloadId>().is_err());
         assert!("stride:0".parse::<WorkloadId>().is_err());
         assert!("shuffle:5".parse::<WorkloadId>().is_err());
+        assert!("incast:8:32:1000".parse::<WorkloadId>().is_err());
+        assert!("incast:0:32:1000:900".parse::<WorkloadId>().is_err());
+        assert!("allreduce:1:512".parse::<WorkloadId>().is_err());
         assert!("flap:9:6".parse::<FaultId>().is_err());
         assert!("flap:6".parse::<FaultId>().is_err());
+        assert!("vegas".parse::<CcKind>().is_err());
+        assert!("on:0".parse::<EcnId>().is_err());
+        assert!("maybe".parse::<EcnId>().is_err());
     }
 
     #[test]

@@ -19,11 +19,12 @@ use std::str::FromStr;
 
 use presto_simcore::{SimDuration, SimTime};
 use presto_testbed::{
-    bijection_elephants, random_elephants, stride_elephants, Scenario, ShuffleSpec,
+    bijection_elephants, random_elephants, stride_elephants, AllreduceSpec, IncastSpec, Scenario,
+    ShuffleSpec,
 };
 use presto_workloads::{data_mining, poisson_flows, web_search};
 
-use crate::axes::{FaultId, SchemeId, TopoId, WorkloadId, MIX_CLAMP};
+use crate::axes::{CcKind, EcnId, FaultId, SchemeId, TopoId, WorkloadId, MIX_CLAMP};
 use crate::tomlmini::{self, Table, Value};
 
 /// One fully resolved grid point — everything needed to build its
@@ -38,6 +39,10 @@ pub struct PointSpec {
     pub workload: WorkloadId,
     /// Fault timeline.
     pub fault: FaultId,
+    /// Congestion control (the testbed default is CUBIC).
+    pub cc: CcKind,
+    /// ECN marking (off by default).
+    pub ecn: EcnId,
     /// Flowcell threshold in KiB (the paper default is 64).
     pub flowcell_kb: u64,
     /// Master seed.
@@ -65,8 +70,17 @@ impl PointSpec {
             "{}/{}/{}/{}/cell{}k/s{}",
             self.scheme, self.topo, self.workload, self.fault, self.flowcell_kb, self.seed
         );
+        // The transport axes only suffix the label away from their
+        // defaults, so every pre-ECN campaign label is unchanged.
+        if self.cc != CcKind::default() {
+            label.push_str(&format!("/cc:{}", self.cc));
+        }
+        if self.ecn != EcnId::Off {
+            label.push_str(&format!("/ecn:{}", self.ecn));
+        }
         // Serial points keep their historical labels; only sharded points
-        // carry the engine suffix.
+        // carry the engine suffix (kept last: figure extraction strips a
+        // trailing `/shN`).
         if self.shards != 1 {
             label.push_str(&format!("/sh{}", self.shards));
         }
@@ -102,6 +116,16 @@ impl PointSpec {
         if self.flowcell_kb == 0 {
             return whine("flowcell size must be \u{2265} 1 KiB");
         }
+        if let WorkloadId::Incast { fanout, .. } = self.workload {
+            if fanout >= self.topo.n_servers() {
+                return whine("incast fanout must leave room for the aggregator");
+            }
+        }
+        if let WorkloadId::Allreduce { participants, .. } = self.workload {
+            if participants > self.topo.n_servers() {
+                return whine("allreduce ring exceeds the server count");
+            }
+        }
         if self.shards == 0 {
             return whine("shard count must be \u{2265} 1");
         }
@@ -126,6 +150,15 @@ impl PointSpec {
     ) -> Scenario {
         let mut spec = self.scheme.to_spec();
         spec.flowcell_bytes = self.flowcell_kb * 1024;
+        // Only non-default transport axes touch the scheme spec, so the
+        // canonical text (and thus fingerprints) of existing points is
+        // byte-identical.
+        if self.cc != CcKind::default() {
+            spec.cc = self.cc;
+        }
+        if let Some(k) = self.ecn.threshold() {
+            spec.ecn = Some(k);
+        }
         let n = self.topo.n_servers();
         let hpp = self.topo.hosts_per_pod();
         let mut b = Scenario::builder(spec, self.seed)
@@ -161,6 +194,22 @@ impl PointSpec {
                 SimDuration::from_millis(gap_ms),
                 MIX_CLAMP,
             )),
+            WorkloadId::Incast {
+                fanout,
+                kb,
+                interval_us,
+                deadline_us,
+            } => b.incast(IncastSpec {
+                aggregator: 0,
+                fanout,
+                bytes_per_worker: kb * 1024,
+                interval: SimDuration::from_micros(interval_us),
+                deadline: SimDuration::from_micros(deadline_us),
+            }),
+            WorkloadId::Allreduce { participants, kb } => b.allreduce(AllreduceSpec {
+                participants,
+                bytes: kb * 1024,
+            }),
         };
         customize(b.shards(self.shards).name(self.label())).build()
     }
@@ -225,6 +274,10 @@ pub struct PointMatch {
     pub workload: Option<StrPat>,
     /// Fault pattern.
     pub fault: Option<StrPat>,
+    /// Congestion-control pattern.
+    pub cc: Option<StrPat>,
+    /// ECN pattern.
+    pub ecn: Option<StrPat>,
     /// Exact flowcell size in KiB.
     pub flowcell_kb: Option<u64>,
     /// Exact seed.
@@ -241,6 +294,8 @@ impl PointMatch {
             && s(&self.topo, p.topo.to_string())
             && s(&self.workload, p.workload.to_string())
             && s(&self.fault, p.fault.to_string())
+            && s(&self.cc, p.cc.to_string())
+            && s(&self.ecn, p.ecn.to_string())
             && self.flowcell_kb.is_none_or(|v| v == p.flowcell_kb)
             && self.seed.is_none_or(|v| v == p.seed)
             && self.shards.is_none_or(|v| v as usize == p.shards)
@@ -277,6 +332,10 @@ pub struct Campaign {
     pub workloads: Vec<WorkloadId>,
     /// Fault axis.
     pub faults: Vec<FaultId>,
+    /// Congestion-control axis.
+    pub ccs: Vec<CcKind>,
+    /// ECN axis.
+    pub ecns: Vec<EcnId>,
     /// Flowcell-size axis, in KiB.
     pub flowcells_kb: Vec<u64>,
     /// Seed axis.
@@ -294,8 +353,8 @@ pub struct Campaign {
 impl Campaign {
     /// A campaign with the given name, a 100 ms / 20 ms time window, and
     /// single-default axes (`presto` on `testbed16`, `stride:8`, healthy,
-    /// 64 KiB cells, seed 1). Push onto the axis vectors to widen the
-    /// grid.
+    /// CUBIC with ECN off, 64 KiB cells, seed 1). Push onto the axis
+    /// vectors to widen the grid.
     pub fn new(name: impl Into<String>) -> Self {
         Campaign {
             name: name.into(),
@@ -305,6 +364,8 @@ impl Campaign {
             topos: vec![TopoId::Testbed16],
             workloads: vec![WorkloadId::Stride(8)],
             faults: vec![FaultId::None],
+            ccs: vec![CcKind::default()],
+            ecns: vec![EcnId::Off],
             flowcells_kb: vec![64],
             seeds: vec![1],
             shards: vec![1],
@@ -328,6 +389,8 @@ impl Campaign {
             ("topo", self.topos.len()),
             ("workload", self.workloads.len()),
             ("fault", self.faults.len()),
+            ("cc", self.ccs.len()),
+            ("ecn", self.ecns.len()),
             ("flowcell_kb", self.flowcells_kb.len()),
             ("seed", self.seeds.len()),
             ("shards", self.shards.len()),
@@ -341,46 +404,53 @@ impl Campaign {
             for &topo in &self.topos {
                 for &workload in &self.workloads {
                     for &fault in &self.faults {
-                        for &flowcell_kb in &self.flowcells_kb {
-                            for &seed in &self.seeds {
-                                for &shards in &self.shards {
-                                    let mut p = PointSpec {
-                                        scheme,
-                                        topo,
-                                        workload,
-                                        fault,
-                                        flowcell_kb,
-                                        seed,
-                                        shards,
-                                        duration: self.duration,
-                                        warmup: self.warmup,
-                                        traced: false,
-                                    };
-                                    if self.drops.iter().any(|d| d.matches(&p)) {
-                                        continue;
-                                    }
-                                    for o in &self.overrides {
-                                        if o.matcher.matches(&p) {
-                                            if let Some(d) = o.duration {
-                                                p.duration = d;
+                        for &cc in &self.ccs {
+                            for &ecn in &self.ecns {
+                                for &flowcell_kb in &self.flowcells_kb {
+                                    for &seed in &self.seeds {
+                                        for &shards in &self.shards {
+                                            let mut p = PointSpec {
+                                                scheme,
+                                                topo,
+                                                workload,
+                                                fault,
+                                                cc,
+                                                ecn,
+                                                flowcell_kb,
+                                                seed,
+                                                shards,
+                                                duration: self.duration,
+                                                warmup: self.warmup,
+                                                traced: false,
+                                            };
+                                            if self.drops.iter().any(|d| d.matches(&p)) {
+                                                continue;
                                             }
-                                            if let Some(w) = o.warmup {
-                                                p.warmup = w;
+                                            for o in &self.overrides {
+                                                if o.matcher.matches(&p) {
+                                                    if let Some(d) = o.duration {
+                                                        p.duration = d;
+                                                    }
+                                                    if let Some(w) = o.warmup {
+                                                        p.warmup = w;
+                                                    }
+                                                    if let Some(f) = o.flowcell_kb {
+                                                        p.flowcell_kb = f;
+                                                    }
+                                                }
                                             }
-                                            if let Some(f) = o.flowcell_kb {
-                                                p.flowcell_kb = f;
-                                            }
+                                            p.traced =
+                                                self.traces.iter().any(|t| t.matches(&p));
+                                            p.validate().map_err(|e| {
+                                                format!(
+                                                    "campaign `{}`: invalid grid point {e} \
+                                                     (add a [[drop]] to exclude it)",
+                                                    self.name
+                                                )
+                                            })?;
+                                            points.push(p);
                                         }
                                     }
-                                    p.traced = self.traces.iter().any(|t| t.matches(&p));
-                                    p.validate().map_err(|e| {
-                                        format!(
-                                            "campaign `{}`: invalid grid point {e} \
-                                             (add a [[drop]] to exclude it)",
-                                            self.name
-                                        )
-                                    })?;
-                                    points.push(p);
                                 }
                             }
                         }
@@ -453,6 +523,8 @@ impl Campaign {
                     "topo",
                     "workload",
                     "fault",
+                    "cc",
+                    "ecn",
                     "flowcell_kb",
                     "seed",
                     "shards",
@@ -469,6 +541,12 @@ impl Campaign {
             }
             if let Some(v) = axes.get("fault") {
                 campaign.faults = parse_axis(v, "fault")?;
+            }
+            if let Some(v) = axes.get("cc") {
+                campaign.ccs = parse_axis(v, "cc")?;
+            }
+            if let Some(v) = axes.get("ecn") {
+                campaign.ecns = parse_axis(v, "ecn")?;
             }
             if let Some(v) = axes.get("flowcell_kb") {
                 campaign.flowcells_kb = parse_u64_axis(v, "flowcell_kb")?;
@@ -567,6 +645,8 @@ fn parse_match(table: &Table, section: &str, extra: &[&str]) -> Result<PointMatc
         "topo",
         "workload",
         "fault",
+        "cc",
+        "ecn",
         "flowcell_kb",
         "seed",
         "shards",
@@ -601,6 +681,8 @@ fn parse_match(table: &Table, section: &str, extra: &[&str]) -> Result<PointMatc
         topo: pat("topo", &|s| s.parse::<TopoId>().map(|_| ()))?,
         workload: pat("workload", &|s| s.parse::<WorkloadId>().map(|_| ()))?,
         fault: pat("fault", &|s| s.parse::<FaultId>().map(|_| ()))?,
+        cc: pat("cc", &|s| s.parse::<CcKind>().map(|_| ()))?,
+        ecn: pat("ecn", &|s| s.parse::<EcnId>().map(|_| ()))?,
         flowcell_kb: int("flowcell_kb")?,
         seed: int("seed")?,
         shards: int("shards")?,
@@ -744,12 +826,16 @@ seed = 1
             "shuffle:100000:2",
             "websearch:2",
             "datamining:2",
+            "incast:8:32:1000:900",
+            "allreduce:8:512",
         ] {
             let p = PointSpec {
                 scheme: SchemeId::PRESTO,
                 topo: TopoId::Testbed16,
                 workload: w.parse().unwrap(),
                 fault: FaultId::None,
+                cc: CcKind::default(),
+                ecn: EcnId::Off,
                 flowcell_kb: 64,
                 seed: 3,
                 shards: 1,
@@ -760,9 +846,103 @@ seed = 1
             let s = p.to_scenario();
             assert_eq!(s.name(), p.label());
             assert_eq!(s.seed(), 3);
-            let has_traffic = !s.flows().is_empty() || s.shuffle().is_some();
+            let has_traffic = !s.flows().is_empty()
+                || s.shuffle().is_some()
+                || s.incast().is_some()
+                || s.allreduce().is_some();
             assert!(has_traffic, "{w} generated no traffic");
         }
+    }
+
+    #[test]
+    fn transport_axes_suffix_labels_and_reach_the_spec() {
+        let mut c = Campaign::new("transport");
+        c.ccs = vec![CcKind::Cubic, CcKind::Dctcp];
+        c.ecns = vec![EcnId::Off, EcnId::On(presto_testbed::DEFAULT_ECN_THRESHOLD)];
+        c.shards = vec![1, 8];
+        let points = c.expand().unwrap();
+        assert_eq!(points.len(), 8);
+        // Default cc/ecn keeps the historical label byte-identical…
+        assert_eq!(
+            points[0].label(),
+            "presto/testbed16/stride:8/none/cell64k/s1"
+        );
+        // …and the historical fingerprint: the axes only touch the spec
+        // away from their defaults.
+        let baseline = PointSpec {
+            cc: CcKind::default(),
+            ecn: EcnId::Off,
+            ..points[0].clone()
+        };
+        assert_eq!(points[0].fingerprint(), baseline.fingerprint());
+        // Non-default values suffix in a fixed order with /shN last.
+        let labels: Vec<String> = points.iter().map(PointSpec::label).collect();
+        assert!(labels.contains(&"presto/testbed16/stride:8/none/cell64k/s1/ecn:on".into()));
+        assert!(
+            labels.contains(&"presto/testbed16/stride:8/none/cell64k/s1/cc:dctcp/ecn:on/sh8".into())
+        );
+        for p in &points {
+            let s = p.to_scenario();
+            assert_eq!(s.scheme().cc, p.cc);
+            assert_eq!(s.scheme().ecn, p.ecn.threshold());
+        }
+        // All eight points are distinct configurations.
+        let mut fps: Vec<String> = points.iter().map(PointSpec::fingerprint).collect();
+        fps.sort();
+        fps.dedup();
+        assert_eq!(fps.len(), 8);
+    }
+
+    #[test]
+    fn cc_and_ecn_work_in_toml_axes_and_combinators() {
+        let text = r#"
+[campaign]
+name = "dctcp"
+
+[axes]
+scheme = ["presto", "ecmp"]
+cc = ["cubic", "dctcp"]
+ecn = ["off", "on"]
+
+[[drop]]
+cc = "dctcp"
+ecn = "off"
+
+[[trace]]
+cc = "dctcp"
+"#;
+        let c = Campaign::from_toml(text).unwrap();
+        assert_eq!(c.ccs, vec![CcKind::Cubic, CcKind::Dctcp]);
+        assert_eq!(
+            c.ecns,
+            vec![EcnId::Off, EcnId::On(presto_testbed::DEFAULT_ECN_THRESHOLD)]
+        );
+        let points = c.expand().unwrap();
+        // 2 schemes × (cubic×{off,on} + dctcp×on) = 6.
+        assert_eq!(points.len(), 6);
+        for p in &points {
+            assert!(
+                !(p.cc == CcKind::Dctcp && p.ecn == EcnId::Off),
+                "dropped combination survived: {}",
+                p.label()
+            );
+            assert_eq!(p.traced, p.cc == CcKind::Dctcp, "{}", p.label());
+        }
+        // Typos in the new axes fail at load time.
+        assert!(Campaign::from_toml(&text.replace("\"dctcp\"", "\"dctpc\"")).is_err());
+        assert!(Campaign::from_toml(&text.replace("ecn = [\"off\", \"on\"]", "ecn = [\"of\"]"))
+            .is_err());
+    }
+
+    #[test]
+    fn incast_points_validate_against_the_topology() {
+        let mut c = Campaign::new("incast-too-wide");
+        c.workloads = vec!["incast:16:32:1000:900".parse().unwrap()];
+        let err = c.expand().unwrap_err();
+        assert!(err.contains("aggregator"), "{err}");
+        let mut c = Campaign::new("ring-too-wide");
+        c.workloads = vec!["allreduce:17:512".parse().unwrap()];
+        assert!(c.expand().unwrap_err().contains("ring"), "{}", c.name);
     }
 
     #[test]

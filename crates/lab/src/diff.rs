@@ -35,6 +35,10 @@ pub struct Tolerances {
     /// wall time is machine-dependent, so gating on it only makes sense
     /// when baseline and current ran on comparable hardware.
     pub wall_rise_rel: f64,
+    /// Allowed absolute rise in the incast deadline-miss fraction
+    /// (`0.02` = 2 percentage points). Only gates rows where both runs
+    /// tracked incast requests.
+    pub deadline_miss_rise_abs: f64,
     /// Treat a digest change at an unchanged fingerprint as a regression
     /// instead of a note.
     pub strict_digest: bool,
@@ -47,6 +51,7 @@ impl Default for Tolerances {
             p99_fct_rise_rel: 0.10,
             loss_rise_abs: 0.002,
             wall_rise_rel: f64::INFINITY,
+            deadline_miss_rise_abs: 0.02,
             strict_digest: false,
         }
     }
@@ -188,6 +193,28 @@ fn diff_row(base: &Row, cur: &Row, tol: &Tolerances, report: &mut DiffReport) {
             ));
         }
     }
+    // Incast deadline misses: absolute rise in the miss fraction, only
+    // where both runs tracked requests (pre-incast baselines carry zero
+    // totals and never fire this gate).
+    if base.deadline_total > 0 && cur.deadline_total > 0 {
+        let delta = cur.deadline_miss_fraction() - base.deadline_miss_fraction();
+        if delta > tol.deadline_miss_rise_abs {
+            report.regressions.push(format!(
+                "{label}: deadline misses {}/{} → {}/{} (+{:.1} pp > {:.1} pp tolerance)",
+                base.deadline_misses,
+                base.deadline_total,
+                cur.deadline_misses,
+                cur.deadline_total,
+                delta * 100.0,
+                tol.deadline_miss_rise_abs * 100.0
+            ));
+        } else if -delta > tol.deadline_miss_rise_abs {
+            report.notes.push(format!(
+                "{label}: deadline misses improved {}/{} → {}/{}",
+                base.deadline_misses, base.deadline_total, cur.deadline_misses, cur.deadline_total
+            ));
+        }
+    }
     if cur.loss_rate - base.loss_rate > tol.loss_rise_abs {
         report.regressions.push(format!(
             "{label}: loss rate {:.5} → {:.5} (rise > {:.5} tolerance)",
@@ -236,8 +263,32 @@ mod tests {
             events: 1000,
             wall_ms: 100.0,
             events_per_sec: 10_000.0,
+            deadline_total: 0,
+            deadline_misses: 0,
             error: String::new(),
         }
+    }
+
+    #[test]
+    fn deadline_miss_gate_fires_only_for_incast_rows() {
+        let mut base = vec![ok_row("a")];
+        let mut cur = vec![ok_row("a")];
+        // Neither side tracked incast: fraction stays 0, gate silent.
+        assert!(diff_tables(&base, &cur, &Tolerances::default()).passed());
+        base[0].deadline_total = 100;
+        base[0].deadline_misses = 5;
+        cur[0].deadline_total = 100;
+        cur[0].deadline_misses = 20; // +15 pp
+        let report = diff_tables(&base, &cur, &Tolerances::default());
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("deadline misses"), "{report:?}");
+        // Within tolerance passes; a big drop is a note.
+        cur[0].deadline_misses = 6;
+        assert!(diff_tables(&base, &cur, &Tolerances::default()).passed());
+        cur[0].deadline_misses = 0;
+        let report = diff_tables(&base, &cur, &Tolerances::default());
+        assert!(report.passed());
+        assert!(report.notes[0].contains("improved"), "{report:?}");
     }
 
     #[test]

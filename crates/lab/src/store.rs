@@ -76,6 +76,12 @@ pub struct Row {
     /// for failed rows). Derived from `events` and `wall_ms` at record
     /// time and stored, so cached tables stay byte-identical.
     pub events_per_sec: f64,
+    /// Completed incast requests in the measurement window (zero for
+    /// points without an incast workload; such rows omit the deadline
+    /// fields entirely, keeping pre-incast tables byte-identical).
+    pub deadline_total: u64,
+    /// Incast requests whose last response landed after the deadline.
+    pub deadline_misses: u64,
     /// Panic message for failed rows; empty otherwise.
     pub error: String,
 }
@@ -90,6 +96,16 @@ fn events_rate(events: u64, wall_ms: f64) -> f64 {
 }
 
 impl Row {
+    /// Fraction of incast requests that missed their deadline; zero when
+    /// the point tracked none.
+    pub fn deadline_miss_fraction(&self) -> f64 {
+        if self.deadline_total == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.deadline_total as f64
+        }
+    }
+
     /// Summarize a completed run.
     pub fn from_report(label: &str, fp: &str, report: &Report, wall_ms: f64) -> Self {
         Row {
@@ -106,6 +122,8 @@ impl Row {
             events: report.events_processed,
             wall_ms,
             events_per_sec: events_rate(report.events_processed, wall_ms),
+            deadline_total: report.incast_requests,
+            deadline_misses: report.incast_deadline_misses,
             error: String::new(),
         }
     }
@@ -126,6 +144,8 @@ impl Row {
             events: 0,
             wall_ms,
             events_per_sec: 0.0,
+            deadline_total: 0,
+            deadline_misses: 0,
             error: error.to_string(),
         }
     }
@@ -164,6 +184,14 @@ impl Row {
         push_f64(&mut s, self.wall_ms);
         s.push_str(",\"events_per_sec\":");
         push_f64(&mut s, self.events_per_sec);
+        // Deadline accounting only appears for incast points, so every
+        // pre-incast table re-encodes to its original bytes.
+        if self.deadline_total != 0 {
+            s.push_str(&format!(
+                ",\"deadline_total\":{},\"deadline_misses\":{}",
+                self.deadline_total, self.deadline_misses
+            ));
+        }
         s.push_str(",\"error\":");
         push_str_field(&mut s, &self.error);
         s.push('}');
@@ -199,6 +227,9 @@ impl Row {
             // Rows written before the field existed derive it on load.
             events_per_sec: json_f64(line, "events_per_sec")
                 .unwrap_or_else(|| events_rate(events, wall_ms)),
+            // Absent on non-incast rows (and every pre-incast row).
+            deadline_total: json_u64(line, "deadline_total").unwrap_or(0),
+            deadline_misses: json_u64(line, "deadline_misses").unwrap_or(0),
             error: json_str(line, "error")?,
         })
     }
@@ -356,7 +387,7 @@ pub fn rows_to_csv(rows: &[&Row]) -> String {
     let mut out = String::from(
         "label,fp,status,digest,goodput_gbps,fairness,loss_rate,\
          fct_count,fct_mean_ms,fct_p50_ms,fct_p99_ms,rtt_p50_ms,rtt_p99_ms,\
-         retrans,events,wall_ms,events_per_sec,error\n",
+         retrans,events,wall_ms,events_per_sec,deadline_total,deadline_misses,error\n",
     );
     for r in rows {
         let status = match r.status {
@@ -364,7 +395,7 @@ pub fn rows_to_csv(rows: &[&Row]) -> String {
             RowStatus::Failed => "failed",
         };
         out.push_str(&format!(
-            "{},{},{status},{:016x},{},{},{},{},{},{},{},{},{},{},{},{},{},\"{}\"\n",
+            "{},{},{status},{:016x},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\"{}\"\n",
             r.label,
             r.fp,
             r.digest,
@@ -381,6 +412,8 @@ pub fn rows_to_csv(rows: &[&Row]) -> String {
             r.events,
             r.wall_ms,
             r.events_per_sec,
+            r.deadline_total,
+            r.deadline_misses,
             r.error.replace('"', "'"),
         ));
     }
@@ -493,6 +526,26 @@ mod tests {
         assert!(!legacy.contains("events_per_sec"));
         let back = Row::decode(&legacy).expect("legacy rows decode");
         assert!((back.events_per_sec - row.events_per_sec).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deadline_fields_are_conditional_and_round_trip() {
+        // Non-incast rows omit the fields entirely: pre-incast tables
+        // re-encode byte-identically and legacy lines decode to zeros.
+        let row = sample_row();
+        assert_eq!(row.deadline_total, 0);
+        assert!(!row.encode().contains("deadline"));
+        assert_eq!(row.deadline_miss_fraction(), 0.0);
+        // Incast rows carry both counters and round-trip.
+        let mut incast = sample_row();
+        incast.deadline_total = 40;
+        incast.deadline_misses = 7;
+        let line = incast.encode();
+        assert!(line.contains("\"deadline_total\":40,\"deadline_misses\":7"));
+        let back = Row::decode(&line).unwrap();
+        assert_eq!(back, incast);
+        assert_eq!(back.encode(), line);
+        assert!((back.deadline_miss_fraction() - 0.175).abs() < 1e-12);
     }
 
     #[test]

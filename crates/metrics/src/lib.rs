@@ -12,6 +12,8 @@
 //!   populations,
 //! * [`MetricSummary`] — six-number percentile summaries, the row format
 //!   of campaign results tables (`presto-lab`),
+//! * [`DeadlineTracker`] — per-request deadline accounting for
+//!   partition-aggregate (incast) workloads,
 //! * [`reorder`] — RFC 4737-style packet reordering metrics (§5 reports
 //!   reordered-packet fractions for the flowlet comparison),
 //! * [`table`] — plain-text table rendering for the benchmark harnesses,
@@ -20,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod cdf;
+pub mod deadline;
 pub mod fairness;
 pub mod histogram;
 pub mod reorder;
@@ -30,6 +33,7 @@ pub mod timeseries;
 pub mod units;
 
 pub use cdf::Cdf;
+pub use deadline::DeadlineTracker;
 pub use histogram::LogHistogram;
 pub use reorder::{reorder_stats, ReorderStats};
 pub use samples::Samples;

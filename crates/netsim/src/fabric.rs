@@ -477,6 +477,7 @@ mod tests {
             dst_host: HostId(1),
             dst_mac: Mac::host(HostId(1)),
             flowcell: 0,
+            ce: false,
             kind: PacketKind::Data {
                 seq,
                 len,

@@ -44,6 +44,9 @@ pub struct LinkCounters {
     pub dropped_data_packets: u64,
     /// High-water mark of queued bytes.
     pub max_queue_bytes: u64,
+    /// Data packets whose ECN CE bit this link set at enqueue because
+    /// queue occupancy met [`Link::ecn_threshold_bytes`] (DCTCP's K).
+    pub ce_marked_packets: u64,
 }
 
 /// A unidirectional link plus its source-side drop-tail queue.
@@ -69,6 +72,11 @@ pub struct Link {
     /// the classic one-event-per-packet model; larger values amortize
     /// event-queue traffic on busy ports without changing arrival times.
     pub tx_batch: u32,
+    /// ECN marking threshold in wire bytes (DCTCP's K): a data packet
+    /// enqueued while exact occupancy is at or above this gets its CE bit
+    /// set. `None` (the default) disables marking entirely, keeping the
+    /// drop-tail behaviour and event stream bit-identical.
+    pub ecn_threshold_bytes: Option<u64>,
 
     queue: VecDeque<Packet>,
     queued_bytes: u64,
@@ -129,6 +137,7 @@ impl Link {
             up: true,
             nominal_rate_bps: rate_bps,
             tx_batch: DEFAULT_TX_BATCH,
+            ecn_threshold_bytes: None,
             queue: VecDeque::new(),
             queued_bytes: 0,
             busy: false,
@@ -146,7 +155,7 @@ impl Link {
     /// start it with [`Link::commit_batch`]. A full queue tail-drops; the
     /// drop decision uses [`Link::occupancy`] at `now`, so it is identical
     /// to the one-event-per-packet model regardless of `tx_batch`.
-    pub fn enqueue(&mut self, now: SimTime, pkt: Packet) -> Enqueue {
+    pub fn enqueue(&mut self, now: SimTime, mut pkt: Packet) -> Enqueue {
         let wire = pkt.wire_bytes() as u64;
         if !self.busy {
             debug_assert!(self.queue.is_empty());
@@ -163,6 +172,15 @@ impl Link {
                 self.counters.dropped_data_packets += 1;
             }
             return Enqueue::Dropped;
+        }
+        // ECN: mark-on-enqueue against instantaneous occupancy (DCTCP's
+        // single threshold K). Only data packets are marked; ACKs carry
+        // the echo, not the signal.
+        if let Some(k) = self.ecn_threshold_bytes {
+            if occ >= k && pkt.is_data() && !pkt.ce {
+                pkt.ce = true;
+                self.counters.ce_marked_packets += 1;
+            }
         }
         self.queue.push_back(pkt);
         self.queued_bytes += wire;
@@ -343,6 +361,7 @@ mod tests {
             dst_host: HostId(1),
             dst_mac: Mac::host(HostId(1)),
             flowcell: 0,
+            ce: false,
             kind: PacketKind::Data {
                 seq: 0,
                 len,
@@ -512,6 +531,46 @@ mod tests {
         );
         assert_eq!(l.counters.tx_packets, 5);
         assert_eq!(l.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn ecn_marks_data_at_threshold() {
+        let wire = (MSS + WIRE_OVERHEAD) as u64;
+        let mut l = link(100 * wire);
+        l.ecn_threshold_bytes = Some(2 * wire);
+        assert_eq!(l.enqueue(SimTime::ZERO, pkt(MSS)), Enqueue::StartTx);
+        commit(&mut l);
+        // Occupancy 1*wire: below K, unmarked.
+        assert_eq!(l.enqueue(SimTime::ZERO, pkt(MSS)), Enqueue::Queued);
+        // Occupancy 2*wire: at K, marked from here on.
+        assert_eq!(l.enqueue(SimTime::ZERO, pkt(MSS)), Enqueue::Queued);
+        assert_eq!(l.enqueue(SimTime::ZERO, pkt(MSS)), Enqueue::Queued);
+        assert_eq!(l.counters.ce_marked_packets, 2);
+        // The committed head was popped by `commit`; the queue holds the
+        // three later packets: below-K unmarked, then marked.
+        let marks: Vec<bool> = l.queue.iter().map(|p| p.ce).collect();
+        assert_eq!(marks, vec![false, true, true]);
+
+        // ACKs are never marked even over threshold.
+        let ack = Packet {
+            kind: PacketKind::Ack { ack: 0, sack_hi: 0 },
+            ..pkt(0)
+        };
+        assert_eq!(l.enqueue(SimTime::ZERO, ack), Enqueue::Queued);
+        assert_eq!(l.counters.ce_marked_packets, 2);
+        assert!(!l.queue.back().unwrap().ce);
+    }
+
+    #[test]
+    fn ecn_disabled_never_marks() {
+        let mut l = link(1_000_000);
+        l.enqueue(SimTime::ZERO, pkt(MSS));
+        commit(&mut l);
+        for _ in 0..10 {
+            l.enqueue(SimTime::ZERO, pkt(MSS));
+        }
+        assert_eq!(l.counters.ce_marked_packets, 0);
+        assert!(l.queue.iter().all(|p| !p.ce));
     }
 
     #[test]

@@ -112,6 +112,10 @@ pub struct Packet {
     /// Flowcell ID stamped by the sending vSwitch (paper: carried in the
     /// source MAC / TCP options). Monotonically increasing per flow.
     pub flowcell: u64,
+    /// ECN congestion-experienced mark. Set by a switch queue whose depth
+    /// exceeds its marking threshold (data packets only); on ACKs the same
+    /// bit carries the receiver's ECN-Echo back to the sender.
+    pub ce: bool,
     /// Payload semantics.
     pub kind: PacketKind,
 }
@@ -185,6 +189,7 @@ mod tests {
             dst_host: HostId(2),
             dst_mac: Mac::host(HostId(2)),
             flowcell: 0,
+            ce: false,
             kind: PacketKind::Data {
                 seq: 0,
                 len: MSS,

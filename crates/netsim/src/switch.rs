@@ -164,6 +164,7 @@ mod tests {
             dst_host: HostId(9),
             dst_mac,
             flowcell,
+            ce: false,
             kind: PacketKind::Data {
                 seq: 0,
                 len: 1460,

@@ -322,6 +322,8 @@ mod tests {
             events: 100,
             wall_ms: 5.0,
             events_per_sec: 20_000.0,
+            deadline_total: 0,
+            deadline_misses: 0,
             error: String::new(),
         }
     }

@@ -33,7 +33,7 @@ use presto_simcore::SimDuration;
 use presto_telemetry::TelemetryConfig;
 use presto_workloads::FlowSpec;
 
-use crate::scenario::{FailureSpec, MiceSpec, Scenario, ShuffleSpec};
+use crate::scenario::{AllreduceSpec, FailureSpec, IncastSpec, MiceSpec, Scenario, ShuffleSpec};
 use crate::scheme::SchemeSpec;
 
 /// Fluent builder for [`Scenario`] — see the module docs for an example.
@@ -71,6 +71,8 @@ impl ScenarioBuilder {
                 probes: Vec::new(),
                 probe_interval: SimDuration::from_micros(500),
                 shuffle: None,
+                incast: None,
+                allreduce: None,
                 faults: FaultPlan::new(),
                 wan_remotes: 0,
                 collect_reorder: false,
@@ -164,6 +166,18 @@ impl ScenarioBuilder {
     /// Run a shuffle workload instead of the flow list.
     pub fn shuffle(mut self, shuffle: ShuffleSpec) -> Self {
         self.inner.shuffle = Some(shuffle);
+        self
+    }
+
+    /// Run a partition-aggregate incast workload.
+    pub fn incast(mut self, spec: IncastSpec) -> Self {
+        self.inner.incast = Some(spec);
+        self
+    }
+
+    /// Run a ring-allreduce collective workload.
+    pub fn allreduce(mut self, spec: AllreduceSpec) -> Self {
+        self.inner.allreduce = Some(spec);
         self
     }
 

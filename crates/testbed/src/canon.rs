@@ -32,7 +32,7 @@ use presto_netsim::EcmpMode;
 use presto_simcore::SimDuration;
 
 use crate::scenario::Scenario;
-use crate::scheme::{GroKind, TransportKind};
+use crate::scheme::GroKind;
 
 /// Canonical-format schema version. Bump on any semantic change to the
 /// rendering below.
@@ -156,11 +156,9 @@ impl Scenario {
             GroKind::PrestoFixedTimeout(d) => format!("presto-fixed:{}", d.as_nanos()),
         };
         c.field("scheme.gro", gro);
-        let transport = match s.transport {
-            TransportKind::Tcp => "tcp".into(),
-            TransportKind::Mptcp { subflows } => format!("mptcp:{subflows}"),
-        };
-        c.field("scheme.transport", transport);
+        // `TransportKind::name` owns the canonical transport text (pinned
+        // by `transport_name_parse_round_trips` in `scheme.rs`).
+        c.field("scheme.transport", s.transport.name());
         c.field(
             "scheme.ecmp_mode",
             match s.ecmp_mode {
@@ -171,6 +169,14 @@ impl Scenario {
         c.field("scheme.single_switch", s.single_switch);
         c.field("scheme.max_tso", s.max_tso);
         c.field("scheme.flowcell_bytes", s.flowcell_bytes);
+        // Transport axis: emitted only when off-default so every pre-ECN
+        // fingerprint (and the store rows keyed by them) stays valid.
+        if s.cc != presto_transport::CcKind::Cubic {
+            c.field("scheme.cc", s.cc.name());
+        }
+        if let Some(k) = s.ecn {
+            c.field("scheme.ecn", k);
+        }
 
         // Topology.
         let clos = self.clos();
@@ -249,6 +255,24 @@ impl Scenario {
         match self.shuffle() {
             Some(sh) => c.field("shuffle", format_args!("{}:{}", sh.bytes, sh.concurrency)),
             None => c.field("shuffle", "-"),
+        }
+        // New workload generators: emitted only when present, so pre-ECN
+        // fingerprints are untouched.
+        if let Some(inc) = self.incast() {
+            c.field(
+                "incast",
+                format_args!(
+                    "{}:{}:{}:{}:{}",
+                    inc.aggregator,
+                    inc.fanout,
+                    inc.bytes_per_worker,
+                    inc.interval.as_nanos(),
+                    inc.deadline.as_nanos()
+                ),
+            );
+        }
+        if let Some(ar) = self.allreduce() {
+            c.field("allreduce", format_args!("{}:{}", ar.participants, ar.bytes));
         }
 
         // Fault timeline (plan form: explicit events plus flap processes;
@@ -410,6 +434,65 @@ mod tests {
         assert!(!serial.canonical().contains("shards"));
         let sharded = Scenario::builder(SchemeSpec::presto(), 7).shards(4).build();
         assert!(sharded.canonical().contains("shards=4"));
+    }
+
+    #[test]
+    fn transport_axis_defaults_are_not_emitted() {
+        // cc=cubic / ecn off must render identically to the pre-ECN
+        // format: every stored fingerprint depends on it.
+        let plain = Scenario::builder(SchemeSpec::presto(), 7).build();
+        let canon = plain.canonical();
+        assert!(!canon.contains("scheme.cc"), "{canon}");
+        assert!(!canon.contains("scheme.ecn"), "{canon}");
+        assert!(!canon.contains("incast"), "{canon}");
+        assert!(!canon.contains("allreduce"), "{canon}");
+
+        let dctcp = Scenario::builder(
+            SchemeSpec::presto()
+                .with_cc(presto_transport::CcKind::Dctcp)
+                .with_ecn(Some(crate::scheme::DEFAULT_ECN_THRESHOLD)),
+            7,
+        )
+        .build();
+        assert!(dctcp.canonical().contains("scheme.cc=dctcp"));
+        assert!(dctcp.canonical().contains("scheme.ecn=99970"));
+        assert_ne!(plain.fingerprint(), dctcp.fingerprint());
+
+        // cc and ecn are independent axes of the key.
+        let ecn_only = Scenario::builder(
+            SchemeSpec::presto().with_ecn(Some(crate::scheme::DEFAULT_ECN_THRESHOLD)),
+            7,
+        )
+        .build();
+        assert_ne!(dctcp.fingerprint(), ecn_only.fingerprint());
+        assert_ne!(plain.fingerprint(), ecn_only.fingerprint());
+    }
+
+    #[test]
+    fn incast_and_allreduce_change_the_key() {
+        use crate::scenario::{AllreduceSpec, IncastSpec};
+        use presto_simcore::SimDuration;
+        let base = Scenario::builder(SchemeSpec::presto(), 7).build();
+        let incast = Scenario::builder(SchemeSpec::presto(), 7)
+            .incast(IncastSpec {
+                aggregator: 0,
+                fanout: 8,
+                bytes_per_worker: 20_000,
+                interval: SimDuration::from_millis(2),
+                deadline: SimDuration::from_millis(10),
+            })
+            .build();
+        assert!(incast.canonical().contains("incast=0:8:20000:"));
+        assert_ne!(base.fingerprint(), incast.fingerprint());
+        let ar = Scenario::builder(SchemeSpec::presto(), 7)
+            .allreduce(AllreduceSpec {
+                participants: 8,
+                bytes: 1_000_000,
+            })
+            .build();
+        assert!(ar.canonical().contains("allreduce=8:1000000"));
+        assert_ne!(base.fingerprint(), ar.fingerprint());
+        assert_ne!(incast.fingerprint(), ar.fingerprint());
     }
 
     #[test]

@@ -53,6 +53,22 @@ pub struct Report {
     pub failover_stages: Vec<FailoverStage>,
     /// Wall-clock events processed (engine health).
     pub events_processed: u64,
+    /// Data packets the fabric marked Congestion Experienced (post-warmup;
+    /// zero whenever ECN is off).
+    pub ce_marked_packets: u64,
+    /// GRO merges that absorbed a CE-marked packet into a segment (the
+    /// merged segment carries the OR of its members' marks).
+    pub gro_ce_merges: u64,
+    /// Incast requests completed after warmup.
+    pub incast_requests: u64,
+    /// Of those, requests that blew their deadline.
+    pub incast_deadline_misses: u64,
+    /// Incast request completion times, milliseconds.
+    pub incast_request_ms: Samples,
+    /// Allreduce rounds completed over the whole run.
+    pub allreduce_rounds: u64,
+    /// Post-warmup allreduce round durations, milliseconds.
+    pub allreduce_round_ms: Samples,
 }
 
 impl Report {
@@ -68,6 +84,16 @@ impl Report {
     /// Jain's fairness index over elephant goodputs.
     pub fn fairness(&self) -> f64 {
         fairness::jain_index(&self.elephant_tputs)
+    }
+
+    /// Fraction of incast requests that missed their deadline (0.0 when no
+    /// incast workload ran).
+    pub fn deadline_miss_fraction(&self) -> f64 {
+        if self.incast_requests == 0 {
+            0.0
+        } else {
+            self.incast_deadline_misses as f64 / self.incast_requests as f64
+        }
     }
 
     /// Bit-exact fingerprint of the full report.
@@ -102,6 +128,13 @@ impl Report {
             flowlet_sizes,
             failover_stages,
             events_processed,
+            ce_marked_packets,
+            gro_ce_merges,
+            incast_requests,
+            incast_deadline_misses,
+            incast_request_ms,
+            allreduce_rounds,
+            allreduce_round_ms,
         } = self;
         let mut h = Fnv::new();
         h.bytes(scheme.as_bytes());
@@ -147,6 +180,24 @@ impl Report {
             h.u64(s.tx_packets);
         }
         h.u64(*events_processed);
+        // The transport-axis fields fold only when set, so every pinned
+        // pre-ECN digest (ECN off, no incast/allreduce workload) stays
+        // byte-identical.
+        if *ce_marked_packets != 0 {
+            h.u64(*ce_marked_packets);
+        }
+        if *gro_ce_merges != 0 {
+            h.u64(*gro_ce_merges);
+        }
+        if *incast_requests != 0 {
+            h.u64(*incast_requests);
+            h.u64(*incast_deadline_misses);
+            h.f64s(incast_request_ms.values());
+        }
+        if *allreduce_rounds != 0 {
+            h.u64(*allreduce_rounds);
+            h.f64s(allreduce_round_ms.values());
+        }
         h.finish()
     }
 

@@ -26,7 +26,8 @@ use presto_workloads::FlowSpec;
 use crate::report::Report;
 use crate::scheme::{GroKind, PolicyKind, SchemeSpec};
 use crate::sim::{
-    make_host, Event, FaultAction, MiceSeries, PendingFlow, ResolvedFault, ShuffleState, Simulation,
+    make_host, AllreduceState, Event, FaultAction, FlowTag, IncastState, MiceSeries, PendingFlow,
+    ResolvedFault, ShuffleState, Simulation,
 };
 
 /// XOR-folded into the scenario seed to derive the fault-plan expansion
@@ -54,6 +55,36 @@ pub struct ShuffleSpec {
     pub bytes: u64,
     /// Concurrent transfers per sender (paper: 2).
     pub concurrency: usize,
+}
+
+/// Partition-aggregate incast: every `interval` the aggregator fans a
+/// request out to `fanout` workers, each of which answers with
+/// `bytes_per_worker`; the request must complete (last response received)
+/// within `deadline`. Deadline accounting covers requests issued after
+/// warmup.
+#[derive(Debug, Clone, Copy)]
+pub struct IncastSpec {
+    /// Aggregator (receiver) host.
+    pub aggregator: usize,
+    /// Number of responding workers.
+    pub fanout: usize,
+    /// Response size per worker, bytes.
+    pub bytes_per_worker: u64,
+    /// Request issue interval.
+    pub interval: SimDuration,
+    /// Per-request completion deadline.
+    pub deadline: SimDuration,
+}
+
+/// Ring allreduce: the first `participants` hosts each stream `bytes` to
+/// their clockwise neighbor every round; rounds are synchronized — the
+/// next begins when the last transfer of the current one completes.
+#[derive(Debug, Clone, Copy)]
+pub struct AllreduceSpec {
+    /// Ring size (hosts `0..participants`).
+    pub participants: usize,
+    /// Bytes per member per round.
+    pub bytes: u64,
 }
 
 /// A single bidirectional link failure between a leaf and a spine — the
@@ -157,6 +188,16 @@ pub struct Scenario {
         note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
     )]
     pub shuffle: Option<ShuffleSpec>,
+    /// Partition-aggregate incast workload.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
+    pub incast: Option<IncastSpec>,
+    /// Ring-allreduce collective workload.
+    #[deprecated(
+        note = "construct scenarios with ScenarioBuilder; read through the accessor methods"
+    )]
+    pub allreduce: Option<AllreduceSpec>,
     /// Fault timeline: typed, sim-time-scheduled link/spine events plus
     /// probabilistic flap processes, expanded deterministically from the
     /// scenario seed at build time.
@@ -266,6 +307,14 @@ impl Scenario {
     /// Shuffle workload, if any.
     pub fn shuffle(&self) -> Option<ShuffleSpec> {
         self.shuffle
+    }
+    /// Partition-aggregate incast workload, if any.
+    pub fn incast(&self) -> Option<IncastSpec> {
+        self.incast
+    }
+    /// Ring-allreduce collective workload, if any.
+    pub fn allreduce(&self) -> Option<AllreduceSpec> {
+        self.allreduce
     }
     /// The fault timeline.
     pub fn faults(&self) -> &FaultPlan {
@@ -392,6 +441,18 @@ impl Scenario {
             mark(src);
             mark(dst);
         }
+        if let Some(inc) = &self.incast {
+            mark(inc.aggregator);
+            for w in patterns::incast_senders(n_servers, inc.aggregator, inc.fanout) {
+                mark(w);
+            }
+        }
+        if let Some(ar) = &self.allreduce {
+            for (src, dst) in patterns::ring(ar.participants) {
+                mark(src);
+                mark(dst);
+            }
+        }
         if active.iter().all(|&a| a) {
             None
         } else {
@@ -469,6 +530,18 @@ impl Scenario {
             topo.fabric.link_mut(up).queue_capacity_bytes = self.host_uplink_queue;
         }
 
+        // 5b. ECN: arm the marking threshold on every switch-egress queue
+        // (switch→switch and switch→host; DCTCP's K lives in the switches,
+        // not the sender NIC). `None` — the default — leaves every link's
+        // behaviour bit-identical to the pre-ECN testbed.
+        if let Some(k) = self.scheme.ecn {
+            for l in topo.fabric.links_mut() {
+                if matches!(l.src, presto_netsim::Node::Switch(_)) {
+                    l.ecn_threshold_bytes = Some(k);
+                }
+            }
+        }
+
         // 6. Per-destination label sequences (server destinations only;
         // same-leaf pairs stay direct — no spine crossing needed). With
         // an active-host filter, labels are materialized only for
@@ -491,6 +564,16 @@ impl Scenario {
             }
             for &(src, dst) in &self.probes {
                 link(src, dst);
+            }
+            if let Some(inc) = &self.incast {
+                for w in patterns::incast_senders(n_servers, inc.aggregator, inc.fanout) {
+                    link(w, inc.aggregator);
+                }
+            }
+            if let Some(ar) = &self.allreduce {
+                for (src, dst) in patterns::ring(ar.participants) {
+                    link(src, dst);
+                }
             }
             sets.into_iter().map(|s| s.into_iter().collect()).collect()
         });
@@ -581,7 +664,7 @@ impl Scenario {
                 dst: spec.dst,
                 bytes: spec.bytes,
                 measure_fct: spec.measure_fct,
-                shuffle_src: None,
+                tag: FlowTag::Plain,
             });
             sim.schedule(spec.start, Event::FlowStart(idx));
         }
@@ -614,6 +697,29 @@ impl Scenario {
             for src in 0..n_servers {
                 sim.schedule(SimTime::ZERO, Event::ShuffleMore(src));
             }
+        }
+        if let Some(inc) = &self.incast {
+            sim.incast = Some(IncastState {
+                aggregator: inc.aggregator,
+                senders: patterns::incast_senders(n_servers, inc.aggregator, inc.fanout),
+                bytes_per_worker: inc.bytes_per_worker,
+                interval: inc.interval,
+                deadline: inc.deadline,
+                requests: Vec::new(),
+                tracker: Default::default(),
+            });
+            sim.schedule(SimTime::ZERO, Event::IncastNext);
+        }
+        if let Some(ar) = &self.allreduce {
+            sim.allreduce = Some(AllreduceState {
+                ring: patterns::ring(ar.participants),
+                bytes: ar.bytes,
+                outstanding: 0,
+                round_start: SimTime::ZERO,
+                rounds_completed: 0,
+                round_ms: Vec::new(),
+            });
+            sim.schedule(SimTime::ZERO, Event::AllreduceRound);
         }
 
         // 9. Fault timeline: expand flap processes from the scenario seed,

@@ -104,14 +104,39 @@ pub enum GroKind {
 /// Transport protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransportKind {
-    /// Single-path TCP (CUBIC).
+    /// Single-path TCP; the congestion control comes from
+    /// [`SchemeSpec::cc`].
     Tcp,
     /// MPTCP with `subflows` ECMP-hashed subflows and coupled congestion
-    /// control.
+    /// control (LIA — always, regardless of `cc`).
     Mptcp {
         /// Number of subflows (paper: 8).
         subflows: usize,
     },
+}
+
+impl TransportKind {
+    /// Canonical text form, pinned like [`PolicyKind::name`]: canonical
+    /// scenario text embeds these strings, so they must never change for
+    /// an existing variant.
+    pub fn name(&self) -> String {
+        match self {
+            TransportKind::Tcp => "tcp".into(),
+            TransportKind::Mptcp { subflows } => format!("mptcp:{subflows}"),
+        }
+    }
+
+    /// Parse the canonical text form back — the exact inverse of
+    /// [`TransportKind::name`].
+    pub fn parse(s: &str) -> Option<TransportKind> {
+        match s.split_once(':') {
+            None if s == "tcp" => Some(TransportKind::Tcp),
+            Some(("mptcp", n)) => Some(TransportKind::Mptcp {
+                subflows: n.parse().ok()?,
+            }),
+            _ => None,
+        }
+    }
 }
 
 /// A complete scheme configuration.
@@ -135,7 +160,19 @@ pub struct SchemeSpec {
     /// Flowcell threshold for Algorithm 1 policies (64 KB in the paper;
     /// the flowcell-size ablation sweeps it).
     pub flowcell_bytes: u64,
+    /// Congestion control for single-path TCP flows (from the transport
+    /// registry; MPTCP subflows always run coupled LIA).
+    pub cc: presto_transport::CcKind,
+    /// ECN marking threshold in wire bytes installed on every
+    /// switch-egress queue, or `None` (the default) for a plain drop-tail
+    /// fabric — `None` keeps every pre-ECN digest byte-identical.
+    pub ecn: Option<u64>,
 }
+
+/// Default ECN marking threshold when a scenario just says "ecn on":
+/// DCTCP's K = 65 MSS-sized frames at 10 GbE (the paper's guideline),
+/// in wire bytes.
+pub const DEFAULT_ECN_THRESHOLD: u64 = 65 * 1538;
 
 impl SchemeSpec {
     /// The neutral starting point every preset refines: stock GRO, TCP,
@@ -150,6 +187,8 @@ impl SchemeSpec {
             single_switch: false,
             max_tso: 64 * 1024,
             flowcell_bytes: 64 * 1024,
+            cc: presto_transport::CcKind::Cubic,
+            ecn: None,
         }
     }
 
@@ -198,6 +237,20 @@ impl SchemeSpec {
     /// Replace the flowcell threshold for Algorithm 1-style policies.
     pub fn with_flowcell_bytes(mut self, bytes: u64) -> Self {
         self.flowcell_bytes = bytes;
+        self
+    }
+
+    /// Replace the congestion control for single-path TCP flows.
+    pub fn with_cc(mut self, cc: presto_transport::CcKind) -> Self {
+        self.cc = cc;
+        self
+    }
+
+    /// Enable ECN marking with the given threshold in wire bytes
+    /// (`Some(DEFAULT_ECN_THRESHOLD)` for the DCTCP guideline), or disable
+    /// it with `None`.
+    pub fn with_ecn(mut self, threshold: Option<u64>) -> Self {
+        self.ecn = threshold;
         self
     }
 
@@ -408,5 +461,35 @@ mod tests {
         assert_eq!(PolicyKind::parse("flowlet"), None);
         assert_eq!(PolicyKind::parse("flowlet:abc"), None);
         assert_eq!(PolicyKind::parse("warp-drive"), None);
+    }
+
+    #[test]
+    fn transport_name_parse_round_trips() {
+        for t in [
+            TransportKind::Tcp,
+            TransportKind::Mptcp { subflows: 8 },
+            TransportKind::Mptcp { subflows: 2 },
+        ] {
+            assert_eq!(TransportKind::parse(&t.name()), Some(t), "{}", t.name());
+        }
+        // Pinned strings: canonical scenario text embeds them.
+        assert_eq!(TransportKind::Tcp.name(), "tcp");
+        assert_eq!(TransportKind::Mptcp { subflows: 8 }.name(), "mptcp:8");
+        assert_eq!(TransportKind::parse("tcp:1"), None);
+        assert_eq!(TransportKind::parse("mptcp"), None);
+        assert_eq!(TransportKind::parse("sctp"), None);
+    }
+
+    #[test]
+    fn base_is_ecn_off_cubic() {
+        // Pre-ECN digests depend on these defaults staying put.
+        let base = SchemeSpec::base("X", PolicyKind::Presto);
+        assert_eq!(base.cc, presto_transport::CcKind::Cubic);
+        assert_eq!(base.ecn, None);
+        let dctcp = base
+            .with_cc(presto_transport::CcKind::Dctcp)
+            .with_ecn(Some(DEFAULT_ECN_THRESHOLD));
+        assert_eq!(dctcp.cc, presto_transport::CcKind::Dctcp);
+        assert_eq!(dctcp.ecn, Some(65 * 1538));
     }
 }

@@ -44,6 +44,19 @@ use crate::scheme::{SchemeSpec, TransportKind};
 /// so the overall overhead lands near the paper's +6% (Fig 6).
 pub const PRESTO_GRO_EXTRA: SimDuration = SimDuration::from_nanos(75);
 
+/// Which application a flow belongs to, for completion bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowTag {
+    /// A standalone flow (elephant, mouse, trace replay).
+    Plain,
+    /// A shuffle transfer from source host `src`.
+    Shuffle(usize),
+    /// A worker response belonging to incast request `req`.
+    Incast(usize),
+    /// One neighbor transfer of the current allreduce round.
+    Allreduce,
+}
+
 /// Which sender state machine a flow belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SenderRef {
@@ -94,6 +107,10 @@ pub enum Event {
     /// advertises an [`EdgePolicy::feedback_interval`], so schemes that
     /// don't opt in see an unchanged event stream (and digest).
     PathFeedback,
+    /// Issue the next partition-aggregate incast request wave.
+    IncastNext,
+    /// Start the next synchronized ring-allreduce round.
+    AllreduceRound,
 }
 
 /// Event-class names for the queue profiler, index-aligned with
@@ -114,6 +131,8 @@ pub const EVENT_NAMES: &[&str] = &[
     "ShuffleMore",
     "EgressDrain",
     "PathFeedback",
+    "IncastNext",
+    "AllreduceRound",
 ];
 
 /// Map an [`Event`] to its [`EVENT_NAMES`] row for the queue profiler.
@@ -134,6 +153,8 @@ pub fn classify_event(ev: &Event) -> usize {
         Event::ShuffleMore(_) => 12,
         Event::EgressDrain(_) => 13,
         Event::PathFeedback => 14,
+        Event::IncastNext => 15,
+        Event::AllreduceRound => 16,
     }
 }
 
@@ -179,11 +200,15 @@ fn classify_domain(ev: &Event, m: &DomainMap) -> ShardTarget {
         | Event::ShuffleMore(_) => ShardTarget::Current,
         // Path feedback reads fabric-wide link state and touches every
         // host's policy: global, like the controller it complements.
+        // Incast waves and allreduce rounds fan flows out across many
+        // hosts' vSwitches at once, so they ride the global lane too.
         Event::CpuSample
         | Event::WarmupMark
         | Event::Fault(_)
         | Event::ControllerNotify(_)
-        | Event::PathFeedback => ShardTarget::Global,
+        | Event::PathFeedback
+        | Event::IncastNext
+        | Event::AllreduceRound => ShardTarget::Global,
     }
 }
 
@@ -371,8 +396,8 @@ pub struct TcpConnState {
     pub unbounded: bool,
     /// Total bytes for bounded flows.
     pub bytes: u64,
-    /// Shuffle source index, for continuation.
-    pub shuffle_src: Option<usize>,
+    /// Owning application, for completion bookkeeping.
+    pub tag: FlowTag,
 }
 
 /// An MPTCP connection and its measurement state.
@@ -393,8 +418,8 @@ pub struct MptcpConnState {
     pub unbounded: bool,
     /// Total bytes for bounded connections.
     pub bytes: u64,
-    /// Shuffle source index, for continuation.
-    pub shuffle_src: Option<usize>,
+    /// Owning application, for completion bookkeeping.
+    pub tag: FlowTag,
 }
 
 /// A sockperf-style RTT prober.
@@ -428,8 +453,8 @@ pub struct PendingFlow {
     pub bytes: Option<u64>,
     /// Record FCT on completion.
     pub measure_fct: bool,
-    /// Shuffle continuation tag.
-    pub shuffle_src: Option<usize>,
+    /// Owning application, for completion bookkeeping.
+    pub tag: FlowTag,
 }
 
 /// Shuffle workload state: per-source destination queues.
@@ -447,6 +472,47 @@ pub struct ShuffleState {
     pub bytes: u64,
     /// Completed transfer throughputs (Gbps).
     pub tputs: Vec<f64>,
+}
+
+/// Partition-aggregate incast state: every [`Event::IncastNext`] issues a
+/// request — all `senders` simultaneously answer the aggregator with
+/// `bytes_per_worker` — and the request completes when its last response
+/// lands, holding the elapsed time against `deadline`.
+pub struct IncastState {
+    /// Receiving (aggregator) host.
+    pub aggregator: usize,
+    /// Responding worker hosts.
+    pub senders: Vec<usize>,
+    /// Response size per worker, bytes.
+    pub bytes_per_worker: u64,
+    /// Request issue interval.
+    pub interval: SimDuration,
+    /// Per-request completion deadline.
+    pub deadline: SimDuration,
+    /// Per-request `(issued_at, responses outstanding)`, indexed by the
+    /// request id carried in [`FlowTag::Incast`].
+    pub requests: Vec<(SimTime, usize)>,
+    /// Deadline accounting for requests issued after warmup.
+    pub tracker: presto_metrics::DeadlineTracker,
+}
+
+/// Ring-allreduce state: each round, every ring member streams `bytes` to
+/// its clockwise neighbor; the round ends when the last transfer
+/// completes, immediately starting the next (synchronized elephant
+/// rounds).
+pub struct AllreduceState {
+    /// `(src, dst)` transfer pairs of one round.
+    pub ring: Vec<(usize, usize)>,
+    /// Bytes per member per round.
+    pub bytes: u64,
+    /// Transfers outstanding in the current round.
+    pub outstanding: usize,
+    /// When the current round started.
+    pub round_start: SimTime,
+    /// Rounds completed over the whole run (including warmup).
+    pub rounds_completed: u64,
+    /// Post-warmup round durations, milliseconds.
+    pub round_ms: Vec<f64>,
 }
 
 /// Live statistics accumulated during a run.
@@ -621,8 +687,8 @@ struct Scratch {
     delivered: Vec<(HostId, Packet)>,
     /// One NIC poll's worth of raw packets.
     rx_batch: Vec<Packet>,
-    /// ACKs seen in the current poll batch.
-    acks: Vec<(FlowKey, u64, u64)>,
+    /// ACKs seen in the current poll batch: `(flow, ack, sack_hi, ece)`.
+    acks: Vec<(FlowKey, u64, u64, bool)>,
     /// Probe packets seen in the current poll batch.
     probes: Vec<Packet>,
     /// Segments flushed out of GRO this poll/timer.
@@ -655,6 +721,10 @@ pub struct Simulation {
     pub mice_series: Vec<MiceSeries>,
     /// Shuffle state, if the workload is a shuffle.
     pub shuffle: Option<ShuffleState>,
+    /// Incast state, if the workload is a partition-aggregate incast.
+    pub incast: Option<IncastState>,
+    /// Allreduce state, if the workload is a ring allreduce.
+    pub allreduce: Option<AllreduceState>,
     sports: FxHashMap<(u32, u32), u16>,
     /// Scheme in force.
     pub scheme: SchemeSpec,
@@ -777,6 +847,8 @@ impl Simulation {
             pending_flows: Vec::new(),
             mice_series: Vec::new(),
             shuffle: None,
+            incast: None,
+            allreduce: None,
             sports: FxHashMap::default(),
             scheme,
             controller: None,
@@ -930,7 +1002,7 @@ impl Simulation {
         dst: usize,
         bytes: Option<u64>,
         measure_fct: bool,
-        shuffle_src: Option<usize>,
+        tag: FlowTag,
     ) {
         match self.scheme.transport {
             TransportKind::Tcp => {
@@ -939,7 +1011,11 @@ impl Simulation {
                 // Size hint before the first segment, so size-aware
                 // policies classify the flow from byte zero.
                 self.hosts[src].vswitch.policy_mut().flow_hint(flow, bytes);
-                let mut sender = TcpSender::new(self.tcp_cfg.clone(), default_cc());
+                // The scheme's registry-selected congestion control; the
+                // default (CUBIC, IW10) matches the testbed's pre-registry
+                // behaviour exactly.
+                let mut sender =
+                    TcpSender::new(self.tcp_cfg.clone(), self.scheme.cc.build(10));
                 let now = self.now;
                 let out = match bytes {
                     Some(b) => sender.app_write(now, b),
@@ -955,7 +1031,7 @@ impl Simulation {
                     warm_acked: 0,
                     unbounded: bytes.is_none(),
                     bytes: bytes.unwrap_or(0),
-                    shuffle_src,
+                    tag,
                 });
                 self.flow_senders.insert(flow, SenderRef::Tcp(idx));
                 self.receivers.insert(flow, TcpReceiver::new());
@@ -989,7 +1065,7 @@ impl Simulation {
                     warm_acked: 0,
                     unbounded: bytes.is_none(),
                     bytes: bytes.unwrap_or(0),
-                    shuffle_src,
+                    tag,
                 });
                 for (i, out) in outs.into_iter().enumerate() {
                     self.emit(SenderRef::Mptcp { conn: idx, sub: i }, flows[i], out);
@@ -1124,31 +1200,44 @@ impl Simulation {
     }
 
     fn on_flow_complete(&mut self, sref: SenderRef) {
-        match sref {
+        let (start, measure, tag, bytes) = match sref {
             SenderRef::Tcp(i) => {
-                let (start, measure, shuffle_src, bytes) = {
-                    let c = &mut self.tcp_conns[i];
-                    if c.done_at.is_some() {
-                        return;
-                    }
-                    c.done_at = Some(self.now);
-                    (c.start, c.measure_fct, c.shuffle_src, c.bytes)
-                };
-                if measure && start >= self.warmup {
-                    self.stats
-                        .mice_fct_ms
-                        .push(self.now.saturating_since(start).as_millis_f64());
+                let c = &mut self.tcp_conns[i];
+                if c.done_at.is_some() {
+                    return;
                 }
-                if let Some(src) = shuffle_src {
-                    let dur = self.now.saturating_since(start).as_secs_f64();
-                    if let Some(sh) = &mut self.shuffle {
-                        if dur > 0.0 {
-                            sh.tputs.push(bytes as f64 * 8.0 / dur / 1e9);
-                        }
-                        sh.active[src] -= 1;
+                c.done_at = Some(self.now);
+                (c.start, c.measure_fct, c.tag, c.bytes)
+            }
+            SenderRef::Mptcp { conn, .. } => {
+                let c = &mut self.mptcp_conns[conn];
+                if c.done_at.is_some() {
+                    return;
+                }
+                c.done_at = Some(self.now);
+                (c.start, c.measure_fct, c.tag, c.bytes)
+            }
+        };
+        if measure && start >= self.warmup {
+            self.stats
+                .mice_fct_ms
+                .push(self.now.saturating_since(start).as_millis_f64());
+        }
+        match tag {
+            FlowTag::Shuffle(src) => {
+                let dur = self.now.saturating_since(start).as_secs_f64();
+                if let Some(sh) = &mut self.shuffle {
+                    if dur > 0.0 {
+                        sh.tputs.push(bytes as f64 * 8.0 / dur / 1e9);
                     }
-                    self.queue.push(self.now, Event::ShuffleMore(src));
-                } else if !measure && bytes >= 1_000_000 && start >= self.warmup {
+                    sh.active[src] -= 1;
+                }
+                self.queue.push(self.now, Event::ShuffleMore(src));
+            }
+            FlowTag::Incast(req) => self.on_incast_response_done(req),
+            FlowTag::Allreduce => self.on_allreduce_transfer_done(),
+            FlowTag::Plain => {
+                if !measure && bytes >= 1_000_000 && start >= self.warmup {
                     // A bounded elephant (trace-driven workload): record
                     // its goodput.
                     let dur = self.now.saturating_since(start).as_secs_f64();
@@ -1157,36 +1246,85 @@ impl Simulation {
                     }
                 }
             }
-            SenderRef::Mptcp { conn, .. } => {
-                let (start, measure, shuffle_src, bytes) = {
-                    let c = &mut self.mptcp_conns[conn];
-                    if c.done_at.is_some() {
-                        return;
-                    }
-                    c.done_at = Some(self.now);
-                    (c.start, c.measure_fct, c.shuffle_src, c.bytes)
-                };
-                if measure && start >= self.warmup {
-                    self.stats
-                        .mice_fct_ms
-                        .push(self.now.saturating_since(start).as_millis_f64());
-                }
-                if let Some(src) = shuffle_src {
-                    let dur = self.now.saturating_since(start).as_secs_f64();
-                    if let Some(sh) = &mut self.shuffle {
-                        if dur > 0.0 {
-                            sh.tputs.push(bytes as f64 * 8.0 / dur / 1e9);
-                        }
-                        sh.active[src] -= 1;
-                    }
-                    self.queue.push(self.now, Event::ShuffleMore(src));
-                } else if !measure && bytes >= 1_000_000 && start >= self.warmup {
-                    let dur = self.now.saturating_since(start).as_secs_f64();
-                    if dur > 0.0 {
-                        self.stats.bulk_tputs.push(bytes as f64 * 8.0 / dur / 1e9);
-                    }
-                }
+        }
+    }
+
+    /// One incast response landed: close its request when it was the last,
+    /// holding the elapsed time against the deadline (post-warmup issues
+    /// only).
+    fn on_incast_response_done(&mut self, req: usize) {
+        let now = self.now;
+        let warm = self.warmup;
+        let Some(inc) = &mut self.incast else { return };
+        let (issued, remaining) = &mut inc.requests[req];
+        *remaining -= 1;
+        if *remaining == 0 {
+            let issued = *issued;
+            if issued >= warm {
+                let elapsed = now.saturating_since(issued).as_millis_f64();
+                inc.tracker.record(elapsed, inc.deadline.as_millis_f64());
             }
+        }
+    }
+
+    /// One allreduce neighbor transfer finished: when it was the round's
+    /// last, record the round time (post-warmup rounds) and kick off the
+    /// next synchronized round.
+    fn on_allreduce_transfer_done(&mut self) {
+        let now = self.now;
+        let warm = self.warmup;
+        let mut next_round = false;
+        if let Some(ar) = &mut self.allreduce {
+            ar.outstanding -= 1;
+            if ar.outstanding == 0 {
+                ar.rounds_completed += 1;
+                if ar.round_start >= warm {
+                    ar.round_ms
+                        .push(now.saturating_since(ar.round_start).as_millis_f64());
+                }
+                next_round = now < self.end;
+            }
+        }
+        if next_round {
+            self.queue.push(now, Event::AllreduceRound);
+        }
+    }
+
+    /// Issue one incast request: every worker simultaneously answers the
+    /// aggregator with `bytes_per_worker`.
+    fn on_incast_next(&mut self) {
+        let (req, senders, dst, bytes, interval) = {
+            let Some(inc) = &mut self.incast else { return };
+            let req = inc.requests.len();
+            inc.requests.push((self.now, inc.senders.len()));
+            (
+                req,
+                inc.senders.clone(),
+                inc.aggregator,
+                inc.bytes_per_worker,
+                inc.interval,
+            )
+        };
+        for src in senders {
+            self.start_flow(src, dst, Some(bytes), true, FlowTag::Incast(req));
+        }
+        let next = self.now + interval;
+        if next < self.end {
+            self.queue.push(next, Event::IncastNext);
+        }
+    }
+
+    /// Start one allreduce round: every ring member streams its chunk to
+    /// its clockwise neighbor.
+    fn on_allreduce_round(&mut self) {
+        let (ring, bytes) = {
+            let Some(ar) = &mut self.allreduce else { return };
+            ar.round_start = self.now;
+            ar.outstanding = ar.ring.len();
+            (ar.ring.clone(), ar.bytes)
+        };
+        for (src, dst) in ring {
+            self.start_flow(src, dst, Some(bytes), false, FlowTag::Allreduce);
         }
     }
 
@@ -1254,16 +1392,15 @@ impl Simulation {
             }
             Event::FlowStart(i) => {
                 let p = &self.pending_flows[i];
-                let (src, dst, bytes, mfct, ssrc) =
-                    (p.src, p.dst, p.bytes, p.measure_fct, p.shuffle_src);
-                self.start_flow(src, dst, bytes, mfct, ssrc);
+                let (src, dst, bytes, mfct, tag) = (p.src, p.dst, p.bytes, p.measure_fct, p.tag);
+                self.start_flow(src, dst, bytes, mfct, tag);
             }
             Event::MiceNext(i) => {
                 let (src, dst, bytes, interval) = {
                     let m = &self.mice_series[i];
                     (m.src, m.dst, m.bytes, m.interval)
                 };
-                self.start_flow(src, dst, Some(bytes), true, None);
+                self.start_flow(src, dst, Some(bytes), true, FlowTag::Plain);
                 let next = self.now + interval;
                 if next < self.end {
                     self.queue.push(next, Event::MiceNext(i));
@@ -1280,6 +1417,8 @@ impl Simulation {
                 self.drain_egress(h);
             }
             Event::PathFeedback => self.on_path_feedback(),
+            Event::IncastNext => self.on_incast_next(),
+            Event::AllreduceRound => self.on_allreduce_round(),
         }
     }
 
@@ -1384,7 +1523,9 @@ impl Simulation {
                     PacketKind::Data { .. } => host.gro.on_packet(self.now, pkt),
                     PacketKind::Ack { ack, sack_hi } => {
                         misc_pkts += 1;
-                        acks.push((pkt.flow, ack, sack_hi));
+                        // On an ACK the `ce` bit carries the receiver's
+                        // ECN-Echo, not a fabric mark.
+                        acks.push((pkt.flow, ack, sack_hi, pkt.ce));
                     }
                     PacketKind::Probe { .. } => {
                         misc_pkts += 1;
@@ -1401,8 +1542,8 @@ impl Simulation {
         }
         self.push_up_flushed(h, false);
         self.arm_gro_timer(h);
-        for (flow, ack, sack) in acks.drain(..) {
-            self.on_ack(flow, ack, sack);
+        for (flow, ack, sack, ece) in acks.drain(..) {
+            self.on_ack(flow, ack, sack, ece);
         }
         for p in probes.drain(..) {
             self.on_probe(h, p);
@@ -1492,17 +1633,25 @@ impl Simulation {
         let tag = self.hosts[h.index()]
             .vswitch
             .process(self.now, rflow, 0, false);
-        let ack = make_ack(rflow, out.ack, out.sack_hi, tag);
+        // DCTCP-style ECE echo: the receiver reflects the delivered
+        // segment's CE state on the ACK it answers with. The OR across a
+        // GRO merge means one marked member packet marks the whole
+        // segment's ACK.
+        let ack = make_ack(rflow, out.ack, out.sack_hi, tag, seg.ce);
         self.inject(h, ack);
     }
 
-    fn on_ack(&mut self, ack_flow: FlowKey, ack: u64, sack_hi: u64) {
+    fn on_ack(&mut self, ack_flow: FlowKey, ack: u64, sack_hi: u64, ece: bool) {
         let fwd = ack_flow.reverse();
         let Some(&sref) = self.flow_senders.get(&fwd) else {
             return;
         };
         let out = match sref {
-            SenderRef::Tcp(i) => self.tcp_conns[i].sender.on_ack(self.now, ack, sack_hi),
+            SenderRef::Tcp(i) => self.tcp_conns[i]
+                .sender
+                .on_ack_ecn(self.now, ack, sack_hi, ece),
+            // MPTCP subflows run the coupled Lia controller, which ignores
+            // ECE (its `on_ce_echo` is the default no-op).
             SenderRef::Mptcp { conn, sub } => self.mptcp_conns[conn]
                 .conn
                 .on_ack(self.now, sub, ack, sack_hi),
@@ -1527,6 +1676,7 @@ impl Simulation {
             dst_host: flow.dst,
             dst_mac: tag.dst_mac,
             flowcell: tag.flowcell,
+            ce: false,
             kind: PacketKind::Probe { id, echo: false },
         };
         self.inject(flow.src, pkt);
@@ -1552,6 +1702,7 @@ impl Simulation {
                 dst_host: rflow.dst,
                 dst_mac: tag.dst_mac,
                 flowcell: tag.flowcell,
+                ce: false,
                 kind: PacketKind::Probe { id, echo: true },
             };
             self.inject(h, back);
@@ -1772,7 +1923,7 @@ impl Simulation {
                 sh.pos[src] += 1;
                 (dst, sh.bytes)
             };
-            self.start_flow(src, dst, Some(bytes), false, Some(src));
+            self.start_flow(src, dst, Some(bytes), false, FlowTag::Shuffle(src));
         }
     }
 
@@ -1859,6 +2010,23 @@ impl Simulation {
             let (masked, fired) = host.gro.reorder_stats();
             report.gro_reorders_masked += masked;
             report.gro_timeout_fires += fired;
+            report.gro_ce_merges += host.gro.ce_merge_count();
+        }
+        for link in self.topo.fabric.links() {
+            report.ce_marked_packets += link.counters.ce_marked_packets;
+        }
+        if let Some(inc) = &self.incast {
+            report.incast_requests = inc.tracker.total();
+            report.incast_deadline_misses = inc.tracker.misses();
+            for &v in inc.tracker.elapsed_ms() {
+                report.incast_request_ms.add(v);
+            }
+        }
+        if let Some(ar) = &self.allreduce {
+            report.allreduce_rounds = ar.rounds_completed;
+            for &v in &ar.round_ms {
+                report.allreduce_round_ms.add(v);
+            }
         }
         report.events_processed = self.events_processed;
         report
@@ -1895,6 +2063,15 @@ impl Simulation {
                     value,
                 });
             }
+            // Emitted only when ECN marked something, so ECN-off runs keep
+            // their pre-ECN counter registry byte-identical.
+            if c.ce_marked_packets != 0 {
+                rep.counters.push(CounterEntry {
+                    component: component.clone(),
+                    name: "ce_marked_packets".to_string(),
+                    value: c.ce_marked_packets,
+                });
+            }
         }
         // Switch counters, ascending switch id.
         for (i, sw) in self.topo.fabric.switches().iter().enumerate() {
@@ -1917,6 +2094,15 @@ impl Simulation {
                     component: component.clone(),
                     name: name.to_string(),
                     value,
+                });
+            }
+            // CE-preserving merges; zero (and absent) without ECN.
+            let ce_merges = host.gro.ce_merge_count();
+            if ce_merges != 0 {
+                rep.counters.push(CounterEntry {
+                    component: component.clone(),
+                    name: "gro_ce_merges".to_string(),
+                    value: ce_merges,
                 });
             }
             for (j, v) in fr.iter().enumerate() {

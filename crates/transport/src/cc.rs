@@ -7,8 +7,9 @@
 
 use presto_simcore::{SimDuration, SimTime};
 
-/// The MSS used for window arithmetic (matches `presto_netsim::MSS`).
-pub const MSS_F: f64 = 1460.0;
+/// The MSS used for window arithmetic — the same constant the fabric
+/// segments packets with, so window and wire arithmetic can never drift.
+pub const MSS_F: f64 = presto_netsim::MSS as f64;
 
 /// A congestion-control algorithm owning cwnd and ssthresh.
 pub trait CongestionControl: std::fmt::Debug {
@@ -25,6 +26,15 @@ pub trait CongestionControl: std::fmt::Debug {
     fn on_timeout(&mut self, now: SimTime);
     /// Algorithm name for reports.
     fn name(&self) -> &'static str;
+    /// `acked` bytes were acknowledged by an ACK carrying ECN-Echo — the
+    /// receiver saw CE marks on the covered segment. ECN-oblivious
+    /// algorithms keep the no-op default and react only to loss; this is
+    /// called *in addition to* (immediately before) [`on_ack`].
+    ///
+    /// [`on_ack`]: CongestionControl::on_ack
+    fn on_ce_echo(&mut self, now: SimTime, acked: u64) {
+        let _ = (now, acked);
+    }
 }
 
 impl CongestionControl for Box<dyn CongestionControl> {
@@ -45,6 +55,9 @@ impl CongestionControl for Box<dyn CongestionControl> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn on_ce_echo(&mut self, now: SimTime, acked: u64) {
+        (**self).on_ce_echo(now, acked)
     }
 }
 
@@ -281,6 +294,213 @@ impl CongestionControl for Lia {
     }
 }
 
+/// DCTCP (Alizadeh et al., SIGCOMM'10): react to the *extent* of
+/// congestion, not its presence. The receiver echoes CE marks; the sender
+/// maintains `α`, an EWMA of the fraction of acked bytes that were marked
+/// (`g = 1/16`), and once per window applies the proportional decrease
+/// `cwnd ← cwnd·(1 − α/2)` if any byte in that window was marked. Loss
+/// and timeout fall back to Reno-style halving/collapse.
+#[derive(Debug, Clone)]
+pub struct Dctcp {
+    cwnd: f64,
+    ssthresh: f64,
+    /// EWMA of the marked fraction, in `[0, 1]`. Initialized to 1.0 per
+    /// the paper so the first congested window reacts conservatively.
+    pub alpha: f64,
+    /// Bytes acked in the current observation window.
+    acked_window: f64,
+    /// Of those, bytes covered by ECE-carrying ACKs.
+    marked_window: f64,
+    /// Window length in bytes: one cwnd of acks per α update.
+    window_len: f64,
+}
+
+/// DCTCP's EWMA gain `g` (the paper's recommended 1/16).
+const DCTCP_G: f64 = 1.0 / 16.0;
+
+impl Dctcp {
+    /// DCTCP with an initial window of `iw_mss` segments.
+    pub fn new(iw_mss: u32) -> Self {
+        let w = init_cwnd(iw_mss);
+        Dctcp {
+            cwnd: w,
+            ssthresh: f64::INFINITY,
+            alpha: 1.0,
+            acked_window: 0.0,
+            marked_window: 0.0,
+            window_len: w,
+        }
+    }
+
+    /// Close an observation window: fold the marked fraction into α and
+    /// apply the proportional decrease if this window saw any marks.
+    fn end_window(&mut self) {
+        let frac = if self.acked_window > 0.0 {
+            (self.marked_window / self.acked_window).min(1.0)
+        } else {
+            0.0
+        };
+        self.alpha = (1.0 - DCTCP_G) * self.alpha + DCTCP_G * frac;
+        if self.marked_window > 0.0 {
+            self.cwnd = (self.cwnd * (1.0 - self.alpha / 2.0)).max(2.0 * MSS_F);
+            self.ssthresh = self.cwnd;
+        }
+        self.acked_window = 0.0;
+        self.marked_window = 0.0;
+        self.window_len = self.cwnd;
+    }
+}
+
+impl CongestionControl for Dctcp {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, _now: SimTime, acked: u64, _srtt: SimDuration) {
+        // Growth is standard Reno: byte-counting slow start, then
+        // ~1 MSS/RTT additive increase — DCTCP only changes the decrease.
+        if self.cwnd < self.ssthresh {
+            self.cwnd += acked as f64;
+        } else {
+            self.cwnd += MSS_F * acked as f64 / self.cwnd;
+        }
+        self.acked_window += acked as f64;
+        if self.acked_window >= self.window_len {
+            self.end_window();
+        }
+    }
+
+    fn on_ce_echo(&mut self, _now: SimTime, acked: u64) {
+        self.marked_window += acked as f64;
+        // A mark ends slow start: the queue has crossed K.
+        if self.ssthresh.is_infinite() {
+            self.ssthresh = self.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * MSS_F);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_timeout(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * MSS_F);
+        self.cwnd = MSS_F;
+    }
+
+    fn name(&self) -> &'static str {
+        "dctcp"
+    }
+}
+
+/// A congestion-control choice a scenario can be configured with — the
+/// transport-axis analogue of the LB scheme registry. `Lia` is absent on
+/// purpose: it only exists coupled inside an MPTCP connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum CcKind {
+    /// Classic Reno AIMD.
+    Reno,
+    /// CUBIC — the Linux default the paper's testbed runs, and the
+    /// default here.
+    #[default]
+    Cubic,
+    /// DCTCP — requires ECN marking in the fabric to act on.
+    Dctcp,
+}
+
+impl CcKind {
+    /// Canonical token. Pinned: scenario canonical text and campaign
+    /// labels embed these strings, so changing one invalidates stored
+    /// fingerprints.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcKind::Reno => "reno",
+            CcKind::Cubic => "cubic",
+            CcKind::Dctcp => "dctcp",
+        }
+    }
+
+    /// Inverse of [`CcKind::name`].
+    pub fn parse(s: &str) -> Option<CcKind> {
+        CC_REGISTRY.iter().find(|e| e.token == s).map(|e| e.kind)
+    }
+
+    /// Instantiate the algorithm with an initial window of `iw_mss`
+    /// segments.
+    pub fn build(self, iw_mss: u32) -> Box<dyn CongestionControl> {
+        match self {
+            CcKind::Reno => Box::new(Reno::new(iw_mss)),
+            CcKind::Cubic => Box::new(Cubic::new(iw_mss)),
+            CcKind::Dctcp => Box::new(Dctcp::new(iw_mss)),
+        }
+    }
+}
+
+impl std::fmt::Display for CcKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for CcKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CcKind::parse(s).ok_or_else(|| {
+            format!(
+                "unknown congestion control `{s}` (expected {})",
+                cc_tokens().join(" | ")
+            )
+        })
+    }
+}
+
+/// One registry row: the token plus a one-line summary for `--list` style
+/// output and docs.
+#[derive(Debug, Clone, Copy)]
+pub struct CcEntry {
+    /// Canonical token (`CcKind::name`).
+    pub token: &'static str,
+    /// One-line human summary.
+    pub summary: &'static str,
+    /// The kind the token maps to.
+    pub kind: CcKind,
+}
+
+/// Every selectable congestion control, in presentation order.
+pub const CC_REGISTRY: &[CcEntry] = &[
+    CcEntry {
+        token: "reno",
+        summary: "classic Reno AIMD: halve on loss, +1 MSS/RTT",
+        kind: CcKind::Reno,
+    },
+    CcEntry {
+        token: "cubic",
+        summary: "CUBIC (Linux default): cubic window recovery toward w_max",
+        kind: CcKind::Cubic,
+    },
+    CcEntry {
+        token: "dctcp",
+        summary: "DCTCP: ECN-proportional decrease from the CE-marked fraction",
+        kind: CcKind::Dctcp,
+    },
+];
+
+/// All registry tokens, in presentation order.
+pub fn cc_tokens() -> Vec<&'static str> {
+    CC_REGISTRY.iter().map(|e| e.token).collect()
+}
+
+/// Look up a registry row by token.
+pub fn find_cc(token: &str) -> Option<&'static CcEntry> {
+    CC_REGISTRY.iter().find(|e| e.token == token)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +650,123 @@ mod tests {
         assert_eq!(Reno::new(1).name(), "reno");
         assert_eq!(Cubic::new(1).name(), "cubic");
         assert_eq!(Lia::new(1).name(), "lia");
+        assert_eq!(Dctcp::new(1).name(), "dctcp");
+    }
+
+    #[test]
+    fn dctcp_unmarked_traffic_behaves_like_reno() {
+        // No ECE ever: α decays toward 0 and the window only grows.
+        let mut cc = Dctcp::new(10);
+        let w0 = cc.cwnd();
+        for _ in 0..200 {
+            cc.on_ack(t(1), cc.cwnd() as u64, srtt());
+        }
+        assert!(cc.cwnd() > w0);
+        assert!(cc.alpha < 0.05, "α should decay without marks: {}", cc.alpha);
+    }
+
+    #[test]
+    fn dctcp_fully_marked_window_halves() {
+        let mut cc = Dctcp::new(10);
+        // Leave slow start and settle α at 1.0 by marking everything.
+        for _ in 0..40 {
+            let w = cc.cwnd() as u64;
+            cc.on_ce_echo(t(1), w);
+            cc.on_ack(t(1), w, srtt());
+        }
+        // α ≈ 1 under persistent marking: each window shrinks by ~α/2.
+        assert!(cc.alpha > 0.9, "α should approach 1: {}", cc.alpha);
+        let w_before = cc.cwnd();
+        let w = cc.cwnd() as u64;
+        cc.on_ce_echo(t(2), w);
+        cc.on_ack(t(2), w, srtt());
+        assert!(
+            cc.cwnd() < w_before,
+            "marked window must shrink: {} -> {}",
+            w_before,
+            cc.cwnd()
+        );
+    }
+
+    #[test]
+    fn dctcp_sparse_marks_cut_proportionally() {
+        // ~10% of bytes marked → α settles near 0.1 → decrease ≈ 5% per
+        // window, far gentler than Reno's 50%.
+        let mut cc = Dctcp::new(10);
+        cc.on_loss(t(0)); // leave slow start
+        for round in 0..400 {
+            let w = cc.cwnd() as u64;
+            if round % 10 == 0 {
+                cc.on_ce_echo(t(1), w / 10);
+            }
+            cc.on_ack(t(1), w, srtt());
+        }
+        assert!(
+            cc.alpha < 0.35,
+            "sparse marks should keep α small: {}",
+            cc.alpha
+        );
+        assert!(cc.cwnd() >= 2.0 * MSS_F);
+    }
+
+    #[test]
+    fn dctcp_loss_still_halves() {
+        let mut cc = Dctcp::new(10);
+        for _ in 0..10 {
+            cc.on_ack(t(1), 14600, srtt());
+        }
+        let before = cc.cwnd();
+        cc.on_loss(t(2));
+        assert!((cc.cwnd() - before / 2.0).abs() < 1.0);
+        cc.on_timeout(t(3));
+        assert_eq!(cc.cwnd(), MSS_F);
+    }
+
+    #[test]
+    fn non_ecn_algorithms_ignore_ce_echo() {
+        let mut algos: Vec<Box<dyn CongestionControl>> = vec![
+            Box::new(Reno::new(10)),
+            Box::new(Cubic::new(10)),
+            Box::new(Lia::new(10)),
+        ];
+        for cc in &mut algos {
+            let w = cc.cwnd();
+            cc.on_ce_echo(t(1), 14600);
+            assert_eq!(cc.cwnd(), w, "{} must ignore ECE", cc.name());
+        }
+    }
+
+    #[test]
+    fn cc_kind_name_parse_round_trip() {
+        for e in CC_REGISTRY {
+            assert_eq!(CcKind::parse(e.token), Some(e.kind));
+            assert_eq!(e.kind.name(), e.token);
+            assert_eq!(e.kind.build(10).name(), e.token);
+        }
+        assert_eq!(CcKind::parse("vegas"), None);
+    }
+
+    #[test]
+    fn cc_kind_pinned_tokens() {
+        // Canonical text and campaign labels embed these — never rename.
+        assert_eq!(CcKind::Reno.name(), "reno");
+        assert_eq!(CcKind::Cubic.name(), "cubic");
+        assert_eq!(CcKind::Dctcp.name(), "dctcp");
+        assert_eq!(CcKind::default(), CcKind::Cubic);
+    }
+
+    #[test]
+    fn cc_from_str_error_enumerates_registry() {
+        let err = "bbr".parse::<CcKind>().unwrap_err();
+        assert!(err.contains("unknown congestion control `bbr`"), "{err}");
+        for e in CC_REGISTRY {
+            assert!(err.contains(e.token), "{err} missing {}", e.token);
+        }
+    }
+
+    #[test]
+    fn mss_f_matches_netsim() {
+        assert_eq!(MSS_F, presto_netsim::MSS as f64);
     }
 
     #[test]

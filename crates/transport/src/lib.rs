@@ -27,7 +27,7 @@ pub mod receiver;
 pub mod rtt;
 pub mod sender;
 
-pub use cc::{CongestionControl, Cubic, Lia, Reno};
+pub use cc::{cc_tokens, find_cc, CcEntry, CcKind, CongestionControl, Cubic, Dctcp, Lia, Reno};
 pub use mptcp::MptcpConnection;
 pub use receiver::{RecvOutput, TcpReceiver};
 pub use rtt::RttEstimator;

@@ -226,6 +226,16 @@ impl<C: CongestionControl> TcpSender<C> {
 
     /// Process a cumulative acknowledgement.
     pub fn on_ack(&mut self, now: SimTime, ack: u64, sack_hi: u64) -> SenderOutput {
+        self.on_ack_ecn(now, ack, sack_hi, false)
+    }
+
+    /// Process a cumulative acknowledgement that may carry ECN-Echo.
+    /// `ece = true` means the receiver saw CE marks on the acknowledged
+    /// segment: the newly-acked bytes are reported to the congestion
+    /// control via [`CongestionControl::on_ce_echo`] before its normal
+    /// `on_ack` growth step. ECN-oblivious algorithms ignore the echo, so
+    /// with unmarked traffic this is byte-identical to [`Self::on_ack`].
+    pub fn on_ack_ecn(&mut self, now: SimTime, ack: u64, sack_hi: u64, ece: bool) -> SenderOutput {
         let mut out = SenderOutput::default();
         if ack > self.max_sent {
             // Beyond anything ever transmitted: corrupt; ignore.
@@ -271,6 +281,9 @@ impl<C: CongestionControl> TcpSender<C> {
                 }
             } else {
                 self.dup_acks = 0;
+            }
+            if ece {
+                self.cc.on_ce_echo(now, acked);
             }
             self.cc.on_ack(now, acked, self.rtt.srtt());
             if self.write_limit != u64::MAX && self.snd_una >= self.write_limit && !self.completed {

@@ -75,6 +75,16 @@ pub fn incast_senders(n_hosts: usize, receiver: usize, fan_in: usize) -> Vec<usi
         .collect()
 }
 
+/// Ring: `server[i] → server[(i+1) mod n]` over the first `participants`
+/// hosts — the per-round transfer set of a ring allreduce, where each
+/// member streams a chunk to its clockwise neighbor every round.
+pub fn ring(participants: usize) -> Vec<(usize, usize)> {
+    assert!(participants > 1, "a ring needs at least two members");
+    (0..participants)
+        .map(|i| (i, (i + 1) % participants))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +168,25 @@ mod tests {
     #[should_panic(expected = "non-sender")]
     fn incast_rejects_full_fan_in() {
         let _ = incast_senders(4, 0, 4);
+    }
+
+    #[test]
+    fn ring_wraps_and_covers_every_member() {
+        let r = ring(8);
+        assert_eq!(r.len(), 8);
+        assert_eq!(r[0], (0, 1));
+        assert_eq!(r[7], (7, 0));
+        // Every member sends once and receives once.
+        let srcs: std::collections::HashSet<usize> = r.iter().map(|&(s, _)| s).collect();
+        let dsts: std::collections::HashSet<usize> = r.iter().map(|&(_, d)| d).collect();
+        assert_eq!(srcs.len(), 8);
+        assert_eq!(dsts.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn ring_rejects_singletons() {
+        let _ = ring(1);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! The incast scenario from the README, runnable: partition-aggregate
+//! under DCTCP with fabric ECN marking.
+//!
+//! ```text
+//! cargo run --release --example incast_quickstart
+//! ```
+//!
+//! An aggregator fans a request to 8 workers every millisecond; each
+//! returns 32 KiB, and the request completes when the last response
+//! lands. The 280 µs deadline sits in the response tail, so the printed
+//! miss fraction is the scenario's headline metric — compare schemes by
+//! swapping `SchemeSpec::presto()` for `SchemeSpec::ecmp()`, or run the
+//! whole grid via `campaigns/incast.toml`.
+
+use presto::prelude::*;
+
+fn main() {
+    let report = Scenario::builder(
+        SchemeSpec::presto()
+            .with_cc(CcKind::Dctcp)
+            .with_ecn(Some(DEFAULT_ECN_THRESHOLD)),
+        1,
+    )
+    .duration(SimDuration::from_millis(40))
+    .warmup(SimDuration::from_millis(10))
+    .incast(IncastSpec {
+        aggregator: 0,
+        fanout: 8,
+        bytes_per_worker: 32 * 1024,
+        interval: SimDuration::from_micros(1000),
+        deadline: SimDuration::from_micros(280),
+    })
+    .build()
+    .run();
+    println!(
+        "missed {}/{} deadlines ({} CE marks)",
+        report.incast_deadline_misses, report.incast_requests, report.ce_marked_packets
+    );
+}

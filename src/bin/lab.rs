@@ -7,7 +7,7 @@
 //! lab ls  [CAMPAIGN] [--store DIR] [--sort label|wall|rate]
 //! lab diff <baseline.json> <current.json>
 //!         [--goodput-tol F] [--p99-fct-tol F] [--loss-tol F]
-//!         [--wall-tol F] [--strict-digest]
+//!         [--deadline-tol F] [--wall-tol F] [--strict-digest]
 //! lab report <campaign> [--store DIR] [--out DIR] [--baseline FILE]
 //!         [--viewer] [--quiet]
 //! ```
@@ -69,6 +69,7 @@ usage:
   lab ls  [CAMPAIGN] [--store DIR] [--sort label|wall|rate]
   lab diff <baseline.json> <current.json>
           [--goodput-tol F] [--p99-fct-tol F] [--loss-tol F]
+          [--deadline-tol F]
           [--wall-tol F] [--strict-digest]
   lab report <campaign> [--store DIR] [--out DIR] [--baseline FILE]
           [--viewer] [--quiet]
@@ -290,6 +291,9 @@ fn cmd_diff(rest: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(v) = take_value(&mut args, "--wall-tol")? {
         tol.wall_rise_rel = parse_num("--wall-tol", &v)?;
+    }
+    if let Some(v) = take_value(&mut args, "--deadline-tol")? {
+        tol.deadline_miss_rise_abs = parse_num("--deadline-tol", &v)?;
     }
     tol.strict_digest = take_flag(&mut args, "--strict-digest");
     let paths = positionals(args, 2, "<baseline.json> <current.json>")?;

@@ -22,6 +22,7 @@ fn pkt(i: u64, cell_len: u64) -> Packet {
         dst_host: HostId(1),
         dst_mac: Mac::host(HostId(1)),
         flowcell: i / cell_len,
+        ce: false,
         kind: PacketKind::Data {
             seq: i * MSS as u64,
             len: MSS,

@@ -50,15 +50,7 @@ fn cached_rows_match_fresh_digests_across_workers_and_telemetry() {
             let mut campaign = grid();
             if traced {
                 // Trace every point: [[trace]] must not perturb results.
-                campaign.traces.push(PointMatch {
-                    scheme: None,
-                    topo: None,
-                    workload: None,
-                    fault: None,
-                    flowcell_kb: None,
-                    seed: None,
-                    shards: None,
-                });
+                campaign.traces.push(PointMatch::default());
                 // An unconstrained matcher is rejected by the TOML layer
                 // but fine programmatically.
             }

@@ -27,13 +27,8 @@ fn grid(name: &str) -> Campaign {
     campaign.faults = vec!["none".parse().unwrap(), "linkdown:5".parse().unwrap()];
     campaign.seeds = vec![1, 2];
     campaign.traces.push(PointMatch {
-        scheme: None,
-        topo: None,
-        workload: None,
-        fault: None,
-        flowcell_kb: None,
         seed: Some(1),
-        shards: None,
+        ..PointMatch::default()
     });
     campaign
 }
