@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use presto_netsim::{FlowKey, HostId, Mac};
+use presto_probe::{HostLoad, PoolStats, ProbeParams};
 use presto_simcore::{SimDuration, SimTime};
 
 /// The path-selection decision for one skb.
@@ -159,6 +160,45 @@ pub trait EdgePolicy {
     /// simulation opts out, no feedback events are scheduled at all, so
     /// feedback-free schemes keep byte-identical event streams.
     fn feedback_interval(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// Receiver-load probing opt-in: the probe cadence, pool capacity and
+    /// staleness bound this policy wants, or `None` (the default). Like
+    /// [`feedback_interval`](EdgePolicy::feedback_interval), opting out
+    /// means no probe event is ever scheduled, so load-oblivious schemes
+    /// keep byte-identical event streams and digests.
+    fn probe_params(&self) -> Option<ProbeParams> {
+        None
+    }
+
+    /// A probe round completed: one [`HostLoad`] per destination probed
+    /// this round, delivered out-of-band (probes ride the control plane,
+    /// like fault notifications — they never occupy data queues).
+    /// Load-aware policies fold these into their probe pool; everyone
+    /// else keeps the no-op.
+    fn probe_feedback(&mut self, now: SimTime, loads: &[HostLoad]) {
+        let _ = (now, loads);
+    }
+
+    /// Replica selection for partition-aggregate requests: pick `k`
+    /// responders from `candidates` (the aggregator's eligible worker
+    /// set, in canonical order). Returning `None` (the default) keeps the
+    /// static choice — the first `k` candidates — so load-oblivious
+    /// schemes see exactly the sender set they always did.
+    fn select_replicas(
+        &mut self,
+        now: SimTime,
+        candidates: &[HostId],
+        k: usize,
+    ) -> Option<Vec<HostId>> {
+        let _ = (now, candidates, k);
+        None
+    }
+
+    /// Cumulative probe-pool occupancy counters, for the run report's
+    /// probe figure. Policies without a pool report `None`.
+    fn probe_pool_stats(&self) -> Option<PoolStats> {
         None
     }
 }

@@ -226,6 +226,89 @@ impl FromStr for EcnId {
     }
 }
 
+/// Receiver-load probing axis: overrides the probe parameters of a
+/// probing scheme (today: `prequal`). The default keeps whatever the
+/// scheme registry built, so every existing campaign label and
+/// fingerprint is unchanged; a custom value rewrites the probe interval,
+/// pool capacity, and staleness bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeId {
+    /// Use the scheme's registered probe parameters (the historical
+    /// behaviour — and a no-op for non-probing schemes).
+    Default,
+    /// Override the probe configuration of a probing scheme.
+    Custom {
+        /// Probe-round interval, microseconds.
+        every_us: u64,
+        /// Hot/cold pool capacity, entries.
+        pool: u64,
+        /// Staleness eviction bound, microseconds.
+        staleness_us: u64,
+    },
+}
+
+impl ProbeId {
+    /// Materialize the override as [`presto_testbed::ProbeParams`],
+    /// `None` for the default.
+    pub fn params(self) -> Option<presto_testbed::ProbeParams> {
+        match self {
+            ProbeId::Default => None,
+            ProbeId::Custom {
+                every_us,
+                pool,
+                staleness_us,
+            } => Some(presto_testbed::ProbeParams {
+                every: SimDuration::from_micros(every_us),
+                pool: pool as usize,
+                staleness: SimDuration::from_micros(staleness_us),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for ProbeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeId::Default => f.write_str("default"),
+            ProbeId::Custom {
+                every_us,
+                pool,
+                staleness_us,
+            } => write!(f, "{every_us}:{pool}:{staleness_us}"),
+        }
+    }
+}
+
+impl FromStr for ProbeId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "default" {
+            return Ok(ProbeId::Default);
+        }
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "unknown probe `{s}` (expected default | <every_us>:<pool>:<staleness_us>)"
+            ));
+        }
+        let num = |i: usize, what: &str| -> Result<u64, String> {
+            parts[i]
+                .parse()
+                .map_err(|_| format!("bad probe {what} in `{s}`"))
+        };
+        let (every_us, pool, staleness_us) =
+            (num(0, "interval")?, num(1, "pool")?, num(2, "staleness")?);
+        if every_us == 0 || pool == 0 || staleness_us == 0 {
+            return Err("probe interval/pool/staleness must all be ≥ 1".into());
+        }
+        Ok(ProbeId::Custom {
+            every_us,
+            pool,
+            staleness_us,
+        })
+    }
+}
+
 /// Traffic offered to the fabric.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WorkloadId {
@@ -269,6 +352,22 @@ pub enum WorkloadId {
         /// Bytes per ring transfer per round, KiB.
         kb: u64,
     },
+    /// Skewed incast: the incast workload plus `hot` unbounded elephants
+    /// sourced from the *first* `hot` static incast senders, saturating
+    /// their uplinks. Load-oblivious replica choice keeps asking the hot
+    /// hosts; a load-aware aggregator routes around them.
+    Skew {
+        /// Number of concurrent workers per request.
+        fanout: usize,
+        /// Response size per worker, KiB.
+        kb: u64,
+        /// Request inter-arrival gap, microseconds.
+        interval_us: u64,
+        /// Per-request completion deadline, microseconds.
+        deadline_us: u64,
+        /// How many static senders double as elephant sources.
+        hot: usize,
+    },
 }
 
 /// Flow-size clamp for the Poisson mixes: truncate elephants so short
@@ -296,6 +395,13 @@ impl fmt::Display for WorkloadId {
             WorkloadId::Allreduce { participants, kb } => {
                 write!(f, "allreduce:{participants}:{kb}")
             }
+            WorkloadId::Skew {
+                fanout,
+                kb,
+                interval_us,
+                deadline_us,
+                hot,
+            } => write!(f, "skew:{fanout}:{kb}:{interval_us}:{deadline_us}:{hot}"),
         }
     }
 }
@@ -392,11 +498,40 @@ impl FromStr for WorkloadId {
                 }
                 Ok(WorkloadId::Allreduce { participants, kb })
             }
+            "skew" => {
+                want(5)?;
+                let num = |i: usize, what: &str| -> Result<u64, String> {
+                    rest[i]
+                        .parse()
+                        .map_err(|_| format!("bad skew {what} in `{s}`"))
+                };
+                let fanout = num(0, "fanout")? as usize;
+                let kb = num(1, "KiB")?;
+                let interval_us = num(2, "interval")?;
+                let deadline_us = num(3, "deadline")?;
+                let hot = num(4, "hot count")? as usize;
+                if fanout == 0 || kb == 0 || interval_us == 0 || deadline_us == 0 || hot == 0 {
+                    return Err("skew parameters must all be ≥ 1".into());
+                }
+                if hot > fanout {
+                    return Err(format!(
+                        "`{s}`: hot senders must be a subset of the static fanout"
+                    ));
+                }
+                Ok(WorkloadId::Skew {
+                    fanout,
+                    kb,
+                    interval_us,
+                    deadline_us,
+                    hot,
+                })
+            }
             other => Err(format!(
                 "unknown workload `{other}` (expected stride:<k> | random | bijection | \
                  shuffle:<bytes>:<concurrency> | websearch:<gap_ms> | datamining:<gap_ms> | \
                  incast:<fanout>:<kb>:<interval_us>:<deadline_us> | \
-                 allreduce:<participants>:<kb>)"
+                 allreduce:<participants>:<kb> | \
+                 skew:<fanout>:<kb>:<interval_us>:<deadline_us>:<hot>)"
             )),
         }
     }
@@ -505,8 +640,12 @@ mod tests {
             "datamining:4",
             "incast:8:32:1000:900",
             "allreduce:8:512",
+            "skew:8:32:1000:900:2",
         ] {
             assert_eq!(w.parse::<WorkloadId>().unwrap().to_string(), w);
+        }
+        for p in ["default", "50:16:500"] {
+            assert_eq!(p.parse::<ProbeId>().unwrap().to_string(), p);
         }
         for f in ["none", "linkdown:5", "flap:6:9", "spinedown:7"] {
             assert_eq!(f.parse::<FaultId>().unwrap().to_string(), f);
@@ -536,6 +675,12 @@ mod tests {
         assert!("incast:8:32:1000".parse::<WorkloadId>().is_err());
         assert!("incast:0:32:1000:900".parse::<WorkloadId>().is_err());
         assert!("allreduce:1:512".parse::<WorkloadId>().is_err());
+        assert!("skew:8:32:1000:900".parse::<WorkloadId>().is_err());
+        assert!("skew:8:32:1000:900:9".parse::<WorkloadId>().is_err());
+        assert!("skew:8:0:1000:900:2".parse::<WorkloadId>().is_err());
+        assert!("50:16".parse::<ProbeId>().is_err());
+        assert!("0:16:500".parse::<ProbeId>().is_err());
+        assert!("defualt".parse::<ProbeId>().is_err());
         assert!("flap:9:6".parse::<FaultId>().is_err());
         assert!("flap:6".parse::<FaultId>().is_err());
         assert!("vegas".parse::<CcKind>().is_err());
@@ -556,5 +701,14 @@ mod tests {
         assert!(TopoId::ThreeTier.three_tier().is_some());
         assert_eq!(FaultId::Flap(6, 9).to_plan().events.len(), 2);
         assert!(FaultId::None.to_plan().is_empty());
+        assert_eq!(ProbeId::Default.params(), None);
+        assert_eq!(
+            "50:16:500".parse::<ProbeId>().unwrap().params(),
+            Some(presto_testbed::ProbeParams {
+                every: SimDuration::from_micros(50),
+                pool: 16,
+                staleness: SimDuration::from_micros(500),
+            })
+        );
     }
 }

@@ -22,9 +22,9 @@ use presto_testbed::{
     bijection_elephants, random_elephants, stride_elephants, AllreduceSpec, IncastSpec, Scenario,
     ShuffleSpec,
 };
-use presto_workloads::{data_mining, poisson_flows, web_search};
+use presto_workloads::{data_mining, patterns, poisson_flows, web_search, FlowSpec};
 
-use crate::axes::{CcKind, EcnId, FaultId, SchemeId, TopoId, WorkloadId, MIX_CLAMP};
+use crate::axes::{CcKind, EcnId, FaultId, ProbeId, SchemeId, TopoId, WorkloadId, MIX_CLAMP};
 use crate::tomlmini::{self, Table, Value};
 
 /// One fully resolved grid point — everything needed to build its
@@ -43,6 +43,8 @@ pub struct PointSpec {
     pub cc: CcKind,
     /// ECN marking (off by default).
     pub ecn: EcnId,
+    /// Receiver-load probe override (default = the scheme's own params).
+    pub probe: ProbeId,
     /// Flowcell threshold in KiB (the paper default is 64).
     pub flowcell_kb: u64,
     /// Master seed.
@@ -77,6 +79,9 @@ impl PointSpec {
         }
         if self.ecn != EcnId::Off {
             label.push_str(&format!("/ecn:{}", self.ecn));
+        }
+        if self.probe != ProbeId::Default {
+            label.push_str(&format!("/probe:{}", self.probe));
         }
         // Serial points keep their historical labels; only sharded points
         // carry the engine suffix (kept last: figure extraction strips a
@@ -126,6 +131,22 @@ impl PointSpec {
                 return whine("allreduce ring exceeds the server count");
             }
         }
+        if let WorkloadId::Skew { fanout, hot, .. } = self.workload {
+            if fanout >= self.topo.n_servers() {
+                return whine("skew fanout must leave room for the aggregator");
+            }
+            if hot > fanout {
+                return whine("skew hot senders must be a subset of the static fanout");
+            }
+        }
+        if self.probe != ProbeId::Default
+            && !matches!(
+                self.scheme.to_spec().policy,
+                presto_testbed::PolicyKind::Prequal(_)
+            )
+        {
+            return whine("the probe axis only configures probing schemes (prequal)");
+        }
         if self.shards == 0 {
             return whine("shard count must be \u{2265} 1");
         }
@@ -158,6 +179,11 @@ impl PointSpec {
         }
         if let Some(k) = self.ecn.threshold() {
             spec.ecn = Some(k);
+        }
+        // The probe axis only rewrites probing schemes (validate() rejects
+        // anything else), so default-probe points keep their fingerprints.
+        if let Some(params) = self.probe.params() {
+            spec.policy = presto_testbed::PolicyKind::Prequal(params);
         }
         let n = self.topo.n_servers();
         let hpp = self.topo.hosts_per_pod();
@@ -210,6 +236,36 @@ impl PointSpec {
                 participants,
                 bytes: kb * 1024,
             }),
+            WorkloadId::Skew {
+                fanout,
+                kb,
+                interval_us,
+                deadline_us,
+                hot,
+            } => {
+                // The first `hot` static senders each source an unbounded
+                // elephant cross-fabric, keeping their uplinks saturated:
+                // a load-oblivious aggregator keeps asking them anyway, a
+                // probing one routes requests around them.
+                let elephants = patterns::incast_senders(n, 0, fanout)
+                    .into_iter()
+                    .take(hot)
+                    .map(|src| {
+                        let mut dst = (src + n / 2) % n;
+                        while dst == 0 || dst == src {
+                            dst = (dst + 1) % n;
+                        }
+                        FlowSpec::elephant(src, dst, SimTime::ZERO)
+                    })
+                    .collect();
+                b.elephants(elephants).incast(IncastSpec {
+                    aggregator: 0,
+                    fanout,
+                    bytes_per_worker: kb * 1024,
+                    interval: SimDuration::from_micros(interval_us),
+                    deadline: SimDuration::from_micros(deadline_us),
+                })
+            }
         };
         customize(b.shards(self.shards).name(self.label())).build()
     }
@@ -278,6 +334,8 @@ pub struct PointMatch {
     pub cc: Option<StrPat>,
     /// ECN pattern.
     pub ecn: Option<StrPat>,
+    /// Probe pattern.
+    pub probe: Option<StrPat>,
     /// Exact flowcell size in KiB.
     pub flowcell_kb: Option<u64>,
     /// Exact seed.
@@ -296,6 +354,7 @@ impl PointMatch {
             && s(&self.fault, p.fault.to_string())
             && s(&self.cc, p.cc.to_string())
             && s(&self.ecn, p.ecn.to_string())
+            && s(&self.probe, p.probe.to_string())
             && self.flowcell_kb.is_none_or(|v| v == p.flowcell_kb)
             && self.seed.is_none_or(|v| v == p.seed)
             && self.shards.is_none_or(|v| v as usize == p.shards)
@@ -336,6 +395,8 @@ pub struct Campaign {
     pub ccs: Vec<CcKind>,
     /// ECN axis.
     pub ecns: Vec<EcnId>,
+    /// Probe-override axis.
+    pub probes: Vec<ProbeId>,
     /// Flowcell-size axis, in KiB.
     pub flowcells_kb: Vec<u64>,
     /// Seed axis.
@@ -366,6 +427,7 @@ impl Campaign {
             faults: vec![FaultId::None],
             ccs: vec![CcKind::default()],
             ecns: vec![EcnId::Off],
+            probes: vec![ProbeId::Default],
             flowcells_kb: vec![64],
             seeds: vec![1],
             shards: vec![1],
@@ -391,6 +453,7 @@ impl Campaign {
             ("fault", self.faults.len()),
             ("cc", self.ccs.len()),
             ("ecn", self.ecns.len()),
+            ("probe", self.probes.len()),
             ("flowcell_kb", self.flowcells_kb.len()),
             ("seed", self.seeds.len()),
             ("shards", self.shards.len()),
@@ -406,49 +469,52 @@ impl Campaign {
                     for &fault in &self.faults {
                         for &cc in &self.ccs {
                             for &ecn in &self.ecns {
-                                for &flowcell_kb in &self.flowcells_kb {
-                                    for &seed in &self.seeds {
-                                        for &shards in &self.shards {
-                                            let mut p = PointSpec {
-                                                scheme,
-                                                topo,
-                                                workload,
-                                                fault,
-                                                cc,
-                                                ecn,
-                                                flowcell_kb,
-                                                seed,
-                                                shards,
-                                                duration: self.duration,
-                                                warmup: self.warmup,
-                                                traced: false,
-                                            };
-                                            if self.drops.iter().any(|d| d.matches(&p)) {
-                                                continue;
-                                            }
-                                            for o in &self.overrides {
-                                                if o.matcher.matches(&p) {
-                                                    if let Some(d) = o.duration {
-                                                        p.duration = d;
-                                                    }
-                                                    if let Some(w) = o.warmup {
-                                                        p.warmup = w;
-                                                    }
-                                                    if let Some(f) = o.flowcell_kb {
-                                                        p.flowcell_kb = f;
+                                for &probe in &self.probes {
+                                    for &flowcell_kb in &self.flowcells_kb {
+                                        for &seed in &self.seeds {
+                                            for &shards in &self.shards {
+                                                let mut p = PointSpec {
+                                                    scheme,
+                                                    topo,
+                                                    workload,
+                                                    fault,
+                                                    cc,
+                                                    ecn,
+                                                    probe,
+                                                    flowcell_kb,
+                                                    seed,
+                                                    shards,
+                                                    duration: self.duration,
+                                                    warmup: self.warmup,
+                                                    traced: false,
+                                                };
+                                                if self.drops.iter().any(|d| d.matches(&p)) {
+                                                    continue;
+                                                }
+                                                for o in &self.overrides {
+                                                    if o.matcher.matches(&p) {
+                                                        if let Some(d) = o.duration {
+                                                            p.duration = d;
+                                                        }
+                                                        if let Some(w) = o.warmup {
+                                                            p.warmup = w;
+                                                        }
+                                                        if let Some(f) = o.flowcell_kb {
+                                                            p.flowcell_kb = f;
+                                                        }
                                                     }
                                                 }
+                                                p.traced =
+                                                    self.traces.iter().any(|t| t.matches(&p));
+                                                p.validate().map_err(|e| {
+                                                    format!(
+                                                        "campaign `{}`: invalid grid point {e} \
+                                                         (add a [[drop]] to exclude it)",
+                                                        self.name
+                                                    )
+                                                })?;
+                                                points.push(p);
                                             }
-                                            p.traced =
-                                                self.traces.iter().any(|t| t.matches(&p));
-                                            p.validate().map_err(|e| {
-                                                format!(
-                                                    "campaign `{}`: invalid grid point {e} \
-                                                     (add a [[drop]] to exclude it)",
-                                                    self.name
-                                                )
-                                            })?;
-                                            points.push(p);
                                         }
                                     }
                                 }
@@ -525,6 +591,7 @@ impl Campaign {
                     "fault",
                     "cc",
                     "ecn",
+                    "probe",
                     "flowcell_kb",
                     "seed",
                     "shards",
@@ -547,6 +614,9 @@ impl Campaign {
             }
             if let Some(v) = axes.get("ecn") {
                 campaign.ecns = parse_axis(v, "ecn")?;
+            }
+            if let Some(v) = axes.get("probe") {
+                campaign.probes = parse_axis(v, "probe")?;
             }
             if let Some(v) = axes.get("flowcell_kb") {
                 campaign.flowcells_kb = parse_u64_axis(v, "flowcell_kb")?;
@@ -647,6 +717,7 @@ fn parse_match(table: &Table, section: &str, extra: &[&str]) -> Result<PointMatc
         "fault",
         "cc",
         "ecn",
+        "probe",
         "flowcell_kb",
         "seed",
         "shards",
@@ -683,6 +754,7 @@ fn parse_match(table: &Table, section: &str, extra: &[&str]) -> Result<PointMatc
         fault: pat("fault", &|s| s.parse::<FaultId>().map(|_| ()))?,
         cc: pat("cc", &|s| s.parse::<CcKind>().map(|_| ()))?,
         ecn: pat("ecn", &|s| s.parse::<EcnId>().map(|_| ()))?,
+        probe: pat("probe", &|s| s.parse::<ProbeId>().map(|_| ()))?,
         flowcell_kb: int("flowcell_kb")?,
         seed: int("seed")?,
         shards: int("shards")?,
@@ -828,6 +900,7 @@ seed = 1
             "datamining:2",
             "incast:8:32:1000:900",
             "allreduce:8:512",
+            "skew:8:32:1000:900:2",
         ] {
             let p = PointSpec {
                 scheme: SchemeId::PRESTO,
@@ -836,6 +909,7 @@ seed = 1
                 fault: FaultId::None,
                 cc: CcKind::default(),
                 ecn: EcnId::Off,
+                probe: ProbeId::Default,
                 flowcell_kb: 64,
                 seed: 3,
                 shards: 1,
@@ -872,15 +946,15 @@ seed = 1
         let baseline = PointSpec {
             cc: CcKind::default(),
             ecn: EcnId::Off,
+            probe: ProbeId::Default,
             ..points[0].clone()
         };
         assert_eq!(points[0].fingerprint(), baseline.fingerprint());
         // Non-default values suffix in a fixed order with /shN last.
         let labels: Vec<String> = points.iter().map(PointSpec::label).collect();
         assert!(labels.contains(&"presto/testbed16/stride:8/none/cell64k/s1/ecn:on".into()));
-        assert!(
-            labels.contains(&"presto/testbed16/stride:8/none/cell64k/s1/cc:dctcp/ecn:on/sh8".into())
-        );
+        assert!(labels
+            .contains(&"presto/testbed16/stride:8/none/cell64k/s1/cc:dctcp/ecn:on/sh8".into()));
         for p in &points {
             let s = p.to_scenario();
             assert_eq!(s.scheme().cc, p.cc);
@@ -930,8 +1004,90 @@ cc = "dctcp"
         }
         // Typos in the new axes fail at load time.
         assert!(Campaign::from_toml(&text.replace("\"dctcp\"", "\"dctpc\"")).is_err());
-        assert!(Campaign::from_toml(&text.replace("ecn = [\"off\", \"on\"]", "ecn = [\"of\"]"))
-            .is_err());
+        assert!(
+            Campaign::from_toml(&text.replace("ecn = [\"off\", \"on\"]", "ecn = [\"of\"]"))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn probe_axis_rewrites_only_probing_schemes() {
+        let mut c = Campaign::new("probing");
+        c.schemes = vec!["prequal".parse().unwrap()];
+        c.probes = vec![ProbeId::Default, "50:16:500".parse().unwrap()];
+        let points = c.expand().unwrap();
+        assert_eq!(points.len(), 2);
+        // Default-probe points keep the historical label and fingerprint…
+        assert_eq!(
+            points[0].label(),
+            "prequal/testbed16/stride:8/none/cell64k/s1"
+        );
+        // …and custom probes suffix before /shN with a distinct address.
+        assert_eq!(
+            points[1].label(),
+            "prequal/testbed16/stride:8/none/cell64k/s1/probe:50:16:500"
+        );
+        assert_ne!(points[0].fingerprint(), points[1].fingerprint());
+        match points[1].to_scenario().scheme().policy {
+            presto_testbed::PolicyKind::Prequal(p) => {
+                assert_eq!(p.pool, 16);
+                assert_eq!(p.every, SimDuration::from_micros(50));
+                assert_eq!(p.staleness, SimDuration::from_micros(500));
+            }
+            ref other => panic!("expected Prequal, got {other:?}"),
+        }
+        // A custom probe crossed with a non-probing scheme is an invalid
+        // grid point, named loudly.
+        let mut c = Campaign::new("oblivious");
+        c.probes = vec!["50:16:500".parse().unwrap()];
+        assert!(c.expand().unwrap_err().contains("probing"));
+        // The probe key works in combinators and the axes table.
+        let text = r#"
+[campaign]
+name = "probe-grid"
+
+[axes]
+scheme = ["presto", "prequal"]
+probe = ["default", "50:16:500"]
+
+[[drop]]
+scheme = "presto"
+probe = "!default"
+"#;
+        let points = Campaign::from_toml(text).unwrap().expand().unwrap();
+        assert_eq!(points.len(), 3);
+    }
+
+    #[test]
+    fn skew_workload_materializes_elephants_plus_incast() {
+        let p = PointSpec {
+            scheme: SchemeId::PRESTO,
+            topo: TopoId::Testbed16,
+            workload: "skew:6:64:2000:1500:2".parse().unwrap(),
+            fault: FaultId::None,
+            cc: CcKind::default(),
+            ecn: EcnId::Off,
+            probe: ProbeId::Default,
+            flowcell_kb: 64,
+            seed: 3,
+            shards: 1,
+            duration: SimDuration::from_millis(50),
+            warmup: SimDuration::from_millis(10),
+            traced: false,
+        };
+        let s = p.to_scenario();
+        let inc = s.incast().expect("skew carries an incast workload");
+        assert_eq!(inc.fanout, 6);
+        assert_eq!(inc.bytes_per_worker, 64 * 1024);
+        // Two hot senders, each an unbounded elephant avoiding the
+        // aggregator (host 0) at both ends.
+        assert_eq!(s.flows().len(), 2);
+        for f in s.flows() {
+            assert!(f.bytes.is_none(), "hot flows are unbounded");
+            assert_ne!(f.src, 0);
+            assert_ne!(f.dst, 0);
+            assert_ne!(f.src, f.dst);
+        }
     }
 
     #[test]

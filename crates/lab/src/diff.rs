@@ -265,6 +265,10 @@ mod tests {
             events_per_sec: 10_000.0,
             deadline_total: 0,
             deadline_misses: 0,
+            probe_rounds: 0,
+            probe_samples: 0,
+            probe_hot: 0,
+            probe_cold: 0,
             error: String::new(),
         }
     }
@@ -281,7 +285,10 @@ mod tests {
         cur[0].deadline_misses = 20; // +15 pp
         let report = diff_tables(&base, &cur, &Tolerances::default());
         assert!(!report.passed());
-        assert!(report.regressions[0].contains("deadline misses"), "{report:?}");
+        assert!(
+            report.regressions[0].contains("deadline misses"),
+            "{report:?}"
+        );
         // Within tolerance passes; a big drop is a note.
         cur[0].deadline_misses = 6;
         assert!(diff_tables(&base, &cur, &Tolerances::default()).passed());

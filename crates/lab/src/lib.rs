@@ -33,7 +33,7 @@ pub mod runner;
 pub mod store;
 pub mod tomlmini;
 
-pub use axes::{CcKind, EcnId, FaultId, SchemeId, TopoId, WorkloadId};
+pub use axes::{CcKind, EcnId, FaultId, ProbeId, SchemeId, TopoId, WorkloadId};
 pub use campaign::{Campaign, PointMatch, PointOverride, PointSpec};
 pub use diff::{diff_tables, DiffReport, Tolerances};
 pub use runner::{CampaignOutcome, LabRunner, RunOptions};

@@ -82,6 +82,15 @@ pub struct Row {
     pub deadline_total: u64,
     /// Incast requests whose last response landed after the deadline.
     pub deadline_misses: u64,
+    /// Receiver-load probe rounds executed (zero for non-probing points;
+    /// such rows omit every probe field, keeping old tables byte-identical).
+    pub probe_rounds: u64,
+    /// Probe-pool occupancy samples folded across hosts and rounds.
+    pub probe_samples: u64,
+    /// Of those samples, entries the HCL rule classified hot.
+    pub probe_hot: u64,
+    /// Of those samples, entries classified cold.
+    pub probe_cold: u64,
     /// Panic message for failed rows; empty otherwise.
     pub error: String,
 }
@@ -124,6 +133,10 @@ impl Row {
             events_per_sec: events_rate(report.events_processed, wall_ms),
             deadline_total: report.incast_requests,
             deadline_misses: report.incast_deadline_misses,
+            probe_rounds: report.probe_rounds,
+            probe_samples: report.probe_pool_samples,
+            probe_hot: report.probe_pool_hot,
+            probe_cold: report.probe_pool_cold,
             error: String::new(),
         }
     }
@@ -146,6 +159,10 @@ impl Row {
             events_per_sec: 0.0,
             deadline_total: 0,
             deadline_misses: 0,
+            probe_rounds: 0,
+            probe_samples: 0,
+            probe_hot: 0,
+            probe_cold: 0,
             error: error.to_string(),
         }
     }
@@ -192,6 +209,14 @@ impl Row {
                 self.deadline_total, self.deadline_misses
             ));
         }
+        // Same contract for the probe counters: only probing points carry
+        // them, so non-probing tables re-encode to their original bytes.
+        if self.probe_rounds != 0 {
+            s.push_str(&format!(
+                ",\"probe_rounds\":{},\"probe_samples\":{},\"probe_hot\":{},\"probe_cold\":{}",
+                self.probe_rounds, self.probe_samples, self.probe_hot, self.probe_cold
+            ));
+        }
         s.push_str(",\"error\":");
         push_str_field(&mut s, &self.error);
         s.push('}');
@@ -230,6 +255,11 @@ impl Row {
             // Absent on non-incast rows (and every pre-incast row).
             deadline_total: json_u64(line, "deadline_total").unwrap_or(0),
             deadline_misses: json_u64(line, "deadline_misses").unwrap_or(0),
+            // Absent on non-probing rows (and every pre-probe row).
+            probe_rounds: json_u64(line, "probe_rounds").unwrap_or(0),
+            probe_samples: json_u64(line, "probe_samples").unwrap_or(0),
+            probe_hot: json_u64(line, "probe_hot").unwrap_or(0),
+            probe_cold: json_u64(line, "probe_cold").unwrap_or(0),
             error: json_str(line, "error")?,
         })
     }
@@ -546,6 +576,27 @@ mod tests {
         assert_eq!(back, incast);
         assert_eq!(back.encode(), line);
         assert!((back.deadline_miss_fraction() - 0.175).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_fields_are_conditional_and_round_trip() {
+        // Non-probing rows omit the fields entirely, so pre-probe tables
+        // re-encode byte-identically and legacy lines decode to zeros.
+        let row = sample_row();
+        assert_eq!(row.probe_rounds, 0);
+        assert!(!row.encode().contains("probe"));
+        let mut probing = sample_row();
+        probing.probe_rounds = 990;
+        probing.probe_samples = 640;
+        probing.probe_hot = 120;
+        probing.probe_cold = 480;
+        let line = probing.encode();
+        assert!(line.contains(
+            "\"probe_rounds\":990,\"probe_samples\":640,\"probe_hot\":120,\"probe_cold\":480"
+        ));
+        let back = Row::decode(&line).unwrap();
+        assert_eq!(back, probing);
+        assert_eq!(back.encode(), line);
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!   randomized variable grain onto randomized paths.
 //! * **CAFT** — [`CaftPolicy`] weights flowcell placement by per-path
 //!   congestion/fault feedback (consuming `path_feedback` signals).
+//! * **Prequal** — [`PrequalPolicy`] sprays toward probed-cold paths and
+//!   replicas under the hot-cold lexicographic rule, consuming the
+//!   receiver-load probes of `presto-probe` (opting in via
+//!   `probe_params`) and selecting cold responders for
+//!   partition-aggregate requests.
 //!
 //! Path changes rewrite the destination MAC, and real GRO only merges
 //! packets with identical headers — so each policy reports a `flowcell`
@@ -36,6 +41,7 @@ pub mod ecmp;
 pub mod flowdyn;
 pub mod flowlet;
 pub mod perpacket;
+pub mod prequal;
 pub mod sprinklers;
 
 pub use caft::CaftPolicy;
@@ -44,4 +50,5 @@ pub use ecmp::EcmpPolicy;
 pub use flowdyn::FlowDynPolicy;
 pub use flowlet::FlowletPolicy;
 pub use perpacket::PerPacketPolicy;
+pub use prequal::PrequalPolicy;
 pub use sprinklers::SprinklersPolicy;

@@ -29,7 +29,9 @@ pub use buffer::SharedBuffer;
 pub use fabric::{Fabric, NetEvent, NetScheduler};
 pub use ids::{HostId, LinkId, Mac, Node, SwitchId};
 pub use link::{Link, LinkCounters};
-pub use packet::{FlowKey, Packet, PacketKind, ACK_WIRE_BYTES, MSS, WIRE_OVERHEAD};
+pub use packet::{
+    FlowKey, Packet, PacketKind, ACK_WIRE_BYTES, MSS, PROBE_WIRE_BYTES, WIRE_OVERHEAD,
+};
 pub use pool::{BufferPool, PacketPool};
 pub use switch::{EcmpMode, Switch};
 pub use topology::{ClosSpec, DomainPartition, ThreeTierSpec, Topology, TopologyBuilder};

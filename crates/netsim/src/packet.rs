@@ -23,6 +23,13 @@ pub const WIRE_OVERHEAD: u32 = 78;
 /// frame (64 bytes) plus preamble and IFG.
 pub const ACK_WIRE_BYTES: u32 = 84;
 
+/// Wire size of one receiver-load probe exchange (request + minimal
+/// response), used to *account* the control-plane cost of Prequal-style
+/// probing. Probe rounds are modeled out-of-band — they never occupy data
+/// queues or consume goodput — but their estimated wire cost is surfaced
+/// as a telemetry counter so the overhead stays honest.
+pub const PROBE_WIRE_BYTES: u64 = 2 * ACK_WIRE_BYTES as u64;
+
 /// A transport flow's 4-tuple, oriented from the sender's perspective.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FlowKey {

@@ -25,7 +25,7 @@ use presto_telemetry::TelemetryReport;
 
 use crate::spec::{
     CdfSeries, FailoverFigure, FctCdfFigure, Figure, GroSplitFigure, GroSplitPoint,
-    SprayHeatmapFigure, SprayRow,
+    ProbePoolFigure, ProbePoolRow, SprayHeatmapFigure, SprayRow,
 };
 
 /// A campaign's persisted outputs, loaded for rendering.
@@ -167,6 +167,25 @@ impl CampaignData {
             figures.push(Figure::SprayHeatmap(SprayHeatmapFigure {
                 rows: spray_rows,
             }));
+        }
+
+        // Probe-pool composition over every probing row. Absent entirely
+        // (not emitted empty) when no row opted into probing, so the
+        // gated figure sets of existing campaigns are byte-identical.
+        let probe_rows: Vec<ProbePoolRow> = self
+            .ok_rows()
+            .iter()
+            .filter(|r| r.probe_rounds > 0)
+            .map(|r| ProbePoolRow {
+                label: base_label(&r.label).to_string(),
+                rounds: r.probe_rounds,
+                samples: r.probe_samples,
+                hot: r.probe_hot,
+                cold: r.probe_cold,
+            })
+            .collect();
+        if !probe_rows.is_empty() {
+            figures.push(Figure::ProbePool(ProbePoolFigure { rows: probe_rows }));
         }
 
         figures
@@ -324,6 +343,10 @@ mod tests {
             events_per_sec: 20_000.0,
             deadline_total: 0,
             deadline_misses: 0,
+            probe_rounds: 0,
+            probe_samples: 0,
+            probe_hot: 0,
+            probe_cold: 0,
             error: String::new(),
         }
     }
@@ -428,6 +451,47 @@ mod tests {
         // (value, quantile) with values averaged: min (0.1+0.3)/2 = 0.2.
         assert_eq!(mice.series[0].points[0], (0.2, 0.0));
         assert_eq!(mice.series[0].points[1], (1.0, 0.5));
+    }
+
+    #[test]
+    fn probe_rows_build_the_pool_figure_only_when_present() {
+        let plain = CampaignData {
+            campaign: "t".into(),
+            rows: vec![row("presto/testbed16/stride:8/none/cell64k/s1", 9.0, None)],
+            traces: BTreeMap::new(),
+        };
+        assert!(
+            !plain
+                .figures()
+                .iter()
+                .any(|f| matches!(f, Figure::ProbePool(_))),
+            "no probing rows, no probe figure"
+        );
+
+        let mut r = row(
+            "prequal/testbed16/incast:8:64:1000:900/none/cell64k/s1",
+            0.0,
+            None,
+        );
+        r.probe_rounds = 10;
+        r.probe_samples = 320;
+        r.probe_hot = 80;
+        r.probe_cold = 240;
+        let data = CampaignData {
+            campaign: "t".into(),
+            rows: vec![r],
+            traces: BTreeMap::new(),
+        };
+        let figs = data.figures();
+        let pool = figs
+            .iter()
+            .find_map(|f| match f {
+                Figure::ProbePool(p) => Some(p),
+                _ => None,
+            })
+            .expect("probe figure present");
+        assert_eq!(pool.rows.len(), 1);
+        assert_eq!((pool.rows[0].hot, pool.rows[0].cold), (80, 240));
     }
 
     #[test]

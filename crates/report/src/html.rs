@@ -41,7 +41,7 @@ pub fn render_report(data: &CampaignData, ctx: &ReportContext<'_>) -> String {
     let _ = writeln!(out, "<h1>{}</h1>", xml_escape(&title));
 
     metadata_section(&mut out, data, ctx);
-    diff_section(&mut out, ctx);
+    diff_section(&mut out, data, ctx);
 
     out.push_str("<h2>Figures</h2>\n");
     if ctx.figures.is_empty() {
@@ -97,7 +97,7 @@ fn metadata_section(out: &mut String, data: &CampaignData, ctx: &ReportContext<'
     out.push_str("</ul>\n");
 }
 
-fn diff_section(out: &mut String, ctx: &ReportContext<'_>) {
+fn diff_section(out: &mut String, data: &CampaignData, ctx: &ReportContext<'_>) {
     out.push_str("<h2>Baseline</h2>\n");
     match ctx.diff {
         None => {
@@ -117,6 +117,42 @@ fn diff_section(out: &mut String, ctx: &ReportContext<'_>) {
             let _ = writeln!(out, "<pre>{}</pre>", xml_escape(&diff.render()));
         }
     }
+    deadline_verdict(out, data);
+}
+
+/// Deadline counters gate `lab diff` (a miss-count regression fails the
+/// baseline) but historically never rendered in the report — surface
+/// them next to the verdict for every row that tracked deadlines.
+fn deadline_verdict(out: &mut String, data: &CampaignData) {
+    let rows: Vec<&Row> = data
+        .rows
+        .iter()
+        .filter(|r| r.status == RowStatus::Ok && r.deadline_total > 0)
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    out.push_str("<h3>Deadlines</h3>\n<table>\n<tr>");
+    for h in ["label", "deadline misses", "deadline total", "miss rate"] {
+        let _ = write!(out, "<th>{h}</th>");
+    }
+    out.push_str("</tr>\n");
+    for r in rows {
+        let class = if r.deadline_misses == 0 {
+            "pass"
+        } else {
+            "fail"
+        };
+        let _ = writeln!(
+            out,
+            "<tr><td><code>{}</code></td><td class=\"{class}\">{}</td><td>{}</td><td>{:.1}%</td></tr>",
+            xml_escape(&r.label),
+            r.deadline_misses,
+            r.deadline_total,
+            r.deadline_misses as f64 / r.deadline_total as f64 * 100.0,
+        );
+    }
+    out.push_str("</table>\n");
 }
 
 /// Engine-throughput trend over the grid, in grid order. Explicitly
@@ -252,6 +288,59 @@ mod tests {
             "no external references"
         );
         assert!(html.contains("No baseline given"));
+    }
+
+    #[test]
+    fn deadline_counters_render_next_to_the_verdict() {
+        let mut data = sample_data();
+        let mut row = Row {
+            label: "prequal/testbed16/incast:8:64:1000:900/none/cell64k/s1".into(),
+            fp: "fp".into(),
+            status: RowStatus::Ok,
+            digest: 1,
+            goodput_gbps: 1.0,
+            fairness: 1.0,
+            loss_rate: 0.0,
+            fct_ms: Default::default(),
+            rtt_ms: Default::default(),
+            retransmissions: 0,
+            events: 100,
+            wall_ms: 5.0,
+            events_per_sec: 20_000.0,
+            deadline_total: 40,
+            deadline_misses: 3,
+            probe_rounds: 0,
+            probe_samples: 0,
+            probe_hot: 0,
+            probe_cold: 0,
+            error: String::new(),
+        };
+        data.rows.push(row.clone());
+        let html = render_report(
+            &data,
+            &ReportContext {
+                figures: &[],
+                diff: None,
+                has_viewer: false,
+            },
+        );
+        assert!(html.contains("<h3>Deadlines</h3>"));
+        assert!(html.contains("deadline misses"));
+        assert!(html.contains("<td class=\"fail\">3</td><td>40</td><td>7.5%</td>"));
+
+        // Rows that never tracked deadlines keep the section out entirely.
+        row.deadline_total = 0;
+        row.deadline_misses = 0;
+        data.rows = vec![row];
+        let html = render_report(
+            &data,
+            &ReportContext {
+                figures: &[],
+                diff: None,
+                has_viewer: false,
+            },
+        );
+        assert!(!html.contains("<h3>Deadlines</h3>"));
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub enum Figure {
     Failover(FailoverFigure),
     /// Spray-imbalance heatmap from per-path flowcell counts.
     SprayHeatmap(SprayHeatmapFigure),
+    /// Probe-pool composition (hot vs cold under the HCL rule) per
+    /// probing grid point.
+    ProbePool(ProbePoolFigure),
 }
 
 impl Figure {
@@ -53,6 +56,7 @@ impl Figure {
             Figure::FctCdf(f) => format!("fig9_cdf_{}", f.slug),
             Figure::Failover(f) => format!("fig17_failover_{}", f.slug),
             Figure::SprayHeatmap(_) => "spray_heatmap".into(),
+            Figure::ProbePool(_) => "probe_pool".into(),
         }
     }
 
@@ -63,6 +67,7 @@ impl Figure {
             Figure::FctCdf(f) => f.title.clone(),
             Figure::Failover(f) => format!("Failover timeline — {} (Fig 17)", f.point),
             Figure::SprayHeatmap(_) => "Flowcell spray share per path".into(),
+            Figure::ProbePool(_) => "Probe pool composition: hot vs cold (HCL rule)".into(),
         }
     }
 
@@ -115,6 +120,16 @@ impl Figure {
                     }
                 }
             }
+            Figure::ProbePool(f) => {
+                let _ = writeln!(out, "figure probe_pool v{CANON_VERSION}");
+                for r in &f.rows {
+                    let _ = writeln!(out, "point {}", r.label);
+                    let _ = writeln!(out, "  rounds {}", r.rounds);
+                    let _ = writeln!(out, "  samples {}", r.samples);
+                    let _ = writeln!(out, "  hot {}", r.hot);
+                    let _ = writeln!(out, "  cold {}", r.cold);
+                }
+            }
         }
         out
     }
@@ -126,6 +141,7 @@ impl Figure {
             Figure::FctCdf(f) => f.chart().render(),
             Figure::Failover(f) => f.chart().render(),
             Figure::SprayHeatmap(f) => f.chart().render(),
+            Figure::ProbePool(f) => f.chart().render(),
         }
     }
 }
@@ -319,6 +335,57 @@ impl SprayHeatmapFigure {
     }
 }
 
+/// One probing grid point's pool-composition counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbePoolRow {
+    /// Point label (shard suffix stripped).
+    pub label: String,
+    /// Probe rounds executed over the run.
+    pub rounds: u64,
+    /// Pool-occupancy samples folded across hosts and rounds.
+    pub samples: u64,
+    /// Samples classified hot by the HCL rule (`rif >` pool median).
+    pub hot: u64,
+    /// Samples classified cold.
+    pub cold: u64,
+}
+
+/// Probe-pool composition figure: one normalized hot/cold bar per
+/// probing grid point. Only built for campaigns where at least one row
+/// opted into probing, so non-probing campaigns' figure sets are
+/// untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbePoolFigure {
+    /// Probing rows, in grid order.
+    pub rows: Vec<ProbePoolRow>,
+}
+
+impl ProbePoolFigure {
+    fn chart(&self) -> StackedBarChart {
+        StackedBarChart {
+            title: "Probe pool composition: hot vs cold (HCL rule)".into(),
+            y_label: "fraction of pool samples".into(),
+            bars: self
+                .rows
+                .iter()
+                .map(|r| Bar {
+                    label: short_label(&r.label),
+                    segments: vec![
+                        ("hot (rif > median)".into(), r.hot as f64, LOSS_COLOR.into()),
+                        ("cold".into(), r.cold as f64, REORDER_COLOR.into()),
+                        (
+                            "unclassified".into(),
+                            (r.samples - r.hot - r.cold) as f64,
+                            OTHER_COLOR.into(),
+                        ),
+                    ],
+                })
+                .collect(),
+            normalize: true,
+        }
+    }
+}
+
 /// Compress a grid label for on-figure display:
 /// `presto/testbed16/stride:8/linkdown:20/cell64k/s1` →
 /// `presto stride:8 linkdown:20 s1` (topology and default cell size are
@@ -425,6 +492,26 @@ mod tests {
         let c = fig.canonical();
         assert!(c.contains("  path 0 0.25\n"));
         assert!(c.contains("  path 1 0.75\n"));
+    }
+
+    #[test]
+    fn probe_pool_canonical_lists_counters() {
+        let fig = Figure::ProbePool(ProbePoolFigure {
+            rows: vec![ProbePoolRow {
+                label: "prequal/testbed16/incast:8:64:1000:900/none/cell64k/s1".into(),
+                rounds: 500,
+                samples: 16_000,
+                hot: 4_000,
+                cold: 12_000,
+            }],
+        });
+        assert_eq!(fig.slug(), "probe_pool");
+        let c = fig.canonical();
+        assert!(c.starts_with("figure probe_pool v1\n"), "{c}");
+        assert!(c.contains("  rounds 500\n"));
+        assert!(c.contains("  hot 4000\n"));
+        assert!(c.contains("  cold 12000\n"));
+        assert!(fig.render_svg().contains("hot (rif &gt; median)"));
     }
 
     #[test]

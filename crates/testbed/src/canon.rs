@@ -32,7 +32,7 @@ use presto_netsim::EcmpMode;
 use presto_simcore::SimDuration;
 
 use crate::scenario::Scenario;
-use crate::scheme::GroKind;
+use crate::scheme::{GroKind, SchemeSpec};
 
 /// Canonical-format schema version. Bump on any semantic change to the
 /// rendering below.
@@ -136,6 +136,50 @@ fn fault_kind_str(k: FaultKind) -> String {
     }
 }
 
+fn emit_scheme(c: &mut Canon, s: &SchemeSpec) {
+    c.field("scheme.name", s.name);
+    // `PolicyKind::name` owns the canonical policy text (pinned by
+    // the `policy_names_are_pinned` test in `scheme.rs`).
+    c.field("scheme.policy", s.policy.name());
+    let gro = match s.gro {
+        GroKind::Official => "official".into(),
+        GroKind::Presto => "presto".into(),
+        GroKind::PrestoFixedTimeout(d) => format!("presto-fixed:{}", d.as_nanos()),
+    };
+    c.field("scheme.gro", gro);
+    // `TransportKind::name` owns the canonical transport text (pinned
+    // by `transport_name_parse_round_trips` in `scheme.rs`).
+    c.field("scheme.transport", s.transport.name());
+    c.field(
+        "scheme.ecmp_mode",
+        match s.ecmp_mode {
+            EcmpMode::FlowHash => "flow",
+            EcmpMode::FlowcellHash => "flowcell",
+        },
+    );
+    c.field("scheme.single_switch", s.single_switch);
+    c.field("scheme.max_tso", s.max_tso);
+    c.field("scheme.flowcell_bytes", s.flowcell_bytes);
+    // Transport axis: emitted only when off-default so every pre-ECN
+    // fingerprint (and the store rows keyed by them) stays valid.
+    if s.cc != presto_transport::CcKind::Cubic {
+        c.field("scheme.cc", s.cc.name());
+    }
+    if let Some(k) = s.ecn {
+        c.field("scheme.ecn", k);
+    }
+}
+
+/// Render just the scheme block of the canonical format (including the
+/// `v=` schema line) — what `lab schemes` prints per registry entry.
+/// Probe knobs, flowlet gaps and the rest of a policy's parameters show
+/// up here through the pinned `scheme.policy` text.
+pub fn scheme_canon(s: &SchemeSpec) -> String {
+    let mut c = Canon::new();
+    emit_scheme(&mut c, s);
+    c.out
+}
+
 impl Scenario {
     /// Render every behaviour-affecting field as stable canonical text.
     ///
@@ -145,38 +189,7 @@ impl Scenario {
         let mut c = Canon::new();
 
         // Scheme.
-        let s = self.scheme();
-        c.field("scheme.name", s.name);
-        // `PolicyKind::name` owns the canonical policy text (pinned by
-        // the `policy_names_are_pinned` test in `scheme.rs`).
-        c.field("scheme.policy", s.policy.name());
-        let gro = match s.gro {
-            GroKind::Official => "official".into(),
-            GroKind::Presto => "presto".into(),
-            GroKind::PrestoFixedTimeout(d) => format!("presto-fixed:{}", d.as_nanos()),
-        };
-        c.field("scheme.gro", gro);
-        // `TransportKind::name` owns the canonical transport text (pinned
-        // by `transport_name_parse_round_trips` in `scheme.rs`).
-        c.field("scheme.transport", s.transport.name());
-        c.field(
-            "scheme.ecmp_mode",
-            match s.ecmp_mode {
-                EcmpMode::FlowHash => "flow",
-                EcmpMode::FlowcellHash => "flowcell",
-            },
-        );
-        c.field("scheme.single_switch", s.single_switch);
-        c.field("scheme.max_tso", s.max_tso);
-        c.field("scheme.flowcell_bytes", s.flowcell_bytes);
-        // Transport axis: emitted only when off-default so every pre-ECN
-        // fingerprint (and the store rows keyed by them) stays valid.
-        if s.cc != presto_transport::CcKind::Cubic {
-            c.field("scheme.cc", s.cc.name());
-        }
-        if let Some(k) = s.ecn {
-            c.field("scheme.ecn", k);
-        }
+        emit_scheme(&mut c, self.scheme());
 
         // Topology.
         let clos = self.clos();
@@ -272,7 +285,10 @@ impl Scenario {
             );
         }
         if let Some(ar) = self.allreduce() {
-            c.field("allreduce", format_args!("{}:{}", ar.participants, ar.bytes));
+            c.field(
+                "allreduce",
+                format_args!("{}:{}", ar.participants, ar.bytes),
+            );
         }
 
         // Fault timeline (plan form: explicit events plus flap processes;
@@ -493,6 +509,45 @@ mod tests {
         assert!(ar.canonical().contains("allreduce=8:1000000"));
         assert_ne!(base.fingerprint(), ar.fingerprint());
         assert_ne!(incast.fingerprint(), ar.fingerprint());
+    }
+
+    #[test]
+    fn probe_params_flow_into_the_key() {
+        use crate::scheme::PolicyKind;
+        let base = Scenario::builder(SchemeSpec::prequal(), 7).build();
+        assert!(base
+            .canonical()
+            .contains("scheme.policy=prequal:100000:32:1000000"));
+        let faster = Scenario::builder(
+            SchemeSpec::prequal().with_policy(PolicyKind::Prequal(presto_probe::ProbeParams {
+                every: presto_simcore::SimDuration::from_micros(50),
+                pool: 32,
+                staleness: presto_simcore::SimDuration::from_millis(1),
+            })),
+            7,
+        )
+        .build();
+        assert_ne!(
+            base.fingerprint(),
+            faster.fingerprint(),
+            "probe cadence is a behavioural axis"
+        );
+    }
+
+    #[test]
+    fn scheme_canon_renders_the_scheme_block() {
+        let text = scheme_canon(&SchemeSpec::presto());
+        assert!(text.starts_with("v=1\n"), "{text}");
+        assert!(text.contains("scheme.policy=presto"), "{text}");
+        assert!(text.contains("scheme.gro=presto"), "{text}");
+        // Exactly the scheme block: no topology or workload fields.
+        assert!(!text.contains("clos."), "{text}");
+        assert!(!text.contains("seed"), "{text}");
+        // And it matches the prefix of the full canonical text.
+        let full = Scenario::builder(SchemeSpec::presto(), 7)
+            .build()
+            .canonical();
+        assert!(full.starts_with(&text), "scheme block must be a prefix");
     }
 
     #[test]

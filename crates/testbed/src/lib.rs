@@ -43,8 +43,9 @@ pub mod scheme;
 pub mod sim;
 
 pub use builder::ScenarioBuilder;
-pub use canon::Fnv128;
+pub use canon::{scheme_canon, Fnv128};
 pub use presto_faults::{FaultEvent, FaultKind, FaultPlan, FlapProcess, Notify};
+pub use presto_probe::{HclPool, HostLoad, PoolClass, PoolStats, ProbeParams};
 pub use presto_telemetry::{FailoverStage, TelemetryConfig, TelemetryReport};
 pub use registry::{build_policy, SchemeEntry, SCHEMES};
 pub use report::Report;

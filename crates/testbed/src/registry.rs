@@ -23,7 +23,7 @@ use presto_core::FlowcellScheduler;
 use presto_endhost::{DirectPolicy, EdgePolicy};
 use presto_lb::{
     CaftPolicy, DiffFlowPolicy, EcmpPolicy, FlowDynPolicy, FlowletPolicy, PerPacketPolicy,
-    SprinklersPolicy,
+    PrequalPolicy, SprinklersPolicy,
 };
 
 use crate::scheme::{PolicyKind, SchemeSpec};
@@ -107,6 +107,11 @@ pub static SCHEMES: &[SchemeEntry] = &[
         summary: "congestion/fault-aware flowcell weighting from path feedback",
         build: SchemeSpec::caft,
     },
+    SchemeEntry {
+        token: "prequal",
+        summary: "receiver-load probing: spray toward cold paths/replicas (HCL rule)",
+        build: SchemeSpec::prequal,
+    },
 ];
 
 fn flowlet_100us() -> SchemeSpec {
@@ -157,6 +162,7 @@ pub fn build_policy(scheme: &SchemeSpec, seed: u64) -> Box<dyn EdgePolicy> {
         PolicyKind::DiffFlow(elephant_bytes) => Box::new(DiffFlowPolicy::new(elephant_bytes)),
         PolicyKind::Sprinklers(mean) => Box::new(SprinklersPolicy::new(mean)),
         PolicyKind::Caft(period) => Box::new(CaftPolicy::new(period, scheme.flowcell_bytes)),
+        PolicyKind::Prequal(params) => Box::new(PrequalPolicy::new(params, scheme.flowcell_bytes)),
     }
 }
 

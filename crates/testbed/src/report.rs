@@ -69,6 +69,16 @@ pub struct Report {
     pub allreduce_rounds: u64,
     /// Post-warmup allreduce round durations, milliseconds.
     pub allreduce_round_ms: Samples,
+    /// Receiver-load probe rounds executed (zero unless a policy opted
+    /// into probing via `EdgePolicy::probe_params`).
+    pub probe_rounds: u64,
+    /// Probe-pool occupancy samples folded across hosts (one per pool per
+    /// probe round).
+    pub probe_pool_samples: u64,
+    /// Of those samples, entries classified hot by the HCL rule.
+    pub probe_pool_hot: u64,
+    /// Of those samples, entries classified cold.
+    pub probe_pool_cold: u64,
 }
 
 impl Report {
@@ -135,6 +145,10 @@ impl Report {
             incast_request_ms,
             allreduce_rounds,
             allreduce_round_ms,
+            probe_rounds,
+            probe_pool_samples,
+            probe_pool_hot,
+            probe_pool_cold,
         } = self;
         let mut h = Fnv::new();
         h.bytes(scheme.as_bytes());
@@ -197,6 +211,12 @@ impl Report {
         if *allreduce_rounds != 0 {
             h.u64(*allreduce_rounds);
             h.f64s(allreduce_round_ms.values());
+        }
+        if *probe_rounds != 0 {
+            h.u64(*probe_rounds);
+            h.u64(*probe_pool_samples);
+            h.u64(*probe_pool_hot);
+            h.u64(*probe_pool_cold);
         }
         h.finish()
     }

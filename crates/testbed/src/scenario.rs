@@ -443,8 +443,16 @@ impl Scenario {
         }
         if let Some(inc) = &self.incast {
             mark(inc.aggregator);
-            for w in patterns::incast_senders(n_servers, inc.aggregator, inc.fanout) {
-                mark(w);
+            // A probing (load-aware) aggregator may pick replicas from the
+            // whole server pool, so every server can see traffic.
+            if matches!(self.scheme.policy, PolicyKind::Prequal(_)) {
+                for w in 0..n_servers {
+                    mark(w);
+                }
+            } else {
+                for w in patterns::incast_senders(n_servers, inc.aggregator, inc.fanout) {
+                    mark(w);
+                }
             }
         }
         if let Some(ar) = &self.allreduce {
@@ -566,8 +574,17 @@ impl Scenario {
                 link(src, dst);
             }
             if let Some(inc) = &self.incast {
-                for w in patterns::incast_senders(n_servers, inc.aggregator, inc.fanout) {
-                    link(w, inc.aggregator);
+                // Mirror `active_servers`: a probing aggregator may select
+                // any server as a replica, so labels must exist for every
+                // (server, aggregator) pair.
+                if matches!(self.scheme.policy, PolicyKind::Prequal(_)) {
+                    for w in 0..n_servers {
+                        link(w, inc.aggregator);
+                    }
+                } else {
+                    for w in patterns::incast_senders(n_servers, inc.aggregator, inc.fanout) {
+                        link(w, inc.aggregator);
+                    }
                 }
             }
             if let Some(ar) = &self.allreduce {
@@ -699,9 +716,19 @@ impl Scenario {
             }
         }
         if let Some(inc) = &self.incast {
+            let senders = patterns::incast_senders(n_servers, inc.aggregator, inc.fanout);
+            // Load-oblivious schemes always use the static sender set; a
+            // probing aggregator chooses `fanout` replicas per request
+            // from the whole server pool.
+            let candidates = if matches!(self.scheme.policy, PolicyKind::Prequal(_)) {
+                (0..n_servers).filter(|&w| w != inc.aggregator).collect()
+            } else {
+                senders.clone()
+            };
             sim.incast = Some(IncastState {
                 aggregator: inc.aggregator,
-                senders: patterns::incast_senders(n_servers, inc.aggregator, inc.fanout),
+                senders,
+                candidates,
                 bytes_per_worker: inc.bytes_per_worker,
                 interval: inc.interval,
                 deadline: inc.deadline,

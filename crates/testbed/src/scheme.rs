@@ -44,6 +44,10 @@ pub enum PolicyKind {
     /// Congestion/fault-aware flowcell weighting, sampling per-path
     /// feedback at the given period (CAFT).
     Caft(SimDuration),
+    /// Receiver-load-aware spraying: probes requests-in-flight and queue
+    /// latency on the given cadence and sprays toward probed-cold
+    /// paths/replicas under the hot-cold lexicographic rule (Prequal).
+    Prequal(presto_probe::ProbeParams),
 }
 
 impl PolicyKind {
@@ -62,6 +66,12 @@ impl PolicyKind {
             PolicyKind::DiffFlow(bytes) => format!("diffflow:{bytes}"),
             PolicyKind::Sprinklers(bytes) => format!("sprinklers:{bytes}"),
             PolicyKind::Caft(period) => format!("caft:{}", period.as_nanos()),
+            PolicyKind::Prequal(p) => format!(
+                "prequal:{}:{}:{}",
+                p.every.as_nanos(),
+                p.pool,
+                p.staleness.as_nanos()
+            ),
         }
     }
 
@@ -84,6 +94,17 @@ impl PolicyKind {
             ("diffflow", a) => Some(PolicyKind::DiffFlow(num(a)?)),
             ("sprinklers", a) => Some(PolicyKind::Sprinklers(num(a)?)),
             ("caft", a) => Some(PolicyKind::Caft(SimDuration::from_nanos(num(a)?))),
+            ("prequal", a) => {
+                let mut it = a?.splitn(3, ':');
+                let every = it.next()?.parse::<u64>().ok()?;
+                let pool = it.next()?.parse::<usize>().ok()?;
+                let staleness = it.next()?.parse::<u64>().ok()?;
+                Some(PolicyKind::Prequal(presto_probe::ProbeParams {
+                    every: SimDuration::from_nanos(every),
+                    pool,
+                    staleness: SimDuration::from_nanos(staleness),
+                }))
+            }
             _ => None,
         }
     }
@@ -347,6 +368,17 @@ impl SchemeSpec {
             .with_gro(GroKind::Presto)
     }
 
+    /// Prequal: receiver-load-aware spraying — Presto's flowcells and
+    /// modified GRO, but path and replica choice follow probed
+    /// requests-in-flight and queue latency (default probe cadence).
+    pub fn prequal() -> Self {
+        Self::base(
+            "Prequal",
+            PolicyKind::Prequal(presto_probe::ProbeParams::default()),
+        )
+        .with_gro(GroKind::Presto)
+    }
+
     /// Whether this scheme needs the Presto controller's shadow-MAC trees.
     pub fn needs_controller(&self) -> bool {
         !self.single_switch && self.policy != PolicyKind::PrestoEcmp
@@ -377,6 +409,12 @@ mod tests {
         );
         assert_eq!(SchemeSpec::sprinklers().gro, GroKind::Presto);
         assert!(SchemeSpec::caft().needs_controller());
+        assert_eq!(SchemeSpec::prequal().gro, GroKind::Presto);
+        assert!(SchemeSpec::prequal().needs_controller());
+        assert_eq!(
+            SchemeSpec::prequal().policy,
+            PolicyKind::Prequal(presto_probe::ProbeParams::default())
+        );
     }
 
     /// The deprecated ad hoc constructor must stay behaviourally identical
@@ -423,6 +461,12 @@ mod tests {
             PolicyKind::DiffFlow(1024 * 1024),
             PolicyKind::Sprinklers(64 * 1024),
             PolicyKind::Caft(SimDuration::from_micros(100)),
+            PolicyKind::Prequal(presto_probe::ProbeParams::default()),
+            PolicyKind::Prequal(presto_probe::ProbeParams {
+                every: SimDuration::from_micros(50),
+                pool: 8,
+                staleness: SimDuration::from_micros(400),
+            }),
         ];
         for k in kinds {
             assert_eq!(PolicyKind::parse(&k.name()), Some(k), "{}", k.name());
@@ -452,6 +496,10 @@ mod tests {
             PolicyKind::Caft(SimDuration::from_micros(100)).name(),
             "caft:100000"
         );
+        assert_eq!(
+            PolicyKind::Prequal(presto_probe::ProbeParams::default()).name(),
+            "prequal:100000:32:1000000"
+        );
     }
 
     #[test]
@@ -461,6 +509,10 @@ mod tests {
         assert_eq!(PolicyKind::parse("flowlet"), None);
         assert_eq!(PolicyKind::parse("flowlet:abc"), None);
         assert_eq!(PolicyKind::parse("warp-drive"), None);
+        assert_eq!(PolicyKind::parse("prequal"), None);
+        assert_eq!(PolicyKind::parse("prequal:100000"), None);
+        assert_eq!(PolicyKind::parse("prequal:100000:32"), None);
+        assert_eq!(PolicyKind::parse("prequal:100000:32:1:9"), None);
     }
 
     #[test]

@@ -111,6 +111,12 @@ pub enum Event {
     IncastNext,
     /// Start the next synchronized ring-allreduce round.
     AllreduceRound,
+    /// Probe a window of destination hosts for load signals and deliver
+    /// them to load-aware edge policies. Only ever scheduled when the
+    /// scheme's policy advertises [`EdgePolicy::probe_params`], so schemes
+    /// that don't opt in see an unchanged event stream (and digest) —
+    /// the same contract as [`Event::PathFeedback`].
+    ProbeRound,
 }
 
 /// Event-class names for the queue profiler, index-aligned with
@@ -133,6 +139,7 @@ pub const EVENT_NAMES: &[&str] = &[
     "PathFeedback",
     "IncastNext",
     "AllreduceRound",
+    "ProbeRound",
 ];
 
 /// Map an [`Event`] to its [`EVENT_NAMES`] row for the queue profiler.
@@ -155,6 +162,7 @@ pub fn classify_event(ev: &Event) -> usize {
         Event::PathFeedback => 14,
         Event::IncastNext => 15,
         Event::AllreduceRound => 16,
+        Event::ProbeRound => 17,
     }
 }
 
@@ -202,13 +210,16 @@ fn classify_domain(ev: &Event, m: &DomainMap) -> ShardTarget {
         // host's policy: global, like the controller it complements.
         // Incast waves and allreduce rounds fan flows out across many
         // hosts' vSwitches at once, so they ride the global lane too.
+        // Probe rounds read many hosts' connection state and deliver to
+        // every opted-in policy — global for the same reason.
         Event::CpuSample
         | Event::WarmupMark
         | Event::Fault(_)
         | Event::ControllerNotify(_)
         | Event::PathFeedback
         | Event::IncastNext
-        | Event::AllreduceRound => ShardTarget::Global,
+        | Event::AllreduceRound
+        | Event::ProbeRound => ShardTarget::Global,
     }
 }
 
@@ -483,6 +494,13 @@ pub struct IncastState {
     pub aggregator: usize,
     /// Responding worker hosts.
     pub senders: Vec<usize>,
+    /// Eligible responder hosts offered to the aggregator policy's
+    /// [`EdgePolicy::select_replicas`] hook each wave. For load-oblivious
+    /// policies this equals `senders`, and because the hook then returns
+    /// `None` the wave falls back to `senders` verbatim — the pre-probe
+    /// behaviour. Load-aware schemes get every server except the
+    /// aggregator to choose cold responders from.
+    pub candidates: Vec<usize>,
     /// Response size per worker, bytes.
     pub bytes_per_worker: u64,
     /// Request issue interval.
@@ -749,6 +767,12 @@ pub struct Simulation {
     /// construction ([`EdgePolicy::feedback_interval`]). `None` — the
     /// common case — schedules no feedback events at all.
     feedback_every: Option<SimDuration>,
+    /// Receiver-load probe parameters, captured from the scheme's policy
+    /// at construction ([`EdgePolicy::probe_params`]). `None` — the
+    /// common case — schedules no probe events at all.
+    probe_params: Option<presto_probe::ProbeParams>,
+    /// Probe rounds executed (reported; digest-folded only when nonzero).
+    probe_rounds: u64,
     /// Live statistics.
     pub stats: Stats,
     /// Pool of packet buffers reused by TSO splits on the egress path.
@@ -820,6 +844,7 @@ impl Simulation {
         let feedback_every = hosts
             .iter()
             .find_map(|h| h.vswitch.policy().feedback_interval());
+        let probe_params = hosts.iter().find_map(|h| h.vswitch.policy().probe_params());
         let tcp_cfg = TcpConfig {
             max_tso: scheme.max_tso,
             ..TcpConfig::default()
@@ -859,6 +884,8 @@ impl Simulation {
             collect_reorder: false,
             cpu_sample_every: None,
             feedback_every,
+            probe_params,
+            probe_rounds: 0,
             stats: Stats::default(),
             pkt_pool: PacketPool::new(),
             scratch: Scratch::default(),
@@ -1014,8 +1041,7 @@ impl Simulation {
                 // The scheme's registry-selected congestion control; the
                 // default (CUBIC, IW10) matches the testbed's pre-registry
                 // behaviour exactly.
-                let mut sender =
-                    TcpSender::new(self.tcp_cfg.clone(), self.scheme.cc.build(10));
+                let mut sender = TcpSender::new(self.tcp_cfg.clone(), self.scheme.cc.build(10));
                 let now = self.now;
                 let out = match bytes {
                     Some(b) => sender.app_write(now, b),
@@ -1290,25 +1316,40 @@ impl Simulation {
         }
     }
 
-    /// Issue one incast request: every worker simultaneously answers the
-    /// aggregator with `bytes_per_worker`.
+    /// Issue one incast request: every chosen worker simultaneously
+    /// answers the aggregator with `bytes_per_worker`. The aggregator's
+    /// edge policy gets first refusal on the responder set via
+    /// [`EdgePolicy::select_replicas`]; the default `None` keeps the
+    /// static `senders` list, so load-oblivious schemes issue exactly the
+    /// waves they always did.
     fn on_incast_next(&mut self) {
-        let (req, senders, dst, bytes, interval) = {
-            let Some(inc) = &mut self.incast else { return };
-            let req = inc.requests.len();
-            inc.requests.push((self.now, inc.senders.len()));
+        let now = self.now;
+        let (dst, fanout, candidates, interval) = {
+            let Some(inc) = &self.incast else { return };
             (
-                req,
-                inc.senders.clone(),
                 inc.aggregator,
-                inc.bytes_per_worker,
+                inc.senders.len(),
+                inc.candidates.clone(),
                 inc.interval,
             )
+        };
+        let cand_ids: Vec<HostId> = candidates.iter().map(|&c| self.topo.hosts[c]).collect();
+        let chosen = self.hosts[self.topo.hosts[dst].index()]
+            .vswitch
+            .policy_mut()
+            .select_replicas(now, &cand_ids, fanout)
+            .map(|hs| hs.into_iter().map(|h| h.index()).collect::<Vec<_>>());
+        let (req, senders, bytes) = {
+            let Some(inc) = &mut self.incast else { return };
+            let senders = chosen.unwrap_or_else(|| inc.senders.clone());
+            let req = inc.requests.len();
+            inc.requests.push((now, senders.len()));
+            (req, senders, inc.bytes_per_worker)
         };
         for src in senders {
             self.start_flow(src, dst, Some(bytes), true, FlowTag::Incast(req));
         }
-        let next = self.now + interval;
+        let next = now + interval;
         if next < self.end {
             self.queue.push(next, Event::IncastNext);
         }
@@ -1318,7 +1359,9 @@ impl Simulation {
     /// its clockwise neighbor.
     fn on_allreduce_round(&mut self) {
         let (ring, bytes) = {
-            let Some(ar) = &mut self.allreduce else { return };
+            let Some(ar) = &mut self.allreduce else {
+                return;
+            };
             ar.round_start = self.now;
             ar.outstanding = ar.ring.len();
             (ar.ring.clone(), ar.bytes)
@@ -1335,6 +1378,10 @@ impl Simulation {
         }
         if let Some(every) = self.feedback_every {
             self.queue.push(SimTime::ZERO + every, Event::PathFeedback);
+        }
+        if let Some(params) = self.probe_params {
+            self.queue
+                .push(SimTime::ZERO + params.every, Event::ProbeRound);
         }
         let sampling = self.telemetry.is_some();
         while let Some((t, ev)) = self.queue.pop() {
@@ -1419,6 +1466,74 @@ impl Simulation {
             Event::PathFeedback => self.on_path_feedback(),
             Event::IncastNext => self.on_incast_next(),
             Event::AllreduceRound => self.on_allreduce_round(),
+            Event::ProbeRound => self.on_probe_round(),
+        }
+    }
+
+    /// One receiver-load probe round: read the load signals of a rotating
+    /// window of destination hosts and deliver them to every policy that
+    /// opted in via [`EdgePolicy::probe_params`].
+    ///
+    /// Probes are modeled as out-of-band control-plane reads, exactly
+    /// like [`Event::PathFeedback`] and the fault-notify plumbing: they
+    /// occupy no data queue and consume no goodput, so enabling them
+    /// cannot perturb a scheme that ignores the delivered signals. (The
+    /// estimated wire cost is still accounted — see `telemetry_report`'s
+    /// `probe_wire_bytes` counter.) The window rotates by `pool` hosts
+    /// per round so a fabric wider than the pool is still swept
+    /// completely, and entries between visits age toward the staleness
+    /// bound — making eviction a live mechanism rather than dead code.
+    fn on_probe_round(&mut self) {
+        let Some(params) = self.probe_params else {
+            return;
+        };
+        let now = self.now;
+        let n = self.topo.hosts.len();
+        let k = params.pool.min(n).max(1);
+        let start = (self.probe_rounds as usize * k) % n;
+        let mut loads = Vec::with_capacity(k);
+        for off in 0..k {
+            let h = self.topo.hosts[(start + off) % n];
+            let mut rif = 0u64;
+            let mut bytes_in_flight = 0u64;
+            for c in &self.tcp_conns {
+                if c.flow.src == h && c.done_at.is_none() {
+                    rif += 1;
+                    if !c.unbounded {
+                        bytes_in_flight += c.bytes.saturating_sub(c.sender.acked_bytes());
+                    }
+                }
+            }
+            for c in &self.mptcp_conns {
+                if c.done_at.is_none() && c.flows.first().is_some_and(|f| f.src == h) {
+                    rif += 1;
+                }
+            }
+            let link = self.topo.fabric.link(self.topo.fabric.host_uplink(h));
+            let queue_bytes = link.occupancy(now);
+            let latency_ns = if link.up && link.rate_bps > 0 {
+                SimDuration::transmission(queue_bytes, link.rate_bps).as_nanos()
+            } else {
+                u64::MAX / 2
+            };
+            loads.push(presto_probe::HostLoad {
+                host: h,
+                rif,
+                bytes_in_flight,
+                queue_bytes,
+                latency_ns,
+            });
+        }
+        for i in 0..self.hosts.len() {
+            let policy = self.hosts[i].vswitch.policy_mut();
+            if policy.probe_params().is_some() {
+                policy.probe_feedback(now, &loads);
+            }
+        }
+        self.probe_rounds += 1;
+        let next = now + params.every;
+        if next <= self.end {
+            self.queue.push(next, Event::ProbeRound);
         }
     }
 
@@ -2028,6 +2143,18 @@ impl Simulation {
                 report.allreduce_round_ms.add(v);
             }
         }
+        report.probe_rounds = self.probe_rounds;
+        if self.probe_rounds != 0 {
+            let mut pool = presto_probe::PoolStats::default();
+            for host in &self.hosts {
+                if let Some(s) = host.vswitch.policy().probe_pool_stats() {
+                    pool.merge(s);
+                }
+            }
+            report.probe_pool_samples = pool.samples;
+            report.probe_pool_hot = pool.hot;
+            report.probe_pool_cold = pool.cold;
+        }
         report.events_processed = self.events_processed;
         report
     }
@@ -2139,6 +2266,18 @@ impl Simulation {
                 component: "tcp".to_string(),
                 name: name.to_string(),
                 value,
+            });
+        }
+        // Estimated control-plane wire cost of receiver-load probing;
+        // zero (and absent) unless a policy opted into probe rounds, so
+        // probe-free runs keep their counter registry byte-identical.
+        if self.probe_rounds != 0 {
+            let params = self.probe_params.expect("probe rounds imply params");
+            let per_round = params.pool.min(self.topo.hosts.len()).max(1) as u64;
+            rep.counters.push(CounterEntry {
+                component: "probe".to_string(),
+                name: "probe_wire_bytes".to_string(),
+                value: self.probe_rounds * per_round * presto_netsim::PROBE_WIRE_BYTES,
             });
         }
         // Queue-depth summaries per link, from the periodic sampler.

@@ -662,7 +662,11 @@ mod tests {
             cc.on_ack(t(1), cc.cwnd() as u64, srtt());
         }
         assert!(cc.cwnd() > w0);
-        assert!(cc.alpha < 0.05, "α should decay without marks: {}", cc.alpha);
+        assert!(
+            cc.alpha < 0.05,
+            "α should decay without marks: {}",
+            cc.alpha
+        );
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Receiver-load-aware spraying (Prequal-style) quickstart.
+//!
+//! ```text
+//! cargo run --release --example prequal_quickstart
+//! ```
+//!
+//! Static flowcell WRR is blind to receiver load. Here an aggregator
+//! fans requests to 8 workers while two of those workers also source
+//! unbounded elephants (their uplinks are saturated) — the skewed
+//! north-south shape where load-oblivious replica choice provably
+//! hurts. The `prequal` scheme probes per-host load (requests in
+//! flight + latency EWMA), keeps a bounded hot/cold pool under the HCL
+//! rule, and steers both spraying and replica selection toward cold
+//! hosts. Compare the printed deadline-miss counts; the same grid is
+//! committed as `campaigns/skew.toml`.
+
+use presto::prelude::*;
+use presto::workloads::FlowSpec;
+
+fn run_skewed(spec: SchemeSpec) -> Report {
+    Scenario::builder(spec, 1)
+        .duration(SimDuration::from_millis(40))
+        .warmup(SimDuration::from_millis(10))
+        // Hosts 1 and 2 are incast responders *and* elephant sources:
+        // their uplinks stay saturated for the whole run.
+        .elephants(vec![
+            FlowSpec::elephant(1, 9, SimTime::ZERO),
+            FlowSpec::elephant(2, 10, SimTime::ZERO),
+        ])
+        .incast(IncastSpec {
+            aggregator: 0,
+            fanout: 8,
+            bytes_per_worker: 32 * 1024,
+            interval: SimDuration::from_micros(1000),
+            deadline: SimDuration::from_micros(400),
+        })
+        .build()
+        .run()
+}
+
+fn main() {
+    let presto = run_skewed(SchemeSpec::presto());
+    let prequal = run_skewed(SchemeSpec::prequal());
+
+    println!("skewed partition-aggregate, 16 hosts, 2 hot responders:\n");
+    for (name, r) in [("presto (static WRR)", &presto), ("prequal", &prequal)] {
+        println!(
+            "  {name:<22} missed {}/{} deadlines",
+            r.incast_deadline_misses, r.incast_requests
+        );
+    }
+    println!(
+        "\nprobe pool: {} rounds, {} samples ({} hot / {} cold under HCL)",
+        prequal.probe_rounds,
+        prequal.probe_pool_samples,
+        prequal.probe_pool_hot,
+        prequal.probe_pool_cold
+    );
+    assert_eq!(presto.probe_rounds, 0, "static WRR never opts into probing");
+    assert!(
+        prequal.incast_deadline_misses < presto.incast_deadline_misses,
+        "load-aware replica choice dodges the saturated responders"
+    );
+}

@@ -10,6 +10,7 @@
 //!         [--deadline-tol F] [--wall-tol F] [--strict-digest]
 //! lab report <campaign> [--store DIR] [--out DIR] [--baseline FILE]
 //!         [--viewer] [--quiet]
+//! lab schemes [--json]
 //! ```
 //!
 //! `run` is resumable: every finished grid point is appended to the store
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
         Some("ls") => cmd_ls(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("schemes") => cmd_schemes(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::from(if args.is_empty() { 2 } else { 0 });
@@ -73,6 +75,7 @@ usage:
           [--wall-tol F] [--strict-digest]
   lab report <campaign> [--store DIR] [--out DIR] [--baseline FILE]
           [--viewer] [--quiet]
+  lab schemes [--json]
 ";
 
 /// Pull the value of `--flag VALUE` out of `args`, removing both tokens.
@@ -261,6 +264,42 @@ fn cmd_report(rest: &[String]) -> Result<ExitCode, String> {
         }
         if !diff.passed() {
             return Ok(ExitCode::from(1));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `lab schemes` — print the scheme registry, the arena's single
+/// extension point, so docs can link here instead of hand-maintaining a
+/// table. The canonical policy text is the exact string pinned by the
+/// fingerprint contract (`PolicyKind::name`).
+fn cmd_schemes(rest: &[String]) -> Result<ExitCode, String> {
+    let mut args = rest.to_vec();
+    let json = take_flag(&mut args, "--json");
+    positionals(args, 0, "no positional arguments for `schemes`")?;
+    if json {
+        let mut out = String::from("[");
+        for (i, e) in presto_testbed::SCHEMES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let spec = (e.build)();
+            out.push_str("\n  {\"token\":");
+            presto_telemetry::json::push_str_field(&mut out, e.token);
+            out.push_str(",\"summary\":");
+            presto_telemetry::json::push_str_field(&mut out, e.summary);
+            out.push_str(",\"policy\":");
+            presto_telemetry::json::push_str_field(&mut out, &spec.policy.name());
+            out.push_str(",\"canon\":");
+            presto_telemetry::json::push_str_field(&mut out, &presto_testbed::scheme_canon(&spec));
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        print!("{out}");
+    } else {
+        for e in presto_testbed::SCHEMES {
+            let spec = (e.build)();
+            println!("{:<20} {:<28} {}", e.token, spec.policy.name(), e.summary);
         }
     }
     Ok(ExitCode::SUCCESS)

@@ -23,7 +23,8 @@
 //! | [`gro`] | `presto-gro` | stock GRO and Presto's Algorithm 2 |
 //! | [`transport`] | `presto-transport` | TCP (CUBIC/Reno) and MPTCP |
 //! | [`core`] | `presto-core` | flowcell scheduler, controller, shadow MACs |
-//! | [`lb`] | `presto-lb` | ECMP / flowlet / per-packet baselines |
+//! | [`lb`] | `presto-lb` | ECMP / flowlet / per-packet / prequal baselines |
+//! | [`probe`] | `presto-probe` | receiver-load signals, HCL hot/cold pool |
 //! | [`workloads`] | `presto-workloads` | stride/shuffle/random/trace generators |
 //! | [`metrics`] | `presto-metrics` | percentiles, CDFs, Jain fairness |
 //! | [`telemetry`] | `presto-telemetry` | trace events, counter registries, exporters |
@@ -50,6 +51,7 @@ pub use presto_gro as gro;
 pub use presto_lb as lb;
 pub use presto_metrics as metrics;
 pub use presto_netsim as netsim;
+pub use presto_probe as probe;
 pub use presto_simcore as simcore;
 pub use presto_telemetry as telemetry;
 pub use presto_testbed as testbed;
@@ -66,13 +68,13 @@ pub mod trace_tool;
 pub mod prelude {
     pub use presto_faults::{FaultEvent, FaultKind, FaultPlan, FlapProcess, Notify};
     pub use presto_netsim::{ClosSpec, ThreeTierSpec, Topology, TopologyBuilder};
+    pub use presto_probe::{HclPool, HostLoad, PoolClass, PoolStats, ProbeParams};
     pub use presto_simcore::{SimDuration, SimTime};
     pub use presto_telemetry::{FailoverStage, TelemetryConfig, TelemetryReport, TraceEvent};
     pub use presto_testbed::{
         bijection_elephants, random_elephants, stride_elephants, AllreduceSpec, FailureSpec,
         GroKind, IncastSpec, MiceSpec, ParallelRunner, PolicyKind, Report, Scenario,
-        ScenarioBuilder, SchemeSpec, ShuffleSpec, Simulation, TransportKind,
-        DEFAULT_ECN_THRESHOLD,
+        ScenarioBuilder, SchemeSpec, ShuffleSpec, Simulation, TransportKind, DEFAULT_ECN_THRESHOLD,
     };
     pub use presto_transport::CcKind;
 }
